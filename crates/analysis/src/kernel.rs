@@ -1,0 +1,192 @@
+//! The transmission-pattern kernel: sequential elimination + 1-hop
+//! interference, for any chain length.
+
+use ezflow_sim::SimRng;
+
+/// Computes the exact distribution over transmission patterns for a K-hop
+/// chain (`K = cw.len()` transmitters, nodes `0..K`), given which
+/// transmitters contend and their windows.
+///
+/// `contends[i]` says node `i` has something to send (node 0, the
+/// saturated source, must always contend). Returns `(pattern, probability)`
+/// pairs where `pattern[i] == true` iff the link `i -> i+1` is *successfully*
+/// activated — the paper's `z` vector. Probabilities sum to 1.
+///
+/// The distribution is computed by exhaustive enumeration of elimination
+/// orders, which is exponential in the number of *mutually non-adjacent*
+/// contender groups — trivial for the chain lengths of interest (K ≤ 16).
+pub fn pattern_distribution(contends: &[bool], cw: &[u32]) -> Vec<(Vec<bool>, f64)> {
+    assert_eq!(contends.len(), cw.len());
+    assert!(!contends.is_empty());
+    assert!(contends[0], "the saturated source always contends");
+    assert!(cw.iter().all(|&c| c >= 1));
+
+    let k = contends.len();
+    let mut acc: Vec<(Vec<bool>, f64)> = Vec::new();
+    let remaining: Vec<usize> = (0..k).filter(|&i| contends[i]).collect();
+    let mut transmitters = Vec::new();
+    enumerate(&remaining, cw, &mut transmitters, 1.0, &mut acc, k);
+
+    // Merge identical patterns.
+    acc.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut merged: Vec<(Vec<bool>, f64)> = Vec::new();
+    for (pat, p) in acc {
+        match merged.last_mut() {
+            Some((last, lp)) if *last == pat => *lp += p,
+            _ => merged.push((pat, p)),
+        }
+    }
+    merged
+}
+
+fn enumerate(
+    remaining: &[usize],
+    cw: &[u32],
+    transmitters: &mut Vec<usize>,
+    prob: f64,
+    acc: &mut Vec<(Vec<bool>, f64)>,
+    k: usize,
+) {
+    if remaining.is_empty() {
+        acc.push((success_pattern(transmitters, k), prob));
+        return;
+    }
+    let total: f64 = remaining.iter().map(|&i| 1.0 / cw[i] as f64).sum();
+    for &i in remaining {
+        let p_pick = (1.0 / cw[i] as f64) / total;
+        let next: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&j| j != i && j + 1 != i && j != i + 1)
+            .collect();
+        transmitters.push(i);
+        enumerate(&next, cw, transmitters, prob * p_pick, acc, k);
+        transmitters.pop();
+    }
+}
+
+/// Applies the success rule: `z_i = 1` iff `i` transmits and `i+2` does
+/// not (the interferer one hop from the receiver `i+1`).
+fn success_pattern(transmitters: &[usize], k: usize) -> Vec<bool> {
+    let mut tx = vec![false; k + 2];
+    for &i in transmitters {
+        tx[i] = true;
+    }
+    (0..k).map(|i| tx[i] && !tx[i + 2]).collect()
+}
+
+/// Samples one transmission pattern (same process, Monte-Carlo form) —
+/// what [`crate::model::SlottedModel`] uses per slot.
+pub fn sample_pattern(contends: &[bool], cw: &[u32], rng: &mut SimRng) -> Vec<bool> {
+    let k = contends.len();
+    let mut remaining: Vec<usize> = (0..k).filter(|&i| contends[i]).collect();
+    let mut transmitters = Vec::new();
+    while !remaining.is_empty() {
+        let weights: Vec<f64> = remaining.iter().map(|&i| 1.0 / cw[i] as f64).collect();
+        let pick = rng.pick_weighted(&weights).expect("nonempty weights");
+        let i = remaining[pick];
+        transmitters.push(i);
+        remaining.retain(|&j| j != i && j + 1 != i && j != i + 1);
+    }
+    success_pattern(&transmitters, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist_prob(dist: &[(Vec<bool>, f64)], pattern: &[bool]) -> f64 {
+        dist.iter()
+            .find(|(p, _)| p == pattern)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let dist = pattern_distribution(&[true, true, true, true], &[32, 16, 64, 128]);
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lone_source_always_succeeds() {
+        // Region A of Fig. 12: only the source has packets.
+        let dist = pattern_distribution(&[true, false, false, false], &[32, 32, 32, 32]);
+        assert_eq!(dist.len(), 1);
+        assert_eq!(dist[0].0, vec![true, false, false, false]);
+        assert!((dist[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacent_contenders_coordinate_by_inverse_cw() {
+        // Region B: contenders {0, 1}. P(z = [1,0,0,0]) = cw1/(cw0+cw1).
+        let (c0, c1) = (32.0f64, 128.0f64);
+        let dist = pattern_distribution(&[true, true, false, false], &[32, 128, 32, 32]);
+        let p0 = dist_prob(&dist, &[true, false, false, false]);
+        let p1 = dist_prob(&dist, &[false, true, false, false]);
+        assert!((p0 - c1 / (c0 + c1)).abs() < 1e-12);
+        assert!((p1 - c0 / (c0 + c1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_hop_contenders_are_concurrent_and_node2_wins() {
+        // Region C: contenders {0, 2} cannot sense each other; both
+        // transmit; 2 destroys 0's reception at node 1 and succeeds
+        // itself: z = [0,0,1,0] with probability 1 regardless of windows.
+        for cw in [[16, 16, 16, 16], [1024, 16, 16, 16], [16, 16, 4096, 16]] {
+            let dist = pattern_distribution(&[true, false, true, false], &cw);
+            assert_eq!(dist.len(), 1, "cw = {cw:?}");
+            assert_eq!(dist[0].0, vec![false, false, true, false]);
+        }
+    }
+
+    #[test]
+    fn hidden_pair_succeeds_together() {
+        // Region D: contenders {0, 3}: z = [1,0,0,1] with probability 1.
+        let dist = pattern_distribution(&[true, false, false, true], &[32, 32, 32, 99]);
+        assert_eq!(dist.len(), 1);
+        assert_eq!(dist[0].0, vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn sample_matches_distribution() {
+        let contends = [true, true, false, true];
+        let cw = [32u32, 64, 32, 16];
+        let dist = pattern_distribution(&contends, &cw);
+        let mut rng = ezflow_sim::SimRng::new(5);
+        let n = 200_000;
+        let mut counts: std::collections::HashMap<Vec<bool>, u64> =
+            std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts
+                .entry(sample_pattern(&contends, &cw, &mut rng))
+                .or_insert(0) += 1;
+        }
+        for (pat, p) in &dist {
+            let emp = *counts.get(pat).unwrap_or(&0) as f64 / n as f64;
+            assert!(
+                (emp - p).abs() < 0.005,
+                "pattern {pat:?}: empirical {emp}, exact {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn longer_chains_work() {
+        // K = 8: sanity — valid distribution; at most every other node
+        // transmits (adjacent silencing).
+        let contends = vec![true; 8];
+        let cw = vec![32u32; 8];
+        let dist = pattern_distribution(&contends, &cw);
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(dist.len() > 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "source always contends")]
+    fn source_must_contend() {
+        pattern_distribution(&[false, true], &[32, 32]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion benches: the EZ-flow hot paths (BOE lookup, CAA decision).
+//!
+//! On the testbed these run per overheard frame on a 200 MHz MIPS router,
+//! so per-event cost matters; here we keep them honest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ezflow_core::{Boe, Caa, EzFlowConfig};
+use ezflow_sim::SimRng;
+
+/// BOE: record a send + resolve an overheard forward, at a steady-state
+/// backlog of ~30 packets (the worst realistic scan depth).
+fn bench_boe(c: &mut Criterion) {
+    c.bench_function("boe_send_plus_overhear_b30", |b| {
+        let mut boe = Boe::new(1000);
+        let mut rng = SimRng::new(1);
+        let mut next: u64 = 0;
+        let mut oldest: u64 = 0;
+        for _ in 0..30 {
+            boe.on_sent(ezflow_phy::frame::checksum16(next));
+            next += 1;
+        }
+        b.iter(|| {
+            boe.on_sent(ezflow_phy::frame::checksum16(next));
+            next += 1;
+            let got = boe.on_overheard(ezflow_phy::frame::checksum16(oldest));
+            oldest += 1;
+            let _ = rng.next_u32();
+            got
+        })
+    });
+}
+
+/// CAA: one sample (amortizing the 50-sample averaging round).
+fn bench_caa(c: &mut Criterion) {
+    c.bench_function("caa_on_sample", |b| {
+        let mut caa = Caa::new(EzFlowConfig::default(), 32);
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 60;
+            caa.on_sample(if i < 30 { 25 } else { 0 })
+        })
+    });
+}
+
+/// Full controller event path through the trait object.
+fn bench_controller(c: &mut Criterion) {
+    use ezflow_core::EzFlowController;
+    use ezflow_net::controller::{Controller, ControllerEvent};
+    use ezflow_phy::Frame;
+    use ezflow_sim::Time;
+
+    c.bench_function("ezflow_controller_event_pair", |b| {
+        let mut ctrl = EzFlowController::with_defaults();
+        let mut seq: u64 = 0;
+        b.iter(|| {
+            let mut f = Frame::data(seq, 0, 1, 4, 1000, Time::ZERO);
+            f.src = 1;
+            f.dst = 2;
+            ctrl.on_event(
+                Time::ZERO,
+                ControllerEvent::SentToSuccessor {
+                    successor: 2,
+                    frame: &f,
+                },
+            );
+            let mut fwd = Frame::data(seq, 0, 1, 4, 1000, Time::ZERO);
+            fwd.src = 2;
+            fwd.dst = 3;
+            let out = ctrl.on_event(Time::ZERO, ControllerEvent::Overheard { frame: &fwd });
+            seq += 1;
+            out
+        })
+    });
+}
+
+criterion_group!(benches, bench_boe, bench_caa, bench_controller);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Custom-harness bench target: regenerates every table and figure of the
+//! paper at reduced scale, printing the same rows the full harness prints.
+//! Run with `cargo bench -p ezflow-bench --bench paper_experiments`.
+
+use ezflow_bench::experiments;
+use ezflow_bench::report::Scale;
+
+fn main() {
+    // `cargo bench` passes --bench; `cargo test --benches` passes other
+    // flags. We ignore them all: this target always runs everything.
+    let scale = Scale::quick();
+    let start = std::time::Instant::now();
+    let mut ok = true;
+    for rep in experiments::run_all(scale) {
+        print!("{}", rep.render());
+        ok &= rep.all_ok();
+    }
+    println!(
+        "\npaper_experiments finished in {:.1}s — qualitative checks {}",
+        start.elapsed().as_secs_f64(),
+        if ok { "PASSED" } else { "FAILED" }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

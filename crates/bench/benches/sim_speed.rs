@@ -1,0 +1,89 @@
+//! Criterion benches: raw simulator performance.
+//!
+//! These measure how fast the substrate runs, not the paper's metrics —
+//! useful for keeping the experiment harness cheap and for spotting
+//! regressions in the event loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ezflow_net::controller::{Controller, FixedController};
+use ezflow_net::{topo, Network};
+use ezflow_core::EzFlowController;
+use ezflow_sim::Time;
+
+fn std_controller(_: usize) -> Box<dyn Controller> {
+    Box::new(FixedController::standard())
+}
+
+fn ez_controller(_: usize) -> Box<dyn Controller> {
+    Box::new(EzFlowController::with_defaults())
+}
+
+/// Simulate 30 s of a saturated K-hop chain.
+fn bench_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain_30s");
+    g.sample_size(10);
+    for hops in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::new("plain", hops), &hops, |b, &hops| {
+            b.iter(|| {
+                let t = topo::chain(hops, Time::ZERO, Time::from_secs(30));
+                let mut net = Network::from_topology(&t, 1, &std_controller);
+                net.run_until(Time::from_secs(30));
+                net.events_processed()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ezflow", hops), &hops, |b, &hops| {
+            b.iter(|| {
+                let t = topo::chain(hops, Time::ZERO, Time::from_secs(30));
+                let mut net = Network::from_topology(&t, 1, &ez_controller);
+                net.run_until(Time::from_secs(30));
+                net.events_processed()
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Simulate 30 s of the 13-node scenario-1 mesh (both flows active).
+fn bench_scenario1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scenario1_30s");
+    g.sample_size(10);
+    g.bench_function("ezflow", |b| {
+        b.iter(|| {
+            let mut t = topo::scenario1();
+            t.flows[0].start = Time::ZERO;
+            t.flows[0].stop = Time::from_secs(30);
+            t.flows[1].start = Time::ZERO;
+            t.flows[1].stop = Time::from_secs(30);
+            let mut net = Network::from_topology(&t, 1, &ez_controller);
+            net.run_until(Time::from_secs(30));
+            net.events_processed()
+        })
+    });
+    g.finish();
+}
+
+/// The analytical model: slots per second.
+fn bench_slotted_model(c: &mut Criterion) {
+    use ezflow_analysis::{ModelConfig, SlottedModel};
+    use ezflow_sim::SimRng;
+    let mut g = c.benchmark_group("slotted_model");
+    for hops in [4usize, 8] {
+        g.bench_with_input(BenchmarkId::new("100k_slots", hops), &hops, |b, &hops| {
+            b.iter(|| {
+                let mut m = SlottedModel::new(ModelConfig {
+                    hops,
+                    ..ModelConfig::default()
+                });
+                let mut rng = SimRng::new(2);
+                for _ in 0..100_000 {
+                    m.step(&mut rng);
+                }
+                m.delivered
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_scenario1, bench_slotted_model);
+criterion_main!(benches);

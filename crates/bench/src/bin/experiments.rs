@@ -1,0 +1,77 @@
+//! The experiment harness CLI.
+//!
+//! ```text
+//! cargo run --release -p ezflow-bench --bin experiments -- all
+//! cargo run --release -p ezflow-bench --bin experiments -- fig1 table2
+//! cargo run --release -p ezflow-bench --bin experiments -- --quick all
+//! cargo run --release -p ezflow-bench --bin experiments -- --markdown all
+//! ```
+//!
+//! Ids: fig1, table1, fig4, table2, scenario1 (fig6/fig7/fig8),
+//! scenario2 (fig10/fig11/table3), table4, theorem1, ablations, all.
+
+use std::process::ExitCode;
+
+use ezflow_bench::experiments;
+use ezflow_bench::report::Scale;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::full();
+    let mut markdown = false;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut ids = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" => scale = Scale::quick(),
+            "--markdown" => markdown = true,
+            "--seed" => {}
+            s if s.starts_with("--seed=") => {
+                scale.seed = s["--seed=".len()..].parse().expect("numeric seed");
+            }
+            s if s.starts_with("--time=") => {
+                scale.time = s["--time=".len()..].parse().expect("numeric factor");
+            }
+            s if s.starts_with("--csv=") => {
+                csv_dir = Some(std::path::PathBuf::from(&s["--csv=".len()..]));
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!(
+            "usage: experiments [--quick] [--markdown] [--csv=DIR] [--seed=N] [--time=F] <id>...\n\
+             ids: fig1 table1 fig4 table2 scenario1 scenario2 table4 theorem1 ablations seeds all"
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut all_ok = true;
+    for id in &ids {
+        let Some(reports) = experiments::by_id(id, scale) else {
+            eprintln!("unknown experiment id: {id}");
+            return ExitCode::from(2);
+        };
+        for rep in reports {
+            if markdown {
+                print!("{}", rep.render_markdown());
+            } else {
+                print!("{}", rep.render());
+            }
+            if let Some(dir) = &csv_dir {
+                match rep.write_csv(dir) {
+                    Ok(files) => eprintln!("wrote {} CSV files to {}", files.len(), dir.display()),
+                    Err(e) => eprintln!("CSV export failed: {e}"),
+                }
+            }
+            all_ok &= rep.all_ok();
+        }
+    }
+    if all_ok {
+        println!("\nall qualitative checks PASSED");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nsome qualitative checks FAILED");
+        ExitCode::FAILURE
+    }
+}

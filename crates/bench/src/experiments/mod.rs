@@ -1,0 +1,99 @@
+//! The experiment implementations, one module per paper artifact.
+//!
+//! See DESIGN.md §5 for the experiment index mapping each module to the
+//! figure/table it regenerates.
+
+pub mod ablations;
+pub mod analysis_exps;
+pub mod fig1;
+pub mod fig4;
+pub mod scenario1;
+pub mod scenario2;
+pub mod seeds;
+pub mod table1;
+pub mod table2;
+
+use ezflow_core::EzFlowController;
+use ezflow_net::controller::{Controller, FixedController};
+use ezflow_net::{topo::Topology, Network};
+use ezflow_sim::Time;
+
+use crate::report::{Report, Scale};
+
+/// Which flow-control algorithm a run uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algo {
+    /// Plain IEEE 802.11 (the paper's baseline).
+    Plain,
+    /// EZ-flow with the paper's simulation parameters.
+    EzFlow,
+    /// EZ-flow with the testbed's MadWifi `CWmin <= 2^10` clamp.
+    EzFlowTestbed,
+}
+
+impl Algo {
+    /// Per-node controller factory.
+    pub fn factory(self) -> Box<dyn Fn(usize) -> Box<dyn Controller>> {
+        match self {
+            Algo::Plain => Box::new(|_| Box::new(FixedController::standard())),
+            Algo::EzFlow => Box::new(|_| Box::new(EzFlowController::with_defaults())),
+            Algo::EzFlowTestbed => Box::new(|_| {
+                Box::new(EzFlowController::new(
+                    ezflow_core::EzFlowConfig::testbed(),
+                    32,
+                ))
+            }),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Plain => "802.11",
+            Algo::EzFlow => "EZ-flow",
+            Algo::EzFlowTestbed => "EZ-flow (2^10 cap)",
+        }
+    }
+}
+
+/// Builds and runs a topology to `until` under `algo`.
+pub fn run_net(topo: &Topology, algo: Algo, until: Time, seed: u64) -> Network {
+    let mut net = Network::from_topology(topo, seed, &*algo.factory());
+    net.run_until(until);
+    net
+}
+
+/// Runs every experiment at `scale`, in index order.
+pub fn run_all(scale: Scale) -> Vec<Report> {
+    vec![
+        fig1::run(scale),
+        table1::run(scale),
+        fig4::run(scale),
+        table2::run(scale),
+        scenario1::run(scale),
+        scenario2::run(scale),
+        analysis_exps::table4(scale),
+        analysis_exps::theorem1(scale),
+        ablations::run(scale),
+        seeds::run(scale),
+    ]
+}
+
+/// Experiment ids accepted by the CLI, with their runners.
+pub fn by_id(id: &str, scale: Scale) -> Option<Vec<Report>> {
+    let r = match id {
+        "fig1" => vec![fig1::run(scale)],
+        "table1" => vec![table1::run(scale)],
+        "fig4" => vec![fig4::run(scale)],
+        "table2" => vec![table2::run(scale)],
+        "fig6" | "fig7" | "fig8" | "scenario1" => vec![scenario1::run(scale)],
+        "fig10" | "fig11" | "table3" | "scenario2" => vec![scenario2::run(scale)],
+        "table4" => vec![analysis_exps::table4(scale)],
+        "theorem1" => vec![analysis_exps::theorem1(scale)],
+        "ablations" => vec![ablations::run(scale)],
+        "seeds" => vec![seeds::run(scale)],
+        "all" => run_all(scale),
+        _ => return None,
+    };
+    Some(r)
+}

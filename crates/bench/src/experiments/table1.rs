@@ -1,0 +1,57 @@
+//! **Table 1** — capacity of each link of the testbed flow F1.
+//!
+//! The paper measured each campus link in isolation over 1200 s. We run
+//! the calibrated testbed loss model one link at a time (a saturated
+//! single-hop flow over that link) and compare the measured capacity with
+//! the paper's numbers — this validates the calibration that every other
+//! testbed experiment rests on.
+
+use ezflow_net::topo::{self, FlowSpec, Topology, TABLE1_KBPS};
+use ezflow_sim::{Duration, Time};
+
+use super::{run_net, Algo};
+use crate::report::{Report, Scale};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let secs = scale.secs(1200);
+    let until = Time::from_secs(secs);
+    let warm = Time::from_secs(10.min(secs / 4));
+    let mut rep = Report::new("table1", "per-link capacity of the testbed (flow F1)");
+    rep.note(format!(
+        "each link isolated, saturated, {secs} s (paper: 1200 s); loss calibrated from Table 1"
+    ));
+
+    let base = topo::testbed(true, false, Time::ZERO, until);
+    let mut worst_err: f64 = 0.0;
+    for (i, &target) in TABLE1_KBPS.iter().enumerate() {
+        let flow = FlowSpec::saturating(0, vec![i, i + 1], Time::ZERO, until);
+        let t = Topology {
+            name: "testbed-link",
+            positions: base.positions.clone(),
+            loss: base.loss.clone(),
+            flows: vec![flow],
+        };
+        let net = run_net(&t, Algo::Plain, until, scale.seed ^ i as u64);
+        let sm = net
+            .metrics
+            .throughput
+            .get(&0)
+            .expect("flow 0")
+            .window_kbps(warm, until);
+        let measured = net.metrics.mean_kbps(0, warm, until);
+        let err = (measured - target).abs() / target * 100.0;
+        worst_err = worst_err.max(err);
+        rep.row(
+            format!("l{i} ({i} -> {})", i + 1),
+            format!("{target:.0} kb/s"),
+            format!("{measured:.0} kb/s (sigma {:.0}, err {err:.1}%)", sm.std),
+        );
+        let _ = Duration::from_secs(1);
+    }
+    rep.check(
+        "every link capacity within 8% of Table 1",
+        worst_err < 8.0,
+    );
+    rep
+}

@@ -1,0 +1,108 @@
+//! **Table 2** — testbed mean throughput, standard deviation and Jain
+//! fairness, for each flow alone and for the parking-lot combination,
+//! with and without EZ-flow.
+//!
+//! Paper: F1 alone 119 ± 25; F2 alone 157 ± 29; together F1 starves
+//! (7 ± 15 vs 143 ± 34, FI = 0.55). EZ-flow: 148 ± 28, 185 ± 26, and
+//! together 71 ± 31 / 110 ± 35 with FI = 0.96.
+
+use ezflow_net::topo;
+use ezflow_sim::Time;
+use ezflow_stats::jain_index;
+
+use super::{run_net, Algo};
+use crate::report::{kbps, Report, Scale};
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Report {
+    let secs = scale.secs(1800);
+    let until = Time::from_secs(secs);
+    let warm = Time::from_secs(secs / 10);
+    let mut rep = Report::new("table2", "testbed throughput / fairness, 802.11 vs EZ-flow");
+    rep.note(format!(
+        "calibrated testbed, {secs} s per run (paper: 1800 s); EZ-flow with the 2^10 cap"
+    ));
+
+    let cases: [(&str, bool, bool); 3] = [
+        ("F1 alone", true, false),
+        ("F2 alone", false, true),
+        ("F1 + F2", true, true),
+    ];
+    let paper: &[(&str, &str, [&str; 2])] = &[
+        ("F1 alone", "802.11", ["119 ± 25", ""]),
+        ("F1 alone", "EZ-flow (2^10 cap)", ["148 ± 28", ""]),
+        ("F2 alone", "802.11", ["157 ± 29", ""]),
+        ("F2 alone", "EZ-flow (2^10 cap)", ["185 ± 26", ""]),
+        ("F1 + F2", "802.11", ["7 ± 15", "143 ± 34 (FI 0.55)"]),
+        ("F1 + F2", "EZ-flow (2^10 cap)", ["71 ± 31", "110 ± 35 (FI 0.96)"]),
+    ];
+
+    let mut results = std::collections::HashMap::new();
+    for (label, f1, f2) in &cases {
+        let t = topo::testbed(*f1, *f2, Time::ZERO, until);
+        for algo in [Algo::Plain, Algo::EzFlowTestbed] {
+            let net = run_net(&t, algo, until, scale.seed);
+            let flows: Vec<u32> = {
+                let mut ids: Vec<u32> = net.metrics.throughput.keys().copied().collect();
+                ids.sort_unstable();
+                ids
+            };
+            let mut kb = Vec::new();
+            for &f in &flows {
+                let sm = net.metrics.throughput[&f].window_kbps(warm, until);
+                kb.push((f, sm.mean, sm.std));
+            }
+            let fi = jain_index(&kb.iter().map(|&(_, m, _)| m).collect::<Vec<_>>());
+            let p = paper
+                .iter()
+                .find(|(l, a, _)| l == label && *a == algo.name())
+                .map(|(_, _, v)| v)
+                .expect("paper row");
+            if kb.len() == 1 {
+                rep.row(
+                    format!("{label} [{}]", algo.name()),
+                    p[0].to_string(),
+                    kbps(kb[0].1, kb[0].2),
+                );
+            } else {
+                rep.row(
+                    format!("{label} F1 [{}]", algo.name()),
+                    p[0].to_string(),
+                    kbps(kb[0].1, kb[0].2),
+                );
+                rep.row(
+                    format!("{label} F2 [{}]", algo.name()),
+                    p[1].to_string(),
+                    format!("{} (FI {fi:.2})", kbps(kb[1].1, kb[1].2)),
+                );
+            }
+            results.insert((*label, algo.name()), (kb, fi));
+        }
+    }
+
+    let get = |l: &'static str, a: Algo| results[&(l, a.name())].clone();
+    let (both_plain, fi_plain) = get("F1 + F2", Algo::Plain);
+    let (both_ez, fi_ez) = get("F1 + F2", Algo::EzFlowTestbed);
+    let (f1_plain, _) = get("F1 alone", Algo::Plain);
+    let (f1_ez, _) = get("F1 alone", Algo::EzFlowTestbed);
+    let (f2_plain, _) = get("F2 alone", Algo::Plain);
+    let (f2_ez, _) = get("F2 alone", Algo::EzFlowTestbed);
+
+    rep.check(
+        "EZ-flow improves each single-flow throughput",
+        f1_ez[0].1 > f1_plain[0].1 && f2_ez[0].1 > f2_plain[0].1,
+    );
+    rep.check(
+        "802.11 parking lot starves the long flow (F1 << F2)",
+        both_plain[0].1 < both_plain[1].1 / 3.0,
+    );
+    rep.check(
+        "EZ-flow repairs fairness (FI rises substantially)",
+        fi_ez > fi_plain + 0.15,
+    );
+    rep.check(
+        "EZ-flow raises the parking-lot aggregate",
+        both_ez[0].1 + both_ez[1].1 > both_plain[0].1 + both_plain[1].1,
+    );
+    rep
+}

@@ -1,0 +1,176 @@
+//! The Buffer Occupancy Estimator (§3.2).
+//!
+//! The node keeps the identifiers (16-bit transport checksums) of the last
+//! `history` packets it successfully handed to its successor, in send
+//! order. When it overhears the successor forwarding some packet `p`, FIFO
+//! queueing guarantees that exactly the packets recorded *after* `p` are
+//! still sitting in the successor's buffer — so the position of `p`'s
+//! checksum in the ring yields the successor's instantaneous buffer
+//! occupancy, with zero message exchange.
+//!
+//! Two practical details the paper calls out, both reproduced here:
+//!
+//! * **Checksum aliasing.** A 16-bit identifier over a 1000-entry window
+//!   occasionally collides. We resolve a lookup to the *most recent*
+//!   matching entry, which makes an aliased estimate err low rather than
+//!   high — a conservative error for a congestion signal (it can delay,
+//!   never amplify, a throttle-down).
+//! * **Missed overhearings are harmless.** The estimator produces a sample
+//!   only when it actually overhears a forward; gaps simply mean fewer
+//!   samples (the CAA just waits longer for its 50), never wrong ones.
+//!
+//! One refinement over the paper's pseudo-code: after a successful match,
+//! every entry up to and including the match is pruned. FIFO means the
+//! successor has already forwarded all of them, so they can never match a
+//! *future* overhearing — keeping them would only create stale aliases.
+
+use std::collections::VecDeque;
+
+/// Per-successor passive buffer estimator.
+#[derive(Clone, Debug)]
+pub struct Boe {
+    history: usize,
+    /// Checksums of packets handed to the successor, oldest first.
+    sent: VecDeque<u16>,
+    /// Diagnostics: samples produced.
+    pub samples_produced: u64,
+    /// Diagnostics: overheard frames whose checksum matched nothing
+    /// (either aliasing already pruned it, or we never saw the send).
+    pub misses: u64,
+}
+
+impl Boe {
+    /// Creates an estimator remembering the last `history` sends.
+    pub fn new(history: usize) -> Self {
+        assert!(history > 0);
+        Boe {
+            history,
+            sent: VecDeque::with_capacity(history.min(4096)),
+            samples_produced: 0,
+            misses: 0,
+        }
+    }
+
+    /// Records that a packet with transport checksum `ck` was delivered to
+    /// the successor (it is now at the tail of the successor's FIFO).
+    pub fn on_sent(&mut self, ck: u16) {
+        if self.sent.len() == self.history {
+            self.sent.pop_front();
+        }
+        self.sent.push_back(ck);
+    }
+
+    /// Processes an overheard forward by the successor; returns the
+    /// estimated successor buffer occupancy, in packets, if the checksum
+    /// matches a recorded send.
+    pub fn on_overheard(&mut self, ck: u16) -> Option<usize> {
+        // Most recent match: scan from the tail.
+        let idx = self.sent.iter().rposition(|&c| c == ck)?;
+        // Packets recorded after `p` are still queued at the successor.
+        let b = self.sent.len() - 1 - idx;
+        // Everything up to and including `p` has left the successor.
+        self.sent.drain(..=idx);
+        self.samples_produced += 1;
+        Some(b)
+    }
+
+    /// Number of sends currently remembered.
+    pub fn len(&self) -> usize {
+        self.sent.len()
+    }
+
+    /// True iff no sends are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.sent.is_empty()
+    }
+
+    /// Records an overhearing that produced no estimate (diagnostics).
+    pub fn on_miss(&mut self) {
+        self.misses += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_occupancy_for_fifo_successor() {
+        let mut boe = Boe::new(1000);
+        // We send packets 1..=5 (checksums used directly for clarity).
+        for ck in 1..=5u16 {
+            boe.on_sent(ck);
+        }
+        // Successor forwards packet 1: packets 2..5 still buffered -> 4.
+        assert_eq!(boe.on_overheard(1), Some(4));
+        // Then packet 2: 3..5 buffered -> 3.
+        assert_eq!(boe.on_overheard(2), Some(3));
+        // We send 2 more; successor forwards 3: 4,5,6,7 buffered -> 4.
+        boe.on_sent(6);
+        boe.on_sent(7);
+        assert_eq!(boe.on_overheard(3), Some(4));
+    }
+
+    #[test]
+    fn empty_buffer_reads_zero() {
+        let mut boe = Boe::new(100);
+        boe.on_sent(9);
+        assert_eq!(boe.on_overheard(9), Some(0));
+        assert!(boe.is_empty());
+    }
+
+    #[test]
+    fn unknown_checksum_yields_no_sample() {
+        let mut boe = Boe::new(100);
+        boe.on_sent(1);
+        assert_eq!(boe.on_overheard(42), None);
+        assert_eq!(boe.len(), 1, "a miss must not disturb the history");
+    }
+
+    #[test]
+    fn match_prunes_older_entries() {
+        let mut boe = Boe::new(100);
+        for ck in 1..=10u16 {
+            boe.on_sent(ck);
+        }
+        assert_eq!(boe.on_overheard(7), Some(3));
+        assert_eq!(boe.len(), 3);
+        // Packets 1..=7 are gone: overhearing 3 again can't match.
+        assert_eq!(boe.on_overheard(3), None);
+    }
+
+    #[test]
+    fn aliased_checksum_resolves_to_most_recent() {
+        let mut boe = Boe::new(100);
+        boe.on_sent(5);
+        boe.on_sent(8);
+        boe.on_sent(5); // alias of the first
+        boe.on_sent(9);
+        // Most recent '5' is at index 2: one packet (9) after it.
+        assert_eq!(boe.on_overheard(5), Some(1));
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let mut boe = Boe::new(10);
+        for ck in 0..50u16 {
+            boe.on_sent(ck);
+        }
+        assert_eq!(boe.len(), 10);
+        // Oldest surviving entry is 40.
+        assert_eq!(boe.on_overheard(39), None);
+        assert_eq!(boe.on_overheard(40), Some(9));
+    }
+
+    #[test]
+    fn missed_overhearings_do_not_corrupt_estimates() {
+        // The paper's robustness property: if the node fails to overhear
+        // some forwards, later estimates are still exact.
+        let mut boe = Boe::new(1000);
+        for ck in 1..=10u16 {
+            boe.on_sent(ck);
+        }
+        // Forwards of 1..=4 all missed; we only hear 5.
+        assert_eq!(boe.on_overheard(5), Some(5));
+    }
+}

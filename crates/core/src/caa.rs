@@ -1,0 +1,263 @@
+//! The Channel Access Adaptation (§3.3, Algorithm 1).
+//!
+//! Every `samples` BOE estimates, the CAA compares their average `b̄`
+//! against the thresholds:
+//!
+//! * `b̄ > b_max` — the successor is over-utilized. `countup` increments;
+//!   when it reaches `log2(cw)`, `cw` doubles (bounded by `max_cw`).
+//! * `b̄ < b_min` — the successor is under-utilized. `countdown`
+//!   increments; when it reaches `15 − log2(cw)`, `cw` halves (bounded by
+//!   `min_cw`).
+//! * otherwise — the sweet spot; both counters reset.
+//!
+//! The counter thresholds are the paper's inter-flow fairness device: a
+//! node already at a *high* window reacts quickly to under-utilization and
+//! sluggishly to over-utilization, and vice versa, so competing nodes
+//! converge instead of oscillating in lockstep.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::EzFlowConfig;
+
+/// Outcome of feeding one sample to [`Caa::on_sample`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CaaDecision {
+    /// Not enough samples yet, or thresholds not crossed persistently.
+    Hold,
+    /// The contention window was doubled to the contained value.
+    Increase(u32),
+    /// The contention window was halved to the contained value.
+    Decrease(u32),
+}
+
+/// Per-successor CAA state.
+#[derive(Clone, Debug)]
+pub struct Caa {
+    cfg: EzFlowConfig,
+    cw: u32,
+    sum: f64,
+    count: usize,
+    countup: u32,
+    countdown: u32,
+    /// Diagnostics: averaging rounds completed.
+    pub rounds: u64,
+}
+
+impl Caa {
+    /// Creates a CAA starting at window `initial_cw`.
+    pub fn new(cfg: EzFlowConfig, initial_cw: u32) -> Self {
+        assert!(initial_cw.is_power_of_two(), "cw must be a power of two");
+        Caa {
+            cfg,
+            cw: initial_cw.clamp(cfg.min_cw, cfg.effective_max_cw()),
+            sum: 0.0,
+            count: 0,
+            countup: 0,
+            countdown: 0,
+            rounds: 0,
+        }
+    }
+
+    /// Current `CWmin`.
+    pub fn cw(&self) -> u32 {
+        self.cw
+    }
+
+    /// `log2(cw)` — the quantity the paper's counter thresholds use.
+    fn log_cw(&self) -> u32 {
+        self.cw.trailing_zeros()
+    }
+
+    /// Feeds one buffer-occupancy sample from the BOE.
+    pub fn on_sample(&mut self, b: usize) -> CaaDecision {
+        self.sum += b as f64;
+        self.count += 1;
+        if self.count < self.cfg.samples {
+            return CaaDecision::Hold;
+        }
+        let avg = self.sum / self.count as f64;
+        self.sum = 0.0;
+        self.count = 0;
+        self.rounds += 1;
+        self.on_average(avg)
+    }
+
+    /// Applies Algorithm 1 to a completed average. Public so the
+    /// analytical model can drive the same logic sample-less.
+    pub fn on_average(&mut self, avg: f64) -> CaaDecision {
+        if avg > self.cfg.b_max {
+            self.countdown = 0;
+            self.countup += 1;
+            if self.countup >= self.log_cw() {
+                self.countup = 0;
+                let next = (self.cw * 2).min(self.cfg.effective_max_cw());
+                if next != self.cw {
+                    self.cw = next;
+                    return CaaDecision::Increase(self.cw);
+                }
+            }
+            CaaDecision::Hold
+        } else if avg < self.cfg.b_min {
+            self.countup = 0;
+            self.countdown += 1;
+            if self.countdown >= 15u32.saturating_sub(self.log_cw()) {
+                self.countdown = 0;
+                let next = (self.cw / 2).max(self.cfg.min_cw);
+                if next != self.cw {
+                    self.cw = next;
+                    return CaaDecision::Decrease(self.cw);
+                }
+            }
+            CaaDecision::Hold
+        } else {
+            self.countup = 0;
+            self.countdown = 0;
+            CaaDecision::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caa(cw: u32) -> Caa {
+        Caa::new(EzFlowConfig::default(), cw)
+    }
+
+    /// Feeds a full averaging round of identical samples.
+    fn round(c: &mut Caa, b: usize) -> CaaDecision {
+        let mut last = CaaDecision::Hold;
+        for _ in 0..50 {
+            last = c.on_sample(b);
+        }
+        last
+    }
+
+    #[test]
+    fn needs_a_full_round_before_deciding() {
+        let mut c = caa(32);
+        for _ in 0..49 {
+            assert_eq!(c.on_sample(100), CaaDecision::Hold);
+        }
+        assert_eq!(c.rounds, 0);
+        c.on_sample(100);
+        assert_eq!(c.rounds, 1);
+    }
+
+    #[test]
+    fn overutilization_doubles_after_log_cw_rounds() {
+        // cw = 32: log2 = 5, so 5 consecutive over-threshold averages.
+        let mut c = caa(32);
+        for i in 1..=4 {
+            assert_eq!(round(&mut c, 30), CaaDecision::Hold, "round {i}");
+        }
+        assert_eq!(round(&mut c, 30), CaaDecision::Increase(64));
+        // Higher cw -> slower to increase again: now needs 6 rounds.
+        for i in 1..=5 {
+            assert_eq!(round(&mut c, 30), CaaDecision::Hold, "round {i}");
+        }
+        assert_eq!(round(&mut c, 30), CaaDecision::Increase(128));
+    }
+
+    #[test]
+    fn underutilization_halves_after_15_minus_log_cw_rounds() {
+        // cw = 1024: log2 = 10, so 5 consecutive empty averages halve it.
+        let mut c = caa(1024);
+        for i in 1..=4 {
+            assert_eq!(round(&mut c, 0), CaaDecision::Hold, "round {i}");
+        }
+        assert_eq!(round(&mut c, 0), CaaDecision::Decrease(512));
+        // Lower cw -> slower to decrease again: needs 6 rounds now.
+        for i in 1..=5 {
+            assert_eq!(round(&mut c, 0), CaaDecision::Hold, "round {i}");
+        }
+        assert_eq!(round(&mut c, 0), CaaDecision::Decrease(256));
+    }
+
+    #[test]
+    fn high_cw_reacts_faster_to_underutilization_than_low_cw() {
+        // The paper's fairness property, directly.
+        let rounds_to_decrease = |start: u32| {
+            let mut c = caa(start);
+            let mut n = 0;
+            loop {
+                n += 1;
+                if matches!(round(&mut c, 0), CaaDecision::Decrease(_)) {
+                    return n;
+                }
+                assert!(n < 100);
+            }
+        };
+        assert!(rounds_to_decrease(8192) < rounds_to_decrease(64));
+    }
+
+    #[test]
+    fn comfortable_zone_resets_counters() {
+        let mut c = caa(32);
+        round(&mut c, 30);
+        round(&mut c, 30); // countup = 2
+        round(&mut c, 10); // in (b_min, b_max): reset
+        for i in 1..=4 {
+            assert_eq!(round(&mut c, 30), CaaDecision::Hold, "round {i}");
+        }
+        assert_eq!(round(&mut c, 30), CaaDecision::Increase(64));
+    }
+
+    #[test]
+    fn mixed_signals_reset_the_opposite_counter() {
+        let mut c = caa(32);
+        round(&mut c, 30); // countup = 1
+        round(&mut c, 0); // countdown = 1, countup reset
+        for i in 1..=4 {
+            assert_eq!(round(&mut c, 30), CaaDecision::Hold, "round {i}");
+        }
+        assert_eq!(round(&mut c, 30), CaaDecision::Increase(64));
+    }
+
+    #[test]
+    fn clamps_at_bounds() {
+        let mut c = caa(32768);
+        for _ in 0..100 {
+            assert_eq!(round(&mut c, 50), CaaDecision::Hold, "cannot exceed max");
+        }
+        assert_eq!(c.cw(), 32768);
+        let mut c = caa(16);
+        for _ in 0..100 {
+            assert_eq!(round(&mut c, 0), CaaDecision::Hold, "cannot go below min");
+        }
+        assert_eq!(c.cw(), 16);
+    }
+
+    #[test]
+    fn hardware_cap_limits_increase() {
+        let mut c = Caa::new(EzFlowConfig::testbed(), 512);
+        // 512 -> 1024 takes 9 rounds (log2(512) = 9).
+        let mut grew = false;
+        for _ in 0..9 {
+            if matches!(round(&mut c, 40), CaaDecision::Increase(1024)) {
+                grew = true;
+            }
+        }
+        assert!(grew);
+        for _ in 0..50 {
+            assert_eq!(round(&mut c, 40), CaaDecision::Hold, "capped at 2^10");
+        }
+        assert_eq!(c.cw(), 1024);
+    }
+
+    #[test]
+    fn fractional_b_min_requires_almost_all_zero_samples() {
+        // b_min = 0.05 with 50 samples: even 3 samples of 1 packet push
+        // the average to 0.06 > b_min.
+        let mut c = caa(64);
+        let mut last = CaaDecision::Hold;
+        for _ in 0..20 {
+            for i in 0..50 {
+                last = c.on_sample(if i < 3 { 1 } else { 0 });
+            }
+            assert_eq!(last, CaaDecision::Hold);
+        }
+        assert_eq!(c.cw(), 64);
+    }
+}

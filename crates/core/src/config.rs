@@ -1,0 +1,85 @@
+//! EZ-flow parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// All tunables of the mechanism, defaulting to the values used in the
+/// paper's simulations (§5.1: `b_min = 0.05`, `b_max = 20`,
+/// `maxcw = 2^15`) and testbed (`mincw = 2^4`, 50-sample average,
+/// 1000-packet BOE history).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EzFlowConfig {
+    /// Lower buffer threshold. Deliberately below one packet: the mean
+    /// must be *essentially always zero* before a node dares to become
+    /// more aggressive (§3.3: "the most important parameter to set is
+    /// b_min, which has to be very small").
+    pub b_min: f64,
+    /// Upper buffer threshold.
+    pub b_max: f64,
+    /// Number of BOE samples averaged per CAA decision.
+    pub samples: usize,
+    /// Smallest allowed `CWmin` (2^4).
+    pub min_cw: u32,
+    /// Largest allowed `CWmin` (2^15).
+    pub max_cw: u32,
+    /// Optional hardware clamp below `max_cw` — the MadWifi driver of the
+    /// testbed silently ignores `CWmin` above 2^10 (§4.1); set this to
+    /// `Some(1024)` to reproduce the testbed's partially-stabilized Fig. 4.
+    pub hw_cap: Option<u32>,
+    /// BOE history length, packets.
+    pub history: usize,
+}
+
+impl Default for EzFlowConfig {
+    fn default() -> Self {
+        EzFlowConfig {
+            b_min: 0.05,
+            b_max: 20.0,
+            samples: 50,
+            min_cw: 16,
+            max_cw: 32768,
+            hw_cap: None,
+            history: 1000,
+        }
+    }
+}
+
+impl EzFlowConfig {
+    /// The paper's testbed configuration: MadWifi caps `CWmin` at 2^10.
+    pub fn testbed() -> Self {
+        EzFlowConfig {
+            hw_cap: Some(1024),
+            ..EzFlowConfig::default()
+        }
+    }
+
+    /// Effective upper bound for `CWmin` (hardware cap included).
+    pub fn effective_max_cw(&self) -> u32 {
+        match self.hw_cap {
+            Some(cap) => self.max_cw.min(cap),
+            None => self.max_cw,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = EzFlowConfig::default();
+        assert_eq!(c.b_min, 0.05);
+        assert_eq!(c.b_max, 20.0);
+        assert_eq!(c.samples, 50);
+        assert_eq!(c.min_cw, 16);
+        assert_eq!(c.max_cw, 32768);
+        assert_eq!(c.history, 1000);
+        assert_eq!(c.effective_max_cw(), 32768);
+    }
+
+    #[test]
+    fn testbed_cap() {
+        let c = EzFlowConfig::testbed();
+        assert_eq!(c.effective_max_cw(), 1024);
+    }
+}

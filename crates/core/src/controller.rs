@@ -1,0 +1,338 @@
+//! EZ-flow as a [`Controller`]: the glue between BOE, CAA and the MAC.
+
+use std::collections::HashMap;
+
+use ezflow_net::controller::{Controller, ControllerEvent};
+use ezflow_sim::Time;
+
+use crate::boe::Boe;
+use crate::caa::{Caa, CaaDecision};
+use crate::config::EzFlowConfig;
+
+/// The EZ-flow program running at one node.
+///
+/// One (BOE, CAA) pair is kept per successor, created lazily the first
+/// time a frame is acknowledged by that successor — the controller
+/// discovers its successors from traffic, it is never configured with
+/// topology knowledge.
+///
+/// When several successors exist, two mechanisms cooperate, mirroring the
+/// refinement the paper's §7 sketches on top of the four 802.11e hardware
+/// queues: [`Controller::queue_window`] exposes one window per successor,
+/// which the network layer programs for each frame right before it enters
+/// the MAC (so the head-of-line frame always contends with its own
+/// branch's window); and between frames the node-global `CWmin` falls back
+/// to the **maximum** over the per-successor windows — the most congested
+/// branch governs, erring on the side of stability. On the paper's line
+/// topologies (one successor per node) both mechanisms coincide.
+///
+/// One special case deserves a note: when the successor *is* the flow's
+/// final destination, the successor never forwards, so there is nothing to
+/// overhear. But the node also knows — from the ACK alone, still without
+/// any message passing — that a delivered packet leaves the buffer
+/// immediately (the sink consumes it). The controller therefore feeds the
+/// CAA a zero sample per acknowledged packet for sink successors, which is
+/// exactly what the testbed's last relay observes.
+pub struct EzFlowController {
+    cfg: EzFlowConfig,
+    start_cw: u32,
+    per_succ: HashMap<usize, (Boe, Caa)>,
+}
+
+impl EzFlowController {
+    /// Creates the controller; `start_cw` must equal the MAC's initial
+    /// `CWmin` (the 802.11 default, 32) so the CAA's bookkeeping starts
+    /// aligned with the hardware.
+    pub fn new(cfg: EzFlowConfig, start_cw: u32) -> Self {
+        EzFlowController {
+            cfg,
+            start_cw,
+            per_succ: HashMap::new(),
+        }
+    }
+
+    /// Defaults: paper parameters, 802.11 default window.
+    pub fn with_defaults() -> Self {
+        Self::new(EzFlowConfig::default(), 32)
+    }
+
+    fn entry(&mut self, successor: usize) -> &mut (Boe, Caa) {
+        let cfg = self.cfg;
+        let start = self.start_cw;
+        self.per_succ
+            .entry(successor)
+            .or_insert_with(|| (Boe::new(cfg.history), Caa::new(cfg, start)))
+    }
+
+    /// The effective window: max over successors (see type docs).
+    fn effective_cw(&self) -> Option<u32> {
+        self.per_succ.values().map(|(_, caa)| caa.cw()).max()
+    }
+
+    /// Current per-successor windows (diagnostics / experiments).
+    pub fn windows(&self) -> Vec<(usize, u32)> {
+        let mut v: Vec<(usize, u32)> = self
+            .per_succ
+            .iter()
+            .map(|(&s, (_, caa))| (s, caa.cw()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total BOE samples produced at this node (diagnostics).
+    pub fn boe_samples(&self) -> u64 {
+        self.per_succ
+            .values()
+            .map(|(boe, _)| boe.samples_produced)
+            .sum()
+    }
+
+    fn after_decision(&self, decision: CaaDecision) -> Option<u32> {
+        match decision {
+            CaaDecision::Hold => None,
+            CaaDecision::Increase(_) | CaaDecision::Decrease(_) => self.effective_cw(),
+        }
+    }
+}
+
+impl Controller for EzFlowController {
+    fn on_event(&mut self, _now: Time, event: ControllerEvent<'_>) -> Option<u32> {
+        match event {
+            ControllerEvent::SentToSuccessor { successor, frame } => {
+                let sink = successor == frame.final_dst;
+                let ck = frame.checksum;
+                let (boe, caa) = self.entry(successor);
+                if sink {
+                    // The ACK certifies delivery; the sink's buffer is
+                    // empty by definition.
+                    let d = caa.on_sample(0);
+                    self.after_decision(d)
+                } else {
+                    boe.on_sent(ck);
+                    None
+                }
+            }
+            ControllerEvent::Overheard { frame } => {
+                // Only forwards *by one of our successors* carry
+                // information; everything else on the air is ignored.
+                let ck = frame.checksum;
+                let src = frame.src;
+                if !self.per_succ.contains_key(&src) {
+                    return None;
+                }
+                let (boe, caa) = self.entry(src);
+                match boe.on_overheard(ck) {
+                    Some(b) => {
+                        let d = caa.on_sample(b);
+                        self.after_decision(d)
+                    }
+                    None => {
+                        boe.on_miss();
+                        None
+                    }
+                }
+            }
+            // EZ-flow never requests nor uses message passing.
+            ControllerEvent::NeighborBacklog { .. } => None,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ez-flow"
+    }
+
+    /// §7 extension: expose the per-successor window so nodes with
+    /// several successors adapt each queue independently (802.11e-style)
+    /// instead of max-combining into a single `CWmin`.
+    fn queue_window(&self, successor: usize) -> Option<u32> {
+        self.per_succ.get(&successor).map(|(_, caa)| caa.cw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezflow_phy::Frame;
+
+    fn frame(seq: u64, src: usize, dst: usize, final_dst: usize) -> Frame {
+        let mut f = Frame::data(seq, 0, 0, final_dst, 1000, Time::ZERO);
+        f.src = src;
+        f.dst = dst;
+        f
+    }
+
+    /// Drives one node's controller as if it were node 1 of a chain
+    /// 0->1->2->3->4, sending to successor 2 and overhearing 2's forwards.
+    #[test]
+    fn boe_caa_loop_raises_cw_under_congestion() {
+        let mut c = EzFlowController::with_defaults();
+        let mut seq = 0u64;
+        let mut cw = 32;
+        // Successor 2 always holds 30 packets: we send packet s, and by
+        // the time we overhear it, 30 more of ours sit behind it.
+        let mut outstanding: std::collections::VecDeque<u64> =
+            std::collections::VecDeque::new();
+        for _ in 0..30 {
+            c.on_event(
+                Time::ZERO,
+                ControllerEvent::SentToSuccessor {
+                    successor: 2,
+                    frame: &frame(seq, 1, 2, 4),
+                },
+            );
+            outstanding.push_back(seq);
+            seq += 1;
+        }
+        for _ in 0..2000 {
+            // Send one, overhear the oldest outstanding.
+            c.on_event(
+                Time::ZERO,
+                ControllerEvent::SentToSuccessor {
+                    successor: 2,
+                    frame: &frame(seq, 1, 2, 4),
+                },
+            );
+            outstanding.push_back(seq);
+            seq += 1;
+            let fwd = outstanding.pop_front().unwrap();
+            if let Some(new_cw) = c.on_event(
+                Time::ZERO,
+                ControllerEvent::Overheard {
+                    frame: &frame(fwd, 2, 3, 4),
+                },
+            ) {
+                assert!(new_cw > cw, "congestion must only raise cw");
+                cw = new_cw;
+            }
+        }
+        assert!(cw >= 128, "sustained b=30 > b_max must raise cw, got {cw}");
+        assert!(c.boe_samples() > 1000);
+    }
+
+    #[test]
+    fn empty_successor_drives_cw_to_minimum() {
+        let mut c = EzFlowController::with_defaults();
+        let mut cw = 32;
+        // Successor forwards immediately: every overheard packet is the
+        // one we just sent -> b = 0.
+        for seq in 0..20_000u64 {
+            c.on_event(
+                Time::ZERO,
+                ControllerEvent::SentToSuccessor {
+                    successor: 2,
+                    frame: &frame(seq, 1, 2, 4),
+                },
+            );
+            if let Some(new_cw) = c.on_event(
+                Time::ZERO,
+                ControllerEvent::Overheard {
+                    frame: &frame(seq, 2, 3, 4),
+                },
+            ) {
+                cw = new_cw;
+            }
+        }
+        assert_eq!(cw, 16, "idle successor must drive cw to mincw");
+    }
+
+    #[test]
+    fn sink_successor_uses_ack_as_zero_sample() {
+        let mut c = EzFlowController::with_defaults();
+        let mut cw = 32;
+        for seq in 0..20_000u64 {
+            // Successor 4 IS the final destination.
+            if let Some(new_cw) = c.on_event(
+                Time::ZERO,
+                ControllerEvent::SentToSuccessor {
+                    successor: 4,
+                    frame: &frame(seq, 3, 4, 4),
+                },
+            ) {
+                cw = new_cw;
+            }
+        }
+        assert_eq!(cw, 16);
+    }
+
+    #[test]
+    fn frames_from_strangers_are_ignored() {
+        let mut c = EzFlowController::with_defaults();
+        c.on_event(
+            Time::ZERO,
+            ControllerEvent::SentToSuccessor {
+                successor: 2,
+                frame: &frame(1, 1, 2, 4),
+            },
+        );
+        // Node 7 is not our successor; nothing should happen.
+        assert_eq!(
+            c.on_event(
+                Time::ZERO,
+                ControllerEvent::Overheard {
+                    frame: &frame(1, 7, 8, 9),
+                },
+            ),
+            None
+        );
+        assert_eq!(c.boe_samples(), 0);
+        assert_eq!(c.windows(), vec![(2, 32)]);
+    }
+
+    #[test]
+    fn multi_successor_takes_the_max_window() {
+        let mut c = EzFlowController::with_defaults();
+        // Successor 2 congested (sink-style shortcut: use successor 9 as a
+        // sink to drive its window down, successor 2 up).
+        let mut outstanding = std::collections::VecDeque::new();
+        let mut seq = 0u64;
+        for _ in 0..30 {
+            c.on_event(
+                Time::ZERO,
+                ControllerEvent::SentToSuccessor {
+                    successor: 2,
+                    frame: &frame(seq, 1, 2, 4),
+                },
+            );
+            outstanding.push_back(seq);
+            seq += 1;
+        }
+        let mut last = None;
+        for _ in 0..5000 {
+            c.on_event(
+                Time::ZERO,
+                ControllerEvent::SentToSuccessor {
+                    successor: 2,
+                    frame: &frame(seq, 1, 2, 4),
+                },
+            );
+            outstanding.push_back(seq);
+            seq += 1;
+            let fwd = outstanding.pop_front().unwrap();
+            if let Some(cw) = c.on_event(
+                Time::ZERO,
+                ControllerEvent::Overheard {
+                    frame: &frame(fwd, 2, 3, 4),
+                },
+            ) {
+                last = Some(cw);
+            }
+            // Sink successor 9, empty.
+            if let Some(cw) = c.on_event(
+                Time::ZERO,
+                ControllerEvent::SentToSuccessor {
+                    successor: 9,
+                    frame: &frame(seq, 1, 9, 9),
+                },
+            ) {
+                last = Some(cw);
+            }
+            seq += 1;
+        }
+        let windows = c.windows();
+        let w2 = windows.iter().find(|(s, _)| *s == 2).unwrap().1;
+        let w9 = windows.iter().find(|(s, _)| *s == 9).unwrap().1;
+        assert!(w2 > w9, "congested branch must have the larger window");
+        assert_eq!(last, Some(w2.max(w9)), "MAC gets the max");
+    }
+}

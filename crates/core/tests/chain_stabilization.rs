@@ -1,0 +1,97 @@
+//! End-to-end integration: EZ-flow stabilizes the turbulent chains of
+//! Fig. 1 — the paper's headline claim — on the full packet-level
+//! simulator.
+
+use ezflow_core::EzFlowController;
+use ezflow_net::controller::{Controller, FixedController};
+use ezflow_net::{topo, Network};
+use ezflow_sim::Time;
+
+fn run(hops: usize, ez: bool, secs: u64, seed: u64) -> Network {
+    let t = topo::chain(hops, Time::ZERO, Time::from_secs(secs));
+    let make: Box<dyn Fn(usize) -> Box<dyn Controller>> = if ez {
+        Box::new(|_| Box::new(EzFlowController::with_defaults()))
+    } else {
+        Box::new(|_| Box::new(FixedController::standard()))
+    };
+    let mut net = Network::from_topology(&t, seed, &*make);
+    net.run_until(Time::from_secs(secs));
+    net
+}
+
+#[test]
+fn ezflow_stabilizes_the_4_hop_chain() {
+    let secs = 240;
+    let half = Time::from_secs(secs / 2);
+    let end = Time::from_secs(secs);
+
+    let plain = run(4, false, secs, 7);
+    let ez = run(4, true, secs, 7);
+
+    // Without EZ-flow the first relay saturates; with it, it empties.
+    let b1_plain = plain.metrics.buffer[1].window(half, end).mean;
+    let b1_ez = ez.metrics.buffer[1].window(half, end).mean;
+    assert!(b1_plain > 40.0, "802.11 must be turbulent, b1 = {b1_plain}");
+    assert!(b1_ez < 5.0, "EZ-flow must stabilize, b1 = {b1_ez}");
+
+    // Delay drops by at least an order of magnitude...
+    let d_plain = plain.metrics.delay_net[&0].window(half, end).mean;
+    let d_ez = ez.metrics.delay_net[&0].window(half, end).mean;
+    assert!(
+        d_ez < d_plain / 10.0,
+        "delay {d_plain:.2}s -> {d_ez:.2}s is not a 10x improvement"
+    );
+
+    // ...without sacrificing throughput (the paper gains ~20%).
+    let k_plain = plain.metrics.mean_kbps(0, half, end);
+    let k_ez = ez.metrics.mean_kbps(0, half, end);
+    assert!(
+        k_ez > k_plain,
+        "EZ-flow throughput {k_ez:.0} must beat 802.11's {k_plain:.0}"
+    );
+
+    // The adapted windows match the paper's structure: relays at mincw,
+    // source well above.
+    assert!(ez.cw_min(1) <= 32);
+    assert!(ez.cw_min(0) >= 64, "source cw = {}", ez.cw_min(0));
+
+    // And overflow drops essentially vanish.
+    assert!(plain.metrics.queue_drops[1] > 1000);
+    assert!(ez.metrics.queue_drops[1] < plain.metrics.queue_drops[1] / 10);
+}
+
+#[test]
+fn ezflow_does_not_hurt_the_stable_3_hop_chain() {
+    let secs = 240;
+    let half = Time::from_secs(secs / 2);
+    let end = Time::from_secs(secs);
+    let plain = run(3, false, secs, 11);
+    let ez = run(3, true, secs, 11);
+    let k_plain = plain.metrics.mean_kbps(0, half, end);
+    let k_ez = ez.metrics.mean_kbps(0, half, end);
+    assert!(
+        k_ez > 0.9 * k_plain,
+        "EZ-flow must not lose throughput on a stable chain: {k_ez:.0} vs {k_plain:.0}"
+    );
+    let d_ez = ez.metrics.delay_net[&0].window(half, end).mean;
+    assert!(d_ez < 0.5, "stable chain delay should be small, got {d_ez}");
+}
+
+#[test]
+fn ezflow_adapts_back_when_load_disappears() {
+    // Flow stops at t = 120; by t = 300 the relays' windows must have
+    // decayed back toward mincw-ish values and queues must be empty.
+    let t = topo::chain(4, Time::ZERO, Time::from_secs(120));
+    let mut net = Network::from_topology(&t, 3, &|_| {
+        Box::new(EzFlowController::with_defaults()) as Box<dyn Controller>
+    });
+    net.run_until(Time::from_secs(300));
+    for node in 1..4 {
+        assert_eq!(net.occupancy(node), 0, "queues must drain after stop");
+    }
+    // The source raised its window during the run; with no more samples
+    // arriving it simply keeps its last value — EZ-flow only reacts to
+    // traffic, so we merely check the network became quiescent.
+    let delivered = net.metrics.delivered[&0];
+    assert!(delivered > 1000);
+}

@@ -1,0 +1,110 @@
+//! §7 extension end-to-end: a relay forwarding two flows to *different*
+//! successors adapts one `CWmin` per successor (the 802.11e pattern the
+//! paper's conclusion sketches).
+//!
+//! Topology (distances in meters; decode <= 250, sense <= 620):
+//!
+//! ```text
+//!                      2 --- 3 --- 4 --- 5 --- 6   (long, turbulent branch)
+//!                    /
+//!   0 ----- 1 -----+
+//!                    \
+//!                      7                            (direct sink branch)
+//! ```
+//!
+//! Flow A: 0→1→2→3→4→5→6 (6 hops, with a lossy bottleneck on 2→3 like
+//! the testbed's l2, so relay 2 backlogs), flow B: 0→1→7 (the successor
+//! is the sink). EZ-flow at node 1 must raise the window toward 2 while
+//! keeping the window toward 7 at the minimum.
+
+use ezflow_core::EzFlowController;
+use ezflow_net::controller::Controller;
+use ezflow_net::topo::{FlowSpec, Topology};
+use ezflow_net::Network;
+use ezflow_phy::{LossModel, Position};
+use ezflow_sim::Time;
+
+fn fork_topology(until: Time) -> Topology {
+    let positions = vec![
+        Position::new(0.0, 0.0),      // 0 source
+        Position::new(200.0, 0.0),    // 1 forking relay
+        Position::new(400.0, 60.0),   // 2 long-branch head
+        Position::new(600.0, 60.0),   // 3
+        Position::new(800.0, 60.0),   // 4
+        Position::new(1000.0, 60.0),  // 5
+        Position::new(1200.0, 60.0),  // 6 long-branch sink
+        Position::new(380.0, -120.0), // 7 short-branch sink
+    ];
+    let fa = FlowSpec::saturating(0, vec![0, 1, 2, 3, 4, 5, 6], Time::ZERO, until);
+    let mut fb = FlowSpec::saturating(1, vec![0, 1, 7], Time::ZERO, until);
+    // Keep B light so the fork itself is not the bottleneck.
+    fb.rate_bps = 200_000;
+    // A weak link right after the branch head (like the testbed's l2)
+    // guarantees relay 2 is the congestion point of the long branch.
+    let mut loss = LossModel::ideal();
+    loss.set_link(2, 3, 0.35);
+    loss.set_link(3, 2, 0.35);
+    Topology {
+        name: "fork",
+        positions,
+        loss,
+        flows: vec![fa, fb],
+    }
+}
+
+#[test]
+fn per_successor_windows_diverge_at_the_fork() {
+    let secs = 600;
+    let until = Time::from_secs(secs);
+    let topo = fork_topology(until);
+    let mut net = Network::from_topology(&topo, 5, &|_| {
+        Box::new(EzFlowController::with_defaults()) as Box<dyn Controller>
+    });
+    net.run_until(until);
+
+    // Both flows deliver.
+    let half = Time::from_secs(secs / 2);
+    let ka = net.metrics.mean_kbps(0, half, until);
+    let kb = net.metrics.mean_kbps(1, half, until);
+    assert!(ka > 10.0, "long branch still flows: {ka:.1} kb/s");
+    assert!(kb > 20.0, "short branch still flows: {kb:.1} kb/s");
+
+    // The relay's controller holds one window per successor, and they
+    // diverged: the turbulent branch is throttled, the sink branch is at
+    // the minimum.
+    let ctrl = net.node(1).controller.as_ref();
+    let w2 = ctrl.queue_window(2).expect("window toward 2");
+    let w7 = ctrl.queue_window(7).expect("window toward 7");
+    assert_eq!(w7, 16, "sink successor drives its window to mincw");
+    assert!(
+        w2 >= 4 * w7,
+        "congested successor must be throttled: w2 = {w2}, w7 = {w7}"
+    );
+
+    // The long branch's head relay does not sit saturated: node 1 adapted.
+    let b2 = net.metrics.buffer[2].window(half, until).mean;
+    assert!(b2 < 30.0, "branch head buffer must be controlled, got {b2:.1}");
+}
+
+#[test]
+fn single_successor_behaviour_is_unchanged_by_the_extension() {
+    // On a plain chain, queue_window and the node-global window coincide.
+    let secs = 200;
+    let until = Time::from_secs(secs);
+    let topo = ezflow_net::topo::chain(4, Time::ZERO, until);
+    let mut net = Network::from_topology(&topo, 9, &|_| {
+        Box::new(EzFlowController::with_defaults()) as Box<dyn Controller>
+    });
+    net.run_until(until);
+    for node in 0..4 {
+        let ctrl = net.node(node).controller.as_ref();
+        let succ = node + 1;
+        if let Some(w) = ctrl.queue_window(succ) {
+            assert_eq!(
+                w,
+                net.cw_min(node),
+                "node {node}: per-queue and MAC windows must agree"
+            );
+        }
+    }
+}

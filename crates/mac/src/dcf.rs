@@ -1,0 +1,1134 @@
+//! The DCF transmit/receive state machine.
+//!
+//! One [`Mac`] instance models one half-duplex 802.11 radio. The caller
+//! (the network layer) is responsible for:
+//!
+//! * feeding carrier-sense transitions ([`MacInput::MediumBusy`] /
+//!   [`MacInput::MediumIdle`]) derived from the shared channel,
+//! * arming the timers the MAC requests and feeding them back
+//!   ([`MacInput::TimerTxPath`] / [`MacInput::TimerAckJob`]) — stale timers
+//!   are filtered by epoch, so the caller never needs to cancel anything,
+//! * actually putting frames on the air when told to
+//!   ([`MacOutput::StartTx`]) and reporting when they leave the air
+//!   ([`MacInput::TxEnded`]),
+//! * delivering clean received frames addressed to this node
+//!   ([`MacInput::RxData`] / [`MacInput::RxAck`]).
+//!
+//! The transmit path is a textbook DCF cycle:
+//!
+//! ```text
+//!   Idle --Enqueue--> Contend --(DIFS + backoff slots idle)--> TxData
+//!        <--ACK ok--- WaitAck <--------- frame left the air ---'
+//!          (success)     |
+//!                        '--timeout--> Contend (attempt+1, window doubled)
+//!                              ... until max_attempts -> drop
+//! ```
+
+use std::collections::HashMap;
+
+use ezflow_phy::{Frame, FrameKind};
+use ezflow_sim::{Duration, SimRng, Time};
+
+use crate::config::MacConfig;
+
+/// Everything the network layer can tell the MAC.
+#[derive(Clone, Debug)]
+pub enum MacInput {
+    /// Hand the MAC the next data frame to transmit. Only legal when
+    /// [`Mac::is_idle`] is true. `queue` identifies which transmit queue it
+    /// came from so completions can be attributed.
+    Enqueue {
+        /// The frame to send (hop addressing already set).
+        frame: Frame,
+        /// Opaque queue tag echoed back in completions.
+        queue: usize,
+    },
+    /// The carrier went idle -> busy.
+    MediumBusy,
+    /// The carrier went busy -> idle.
+    MediumIdle,
+    /// A transmit-path timer armed via [`MacOutput::SetTimerTxPath`] fired.
+    TimerTxPath {
+        /// Epoch recorded when the timer was armed.
+        epoch: u64,
+    },
+    /// An ACK-response timer armed via [`MacOutput::SetTimerAckJob`] fired.
+    TimerAckJob {
+        /// Epoch recorded when the timer was armed.
+        epoch: u64,
+    },
+    /// The frame this MAC was transmitting has left the air.
+    TxEnded {
+        /// Whether the carrier is busy now that our own energy is gone.
+        medium_busy: bool,
+    },
+    /// A clean data frame addressed to this node arrived.
+    RxData {
+        /// The received frame.
+        frame: Frame,
+    },
+    /// A clean ACK addressed to this node arrived.
+    RxAck {
+        /// The received ACK.
+        frame: Frame,
+    },
+    /// A clean RTS addressed to this node arrived.
+    RxRts {
+        /// The received RTS.
+        frame: Frame,
+    },
+    /// A clean CTS addressed to this node arrived.
+    RxCts {
+        /// The received CTS.
+        frame: Frame,
+    },
+    /// An overheard RTS/CTS reserved the medium (virtual carrier sense):
+    /// treat it as busy until `until`.
+    NavSet {
+        /// End of the reservation.
+        until: Time,
+    },
+    /// A NAV-expiry timer armed via [`MacOutput::SetTimerNav`] fired.
+    TimerNav,
+    /// The node sensed a frame it could not decode (energy without a clean
+    /// reception). With EIFS enabled, the next deferral uses the extended
+    /// inter-frame space.
+    EifsMark,
+    /// The controller (EZ-flow!) changed this MAC's minimum contention
+    /// window. Takes effect at the next backoff draw.
+    SetCwMin {
+        /// New minimum window, in slots.
+        cw_min: u32,
+    },
+}
+
+/// Everything the MAC can ask of the network layer.
+#[derive(Clone, Debug)]
+pub enum MacOutput {
+    /// Put `frame` on the air for `air` time, then report `TxEnded`.
+    StartTx {
+        /// Frame to transmit.
+        frame: Frame,
+        /// Air time (PLCP + serialization).
+        air: Duration,
+    },
+    /// Arm (or re-arm) the transmit-path timer `after` from now.
+    SetTimerTxPath {
+        /// Delay from the current instant.
+        after: Duration,
+        /// Epoch to echo back.
+        epoch: u64,
+    },
+    /// Arm the ACK-response timer `after` from now.
+    SetTimerAckJob {
+        /// Delay from the current instant.
+        after: Duration,
+        /// Epoch to echo back.
+        epoch: u64,
+    },
+    /// Arm a NAV-expiry wakeup `after` from now (no epoch: the handler
+    /// re-checks the live NAV).
+    SetTimerNav {
+        /// Delay from the current instant.
+        after: Duration,
+    },
+    /// The frame was acknowledged. The moment the packet verifiably sits in
+    /// the successor's queue — the BOE's "transmission of packet p" hook.
+    TxSuccess {
+        /// The acknowledged frame.
+        frame: Frame,
+        /// Queue tag from `Enqueue`.
+        queue: usize,
+        /// Attempts used (1 = first try).
+        attempts: u32,
+    },
+    /// The frame exhausted its retries and was dropped.
+    TxDropped {
+        /// The dropped frame.
+        frame: Frame,
+        /// Queue tag from `Enqueue`.
+        queue: usize,
+        /// Attempts used.
+        attempts: u32,
+    },
+    /// A new (non-duplicate) data frame addressed to this node arrived;
+    /// forward or consume it.
+    Deliver {
+        /// The received frame.
+        frame: Frame,
+    },
+    /// The MAC just became idle; the network layer may enqueue the next
+    /// frame.
+    NeedFrame,
+}
+
+/// Counters a [`Mac`] keeps about itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MacStats {
+    /// Data transmission attempts put on the air.
+    pub tx_attempts: u64,
+    /// Frames acknowledged.
+    pub tx_success: u64,
+    /// ACK-timeout retries.
+    pub retries: u64,
+    /// Frames dropped at the retry limit.
+    pub drops_retry: u64,
+    /// ACKs transmitted.
+    pub acks_sent: u64,
+    /// ACK transmissions suppressed because the radio was busy (should not
+    /// happen under DCF timing; counted defensively).
+    pub acks_suppressed: u64,
+    /// Duplicate data frames received (re-ACKed, not re-delivered).
+    pub dup_rx: u64,
+    /// ACKs received that matched no outstanding frame.
+    pub spurious_ack: u64,
+    /// Clean data frames received and delivered upward.
+    pub delivered: u64,
+    /// RTS frames transmitted.
+    pub rts_sent: u64,
+    /// CTS frames transmitted.
+    pub cts_sent: u64,
+    /// CTS timeouts (failed RTS handshakes).
+    pub cts_timeouts: u64,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// No frame, post-backoff completed: the next enqueue on an idle
+    /// medium gets *immediate access* (DIFS only, no random backoff) —
+    /// the standard rule that lets a relay forward a just-received packet
+    /// ahead of the source's next contention round.
+    Idle,
+    /// No frame, but the mandatory post-transmission backoff is still
+    /// counting down. An enqueue during this phase *attaches* to the
+    /// remaining slots.
+    PostBackoff,
+    Contend,
+    /// Transmitting an RTS (RTS/CTS mode only).
+    TxRts,
+    /// Waiting for the CTS answering our RTS.
+    WaitCts,
+    /// CTS received; waiting SIFS before the data frame.
+    SifsData,
+    TxData,
+    WaitAck,
+}
+
+#[derive(Clone, Debug)]
+struct Current {
+    frame: Frame,
+    queue: usize,
+    /// 0-based attempt counter.
+    attempt: u32,
+    slots_left: u32,
+}
+
+/// One 802.11 DCF radio.
+pub struct Mac {
+    cfg: MacConfig,
+    node: usize,
+    cw_min: u32,
+    phase: Phase,
+    cur: Option<Current>,
+    /// Carrier-sense mirror (other transmitters only).
+    medium_busy: bool,
+    /// True while this radio is itself transmitting (data or ACK).
+    radio_busy: bool,
+    txing_kind: Option<FrameKind>,
+    /// When the current DIFS+countdown run started; `None` while frozen.
+    countdown_from: Option<Time>,
+    /// Remaining post-backoff slots (meaningful in `Phase::PostBackoff`).
+    post_slots: u32,
+    /// Virtual carrier sense: the medium is reserved until this instant.
+    nav_until: Time,
+    /// EIFS pending: the next countdown defers EIFS instead of DIFS.
+    eifs_pending: bool,
+    /// The inter-frame space the running countdown was started with.
+    current_ifs: Duration,
+    tx_epoch: u64,
+    ack_epoch: u64,
+    ack_job: Option<Frame>,
+    /// Per-sender id of the last received frame, for duplicate filtering.
+    last_rx: HashMap<usize, u64>,
+    stats: MacStats,
+}
+
+impl Mac {
+    /// Creates an idle MAC for `node`.
+    pub fn new(node: usize, cfg: MacConfig) -> Self {
+        let cw_min = cfg.cw_min_default;
+        Mac {
+            cfg,
+            node,
+            cw_min,
+            phase: Phase::Idle,
+            cur: None,
+            medium_busy: false,
+            radio_busy: false,
+            txing_kind: None,
+            countdown_from: None,
+            post_slots: 0,
+            nav_until: Time::ZERO,
+            eifs_pending: false,
+            current_ifs: cfg.difs,
+            tx_epoch: 0,
+            ack_epoch: 0,
+            ack_job: None,
+            last_rx: HashMap::new(),
+            stats: MacStats::default(),
+        }
+    }
+
+    /// The node this MAC belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Current minimum contention window.
+    pub fn cw_min(&self) -> u32 {
+        self.cw_min
+    }
+
+    /// True iff the MAC can accept an [`MacInput::Enqueue`] — it has no
+    /// frame in flight. During post-backoff the enqueue attaches to the
+    /// remaining countdown.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.phase, Phase::Idle | Phase::PostBackoff) && self.cur.is_none()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> MacStats {
+        self.stats
+    }
+
+    /// Feeds one input, returns the outputs it provoked.
+    pub fn input(&mut self, now: Time, input: MacInput, rng: &mut SimRng) -> Vec<MacOutput> {
+        let mut out = Vec::new();
+        match input {
+            MacInput::Enqueue { frame, queue } => self.on_enqueue(now, frame, queue, rng, &mut out),
+            MacInput::MediumBusy => self.on_medium_busy(now),
+            MacInput::MediumIdle => self.on_medium_idle(now, &mut out),
+            MacInput::TimerTxPath { epoch } => self.on_timer_tx(now, epoch, rng, &mut out),
+            MacInput::TimerAckJob { epoch } => self.on_timer_ack(now, epoch, &mut out),
+            MacInput::TxEnded { medium_busy } => self.on_tx_ended(now, medium_busy, &mut out),
+            MacInput::RxData { frame } => self.on_rx_data(now, frame, &mut out),
+            MacInput::RxAck { frame } => self.on_rx_ack(now, frame, rng, &mut out),
+            MacInput::RxRts { frame } => self.on_rx_rts(frame, &mut out),
+            MacInput::RxCts { frame } => self.on_rx_cts(frame, &mut out),
+            MacInput::NavSet { until } => self.on_nav_set(now, until, &mut out),
+            MacInput::TimerNav => self.on_timer_nav(now, &mut out),
+            MacInput::EifsMark => {
+                if self.cfg.eifs {
+                    self.eifs_pending = true;
+                }
+            }
+            MacInput::SetCwMin { cw_min } => {
+                self.cw_min = cw_min.max(1);
+            }
+        }
+        out
+    }
+
+    fn draw_slots(&mut self, attempt: u32, rng: &mut SimRng) -> u32 {
+        let window = self.cfg.window(self.cw_min, attempt);
+        rng.gen_range(window.max(1))
+    }
+
+    fn can_count_down(&self, now: Time) -> bool {
+        !self.medium_busy && !self.radio_busy && now >= self.nav_until
+    }
+
+    /// Number of backoff slots still owed in the current phase.
+    fn slots_left(&self) -> u32 {
+        match self.phase {
+            Phase::Contend => self.cur.as_ref().expect("contend without frame").slots_left,
+            Phase::PostBackoff => self.post_slots,
+            _ => unreachable!("no countdown in {:?}", self.phase),
+        }
+    }
+
+    fn counting_phase(&self) -> bool {
+        matches!(self.phase, Phase::Contend | Phase::PostBackoff)
+    }
+
+    /// Starts (or restarts) the DIFS + remaining-slots countdown at `now`.
+    fn start_countdown(&mut self, now: Time, out: &mut Vec<MacOutput>) {
+        debug_assert!(self.counting_phase());
+        debug_assert!(self.can_count_down(now));
+        if self.countdown_from.is_some() {
+            return; // already counting
+        }
+        let slots = self.slots_left();
+        self.countdown_from = Some(now);
+        self.tx_epoch += 1;
+        // EIFS applies to the first deferral after the undecodable frame.
+        self.current_ifs = if std::mem::take(&mut self.eifs_pending) {
+            self.cfg.eifs_value()
+        } else {
+            self.cfg.difs
+        };
+        out.push(MacOutput::SetTimerTxPath {
+            after: self.current_ifs + self.cfg.slot * slots as u64,
+            epoch: self.tx_epoch,
+        });
+    }
+
+    /// Freezes the countdown at `now`, banking fully elapsed slots.
+    fn freeze_countdown(&mut self, now: Time) {
+        let Some(started) = self.countdown_from.take() else {
+            return;
+        };
+        self.tx_epoch += 1; // invalidate the armed timer
+        let elapsed = now.saturating_since(started);
+        if elapsed <= self.current_ifs {
+            return;
+        }
+        let consumed = (elapsed - self.current_ifs).div_floor(self.cfg.slot) as u32;
+        match self.phase {
+            Phase::Contend => {
+                let cur = self.cur.as_mut().expect("contend without frame");
+                cur.slots_left = cur.slots_left.saturating_sub(consumed);
+            }
+            Phase::PostBackoff => {
+                self.post_slots = self.post_slots.saturating_sub(consumed);
+            }
+            _ => {}
+        }
+    }
+
+    /// Begins the mandatory post-transmission backoff.
+    fn begin_post_backoff(&mut self, now: Time, rng: &mut SimRng, out: &mut Vec<MacOutput>) {
+        self.post_slots = self.draw_slots(0, rng);
+        self.phase = Phase::PostBackoff;
+        self.countdown_from = None;
+        self.tx_epoch += 1;
+        if self.can_count_down(now) {
+            self.start_countdown(now, out);
+        }
+    }
+
+    fn on_enqueue(
+        &mut self,
+        now: Time,
+        frame: Frame,
+        queue: usize,
+        rng: &mut SimRng,
+        out: &mut Vec<MacOutput>,
+    ) {
+        assert!(self.is_idle(), "Enqueue on a non-idle MAC");
+        let slots_left = match self.phase {
+            Phase::PostBackoff => {
+                // Attach to the running post-backoff: bank elapsed slots,
+                // inherit the remainder.
+                self.freeze_countdown(now);
+                self.post_slots
+            }
+            _ if self.can_count_down(now) => 0, // immediate access (DIFS only)
+            _ => self.draw_slots(0, rng),
+        };
+        self.cur = Some(Current {
+            frame,
+            queue,
+            attempt: 0,
+            slots_left,
+        });
+        self.phase = Phase::Contend;
+        if self.can_count_down(now) {
+            self.start_countdown(now, out);
+        }
+    }
+
+    fn on_medium_busy(&mut self, now: Time) {
+        self.medium_busy = true;
+        if self.counting_phase() {
+            self.freeze_countdown(now);
+        }
+    }
+
+    fn on_medium_idle(&mut self, now: Time, out: &mut Vec<MacOutput>) {
+        self.medium_busy = false;
+        if self.counting_phase() && self.can_count_down(now) {
+            self.start_countdown(now, out);
+        }
+    }
+
+    fn on_timer_tx(&mut self, now: Time, epoch: u64, rng: &mut SimRng, out: &mut Vec<MacOutput>) {
+        if epoch != self.tx_epoch {
+            return; // stale
+        }
+        match self.phase {
+            Phase::Contend => {
+                if !self.can_count_down(now) {
+                    // Defensive: a freeze should have invalidated us.
+                    return;
+                }
+                self.countdown_from = None;
+                let cur = self.cur.as_mut().expect("contend without frame");
+                cur.slots_left = 0;
+                let mut frame = cur.frame.clone();
+                frame.retry = cur.attempt > 0;
+                if self.cfg.rts_cts {
+                    // Reserve the medium first.
+                    let nav = self.cfg.rts_nav(frame.payload_bytes);
+                    let mut rts = Frame::rts_for(&frame, nav.as_micros());
+                    rts.retry = frame.retry;
+                    self.phase = Phase::TxRts;
+                    self.radio_busy = true;
+                    self.txing_kind = Some(FrameKind::Rts);
+                    self.stats.rts_sent += 1;
+                    let air = self.cfg.rts_air();
+                    out.push(MacOutput::StartTx { frame: rts, air });
+                } else {
+                    self.phase = Phase::TxData;
+                    self.radio_busy = true;
+                    self.txing_kind = Some(FrameKind::Data);
+                    self.stats.tx_attempts += 1;
+                    let air = self.cfg.data_air(frame.payload_bytes);
+                    out.push(MacOutput::StartTx { frame, air });
+                }
+            }
+            Phase::PostBackoff => {
+                if !self.can_count_down(now) {
+                    return;
+                }
+                // Post-backoff served: the MAC is now truly idle and the
+                // next enqueue gets immediate access.
+                self.countdown_from = None;
+                self.post_slots = 0;
+                self.phase = Phase::Idle;
+                out.push(MacOutput::NeedFrame);
+            }
+            Phase::WaitAck => {
+                // ACK timeout.
+                self.retry_or_drop(now, rng, out);
+            }
+            Phase::WaitCts => {
+                // CTS timeout: the handshake failed.
+                self.stats.cts_timeouts += 1;
+                self.retry_or_drop(now, rng, out);
+            }
+            Phase::SifsData => {
+                // SIFS elapsed after the CTS: send the data frame
+                // unconditionally (SIFS-priority, no carrier sense).
+                let cur = self.cur.as_mut().expect("sifsdata without frame");
+                let mut frame = cur.frame.clone();
+                frame.retry = cur.attempt > 0;
+                self.phase = Phase::TxData;
+                self.radio_busy = true;
+                self.txing_kind = Some(FrameKind::Data);
+                self.stats.tx_attempts += 1;
+                let air = self.cfg.data_air(frame.payload_bytes);
+                out.push(MacOutput::StartTx { frame, air });
+            }
+            _ => {}
+        }
+        let _ = now;
+    }
+
+    /// Shared ACK/CTS-timeout path: retry with a doubled window or drop
+    /// at the attempt limit.
+    fn retry_or_drop(&mut self, now: Time, rng: &mut SimRng, out: &mut Vec<MacOutput>) {
+        let cur = self.cur.as_mut().expect("retry without frame");
+        cur.attempt += 1;
+        self.stats.retries += 1;
+        if cur.attempt >= self.cfg.max_attempts {
+            self.stats.drops_retry += 1;
+            let cur = self.cur.take().expect("checked above");
+            let frame = cur.frame;
+            let queue = cur.queue;
+            let attempts = cur.attempt;
+            self.begin_post_backoff(now, rng, out);
+            out.push(MacOutput::TxDropped {
+                frame,
+                queue,
+                attempts,
+            });
+            out.push(MacOutput::NeedFrame);
+        } else {
+            let attempt = cur.attempt;
+            let slots = self.draw_slots(attempt, rng);
+            self.cur.as_mut().expect("checked above").slots_left = slots;
+            self.phase = Phase::Contend;
+            if self.can_count_down(now) {
+                self.start_countdown(now, out);
+            }
+        }
+    }
+
+    fn on_timer_ack(&mut self, now: Time, epoch: u64, out: &mut Vec<MacOutput>) {
+        if epoch != self.ack_epoch {
+            return;
+        }
+        let Some(ack) = self.ack_job.take() else {
+            return;
+        };
+        if self.radio_busy {
+            // Cannot happen under DCF timing (SIFS < DIFS); tolerate it.
+            self.stats.acks_suppressed += 1;
+            return;
+        }
+        // Our own transmission freezes the data-path countdown.
+        if self.counting_phase() {
+            self.freeze_countdown(now);
+        }
+        self.radio_busy = true;
+        self.txing_kind = Some(ack.kind);
+        let air = match ack.kind {
+            FrameKind::Cts => {
+                self.stats.cts_sent += 1;
+                self.cfg.cts_air()
+            }
+            _ => {
+                self.stats.acks_sent += 1;
+                self.cfg.ack_air()
+            }
+        };
+        out.push(MacOutput::StartTx { frame: ack, air });
+    }
+
+    fn on_tx_ended(&mut self, now: Time, medium_busy: bool, out: &mut Vec<MacOutput>) {
+        self.radio_busy = false;
+        self.medium_busy = medium_busy;
+        match self.txing_kind.take() {
+            Some(FrameKind::Data) => {
+                debug_assert_eq!(self.phase, Phase::TxData);
+                self.phase = Phase::WaitAck;
+                self.tx_epoch += 1;
+                out.push(MacOutput::SetTimerTxPath {
+                    after: self.cfg.ack_timeout(),
+                    epoch: self.tx_epoch,
+                });
+            }
+            Some(FrameKind::Rts) => {
+                debug_assert_eq!(self.phase, Phase::TxRts);
+                self.phase = Phase::WaitCts;
+                self.tx_epoch += 1;
+                out.push(MacOutput::SetTimerTxPath {
+                    after: self.cfg.cts_timeout(),
+                    epoch: self.tx_epoch,
+                });
+            }
+            Some(FrameKind::Ack) | Some(FrameKind::Cts) => {
+                // A response left the radio; resume any paused countdown.
+                if self.counting_phase() && self.can_count_down(now) {
+                    self.start_countdown(now, out);
+                }
+            }
+            None => debug_assert!(false, "TxEnded with no transmission in flight"),
+        }
+    }
+
+    fn on_rx_data(&mut self, _now: Time, frame: Frame, out: &mut Vec<MacOutput>) {
+        debug_assert_eq!(frame.dst, self.node);
+        debug_assert!(frame.is_data());
+        // Always (re-)acknowledge after SIFS, even for duplicates.
+        if self.ack_job.is_some() {
+            // Two clean overlapping receptions are impossible; if the
+            // network layer ever produces this, prefer the newest.
+            self.stats.acks_suppressed += 1;
+        }
+        self.ack_job = Some(Frame::ack_for(&frame));
+        self.ack_epoch += 1;
+        out.push(MacOutput::SetTimerAckJob {
+            after: self.cfg.sifs,
+            epoch: self.ack_epoch,
+        });
+        // Duplicate filtering: a retry repeats the most recent id from that
+        // sender (per-link FIFO makes equality sufficient).
+        if self.last_rx.get(&frame.src) == Some(&frame.seq) {
+            self.stats.dup_rx += 1;
+            return;
+        }
+        self.last_rx.insert(frame.src, frame.seq);
+        self.stats.delivered += 1;
+        out.push(MacOutput::Deliver { frame });
+    }
+
+    fn on_rx_ack(&mut self, now: Time, frame: Frame, rng: &mut SimRng, out: &mut Vec<MacOutput>) {
+        let matches = self.phase == Phase::WaitAck
+            && self
+                .cur
+                .as_ref()
+                .is_some_and(|c| c.frame.seq == frame.seq && frame.src == c.frame.dst);
+        if !matches {
+            self.stats.spurious_ack += 1;
+            return;
+        }
+        self.tx_epoch += 1; // cancel the ACK timeout
+        let cur = self.cur.take().expect("matched above");
+        self.stats.tx_success += 1;
+        self.begin_post_backoff(now, rng, out);
+        out.push(MacOutput::TxSuccess {
+            frame: cur.frame,
+            queue: cur.queue,
+            attempts: cur.attempt + 1,
+        });
+        out.push(MacOutput::NeedFrame);
+    }
+
+    fn on_rx_rts(&mut self, frame: Frame, out: &mut Vec<MacOutput>) {
+        debug_assert_eq!(frame.dst, self.node);
+        // Answer with a CTS after SIFS, reserving the rest of the
+        // handshake. As in the standard, the CTS duration is derived from
+        // the RTS's own duration field (the RTS does not carry the data
+        // length): NAV_cts = NAV_rts - SIFS - T_cts.
+        // (Standard nuance: a station whose NAV is set should stay
+        // silent; with our geometry an addressed station's NAV is never
+        // set by a third party mid-handshake, so we always answer.)
+        let nav = Duration::from_micros(
+            frame
+                .nav_micros
+                .saturating_sub((self.cfg.sifs + self.cfg.cts_air()).as_micros()),
+        );
+        if self.ack_job.is_some() {
+            self.stats.acks_suppressed += 1;
+        }
+        self.ack_job = Some(Frame::cts_for(&frame, nav.as_micros()));
+        self.ack_epoch += 1;
+        out.push(MacOutput::SetTimerAckJob {
+            after: self.cfg.sifs,
+            epoch: self.ack_epoch,
+        });
+    }
+
+    fn on_rx_cts(&mut self, frame: Frame, out: &mut Vec<MacOutput>) {
+        let matches = self.phase == Phase::WaitCts
+            && self
+                .cur
+                .as_ref()
+                .is_some_and(|c| c.frame.seq == frame.seq && frame.src == c.frame.dst);
+        if !matches {
+            self.stats.spurious_ack += 1;
+            return;
+        }
+        self.tx_epoch += 1; // cancel the CTS timeout
+        self.phase = Phase::SifsData;
+        out.push(MacOutput::SetTimerTxPath {
+            after: self.cfg.sifs,
+            epoch: self.tx_epoch,
+        });
+    }
+
+    fn on_nav_set(&mut self, now: Time, until: Time, out: &mut Vec<MacOutput>) {
+        if until <= self.nav_until || until <= now {
+            return;
+        }
+        self.nav_until = until;
+        if self.counting_phase() {
+            self.freeze_countdown(now);
+        }
+        out.push(MacOutput::SetTimerNav {
+            after: until.since(now),
+        });
+    }
+
+    fn on_timer_nav(&mut self, now: Time, out: &mut Vec<MacOutput>) {
+        // A stale wakeup (the NAV was extended since) simply re-checks.
+        if self.counting_phase() && self.can_count_down(now) {
+            self.start_countdown(now, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezflow_sim::Duration;
+
+    const SLOT: u64 = 20;
+    const DIFS: u64 = 50;
+    const SIFS: u64 = 10;
+
+    fn t(us: u64) -> Time {
+        Time::from_micros(us)
+    }
+
+    fn data(seq: u64, src: usize, dst: usize) -> Frame {
+        let mut f = Frame::data(seq, 0, src, dst, 1000, Time::ZERO);
+        f.src = src;
+        f.dst = dst;
+        f
+    }
+
+    /// A MAC with cw_min = 1 always draws 0 backoff slots, making timer
+    /// delays exact and tests deterministic.
+    fn det_mac(node: usize) -> (Mac, SimRng) {
+        let mut mac = Mac::new(node, MacConfig::default());
+        let mut rng = SimRng::new(99);
+        mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 1 }, &mut rng);
+        (mac, rng)
+    }
+
+    fn timer_delay(out: &[MacOutput]) -> (Duration, u64) {
+        out.iter()
+            .find_map(|o| match o {
+                MacOutput::SetTimerTxPath { after, epoch } => Some((*after, *epoch)),
+                _ => None,
+            })
+            .expect("expected a tx-path timer")
+    }
+
+    #[test]
+    fn happy_path_tx_cycle() {
+        let (mut mac, mut rng) = det_mac(0);
+        assert!(mac.is_idle());
+
+        // Enqueue on an idle medium: DIFS + 0 slots.
+        let out = mac.input(
+            t(0),
+            MacInput::Enqueue {
+                frame: data(1, 0, 1),
+                queue: 0,
+            },
+            &mut rng,
+        );
+        let (after, epoch) = timer_delay(&out);
+        assert_eq!(after, Duration::from_micros(DIFS));
+        assert!(!mac.is_idle());
+
+        // Backoff completes: frame goes on the air.
+        let out = mac.input(t(DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+        let air = match &out[0] {
+            MacOutput::StartTx { frame, air } => {
+                assert_eq!(frame.seq, 1);
+                assert!(!frame.retry);
+                *air
+            }
+            o => panic!("expected StartTx, got {o:?}"),
+        };
+        assert_eq!(air, Duration::from_micros(8416));
+
+        // Frame leaves the air: ACK timeout armed.
+        let end = t(DIFS) + air;
+        let out = mac.input(t(end.as_micros()), MacInput::TxEnded { medium_busy: false }, &mut rng);
+        let (after, _epoch2) = timer_delay(&out);
+        assert_eq!(after, Duration::from_micros(SIFS + 304 + SLOT));
+
+        // ACK arrives in time.
+        let ack = Frame::ack_for(&data(1, 0, 1));
+        let out = mac.input(end + Duration::from_micros(SIFS + 304), MacInput::RxAck { frame: ack }, &mut rng);
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, MacOutput::TxSuccess { attempts: 1, .. })));
+        assert!(out.iter().any(|o| matches!(o, MacOutput::NeedFrame)));
+        // A post-transmission backoff is armed before the next access.
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, MacOutput::SetTimerTxPath { .. })));
+        assert!(mac.is_idle(), "post-backoff still accepts the next frame");
+        assert_eq!(mac.stats().tx_success, 1);
+    }
+
+    #[test]
+    fn backoff_freezes_and_resumes_with_remaining_slots() {
+        let mut mac = Mac::new(0, MacConfig::default());
+        let mut rng = SimRng::new(7);
+        mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 16 }, &mut rng);
+        // Enqueue while the medium is busy: a random backoff is drawn
+        // (immediate access does not apply).
+        mac.input(t(0), MacInput::MediumBusy, &mut rng);
+        let out = mac.input(
+            t(0),
+            MacInput::Enqueue {
+                frame: data(1, 0, 1),
+                queue: 0,
+            },
+            &mut rng,
+        );
+        assert!(out.is_empty());
+        let out = mac.input(t(0), MacInput::MediumIdle, &mut rng);
+        let (after, _) = timer_delay(&out);
+        let total_slots = (after.as_micros() - DIFS) / SLOT;
+
+        // Busy after DIFS + 2 full slots + half a slot.
+        let busy_at = DIFS + 2 * SLOT + 10;
+        assert!(total_slots >= 3, "need >= 3 slots for this test, redraw seed");
+        mac.input(t(busy_at), MacInput::MediumBusy, &mut rng);
+        // Idle again later: remaining = total - 2 (the half slot is lost).
+        let out = mac.input(t(1000), MacInput::MediumIdle, &mut rng);
+        let (after2, _) = timer_delay(&out);
+        let remaining = (after2.as_micros() - DIFS) / SLOT;
+        assert_eq!(remaining, total_slots - 2);
+    }
+
+    #[test]
+    fn busy_during_difs_consumes_nothing() {
+        let (mut mac, mut rng) = det_mac(0);
+        let out = mac.input(
+            t(0),
+            MacInput::Enqueue {
+                frame: data(1, 0, 1),
+                queue: 0,
+            },
+            &mut rng,
+        );
+        let (after, _) = timer_delay(&out);
+        assert_eq!(after.as_micros(), DIFS);
+        mac.input(t(20), MacInput::MediumBusy, &mut rng); // mid-DIFS
+        let out = mac.input(t(500), MacInput::MediumIdle, &mut rng);
+        let (after2, _) = timer_delay(&out);
+        assert_eq!(after2.as_micros(), DIFS, "DIFS restarts in full");
+    }
+
+    #[test]
+    fn stale_timer_is_ignored() {
+        let (mut mac, mut rng) = det_mac(0);
+        let out = mac.input(
+            t(0),
+            MacInput::Enqueue {
+                frame: data(1, 0, 1),
+                queue: 0,
+            },
+            &mut rng,
+        );
+        let (_, epoch) = timer_delay(&out);
+        mac.input(t(10), MacInput::MediumBusy, &mut rng); // invalidates
+        let out = mac.input(t(DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+        assert!(out.is_empty(), "stale timer must do nothing, got {out:?}");
+        assert_eq!(mac.stats().tx_attempts, 0);
+    }
+
+    #[test]
+    fn ack_timeout_retries_then_drops() {
+        let (mut mac, mut rng) = det_mac(0);
+        let max = MacConfig::default().max_attempts;
+        let mut now = 0u64;
+        let out = mac.input(
+            t(now),
+            MacInput::Enqueue {
+                frame: data(5, 0, 1),
+                queue: 3,
+            },
+            &mut rng,
+        );
+        let (mut after, mut epoch) = timer_delay(&out);
+        let mut attempts_seen = 0;
+        let dropped = loop {
+            now += after.as_micros();
+            let out = mac.input(t(now), MacInput::TimerTxPath { epoch }, &mut rng);
+            if let Some((queue, attempts)) = out.iter().find_map(|o| match o {
+                MacOutput::TxDropped { queue, attempts, .. } => Some((*queue, *attempts)),
+                _ => None,
+            }) {
+                assert_eq!(queue, 3);
+                assert_eq!(attempts, max);
+                assert!(out.iter().any(|o| matches!(o, MacOutput::NeedFrame)));
+                break true;
+            }
+            if let Some(air) = out.iter().find_map(|o| match o {
+                MacOutput::StartTx { frame, air } => {
+                    if attempts_seen > 0 {
+                        assert!(frame.retry, "retries must set the retry flag");
+                    }
+                    Some(*air)
+                }
+                _ => None,
+            }) {
+                attempts_seen += 1;
+                now += air.as_micros();
+                let out = mac.input(t(now), MacInput::TxEnded { medium_busy: false }, &mut rng);
+                let (a, e) = timer_delay(&out);
+                after = a;
+                epoch = e;
+            } else {
+                // Timeout fired and a new contention round began.
+                let (a, e) = timer_delay(&out);
+                after = a;
+                epoch = e;
+            }
+            if now > 10_000_000 {
+                break false;
+            }
+        };
+        assert!(dropped, "frame must eventually be dropped");
+        assert_eq!(attempts_seen, max);
+        assert_eq!(mac.stats().drops_retry, 1);
+        assert_eq!(mac.stats().retries as u32, max);
+        assert!(mac.is_idle());
+    }
+
+    #[test]
+    fn receiver_acks_and_delivers_then_filters_duplicate() {
+        let (mut mac, mut rng) = det_mac(1);
+        let f = data(9, 0, 1);
+        let out = mac.input(t(100), MacInput::RxData { frame: f.clone() }, &mut rng);
+        // ACK armed at SIFS, frame delivered.
+        let ack_epoch = out
+            .iter()
+            .find_map(|o| match o {
+                MacOutput::SetTimerAckJob { after, epoch } => {
+                    assert_eq!(*after, Duration::from_micros(SIFS));
+                    Some(*epoch)
+                }
+                _ => None,
+            })
+            .expect("ack timer");
+        assert!(out.iter().any(|o| matches!(o, MacOutput::Deliver { frame } if frame.seq == 9)));
+
+        let out = mac.input(t(100 + SIFS), MacInput::TimerAckJob { epoch: ack_epoch }, &mut rng);
+        match &out[0] {
+            MacOutput::StartTx { frame, air } => {
+                assert_eq!(frame.kind, FrameKind::Ack);
+                assert_eq!(frame.dst, 0);
+                assert_eq!(frame.seq, 9);
+                assert_eq!(*air, Duration::from_micros(304));
+            }
+            o => panic!("expected ack StartTx, got {o:?}"),
+        }
+        mac.input(t(100 + SIFS + 304), MacInput::TxEnded { medium_busy: false }, &mut rng);
+
+        // Duplicate (retry) arrives: re-ACK, no second Deliver.
+        let mut dup = f;
+        dup.retry = true;
+        let out = mac.input(t(10_000), MacInput::RxData { frame: dup }, &mut rng);
+        assert!(
+            !out.iter().any(|o| matches!(o, MacOutput::Deliver { .. })),
+            "duplicate must not be delivered"
+        );
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, MacOutput::SetTimerAckJob { .. })));
+        assert_eq!(mac.stats().dup_rx, 1);
+        assert_eq!(mac.stats().delivered, 1);
+    }
+
+    #[test]
+    fn own_ack_transmission_freezes_data_countdown() {
+        let mut mac = Mac::new(1, MacConfig::default());
+        let mut rng = SimRng::new(3);
+        mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 64 }, &mut rng);
+        // Contending with a data frame (enqueued under a busy medium so a
+        // random backoff is drawn)...
+        mac.input(t(0), MacInput::MediumBusy, &mut rng);
+        let out = mac.input(
+            t(0),
+            MacInput::Enqueue {
+                frame: data(2, 1, 2),
+                queue: 0,
+            },
+            &mut rng,
+        );
+        assert!(out.is_empty());
+        let out = mac.input(t(0), MacInput::MediumIdle, &mut rng);
+        let (after, _) = timer_delay(&out);
+        let total_slots = (after.as_micros() - DIFS) / SLOT;
+        assert!(total_slots >= 2, "redraw seed: need >= 2 slots");
+
+        // ...the medium goes busy (incoming frame), which freezes us mid-run.
+        let busy_at = DIFS + SLOT + 5; // one full slot elapsed
+        mac.input(t(busy_at), MacInput::MediumBusy, &mut rng);
+        // The incoming frame is for us; it ends and the medium goes idle.
+        let rx_end = busy_at + 8416;
+        let out = mac.input(t(rx_end), MacInput::RxData { frame: data(7, 0, 1) }, &mut rng);
+        let ack_epoch = out
+            .iter()
+            .find_map(|o| match o {
+                MacOutput::SetTimerAckJob { epoch, .. } => Some(*epoch),
+                _ => None,
+            })
+            .unwrap();
+        let out = mac.input(t(rx_end), MacInput::MediumIdle, &mut rng);
+        let (resume_after, _) = timer_delay(&out);
+        assert_eq!(
+            (resume_after.as_micros() - DIFS) / SLOT,
+            total_slots - 1,
+            "one slot was consumed before the freeze"
+        );
+
+        // SIFS later the ACK starts: countdown freezes again (radio busy),
+        // and no slot is lost because less than DIFS elapsed.
+        let out = mac.input(t(rx_end + SIFS), MacInput::TimerAckJob { epoch: ack_epoch }, &mut rng);
+        assert!(matches!(out[0], MacOutput::StartTx { .. }));
+        // While radio-busy a medium-idle input must not start a countdown.
+        let out = mac.input(t(rx_end + SIFS + 1), MacInput::MediumIdle, &mut rng);
+        assert!(out.is_empty());
+        // ACK done: countdown resumes with the same remaining slots.
+        let ack_done = rx_end + SIFS + 304;
+        let out = mac.input(t(ack_done), MacInput::TxEnded { medium_busy: false }, &mut rng);
+        let (resume2, _) = timer_delay(&out);
+        assert_eq!((resume2.as_micros() - DIFS) / SLOT, total_slots - 1);
+    }
+
+    #[test]
+    fn spurious_ack_is_counted_not_acted_on() {
+        let (mut mac, mut rng) = det_mac(0);
+        let ack = Frame::ack_for(&data(77, 0, 1));
+        let out = mac.input(t(5), MacInput::RxAck { frame: ack }, &mut rng);
+        assert!(out.is_empty());
+        assert_eq!(mac.stats().spurious_ack, 1);
+    }
+
+    #[test]
+    fn ack_for_wrong_seq_does_not_complete() {
+        let (mut mac, mut rng) = det_mac(0);
+        let out = mac.input(
+            t(0),
+            MacInput::Enqueue {
+                frame: data(1, 0, 1),
+                queue: 0,
+            },
+            &mut rng,
+        );
+        let (_, epoch) = timer_delay(&out);
+        let out = mac.input(t(DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+        let air = match &out[0] {
+            MacOutput::StartTx { air, .. } => *air,
+            _ => panic!(),
+        };
+        mac.input(t(DIFS) + air, MacInput::TxEnded { medium_busy: false }, &mut rng);
+        let wrong = Frame::ack_for(&data(2, 0, 1));
+        let out = mac.input(t(DIFS) + air + Duration::from_micros(100), MacInput::RxAck { frame: wrong }, &mut rng);
+        assert!(out.is_empty());
+        assert!(!mac.is_idle(), "still waiting for the right ACK");
+    }
+
+    #[test]
+    fn enqueue_while_medium_busy_defers() {
+        let (mut mac, mut rng) = det_mac(0);
+        mac.input(t(0), MacInput::MediumBusy, &mut rng);
+        let out = mac.input(
+            t(5),
+            MacInput::Enqueue {
+                frame: data(1, 0, 1),
+                queue: 0,
+            },
+            &mut rng,
+        );
+        assert!(out.is_empty(), "no timer while busy");
+        let out = mac.input(t(500), MacInput::MediumIdle, &mut rng);
+        let (after, _) = timer_delay(&out);
+        assert_eq!(after.as_micros(), DIFS);
+    }
+
+    #[test]
+    fn cw_min_change_applies_to_next_draw() {
+        let mut mac = Mac::new(0, MacConfig::default());
+        let mut rng = SimRng::new(11);
+        // Pin to a huge window: delays must exceed DIFS + 100 slots with
+        // overwhelming probability over a few draws.
+        mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 32768 }, &mut rng);
+        let mut big = 0;
+        for i in 0..5 {
+            // Enqueue under a busy medium so a random backoff is drawn.
+            mac.input(t(i * 1_000_000), MacInput::MediumBusy, &mut rng);
+            let out = mac.input(
+                t(i * 1_000_000),
+                MacInput::Enqueue {
+                    frame: data(i, 0, 1),
+                    queue: 0,
+                },
+                &mut rng,
+            );
+            assert!(out.is_empty());
+            let out = mac.input(t(i * 1_000_000), MacInput::MediumIdle, &mut rng);
+            let (after, _epoch) = timer_delay(&out);
+            if after.as_micros() > DIFS + 100 * SLOT {
+                big += 1;
+            }
+            // Rebuild the MAC each round to abort the attempt cleanly.
+            mac = Mac::new(0, MacConfig::default());
+            mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 32768 }, &mut rng);
+        }
+        assert!(big >= 4, "32768-slot windows should draw large backoffs");
+    }
+}

@@ -1,0 +1,291 @@
+//! RTS/CTS handshake tests: the full four-way exchange, CTS timeouts, and
+//! NAV (virtual carrier sense) deference.
+
+use ezflow_mac::{Mac, MacConfig, MacInput, MacOutput};
+use ezflow_phy::{Frame, FrameKind};
+use ezflow_sim::{Duration, SimRng, Time};
+
+const SIFS: u64 = 10;
+const DIFS: u64 = 50;
+const SLOT: u64 = 20;
+const RTS_AIR: u64 = 192 + 160; // 20 B
+const CTS_AIR: u64 = 192 + 112; // 14 B
+const DATA_AIR: u64 = 8416;
+const ACK_AIR: u64 = 304;
+
+fn t(us: u64) -> Time {
+    Time::from_micros(us)
+}
+
+fn rts_mac(node: usize) -> (Mac, SimRng) {
+    let cfg = MacConfig {
+        rts_cts: true,
+        ..MacConfig::default()
+    };
+    let mut mac = Mac::new(node, cfg);
+    let mut rng = SimRng::new(7);
+    mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 1 }, &mut rng);
+    (mac, rng)
+}
+
+fn data(seq: u64, src: usize, dst: usize) -> Frame {
+    let mut f = Frame::data(seq, 0, src, dst, 1000, Time::ZERO);
+    f.src = src;
+    f.dst = dst;
+    f
+}
+
+fn tx_timer(out: &[MacOutput]) -> (Duration, u64) {
+    out.iter()
+        .find_map(|o| match o {
+            MacOutput::SetTimerTxPath { after, epoch } => Some((*after, *epoch)),
+            _ => None,
+        })
+        .expect("tx-path timer")
+}
+
+fn started(out: &[MacOutput]) -> &Frame {
+    out.iter()
+        .find_map(|o| match o {
+            MacOutput::StartTx { frame, .. } => Some(frame),
+            _ => None,
+        })
+        .expect("StartTx")
+}
+
+#[test]
+fn full_four_way_handshake() {
+    let (mut snd, mut rng) = rts_mac(0);
+    let (mut rcv, mut rng2) = rts_mac(1);
+
+    // Sender contends, then emits an RTS instead of data.
+    let out = snd.input(
+        t(0),
+        MacInput::Enqueue {
+            frame: data(5, 0, 1),
+            queue: 0,
+        },
+        &mut rng,
+    );
+    let (after, epoch) = tx_timer(&out);
+    assert_eq!(after.as_micros(), DIFS);
+    let out = snd.input(t(DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+    let rts = started(&out).clone();
+    assert_eq!(rts.kind, FrameKind::Rts);
+    assert_eq!(rts.seq, 5);
+    assert_eq!(
+        rts.nav_micros,
+        3 * SIFS + CTS_AIR + DATA_AIR + ACK_AIR,
+        "RTS reserves CTS+DATA+ACK"
+    );
+    let rts_end = DIFS + RTS_AIR;
+    let out = snd.input(t(rts_end), MacInput::TxEnded { medium_busy: false }, &mut rng);
+    let (cts_to, _) = tx_timer(&out);
+    assert_eq!(cts_to.as_micros(), SIFS + CTS_AIR + SLOT);
+
+    // Receiver answers with a CTS after SIFS.
+    let out = rcv.input(t(rts_end), MacInput::RxRts { frame: rts }, &mut rng2);
+    let cts_epoch = out
+        .iter()
+        .find_map(|o| match o {
+            MacOutput::SetTimerAckJob { after, epoch } => {
+                assert_eq!(after.as_micros(), SIFS);
+                Some(*epoch)
+            }
+            _ => None,
+        })
+        .expect("cts job");
+    let out = rcv.input(t(rts_end + SIFS), MacInput::TimerAckJob { epoch: cts_epoch }, &mut rng2);
+    let cts = started(&out).clone();
+    assert_eq!(cts.kind, FrameKind::Cts);
+    assert_eq!(cts.dst, 0);
+    assert_eq!(cts.nav_micros, 2 * SIFS + DATA_AIR + ACK_AIR);
+    let cts_end = rts_end + SIFS + CTS_AIR;
+    rcv.input(t(cts_end), MacInput::TxEnded { medium_busy: false }, &mut rng2);
+
+    // Sender gets the CTS, waits SIFS, sends the data.
+    let out = snd.input(t(cts_end), MacInput::RxCts { frame: cts }, &mut rng);
+    let (sifs_wait, epoch) = tx_timer(&out);
+    assert_eq!(sifs_wait.as_micros(), SIFS);
+    let out = snd.input(t(cts_end + SIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+    let d = started(&out).clone();
+    assert_eq!(d.kind, FrameKind::Data);
+    let data_end = cts_end + SIFS + DATA_AIR;
+    let out = snd.input(t(data_end), MacInput::TxEnded { medium_busy: false }, &mut rng);
+    let (ack_to, _) = tx_timer(&out);
+    assert_eq!(ack_to.as_micros(), SIFS + ACK_AIR + SLOT);
+
+    // Receiver delivers and ACKs; sender completes.
+    let out = rcv.input(t(data_end), MacInput::RxData { frame: d.clone() }, &mut rng2);
+    assert!(out.iter().any(|o| matches!(o, MacOutput::Deliver { .. })));
+    let ack = Frame::ack_for(&d);
+    let out = snd.input(
+        t(data_end + SIFS + ACK_AIR),
+        MacInput::RxAck { frame: ack },
+        &mut rng,
+    );
+    assert!(out
+        .iter()
+        .any(|o| matches!(o, MacOutput::TxSuccess { attempts: 1, .. })));
+    assert_eq!(snd.stats().rts_sent, 1);
+    assert_eq!(snd.stats().tx_success, 1);
+    assert_eq!(rcv.stats().cts_sent, 1);
+}
+
+#[test]
+fn cts_timeout_retries_the_rts() {
+    let (mut snd, mut rng) = rts_mac(0);
+    let out = snd.input(
+        t(0),
+        MacInput::Enqueue {
+            frame: data(5, 0, 1),
+            queue: 0,
+        },
+        &mut rng,
+    );
+    let (after, epoch) = tx_timer(&out);
+    let mut now = after.as_micros();
+    let out = snd.input(t(now), MacInput::TimerTxPath { epoch }, &mut rng);
+    assert_eq!(started(&out).kind, FrameKind::Rts);
+    now += RTS_AIR;
+    let out = snd.input(t(now), MacInput::TxEnded { medium_busy: false }, &mut rng);
+    let (to, epoch) = tx_timer(&out);
+    now += to.as_micros();
+    // No CTS arrives: timeout -> back to contention with attempt 2.
+    let out = snd.input(t(now), MacInput::TimerTxPath { epoch }, &mut rng);
+    let (re, epoch) = tx_timer(&out);
+    assert_eq!(snd.stats().cts_timeouts, 1);
+    assert_eq!(snd.stats().retries, 1);
+    now += re.as_micros();
+    let out = snd.input(t(now), MacInput::TimerTxPath { epoch }, &mut rng);
+    let rts = started(&out);
+    assert_eq!(rts.kind, FrameKind::Rts, "the retry re-issues an RTS");
+    assert!(rts.retry);
+}
+
+#[test]
+fn nav_defers_bystanders() {
+    // A bystander in contention overhears a CTS and must stay silent for
+    // the announced reservation even though the medium is physically idle.
+    let (mut by, mut rng) = rts_mac(2);
+    let out = by.input(
+        t(0),
+        MacInput::Enqueue {
+            frame: data(9, 2, 3),
+            queue: 0,
+        },
+        &mut rng,
+    );
+    let (_, epoch) = tx_timer(&out);
+
+    // NAV lands mid-DIFS.
+    let until = t(20 + 5_000);
+    let out = by.input(t(20), MacInput::NavSet { until }, &mut rng);
+    assert!(
+        out.iter()
+            .any(|o| matches!(o, MacOutput::SetTimerNav { after } if after.as_micros() == 5_000)),
+        "a NAV wakeup must be armed"
+    );
+    // The old countdown timer is now stale.
+    let out = by.input(t(DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+    assert!(out.is_empty(), "must not transmit during NAV");
+    // Medium-idle reports during NAV do not restart the countdown.
+    let out = by.input(t(100), MacInput::MediumIdle, &mut rng);
+    assert!(out.is_empty());
+    // NAV expiry resumes: fresh DIFS + remaining slots.
+    let out = by.input(t(5_020), MacInput::TimerNav, &mut rng);
+    let (after, epoch) = tx_timer(&out);
+    assert_eq!(after.as_micros(), DIFS);
+    let out = by.input(t(5_020 + DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+    assert_eq!(started(&out).kind, FrameKind::Rts);
+}
+
+#[test]
+fn nav_extension_wins_over_stale_wakeup() {
+    let (mut by, mut rng) = rts_mac(2);
+    by.input(
+        t(0),
+        MacInput::Enqueue {
+            frame: data(9, 2, 3),
+            queue: 0,
+        },
+        &mut rng,
+    );
+    by.input(t(10), MacInput::NavSet { until: t(1_000) }, &mut rng);
+    // Extended before expiry.
+    by.input(t(500), MacInput::NavSet { until: t(8_000) }, &mut rng);
+    // The first wakeup fires but the NAV is still set: nothing happens.
+    let out = by.input(t(1_000), MacInput::TimerNav, &mut rng);
+    assert!(out.is_empty(), "stale NAV wakeup must re-check");
+    // The second wakeup resumes.
+    let out = by.input(t(8_000), MacInput::TimerNav, &mut rng);
+    let (after, _) = tx_timer(&out);
+    assert_eq!(after.as_micros(), DIFS);
+}
+
+#[test]
+fn nav_blocks_immediate_access_on_enqueue() {
+    // A NAV set while idle must deny the immediate-access shortcut: the
+    // enqueue draws a random backoff and waits for the NAV wakeup.
+    let (mut mac, mut rng) = rts_mac(2);
+    mac.input(t(0), MacInput::NavSet { until: t(5_000) }, &mut rng);
+    let out = mac.input(
+        t(100),
+        MacInput::Enqueue {
+            frame: data(3, 2, 3),
+            queue: 0,
+        },
+        &mut rng,
+    );
+    assert!(
+        out.is_empty(),
+        "no countdown may start during a NAV reservation: {out:?}"
+    );
+    let out = mac.input(t(5_000), MacInput::TimerNav, &mut rng);
+    let (after, _) = tx_timer(&out);
+    assert!(after.as_micros() >= DIFS);
+}
+
+#[test]
+fn rx_data_while_waiting_for_cts_is_served() {
+    // A relay mid-handshake as a *sender* can still receive data and must
+    // schedule the ACK for it.
+    let (mut snd, mut rng) = rts_mac(1);
+    let out = snd.input(
+        t(0),
+        MacInput::Enqueue {
+            frame: data(5, 1, 2),
+            queue: 0,
+        },
+        &mut rng,
+    );
+    let (after, epoch) = tx_timer(&out);
+    let mut now = after.as_micros();
+    snd.input(t(now), MacInput::TimerTxPath { epoch }, &mut rng);
+    now += RTS_AIR;
+    snd.input(t(now), MacInput::TxEnded { medium_busy: false }, &mut rng);
+    // While waiting for the CTS, a data frame from node 0 arrives.
+    let out = snd.input(t(now + 2), MacInput::RxData { frame: data(9, 0, 1) }, &mut rng);
+    assert!(out.iter().any(|o| matches!(o, MacOutput::Deliver { .. })));
+    assert!(out
+        .iter()
+        .any(|o| matches!(o, MacOutput::SetTimerAckJob { .. })));
+}
+
+#[test]
+fn shorter_nav_does_not_shrink_reservation() {
+    let (mut by, mut rng) = rts_mac(2);
+    by.input(
+        t(0),
+        MacInput::Enqueue {
+            frame: data(9, 2, 3),
+            queue: 0,
+        },
+        &mut rng,
+    );
+    by.input(t(0), MacInput::NavSet { until: t(9_000) }, &mut rng);
+    let out = by.input(t(100), MacInput::NavSet { until: t(500) }, &mut rng);
+    assert!(out.is_empty(), "shorter overlapping NAV is absorbed");
+    let out = by.input(t(500), MacInput::TimerNav, &mut rng);
+    assert!(out.is_empty(), "still reserved until 9ms");
+}

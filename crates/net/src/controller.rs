@@ -1,0 +1,171 @@
+//! The flow-controller interface.
+//!
+//! A [`Controller`] is the per-node program that EZ-flow (and each baseline
+//! we compare against) runs beside the MAC. Its only actuator is the MAC's
+//! `CWmin`; its only sensors are the events the network layer feeds it:
+//!
+//! * [`ControllerEvent::SentToSuccessor`] — one of our data frames was
+//!   acknowledged by the successor (it verifiably entered the successor's
+//!   queue). This is the BOE's *"transmission of packet p to N_{k+1}"*
+//!   hook: on the testbed the second radio sniffs the node's own frames;
+//!   in the simulator the ACK plays that role, filtering out frames that
+//!   were dropped before reaching the air exactly as the paper requires.
+//! * [`ControllerEvent::Overheard`] — a clean data frame not addressed to
+//!   us was decoded; the broadcast medium gives it to us for free. The BOE
+//!   filters for frames *sent by our successor*.
+//! * [`ControllerEvent::NeighborBacklog`] — an explicit backlog report.
+//!   **EZ-flow never receives these.** They exist so that message-passing
+//!   baselines (DiffQ) can be expressed in the same harness; the network
+//!   layer only generates them for controllers that ask via
+//!   [`Controller::backlog_period`].
+//!
+//! Returning `Some(cw)` from [`Controller::on_event`] reprograms the MAC's
+//! minimum contention window — the moral equivalent of the testbed's
+//! `iwconfig ath0 cwmin <v>` call.
+
+use ezflow_phy::Frame;
+use ezflow_sim::{Duration, Time};
+
+/// An observation delivered to a node's controller.
+#[derive(Debug)]
+pub enum ControllerEvent<'a> {
+    /// A data frame of ours was acknowledged by `successor`.
+    SentToSuccessor {
+        /// The next-hop that just accepted the frame.
+        successor: usize,
+        /// The acknowledged frame.
+        frame: &'a Frame,
+    },
+    /// A clean data frame addressed to another node was overheard.
+    Overheard {
+        /// The overheard frame (its `src` is the transmitter).
+        frame: &'a Frame,
+    },
+    /// Explicit queue-size report from a neighbour (message-passing
+    /// baselines only).
+    NeighborBacklog {
+        /// Reporting neighbour.
+        neighbor: usize,
+        /// Its total interface-queue backlog, packets.
+        backlog: usize,
+        /// This node's own backlog at the same instant (locally known).
+        own_backlog: usize,
+    },
+}
+
+/// A boxed per-node controller factory — what [`crate::Network::new`]
+/// takes, aliased because the full type is a mouthful.
+pub type ControllerFactory = Box<dyn Fn(usize) -> Box<dyn Controller>>;
+
+/// A per-node flow-control algorithm.
+pub trait Controller {
+    /// Handles one observation; optionally returns a new `CWmin` for this
+    /// node's MAC.
+    fn on_event(&mut self, now: Time, event: ControllerEvent<'_>) -> Option<u32>;
+
+    /// Algorithm name for logs and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// `CWmin` to program into the MAC when the network is built, if the
+    /// algorithm wants something other than the 802.11 default.
+    fn initial_cw_min(&self) -> Option<u32> {
+        None
+    }
+
+    /// If `Some(p)`, the network delivers [`ControllerEvent::NeighborBacklog`]
+    /// reports from this node's successors every `p`. `None` (the default,
+    /// and EZ-flow's value) means no message passing whatsoever.
+    fn backlog_period(&self) -> Option<Duration> {
+        None
+    }
+
+    /// Per-successor window override (the §7 extension: one `CWmin` per
+    /// successor, as the four 802.11e hardware queues would provide).
+    /// When this returns `Some(cw)` for the successor of the frame about
+    /// to be handed to the MAC, the network programs that window for the
+    /// frame's contention instead of the node-global one. The default
+    /// (`None`) keeps a single window per node, which is all the paper's
+    /// line topologies need.
+    fn queue_window(&self, _successor: usize) -> Option<u32> {
+        None
+    }
+}
+
+/// Plain IEEE 802.11: a fixed `CWmin`, never adapted. With the default
+/// window this is the paper's baseline; with a hand-picked per-node window
+/// it expresses the static penalty strategy of \[Aziz09\] (`q` = relay
+/// window / source window).
+#[derive(Debug, Clone)]
+pub struct FixedController {
+    cw_min: Option<u32>,
+}
+
+impl FixedController {
+    /// Standard 802.11: keep the MAC's default window.
+    pub fn standard() -> Self {
+        FixedController { cw_min: None }
+    }
+
+    /// Pin `CWmin` to `cw_min` (the static penalty baseline).
+    pub fn pinned(cw_min: u32) -> Self {
+        assert!(cw_min >= 1);
+        FixedController {
+            cw_min: Some(cw_min),
+        }
+    }
+}
+
+impl Controller for FixedController {
+    fn on_event(&mut self, _now: Time, _event: ControllerEvent<'_>) -> Option<u32> {
+        None
+    }
+
+    fn initial_cw_min(&self) -> Option<u32> {
+        self.cw_min
+    }
+
+    fn name(&self) -> &'static str {
+        "802.11"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        Frame::data(1, 0, 0, 4, 1000, Time::ZERO)
+    }
+
+    #[test]
+    fn standard_controller_never_adapts() {
+        let mut c = FixedController::standard();
+        let f = frame();
+        for _ in 0..10 {
+            assert_eq!(
+                c.on_event(Time::ZERO, ControllerEvent::Overheard { frame: &f }),
+                None
+            );
+        }
+        assert_eq!(c.backlog_period(), None);
+        assert_eq!(c.initial_cw_min(), None);
+        assert_eq!(c.name(), "802.11");
+    }
+
+    #[test]
+    fn pinned_controller_sets_initial_window() {
+        let mut c = FixedController::pinned(2048);
+        assert_eq!(c.initial_cw_min(), Some(2048));
+        let f = frame();
+        assert_eq!(
+            c.on_event(
+                Time::ZERO,
+                ControllerEvent::SentToSuccessor {
+                    successor: 1,
+                    frame: &f
+                }
+            ),
+            None
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # ezflow-net — the network layer and event loop
+//!
+//! This crate wires the substrates together into a runnable mesh network:
+//!
+//! * [`queue`] — drop-tail interface queues (the 50-packet MAC buffer of
+//!   the paper's hardware), with the paper's queue discipline: a node that
+//!   is both source and relay keeps **separate queues for its own and for
+//!   forwarded traffic**, one per successor.
+//! * [`routing`] — static next-hop routing (the NOAH agent of the paper's
+//!   ns-2 setup: no route flapping, no routing overhead).
+//! * [`traffic`] — constant-bit-rate sources (2 Mb/s CBR saturates every
+//!   topology we study, as in §5.1).
+//! * [`controller`] — the trait through which a flow-control algorithm
+//!   (EZ-flow, the static-q penalty, DiffQ, or plain 802.11) observes the
+//!   network *passively* and adapts `CWmin`.
+//! * [`node`] / [`network`] — one node = queues + DCF MAC + controller;
+//!   the [`network::Network`] owns the scheduler, the channel, and the
+//!   metrics and runs the whole thing deterministically.
+//! * [`topo`] — the paper's topologies: K-hop chains (Fig. 1), the 9-node
+//!   campus testbed (Fig. 3, calibrated to Table 1), scenario 1 (Fig. 5)
+//!   and scenario 2 (Fig. 9).
+//! * [`metrics`] — per-flow throughput/delay series, per-node buffer and
+//!   `CWmin` traces: everything needed to regenerate the paper's figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod controller;
+pub mod metrics;
+pub mod network;
+pub mod node;
+pub mod queue;
+pub mod routing;
+pub mod topo;
+pub mod traffic;
+
+pub use controller::{Controller, ControllerEvent, FixedController};
+pub use metrics::Metrics;
+pub use network::{Network, NetworkSpec};
+pub use node::Node;
+pub use queue::TxQueue;
+pub use routing::StaticRouting;
+pub use topo::{FlowSpec, Topology};
+pub use traffic::{CbrSource, Transport};

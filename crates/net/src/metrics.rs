@@ -1,0 +1,169 @@
+//! Experiment instrumentation.
+//!
+//! One [`Metrics`] instance records everything the paper's figures and
+//! tables need, for one simulation run:
+//!
+//! * per-flow **throughput** series (bits delivered at the sink, binned),
+//! * per-flow **end-to-end delay** series, in two flavours — from packet
+//!   creation, and from the packet's first dequeue at the source MAC (see
+//!   DESIGN.md §4 on why the figures use the latter),
+//! * per-node **buffer occupancy** trace, sampled every second (Figs. 1, 4),
+//! * per-node **`CWmin`** trace (Figs. 8, 11 plot `log2` of these values),
+//! * drop counters by cause.
+
+use std::collections::HashMap;
+
+use ezflow_phy::Frame;
+use ezflow_sim::{Duration, Time};
+use ezflow_stats::{SampleSeries, ThroughputSeries};
+
+/// All series recorded during one run.
+pub struct Metrics {
+    /// Throughput bin width.
+    pub bin: Duration,
+    /// Per-flow delivered-bits series.
+    pub throughput: HashMap<u32, ThroughputSeries>,
+    /// Per-flow delay from first dequeue at the source (seconds).
+    pub delay_net: HashMap<u32, SampleSeries>,
+    /// Per-flow delay from packet creation (seconds).
+    pub delay_e2e: HashMap<u32, SampleSeries>,
+    /// Per-flow delivered packet counts.
+    pub delivered: HashMap<u32, u64>,
+    /// Per-node total interface-queue occupancy, sampled periodically.
+    pub buffer: Vec<SampleSeries>,
+    /// Per-node `CWmin`, sampled periodically.
+    pub cw: Vec<SampleSeries>,
+    /// Per-node packets dropped on queue overflow (relay queues).
+    pub queue_drops: Vec<u64>,
+    /// Per-flow packets dropped at the (full) source queue.
+    pub source_drops: HashMap<u32, u64>,
+    /// Per-node packets dropped at the MAC retry limit.
+    pub retry_drops: Vec<u64>,
+}
+
+impl Metrics {
+    /// Creates metrics for `nodes` nodes and the given flow ids.
+    pub fn new(nodes: usize, flows: &[u32], bin: Duration) -> Self {
+        let mut throughput = HashMap::new();
+        let mut delay_net = HashMap::new();
+        let mut delay_e2e = HashMap::new();
+        let mut delivered = HashMap::new();
+        let mut source_drops = HashMap::new();
+        for &f in flows {
+            throughput.insert(f, ThroughputSeries::new(bin));
+            delay_net.insert(f, SampleSeries::new());
+            delay_e2e.insert(f, SampleSeries::new());
+            delivered.insert(f, 0);
+            source_drops.insert(f, 0);
+        }
+        Metrics {
+            bin,
+            throughput,
+            delay_net,
+            delay_e2e,
+            delivered,
+            buffer: (0..nodes).map(|_| SampleSeries::new()).collect(),
+            cw: (0..nodes).map(|_| SampleSeries::new()).collect(),
+            queue_drops: vec![0; nodes],
+            source_drops,
+            retry_drops: vec![0; nodes],
+        }
+    }
+
+    /// Records a packet reaching its final destination.
+    pub fn on_delivery(&mut self, now: Time, frame: &Frame) {
+        let flow = frame.flow;
+        if let Some(ts) = self.throughput.get_mut(&flow) {
+            ts.record(now, frame.payload_bytes as u64 * 8);
+        }
+        if let Some(d) = self.delay_net.get_mut(&flow) {
+            d.push(now, now.saturating_since(frame.entered_net).as_secs_f64());
+        }
+        if let Some(d) = self.delay_e2e.get_mut(&flow) {
+            d.push(now, now.saturating_since(frame.created).as_secs_f64());
+        }
+        *self.delivered.entry(flow).or_insert(0) += 1;
+    }
+
+    /// Records a periodic per-node sample.
+    pub fn on_sample(&mut self, now: Time, node: usize, buffer: usize, cw_min: u32) {
+        self.buffer[node].push(now, buffer as f64);
+        self.cw[node].push(now, cw_min as f64);
+    }
+
+    /// Mean throughput of `flow` in kb/s over `[from, to)` (total bits over
+    /// the span).
+    pub fn mean_kbps(&self, flow: u32, from: Time, to: Time) -> f64 {
+        self.throughput
+            .get(&flow)
+            .map_or(0.0, |ts| ts.average_kbps(from, to))
+    }
+
+    /// Per-flow mean throughputs (kb/s) over a window, in flow-id order —
+    /// the input to Jain's index.
+    pub fn all_kbps(&self, from: Time, to: Time) -> Vec<(u32, f64)> {
+        let mut ids: Vec<u32> = self.throughput.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .map(|&f| (f, self.mean_kbps(f, from, to)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_with_times(created_s: u64, entered_s: u64) -> Frame {
+        let mut f = Frame::data(1, 0, 0, 4, 1000, Time::from_secs(created_s));
+        f.entered_net = Time::from_secs(entered_s);
+        f
+    }
+
+    #[test]
+    fn delivery_updates_all_series() {
+        let mut m = Metrics::new(5, &[0], Duration::from_secs(10));
+        let f = frame_with_times(1, 3);
+        m.on_delivery(Time::from_secs(7), &f);
+        assert_eq!(m.delivered[&0], 1);
+        assert!((m.throughput[&0].total_bits() - 8000.0).abs() < 1e-9);
+        let d_net = m.delay_net[&0].points()[0].1;
+        let d_e2e = m.delay_e2e[&0].points()[0].1;
+        assert!((d_net - 4.0).abs() < 1e-9);
+        assert!((d_e2e - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_flow_is_ignored() {
+        let mut m = Metrics::new(2, &[0], Duration::from_secs(1));
+        let mut f = frame_with_times(0, 0);
+        f.flow = 99;
+        m.on_delivery(Time::from_secs(1), &f);
+        assert_eq!(m.delivered.get(&99), Some(&1), "count kept via entry API");
+        assert_eq!(m.throughput.len(), 1, "no series allocated for unknowns");
+    }
+
+    #[test]
+    fn samples_and_window_means() {
+        let mut m = Metrics::new(2, &[0, 1], Duration::from_secs(10));
+        m.on_sample(Time::from_secs(1), 0, 10, 32);
+        m.on_sample(Time::from_secs(2), 0, 20, 64);
+        let sm = m.buffer[0].window(Time::ZERO, Time::from_secs(10));
+        assert!((sm.mean - 15.0).abs() < 1e-9);
+        let cw = m.cw[0].window(Time::ZERO, Time::from_secs(10));
+        assert!((cw.mean - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_kbps_is_flow_ordered() {
+        let mut m = Metrics::new(1, &[2, 0, 1], Duration::from_secs(1));
+        let mut f = frame_with_times(0, 0);
+        f.flow = 2;
+        m.on_delivery(Time::from_millis(500), &f);
+        let all = m.all_kbps(Time::ZERO, Time::from_secs(1));
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].0, 0);
+        assert_eq!(all[2].0, 2);
+        assert!(all[2].1 > 0.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! One mesh node: interface queues + DCF MAC + flow controller.
+
+use ezflow_mac::Mac;
+use ezflow_phy::Frame;
+use ezflow_sim::SimRng;
+
+use crate::controller::Controller;
+use crate::queue::TxQueue;
+
+/// A wireless mesh node.
+pub struct Node {
+    /// Node id (index into the network's node table).
+    pub id: usize,
+    /// The 802.11 DCF radio.
+    pub mac: Mac,
+    /// The flow-control program running beside the MAC.
+    pub controller: Box<dyn Controller>,
+    /// Transmit queues (own-traffic and per-successor forward queues).
+    pub queues: Vec<TxQueue>,
+    /// This node's private random stream.
+    pub rng: SimRng,
+    rr: usize,
+}
+
+impl Node {
+    /// Builds a node with no queues yet.
+    pub fn new(id: usize, mac: Mac, controller: Box<dyn Controller>, rng: SimRng) -> Self {
+        Node {
+            id,
+            mac,
+            controller,
+            queues: Vec::new(),
+            rng,
+            rr: 0,
+        }
+    }
+
+    /// Total interface-queue occupancy, packets — the paper's "buffer
+    /// occupancy" (the frame currently inside the MAC is in service, not
+    /// buffered, matching how ns-2 reports IFQ length).
+    pub fn occupancy(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Finds or creates the queue for (`own`, `successor`).
+    pub fn queue_index(&mut self, own: bool, successor: usize, cap: usize) -> usize {
+        if let Some(i) = self
+            .queues
+            .iter()
+            .position(|q| q.own == own && q.successor == successor)
+        {
+            return i;
+        }
+        self.queues.push(TxQueue::new(own, successor, cap));
+        self.queues.len() - 1
+    }
+
+    /// Enqueues `frame` into the queue for (`own`, `frame.dst`); the queue
+    /// must already exist (queues are created at network build time).
+    /// Returns `false` on drop-tail overflow.
+    pub fn enqueue(&mut self, own: bool, frame: Frame) -> bool {
+        let successor = frame.dst;
+        let q = self
+            .queues
+            .iter_mut()
+            .find(|q| q.own == own && q.successor == successor)
+            .unwrap_or_else(|| {
+                panic!(
+                    "node {} has no {} queue toward {successor}",
+                    frame.src,
+                    if own { "own" } else { "forward" }
+                )
+            });
+        q.push(frame)
+    }
+
+    /// Pops the next frame to transmit, serving nonempty queues
+    /// round-robin. Returns the frame and the index of the queue it came
+    /// from.
+    pub fn pop_round_robin(&mut self) -> Option<(Frame, usize)> {
+        let n = self.queues.len();
+        for k in 0..n {
+            let i = (self.rr + k) % n;
+            if let Some(f) = self.queues[i].pop() {
+                self.rr = (i + 1) % n;
+                return Some((f, i));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::FixedController;
+    use ezflow_mac::MacConfig;
+    use ezflow_sim::Time;
+
+    fn node() -> Node {
+        Node::new(
+            1,
+            Mac::new(1, MacConfig::default()),
+            Box::new(FixedController::standard()),
+            SimRng::new(1),
+        )
+    }
+
+    fn frame(seq: u64, dst: usize) -> Frame {
+        let mut f = Frame::data(seq, 0, 0, 9, 1000, Time::ZERO);
+        f.src = 1;
+        f.dst = dst;
+        f
+    }
+
+    #[test]
+    fn queue_index_reuses_existing() {
+        let mut n = node();
+        let a = n.queue_index(false, 2, 50);
+        let b = n.queue_index(false, 2, 50);
+        let c = n.queue_index(true, 2, 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "own and forward queues are distinct");
+        assert_eq!(n.queues.len(), 2);
+    }
+
+    #[test]
+    fn round_robin_interleaves_queues() {
+        let mut n = node();
+        n.queue_index(true, 2, 50);
+        n.queue_index(false, 2, 50);
+        for i in 0..3 {
+            let mut f = frame(i, 2);
+            f.origin = 1; // own traffic
+            assert!(n.enqueue(true, f));
+            assert!(n.enqueue(false, frame(100 + i, 2)));
+        }
+        let seqs: Vec<u64> = (0..6)
+            .map(|_| n.pop_round_robin().unwrap().0.seq)
+            .collect();
+        // Alternation between own (0..) and forwarded (100..).
+        assert_eq!(seqs, vec![0, 100, 1, 101, 2, 102]);
+        assert!(n.pop_round_robin().is_none());
+    }
+
+    #[test]
+    fn occupancy_sums_queues() {
+        let mut n = node();
+        n.queue_index(true, 2, 50);
+        n.queue_index(false, 3, 50);
+        n.enqueue(true, frame(1, 2));
+        n.enqueue(false, frame(2, 3));
+        n.enqueue(false, frame(3, 3));
+        assert_eq!(n.occupancy(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no")]
+    fn enqueue_without_queue_panics() {
+        let mut n = node();
+        n.enqueue(false, frame(1, 7));
+    }
+}

@@ -1,0 +1,119 @@
+//! Drop-tail interface queues.
+//!
+//! §3.1 of the paper: *"In order not to starve forwarded traffic, each node
+//! that acts both as source and relay should maintain 2 independent queues:
+//! one for its own traffic and another for the forwarded traffic.
+//! Furthermore, a node that has multiple successors should maintain 1 queue
+//! per successor."* [`TxQueue`] is one such queue; a node owns a small
+//! vector of them and serves them round-robin.
+
+use std::collections::VecDeque;
+
+use ezflow_phy::Frame;
+
+/// One FIFO transmit queue, bound to a successor node.
+#[derive(Debug)]
+pub struct TxQueue {
+    /// True for locally generated traffic, false for forwarded traffic.
+    pub own: bool,
+    /// The next-hop this queue feeds.
+    pub successor: usize,
+    cap: usize,
+    fifo: VecDeque<Frame>,
+    /// Frames rejected because the queue was full.
+    pub drops: u64,
+    /// Frames ever accepted.
+    pub accepted: u64,
+}
+
+impl TxQueue {
+    /// Creates an empty queue with capacity `cap` packets (the paper's
+    /// hardware: 50).
+    pub fn new(own: bool, successor: usize, cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        TxQueue {
+            own,
+            successor,
+            cap,
+            fifo: VecDeque::with_capacity(cap),
+            drops: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Current occupancy in packets.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Capacity in packets.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Enqueues a frame; returns `false` (and counts a drop) when full.
+    pub fn push(&mut self, frame: Frame) -> bool {
+        if self.fifo.len() >= self.cap {
+            self.drops += 1;
+            false
+        } else {
+            self.accepted += 1;
+            self.fifo.push_back(frame);
+            true
+        }
+    }
+
+    /// Dequeues the head frame.
+    pub fn pop(&mut self) -> Option<Frame> {
+        self.fifo.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezflow_sim::Time;
+
+    fn frame(seq: u64) -> Frame {
+        Frame::data(seq, 0, 0, 4, 1000, Time::ZERO)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = TxQueue::new(false, 1, 10);
+        for i in 0..5 {
+            assert!(q.push(frame(i)));
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap().seq, i);
+        }
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn drop_tail_at_capacity() {
+        let mut q = TxQueue::new(true, 2, 3);
+        assert!(q.push(frame(0)));
+        assert!(q.push(frame(1)));
+        assert!(q.push(frame(2)));
+        assert!(!q.push(frame(3)), "fourth push must be rejected");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.drops, 1);
+        assert_eq!(q.accepted, 3);
+        // The dropped frame is the *new* arrival: head is still seq 0.
+        assert_eq!(q.pop().unwrap().seq, 0);
+        // Space freed: accepts again.
+        assert!(q.push(frame(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        TxQueue::new(false, 0, 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Static routing — the NOAH ("NO Ad-Hoc routing") agent of the paper's
+//! ns-2 setup. Routes are installed once from the flow paths and never
+//! change, isolating the MAC-layer phenomena under study from routing
+//! dynamics.
+
+use std::collections::HashMap;
+
+/// A static next-hop table.
+#[derive(Debug, Default, Clone)]
+pub struct StaticRouting {
+    /// `(node, final destination) -> next hop`.
+    next_hop: HashMap<(usize, usize), usize>,
+}
+
+impl StaticRouting {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs routes for every hop of `path` toward `path.last()`.
+    ///
+    /// Panics if a conflicting route for the same `(node, destination)`
+    /// pair already exists — two flows to the same destination must share a
+    /// suffix, anything else is a topology specification bug.
+    pub fn install_path(&mut self, path: &[usize]) {
+        assert!(path.len() >= 2, "a path needs at least two nodes");
+        let dst = *path.last().expect("non-empty");
+        for w in path.windows(2) {
+            let prev = self.next_hop.insert((w[0], dst), w[1]);
+            assert!(
+                prev.is_none() || prev == Some(w[1]),
+                "conflicting route at node {} toward {}: {} vs {}",
+                w[0],
+                dst,
+                prev.unwrap(),
+                w[1]
+            );
+        }
+    }
+
+    /// Next hop from `node` toward `final_dst`, if routed.
+    pub fn next_hop(&self, node: usize, final_dst: usize) -> Option<usize> {
+        self.next_hop.get(&(node, final_dst)).copied()
+    }
+
+    /// All distinct successors of `node` (over all destinations), sorted.
+    pub fn successors(&self, node: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .next_hop
+            .iter()
+            .filter(|((n, _), _)| *n == node)
+            .map(|(_, &s)| s)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.next_hop.len()
+    }
+
+    /// True iff no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.next_hop.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn installs_chain() {
+        let mut r = StaticRouting::new();
+        r.install_path(&[0, 1, 2, 3]);
+        assert_eq!(r.next_hop(0, 3), Some(1));
+        assert_eq!(r.next_hop(1, 3), Some(2));
+        assert_eq!(r.next_hop(2, 3), Some(3));
+        assert_eq!(r.next_hop(3, 3), None);
+        assert_eq!(r.next_hop(0, 2), None, "routes are per final destination");
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn merging_flows_share_suffix() {
+        let mut r = StaticRouting::new();
+        // Scenario 1: two branches merging at node 4 toward gateway 0.
+        r.install_path(&[12, 10, 8, 6, 4, 3, 2, 1, 0]);
+        r.install_path(&[11, 9, 7, 5, 4, 3, 2, 1, 0]);
+        assert_eq!(r.next_hop(4, 0), Some(3));
+        assert_eq!(r.successors(4), vec![3]);
+        assert_eq!(r.successors(12), vec![10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting route")]
+    fn conflicting_routes_panic() {
+        let mut r = StaticRouting::new();
+        r.install_path(&[0, 1, 3]);
+        r.install_path(&[0, 2, 3]);
+    }
+
+    #[test]
+    fn successors_dedup_across_destinations() {
+        let mut r = StaticRouting::new();
+        r.install_path(&[0, 1, 2]);
+        r.install_path(&[0, 1, 3]);
+        assert_eq!(r.successors(0), vec![1]);
+    }
+}

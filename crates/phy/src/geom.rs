@@ -1,0 +1,80 @@
+//! Planar geometry for node placement.
+
+use serde::{Deserialize, Serialize};
+
+/// A node position in meters on the plane.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// East-west coordinate, meters.
+    pub x: f64,
+    /// North-south coordinate, meters.
+    pub y: f64,
+}
+
+impl Position {
+    /// Builds a position.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    /// Euclidean distance to `other`, meters.
+    pub fn distance(&self, other: &Position) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared distance (avoids the sqrt in range tests).
+    pub fn distance_sq(&self, other: &Position) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// True iff `other` is within `range` meters (inclusive).
+    pub fn within(&self, other: &Position, range: f64) -> bool {
+        self.distance_sq(other) <= range * range
+    }
+}
+
+/// Places `n` nodes on a straight east-west line with constant `spacing`
+/// meters between neighbours — the canonical K-hop chain of the paper.
+pub fn line_positions(n: usize, spacing: f64) -> Vec<Position> {
+    (0..n).map(|i| Position::new(i as f64 * spacing, 0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_sq(&b) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        let a = Position::new(0.0, 0.0);
+        let b = Position::new(250.0, 0.0);
+        assert!(a.within(&b, 250.0));
+        assert!(!a.within(&b, 249.999));
+    }
+
+    #[test]
+    fn line_positions_spacing() {
+        let ps = line_positions(5, 200.0);
+        assert_eq!(ps.len(), 5);
+        for (i, p) in ps.iter().enumerate() {
+            assert!((p.x - 200.0 * i as f64).abs() < 1e-12);
+            assert_eq!(p.y, 0.0);
+        }
+        // Paper geometry: 1- and 2-hop neighbours are sensed (<= 550 m),
+        // 3-hop neighbours are hidden (> 550 m).
+        assert!(ps[0].within(&ps[2], 550.0));
+        assert!(!ps[0].within(&ps[3], 550.0));
+        // 1-hop neighbours decode (<= 250 m), 2-hop do not.
+        assert!(ps[0].within(&ps[1], 250.0));
+        assert!(!ps[0].within(&ps[2], 250.0));
+    }
+}

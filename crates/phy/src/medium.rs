@@ -1,0 +1,631 @@
+//! The shared wireless channel.
+//!
+//! [`Channel`] is a pure state machine: the network layer calls
+//! [`Channel::start_tx`] and [`Channel::end_tx`] and gets back, as plain
+//! data, the carrier-sense transitions and frame deliveries those calls
+//! imply. No scheduling, no callbacks — which makes collision semantics
+//! unit-testable in isolation (see the tests at the bottom for the
+//! hidden-terminal scenarios that drive the whole paper).
+//!
+//! ## Reception rule
+//!
+//! A node `r` receives frame `f` from `s` cleanly iff
+//!
+//! 1. `dist(s, r) <= tx_range` (decodable signal),
+//! 2. every transmission overlapping `f`'s air time is **captured**: its
+//!    sender `i` is either outside the carrier-sense range of `r` (signal
+//!    negligible) or far enough that the two-ray-ground power ratio
+//!    `(d(i,r)/d(s,r))^4` exceeds the 10 dB capture threshold — i.e.
+//!    `d(i,r) >= 10^(1/4) · d(s,r)`. The receiver itself transmitting
+//!    always destroys the reception (half-duplex radio),
+//! 3. the Bernoulli per-link loss process does not drop it.
+//!
+//! Rule 2 is ns-2's capture model and it is *essential* to the paper's
+//! phenomena: with 200 m spacing, a frame over one hop (200 m) survives a
+//! hidden transmitter two hops from the receiver (400 m ≥ 355.7 m), so the
+//! hidden pair (source, third relay) of a 4-hop chain coexists without
+//! losses — which is precisely why the greedy source outruns the first
+//! relay's service share and turbulence appears as *queue growth* rather
+//! than as collision losses. An interferer one hop from the receiver
+//! (200 m < 355.7 m) still destroys the frame.
+
+use ezflow_sim::{SimRng, Time};
+
+use crate::frame::Frame;
+use crate::geom::Position;
+use crate::loss::LossModel;
+
+/// Identifier of an in-flight transmission.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TxId(pub u64);
+
+/// 10 dB capture threshold under a path-loss exponent of 4:
+/// an interferer `10^(10/40) ≈ 1.778` times farther than the sender is
+/// captured over.
+pub const CAPTURE_RATIO_10DB: f64 = 1.7782794100389228;
+
+/// Static channel parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ChannelConfig {
+    /// Decode range in meters (ns-2 two-ray-ground default: 250 m).
+    pub tx_range: f64,
+    /// Carrier-sense / interference range in meters (ns-2 default: 550 m).
+    pub cs_range: f64,
+    /// Capture ratio: an overlapping interferer at distance
+    /// `>= capture_ratio · d(sender, receiver)` from the receiver does not
+    /// destroy the reception. Set to `f64::INFINITY` to disable capture
+    /// (every in-cs-range interferer collides).
+    pub capture_ratio: f64,
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig {
+            tx_range: 250.0,
+            cs_range: 550.0,
+            capture_ratio: CAPTURE_RATIO_10DB,
+        }
+    }
+}
+
+/// Counters the channel keeps about itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChannelStats {
+    /// Transmissions started.
+    pub tx_started: u64,
+    /// Deliveries to the *intended* receiver destroyed by interference.
+    pub collisions_at_dst: u64,
+    /// Deliveries to the intended receiver destroyed by the loss process.
+    pub bernoulli_losses: u64,
+    /// Clean deliveries to the intended receiver.
+    pub clean_deliveries: u64,
+}
+
+struct ActiveTx {
+    id: TxId,
+    frame: Frame,
+    start: Time,
+    end: Time,
+    /// Per node: reception already destroyed by interference.
+    corrupted: Vec<bool>,
+}
+
+/// What a `start_tx` call changed.
+#[derive(Debug)]
+pub struct StartReport {
+    /// Handle to pass back to [`Channel::end_tx`].
+    pub tx_id: TxId,
+    /// Nodes whose medium went idle -> busy because of this transmission.
+    pub became_busy: Vec<usize>,
+}
+
+/// One potential reception at the end of a transmission.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// Receiving node (within decode range of the sender, not the sender).
+    pub node: usize,
+    /// True iff the frame survived interference and link loss.
+    pub clean: bool,
+}
+
+/// What an `end_tx` call changed.
+#[derive(Debug)]
+pub struct EndReport {
+    /// The frame that was on the air.
+    pub frame: Frame,
+    /// All nodes in decode range, with their reception outcome.
+    /// The intended receiver, if in range, appears here too.
+    pub deliveries: Vec<Delivery>,
+    /// Nodes whose medium went busy -> idle because this transmission ended.
+    pub became_idle: Vec<usize>,
+    /// Nodes that sensed this transmission but obtained no clean decode —
+    /// either out of decode range, or the reception was corrupted/lost.
+    /// These are the stations the standard's EIFS rule applies to.
+    pub sensed_dirty: Vec<usize>,
+}
+
+/// The shared broadcast medium.
+pub struct Channel {
+    cfg: ChannelConfig,
+    loss: LossModel,
+    n: usize,
+    /// `decode[s][r]`: r can decode s's frames.
+    decode: Vec<Vec<bool>>,
+    /// `sense[s][r]`: s's transmissions raise r's carrier sense (and can
+    /// corrupt receptions at r). Excludes `s == r`.
+    sense: Vec<Vec<bool>>,
+    /// Pairwise distances, meters.
+    dist: Vec<Vec<f64>>,
+    active: Vec<ActiveTx>,
+    /// Per node: number of active transmissions it senses.
+    sense_count: Vec<u32>,
+    /// Per node: cumulative time spent transmitting, microseconds.
+    airtime_us: Vec<u64>,
+    next_tx: u64,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Builds a channel over fixed node positions.
+    pub fn new(positions: &[Position], cfg: ChannelConfig, loss: LossModel) -> Self {
+        assert!(
+            cfg.cs_range >= cfg.tx_range,
+            "carrier-sense range must cover the decode range"
+        );
+        assert!(cfg.capture_ratio > 0.0, "capture ratio must be positive");
+        let n = positions.len();
+        let mut decode = vec![vec![false; n]; n];
+        let mut sense = vec![vec![false; n]; n];
+        let mut dist = vec![vec![0.0; n]; n];
+        for s in 0..n {
+            for r in 0..n {
+                dist[s][r] = positions[s].distance(&positions[r]);
+                if s == r {
+                    continue;
+                }
+                decode[s][r] = positions[s].within(&positions[r], cfg.tx_range);
+                sense[s][r] = positions[s].within(&positions[r], cfg.cs_range);
+            }
+        }
+        Channel {
+            cfg,
+            loss,
+            n,
+            decode,
+            sense,
+            dist,
+            active: Vec::new(),
+            sense_count: vec![0; n],
+            airtime_us: vec![0; n],
+            next_tx: 0,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Cumulative transmit airtime of `node` (completed transmissions).
+    pub fn airtime(&self, node: usize) -> ezflow_sim::Duration {
+        ezflow_sim::Duration::from_micros(self.airtime_us[node])
+    }
+
+    /// Fraction of `elapsed` that `node` spent transmitting.
+    pub fn utilization(&self, node: usize, elapsed: ezflow_sim::Duration) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.airtime_us[node] as f64 / elapsed.as_micros() as f64
+        }
+    }
+
+    /// Channel parameters.
+    pub fn config(&self) -> ChannelConfig {
+        self.cfg
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// True iff `node` currently senses the medium busy (own transmissions
+    /// excluded — a radio cannot carrier-sense while transmitting, and the
+    /// MAC does not consult the medium during its own transmission).
+    pub fn is_busy(&self, node: usize) -> bool {
+        self.sense_count[node] > 0
+    }
+
+    /// True iff `r` can decode frames from `s`.
+    pub fn can_decode(&self, s: usize, r: usize) -> bool {
+        self.decode[s][r]
+    }
+
+    /// True iff `s`'s transmissions are sensed at `r`.
+    pub fn can_sense(&self, s: usize, r: usize) -> bool {
+        self.sense[s][r]
+    }
+
+    /// Number of transmissions currently on the air.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether a transmission by `interferer` destroys the reception of a
+    /// frame from `sender` at `receiver` (capture rule; see module docs).
+    pub fn corrupts(&self, interferer: usize, sender: usize, receiver: usize) -> bool {
+        if interferer == receiver {
+            return true; // half-duplex: cannot receive while transmitting
+        }
+        if !self.sense[interferer][receiver] {
+            return false; // negligible signal at the receiver
+        }
+        self.dist[interferer][receiver] < self.cfg.capture_ratio * self.dist[sender][receiver]
+    }
+
+    /// Puts `frame` on the air from `frame.src` until `end`.
+    ///
+    /// Marks interference both ways against every already-active
+    /// transmission and reports which nodes newly sense a busy medium.
+    pub fn start_tx(&mut self, now: Time, frame: Frame, end: Time) -> StartReport {
+        debug_assert!(end > now, "zero-length transmission");
+        let src = frame.src;
+        debug_assert!(src < self.n, "unknown transmitter");
+        self.stats.tx_started += 1;
+
+        let mut corrupted = vec![false; self.n];
+        // The sender cannot receive anything, including its own frame.
+        corrupted[src] = true;
+
+        // Interference with every overlapping active transmission, in both
+        // directions. A transmission whose end is exactly `now` no longer
+        // overlaps (its `end_tx` is being delivered in this same instant).
+        let decode = &self.decode;
+        let sense = &self.sense;
+        let dist = &self.dist;
+        let ratio = self.cfg.capture_ratio;
+        let corrupts = |i: usize, s: usize, r: usize| -> bool {
+            i == r || (sense[i][r] && dist[i][r] < ratio * dist[s][r])
+        };
+        for a in &mut self.active {
+            if a.end <= now {
+                continue;
+            }
+            let other = a.frame.src;
+            for r in 0..self.n {
+                // New tx destroys `a`'s reception at r?
+                if decode[other][r] && corrupts(src, other, r) {
+                    a.corrupted[r] = true;
+                }
+                // `a` destroys the new tx's reception at r?
+                if decode[src][r] && corrupts(other, src, r) {
+                    corrupted[r] = true;
+                }
+            }
+        }
+
+        let id = TxId(self.next_tx);
+        self.next_tx += 1;
+        self.active.push(ActiveTx {
+            id,
+            frame,
+            start: now,
+            end,
+            corrupted,
+        });
+
+        let mut became_busy = Vec::new();
+        for r in 0..self.n {
+            if self.sense[src][r] {
+                self.sense_count[r] += 1;
+                if self.sense_count[r] == 1 {
+                    became_busy.push(r);
+                }
+            }
+        }
+        StartReport {
+            tx_id: id,
+            became_busy,
+        }
+    }
+
+    /// Takes a transmission off the air and resolves its receptions.
+    pub fn end_tx(&mut self, _now: Time, tx_id: TxId, rng: &mut SimRng) -> EndReport {
+        let idx = self
+            .active
+            .iter()
+            .position(|a| a.id == tx_id)
+            .expect("end_tx for unknown transmission");
+        let ActiveTx {
+            frame,
+            corrupted,
+            start,
+            end,
+            ..
+        } = self.active.swap_remove(idx);
+        let src = frame.src;
+        self.airtime_us[src] += end.since(start).as_micros();
+
+        let mut became_idle = Vec::new();
+        for r in 0..self.n {
+            if self.sense[src][r] {
+                debug_assert!(self.sense_count[r] > 0);
+                self.sense_count[r] -= 1;
+                if self.sense_count[r] == 0 {
+                    became_idle.push(r);
+                }
+            }
+        }
+
+        let mut deliveries = Vec::new();
+        let mut sensed_dirty = Vec::new();
+        #[allow(clippy::needless_range_loop)] // r indexes several tables
+        for r in 0..self.n {
+            if r == src {
+                continue;
+            }
+            if !self.decode[src][r] {
+                if self.sense[src][r] {
+                    sensed_dirty.push(r);
+                }
+                continue;
+            }
+            let mut clean = !corrupted[r];
+            if clean && self.loss.drops(src, r, rng) {
+                clean = false;
+                if r == frame.dst {
+                    self.stats.bernoulli_losses += 1;
+                }
+            } else if r == frame.dst {
+                if clean {
+                    self.stats.clean_deliveries += 1;
+                } else {
+                    self.stats.collisions_at_dst += 1;
+                }
+            }
+            if !clean {
+                sensed_dirty.push(r);
+            }
+            deliveries.push(Delivery { node: r, clean });
+        }
+
+        EndReport {
+            frame,
+            deliveries,
+            became_idle,
+            sensed_dirty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Frame;
+    use crate::geom::line_positions;
+
+    fn data(src: usize, dst: usize) -> Frame {
+        let mut f = Frame::data(1, 0, src, dst, 1000, Time::ZERO);
+        f.src = src;
+        f.dst = dst;
+        f
+    }
+
+    fn chan(n: usize) -> Channel {
+        Channel::new(
+            &line_positions(n, 200.0),
+            ChannelConfig::default(),
+            LossModel::ideal(),
+        )
+    }
+
+    fn t(us: u64) -> Time {
+        Time::from_micros(us)
+    }
+
+    #[test]
+    fn clean_delivery_on_idle_medium() {
+        let mut ch = chan(5);
+        let mut rng = SimRng::new(1);
+        let rep = ch.start_tx(t(0), data(0, 1), t(100));
+        // 200 m spacing: nodes 1 and 2 sense node 0; node 3 (600 m) does not.
+        assert_eq!(rep.became_busy, vec![1, 2]);
+        assert!(ch.is_busy(1));
+        assert!(!ch.is_busy(3));
+        assert!(!ch.is_busy(0), "sender does not sense itself");
+        let end = ch.end_tx(t(100), rep.tx_id, &mut rng);
+        assert_eq!(end.became_idle, vec![1, 2]);
+        // Only node 1 is in decode range of node 0.
+        assert_eq!(end.deliveries.len(), 1);
+        assert_eq!(end.deliveries[0].node, 1);
+        assert!(end.deliveries[0].clean);
+        assert_eq!(ch.stats().clean_deliveries, 1);
+    }
+
+    #[test]
+    fn hidden_terminal_pair_is_captured_over() {
+        // Nodes 0 and 3 are 600 m apart: mutually hidden. With the ns-2
+        // capture model, node 0's frame at node 1 SURVIVES node 3's
+        // overlapping transmission (interferer at 400 m vs sender at
+        // 200 m: power ratio 2^4 = 12 dB > 10 dB), and 3->4 survives 0
+        // trivially (800 m, out of interference range). This coexistence
+        // is what lets a greedy source overrun its first relay.
+        let mut ch = chan(5);
+        let mut rng = SimRng::new(2);
+        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        let b = ch.start_tx(t(10), data(3, 4), t(110));
+        let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
+        assert!(end_a.deliveries[0].clean, "0->1 captures over hidden 3");
+        let end_b = ch.end_tx(t(110), b.tx_id, &mut rng);
+        let to4 = end_b.deliveries.iter().find(|d| d.node == 4).unwrap();
+        assert!(to4.clean, "3->4 must survive the distant 0");
+        assert_eq!(ch.stats().collisions_at_dst, 0);
+        assert_eq!(ch.stats().clean_deliveries, 2);
+    }
+
+    #[test]
+    fn near_interferer_still_collides() {
+        // An interferer one hop from the receiver (200 m = sender's own
+        // distance) is far inside the capture threshold: collision.
+        // Nodes 1 and 3 are forced to overlap (the MAC would normally
+        // defer, but equal backoff draws make this possible).
+        let mut ch = chan(5);
+        let mut rng = SimRng::new(12);
+        let a = ch.start_tx(t(0), data(1, 2), t(100));
+        let _b = ch.start_tx(t(5), data(3, 4), t(105));
+        let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
+        let to2 = end_a.deliveries.iter().find(|d| d.node == 2).unwrap();
+        assert!(!to2.clean, "interferer 3 is 200 m from receiver 2");
+        assert_eq!(ch.stats().collisions_at_dst, 1);
+    }
+
+    #[test]
+    fn capture_can_be_disabled() {
+        let cfg = ChannelConfig {
+            capture_ratio: f64::INFINITY,
+            ..ChannelConfig::default()
+        };
+        let mut ch = Channel::new(&line_positions(5, 200.0), cfg, LossModel::ideal());
+        let mut rng = SimRng::new(13);
+        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        let _b = ch.start_tx(t(10), data(3, 4), t(110));
+        let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
+        assert!(
+            !end_a.deliveries[0].clean,
+            "without capture any in-range interferer collides"
+        );
+    }
+
+    #[test]
+    fn adjacent_overlap_half_duplex_vs_capture() {
+        // Nodes 0 and 1 both transmit (they would normally defer, but the
+        // MAC can draw the same backoff slot): node 1 cannot receive
+        // (half-duplex) but node 2 captures 1's frame over the farther 0.
+        let mut ch = chan(4);
+        let mut rng = SimRng::new(3);
+        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        let b = ch.start_tx(t(0), data(1, 2), t(100));
+        let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
+        // Node 1 is transmitting: cannot receive.
+        assert!(end_a.deliveries.iter().all(|d| !d.clean || d.node != 1));
+        let d1 = end_a.deliveries.iter().find(|d| d.node == 1).unwrap();
+        assert!(!d1.clean);
+        let end_b = ch.end_tx(t(100), b.tx_id, &mut rng);
+        let d2 = end_b.deliveries.iter().find(|d| d.node == 2).unwrap();
+        assert!(
+            d2.clean,
+            "1->2 captures over interferer 0 (400 m vs 200 m, 12 dB)"
+        );
+    }
+
+    #[test]
+    fn receiver_transmitting_later_still_corrupts() {
+        // r starts its own transmission halfway through an incoming frame.
+        let mut ch = chan(4);
+        let mut rng = SimRng::new(4);
+        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        let _b = ch.start_tx(t(50), data(1, 2), t(150));
+        let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
+        let d = end_a.deliveries.iter().find(|d| d.node == 1).unwrap();
+        assert!(!d.clean, "half-duplex: node 1 was transmitting");
+    }
+
+    #[test]
+    fn back_to_back_transmissions_do_not_interfere() {
+        // A transmission ending exactly when another starts does not
+        // overlap it.
+        let mut ch = chan(5);
+        let mut rng = SimRng::new(5);
+        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        // Deliver the end at t=100 *after* starting the next — the network
+        // layer can produce either ordering within one instant.
+        let b = ch.start_tx(t(100), data(3, 4), t(200));
+        let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
+        assert!(end_a.deliveries[0].clean, "no temporal overlap");
+        let end_b = ch.end_tx(t(200), b.tx_id, &mut rng);
+        assert!(end_b.deliveries.iter().find(|d| d.node == 4).unwrap().clean);
+    }
+
+    #[test]
+    fn sense_counts_stack() {
+        let mut ch = chan(6);
+        let mut rng = SimRng::new(6);
+        // Node 2 senses both node 0 (400 m) and node 4 (400 m).
+        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        let b = ch.start_tx(t(10), data(4, 5), t(110));
+        assert!(ch.is_busy(2));
+        let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
+        assert!(
+            !end_a.became_idle.contains(&2),
+            "node 2 still senses node 4"
+        );
+        assert!(ch.is_busy(2));
+        let end_b = ch.end_tx(t(110), b.tx_id, &mut rng);
+        assert!(end_b.became_idle.contains(&2));
+        assert!(!ch.is_busy(2));
+    }
+
+    #[test]
+    fn bernoulli_loss_drops_frames() {
+        let mut loss = LossModel::ideal();
+        loss.set_link(0, 1, 1.0);
+        let mut ch = Channel::new(&line_positions(3, 200.0), ChannelConfig::default(), loss);
+        let mut rng = SimRng::new(7);
+        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        let end = ch.end_tx(t(100), a.tx_id, &mut rng);
+        assert!(!end.deliveries[0].clean);
+        assert_eq!(ch.stats().bernoulli_losses, 1);
+    }
+
+    #[test]
+    fn overhearing_reaches_non_addressed_neighbours() {
+        // Node 1 transmits to node 2; node 0 (one hop the other way)
+        // overhears — this is the BOE's information source.
+        let mut ch = chan(4);
+        let mut rng = SimRng::new(8);
+        let a = ch.start_tx(t(0), data(1, 2), t(100));
+        let end = ch.end_tx(t(100), a.tx_id, &mut rng);
+        let nodes: Vec<usize> = end.deliveries.iter().map(|d| d.node).collect();
+        assert!(nodes.contains(&0), "node 0 must overhear 1->2");
+        assert!(nodes.contains(&2));
+        assert!(end.deliveries.iter().all(|d| d.clean));
+    }
+
+    #[test]
+    fn sensed_dirty_lists_eifs_candidates() {
+        // Node 2 senses node 0's frame (400 m) but cannot decode it.
+        let mut ch = chan(5);
+        let mut rng = SimRng::new(30);
+        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        let end = ch.end_tx(t(100), a.tx_id, &mut rng);
+        assert!(end.sensed_dirty.contains(&2), "{:?}", end.sensed_dirty);
+        assert!(
+            !end.sensed_dirty.contains(&1),
+            "the clean receiver is not an EIFS candidate"
+        );
+        assert!(
+            !end.sensed_dirty.contains(&3),
+            "a 600 m node senses nothing at the 550 m default"
+        );
+        // A corrupted in-range reception is also an EIFS candidate.
+        let mut ch = chan(5);
+        let a = ch.start_tx(t(0), data(1, 2), t(100));
+        let _b = ch.start_tx(t(5), data(3, 4), t(105));
+        let end = ch.end_tx(t(100), a.tx_id, &mut rng);
+        assert!(end.sensed_dirty.contains(&2), "corrupted rx -> EIFS");
+    }
+
+    #[test]
+    fn airtime_accumulates_per_transmitter() {
+        let mut ch = chan(4);
+        let mut rng = SimRng::new(20);
+        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        ch.end_tx(t(100), a.tx_id, &mut rng);
+        let b = ch.start_tx(t(200), data(0, 1), t(450));
+        ch.end_tx(t(450), b.tx_id, &mut rng);
+        let c = ch.start_tx(t(500), data(1, 2), t(600));
+        ch.end_tx(t(600), c.tx_id, &mut rng);
+        assert_eq!(ch.airtime(0), ezflow_sim::Duration::from_micros(350));
+        assert_eq!(ch.airtime(1), ezflow_sim::Duration::from_micros(100));
+        assert_eq!(ch.airtime(2), ezflow_sim::Duration::ZERO);
+        let u = ch.utilization(0, ezflow_sim::Duration::from_micros(1_000));
+        assert!((u - 0.35).abs() < 1e-12);
+        assert_eq!(ch.utilization(0, ezflow_sim::Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "carrier-sense range must cover")]
+    fn rejects_cs_smaller_than_tx() {
+        Channel::new(
+            &line_positions(2, 100.0),
+            ChannelConfig {
+                tx_range: 250.0,
+                cs_range: 100.0,
+                ..ChannelConfig::default()
+            },
+            LossModel::ideal(),
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! The event scheduler.
+//!
+//! A thin wrapper around a binary heap of `(Time, sequence, event)` triples.
+//! The monotonically increasing sequence number breaks ties between events
+//! scheduled for the same instant, so that event delivery order — and hence
+//! the entire simulation — is a pure function of the inputs and the RNG
+//! seed. This determinism is what makes the EXPERIMENTS.md numbers
+//! regenerable to the last digit.
+
+use crate::time::Time;
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier of a scheduled event, unique within one [`Scheduler`].
+///
+/// The scheduler does not support O(log n) cancellation; components that
+/// need to abandon a pending timer (the MAC does, constantly) instead use
+/// *epoch tokens*: the event carries an epoch, the owner bumps its epoch to
+/// invalidate all outstanding timers, and stale events are ignored on
+/// delivery. `EventId` exists so that callers can correlate trace output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(pub u64);
+
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within one
+        // instant, the first-scheduled) entry is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// ```
+/// use ezflow_sim::{Scheduler, Time};
+///
+/// let mut s: Scheduler<&str> = Scheduler::new();
+/// s.schedule(Time::from_micros(20), "second");
+/// s.schedule(Time::from_micros(10), "first");
+/// s.schedule(Time::from_micros(20), "third"); // same time: FIFO among ties
+/// assert_eq!(s.pop(), Some((Time::from_micros(10), "first")));
+/// assert_eq!(s.pop(), Some((Time::from_micros(20), "second")));
+/// assert_eq!(s.pop(), Some((Time::from_micros(20), "third")));
+/// assert_eq!(s.pop(), None);
+/// ```
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` for instant `at`. Returns an id usable for tracing.
+    pub fn schedule(&mut self, at: Time, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostic).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        for us in [50u64, 10, 30, 20, 40] {
+            s.schedule(Time::from_micros(us), us);
+        }
+        let mut out = Vec::new();
+        while let Some((t, e)) = s.pop() {
+            assert_eq!(t.as_micros(), e);
+            out.push(e);
+        }
+        assert_eq!(out, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut s = Scheduler::new();
+        let t = Time::from_micros(5);
+        for i in 0..100 {
+            s.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(s.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut s = Scheduler::new();
+        s.schedule(Time::from_micros(10), "a");
+        assert_eq!(s.pop(), Some((Time::from_micros(10), "a")));
+        s.schedule(Time::from_micros(30), "c");
+        s.schedule(Time::from_micros(20), "b");
+        assert_eq!(s.peek_time(), Some(Time::from_micros(20)));
+        assert_eq!(s.pop().unwrap().1, "b");
+        assert_eq!(s.pop().unwrap().1, "c");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        assert!(s.is_empty());
+        let base = Time::ZERO;
+        for i in 0..10u64 {
+            s.schedule(base + Duration::from_micros(i), ());
+        }
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.scheduled_total(), 10);
+        s.pop();
+        assert_eq!(s.len(), 9);
+        assert_eq!(s.scheduled_total(), 10);
+    }
+
+    #[test]
+    fn event_ids_are_unique_and_monotone() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        let a = s.schedule(Time::from_micros(1), ());
+        let b = s.schedule(Time::from_micros(1), ());
+        assert!(b > a);
+    }
+}

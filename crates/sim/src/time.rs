@@ -1,0 +1,262 @@
+//! Simulated time.
+//!
+//! [`Time`] is an absolute instant and [`Duration`] a span, both counted in
+//! integer microseconds since the start of the simulation. One microsecond
+//! is fine enough for every IEEE 802.11b interval we model (the shortest,
+//! SIFS, is 10 µs) while keeping arithmetic exact — floating-point time is a
+//! classic source of non-reproducibility in network simulators.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// Number of microseconds in one second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+/// Number of microseconds in one millisecond.
+pub const MICROS_PER_MILLI: u64 = 1_000;
+
+/// An absolute simulated instant, in microseconds since simulation start.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(pub u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl Time {
+    /// The instant at which every simulation starts.
+    pub const ZERO: Time = Time(0);
+
+    /// Builds an instant from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Time(secs * MICROS_PER_SEC)
+    }
+
+    /// Builds an instant from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Time(ms * MICROS_PER_MILLI)
+    }
+
+    /// Builds an instant from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Time(us)
+    }
+
+    /// This instant expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// This instant in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`; saturates to zero if `earlier` is
+    /// in the future (a defensive choice: the caller has a bug, but a panic
+    /// inside metric bookkeeping would mask it).
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Exact duration since `earlier`. Panics (in debug builds) on underflow.
+    pub fn since(self, earlier: Time) -> Duration {
+        debug_assert!(self >= earlier, "Time::since underflow");
+        Duration(self.0 - earlier.0)
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds a span from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration(secs * MICROS_PER_SEC)
+    }
+
+    /// Builds a span from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * MICROS_PER_MILLI)
+    }
+
+    /// Builds a span from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
+    /// This span expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC as f64
+    }
+
+    /// This span in whole microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// True iff the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Integer number of whole `other` spans that fit in `self`.
+    pub fn div_floor(self, other: Duration) -> u64 {
+        debug_assert!(other.0 != 0, "division by zero Duration");
+        self.0 / other.0
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_roundtrips() {
+        assert_eq!(Time::from_secs(3).as_micros(), 3_000_000);
+        assert_eq!(Time::from_millis(2).as_micros(), 2_000);
+        assert_eq!(Time::from_micros(7).as_micros(), 7);
+        assert_eq!(Duration::from_secs(1).as_micros(), MICROS_PER_SEC);
+        assert_eq!(Duration::from_millis(1).as_micros(), 1_000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_secs(1) + Duration::from_millis(500);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert_eq!((t - Time::from_secs(1)).as_micros(), 500_000);
+        assert_eq!((t - Duration::from_millis(500)), Time::from_secs(1));
+        assert_eq!(Duration::from_micros(20) * 3, Duration::from_micros(60));
+        assert_eq!(Duration::from_micros(60) / 3, Duration::from_micros(20));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = Time::from_secs(1);
+        let b = Time::from_secs(2);
+        assert_eq!(b.saturating_since(a), Duration::from_secs(1));
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn div_floor_counts_whole_spans() {
+        let span = Duration::from_micros(95);
+        assert_eq!(span.div_floor(Duration::from_micros(20)), 4);
+        assert_eq!(span.div_floor(Duration::from_micros(95)), 1);
+        assert_eq!(span.div_floor(Duration::from_micros(96)), 0);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Time::from_micros(5) < Time::from_micros(6));
+        assert!(Duration::from_secs(1) > Duration::from_millis(999));
+    }
+
+    #[test]
+    fn as_secs_f64_is_fractional() {
+        assert!((Time::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((Duration::from_micros(250).as_secs_f64() - 0.00025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Time::from_millis(1500)), "1.500s");
+        assert_eq!(format!("{}", Duration::from_micros(42)), "42us");
+        assert_eq!(format!("{:?}", Duration::from_micros(42)), "42us");
+    }
+}

@@ -1,0 +1,187 @@
+//! Bounded in-memory event tracing.
+//!
+//! A `TraceRing` is the simulator's answer to `tcpdump`: components push
+//! one-line records of interesting moments (frame on air, collision, queue
+//! drop, contention-window change) and the ring keeps the most recent `cap`
+//! of them. It is cheap enough to leave on in tests — the records are plain
+//! structs, there is no formatting cost until somebody renders them — and
+//! it can be disabled entirely (`cap == 0`) for benchmark runs.
+
+use crate::time::Time;
+use core::fmt;
+use std::collections::VecDeque;
+
+/// What kind of moment a trace record captures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum TraceKind {
+    /// A frame started transmission.
+    TxStart,
+    /// A frame finished transmission and was (or was not) received.
+    TxEnd,
+    /// A reception was destroyed by an overlapping transmission.
+    Collision,
+    /// A packet was dropped (queue overflow or retry limit).
+    Drop,
+    /// A queue changed occupancy in a way worth noting.
+    Queue,
+    /// A controller changed a contention-window parameter.
+    CwChange,
+    /// A buffer-occupancy estimate was produced by the BOE.
+    BoeSample,
+    /// Anything else.
+    Misc,
+}
+
+/// One trace record.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: Time,
+    /// Node the record concerns (usize::MAX when not node-specific).
+    pub node: usize,
+    /// Category.
+    pub kind: TraceKind,
+    /// Human-readable detail, already formatted by the producer.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.node == usize::MAX {
+            write!(f, "[{}] {:?}: {}", self.at, self.kind, self.detail)
+        } else {
+            write!(
+                f,
+                "[{}] n{} {:?}: {}",
+                self.at, self.node, self.kind, self.detail
+            )
+        }
+    }
+}
+
+/// A bounded ring of [`TraceEvent`]s.
+pub struct TraceRing {
+    cap: usize,
+    ring: VecDeque<TraceEvent>,
+    pushed: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring keeping at most `cap` records; `cap == 0` disables
+    /// tracing (pushes become no-ops beyond a counter increment).
+    pub fn new(cap: usize) -> Self {
+        TraceRing {
+            cap,
+            ring: VecDeque::with_capacity(cap.min(4096)),
+            pushed: 0,
+        }
+    }
+
+    /// Whether records are being kept.
+    pub fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Pushes a record, evicting the oldest if full.
+    pub fn push(&mut self, at: Time, node: usize, kind: TraceKind, detail: impl Into<String>) {
+        self.pushed += 1;
+        if self.cap == 0 {
+            return;
+        }
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TraceEvent {
+            at,
+            node,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Records currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True iff no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total number of records ever pushed (including evicted/disabled).
+    pub fn pushed_total(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Renders the whole ring, one record per line (debugging helper).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.ring {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Drops all held records (the counter is preserved).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Time {
+        Time::from_micros(us)
+    }
+
+    #[test]
+    fn keeps_most_recent_cap_records() {
+        let mut ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.push(t(i), 0, TraceKind::Misc, format!("e{i}"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.pushed_total(), 5);
+        let details: Vec<_> = ring.iter().map(|e| e.detail.clone()).collect();
+        assert_eq!(details, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn zero_cap_disables_storage_but_counts() {
+        let mut ring = TraceRing::new(0);
+        assert!(!ring.enabled());
+        ring.push(t(1), 0, TraceKind::Drop, "gone");
+        assert!(ring.is_empty());
+        assert_eq!(ring.pushed_total(), 1);
+    }
+
+    #[test]
+    fn render_formats_lines() {
+        let mut ring = TraceRing::new(8);
+        ring.push(t(1_000_000), 2, TraceKind::Collision, "frame 7 at n3");
+        ring.push(t(2_000_000), usize::MAX, TraceKind::Misc, "global");
+        let text = ring.render();
+        assert!(text.contains("n2 Collision: frame 7 at n3"), "{text}");
+        assert!(text.contains("Misc: global"), "{text}");
+        // The node field is omitted for global records.
+        assert!(!text.contains("n18446744073709551615"), "{text}");
+    }
+
+    #[test]
+    fn clear_preserves_counter() {
+        let mut ring = TraceRing::new(2);
+        ring.push(t(0), 0, TraceKind::Misc, "a");
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.pushed_total(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Minimal CSV export for experiment outputs.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `rows` to `path` as CSV with the given `headers`.
+///
+/// Fields are formatted with `{}`; no quoting is performed, so headers must
+/// not contain commas (experiment outputs are purely numeric).
+pub fn write_csv<P: AsRef<Path>>(path: P, headers: &[&str], rows: &[Vec<f64>]) -> io::Result<()> {
+    debug_assert!(headers.iter().all(|h| !h.contains(',')));
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "{}", headers.join(","))?;
+    for row in rows {
+        debug_assert_eq!(row.len(), headers.len(), "row width mismatch");
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(f, "{}", line.join(","))?;
+    }
+    f.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_reads_back() {
+        let dir = std::env::temp_dir().join("ezflow_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        write_csv(
+            &path,
+            &["t", "kbps"],
+            &[vec![1.0, 10.5], vec![2.0, 20.25]],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "t,kbps\n1,10.5\n2,20.25\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,53 @@
+//! Jain's fairness index — Eq. (1) of the paper.
+
+/// Computes Jain's fairness index
+/// `FI = (Σ x_i)² / (n · Σ x_i²)`
+/// over per-flow throughputs. Ranges from `1/n` (one flow takes all) to
+/// `1.0` (perfect fairness). Returns 1.0 for an empty or all-zero input
+/// (no contention implies no unfairness; this matches the convention used
+/// when a period has no active competing flows).
+pub fn jain_index(throughputs: &[f64]) -> f64 {
+    let n = throughputs.len() as f64;
+    if throughputs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = throughputs.iter().sum();
+    let sum_sq: f64 = throughputs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n * sum_sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_fairness_is_one() {
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_starvation_is_one_over_n() {
+        assert!((jain_index(&[10.0, 0.0]) - 0.5).abs() < 1e-12);
+        assert!((jain_index(&[10.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_band() {
+        // Table 2: F1 = 7 kb/s, F2 = 143 kb/s -> FI = 0.55 (rounded).
+        let fi = jain_index(&[7.0, 143.0]);
+        assert!((fi - 0.55).abs() < 0.01, "fi = {fi}");
+        // Table 2 with EZ-flow: 71 and 110 -> 0.96.
+        let fi = jain_index(&[71.0, 110.0]);
+        assert!((fi - 0.96).abs() < 0.01, "fi = {fi}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Scalar summaries.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean, standard deviation and extrema of a set of samples.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Arithmetic mean (0 for an empty set).
+    pub mean: f64,
+    /// Population standard deviation (0 for fewer than 2 samples).
+    pub std: f64,
+    /// Smallest sample (0 for an empty set).
+    pub min: f64,
+    /// Largest sample (0 for an empty set).
+    pub max: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+/// Computes a [`Summary`] of `vals`.
+///
+/// Uses the *population* standard deviation (divide by `n`), matching what
+/// network-measurement papers conventionally report for per-bin throughput
+/// variation.
+pub fn mean_std(vals: &[f64]) -> Summary {
+    if vals.is_empty() {
+        return Summary::default();
+    }
+    let n = vals.len() as f64;
+    let mean = vals.iter().sum::<f64>() / n;
+    let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Summary {
+        mean,
+        std: var.sqrt(),
+        min,
+        max,
+        count: vals.len(),
+    }
+}
+
+/// Computes the `p`-quantile (0.0 ..= 1.0) of `vals` by linear
+/// interpolation between order statistics (the "type 7" estimator R and
+/// NumPy default). Returns `None` for an empty input.
+pub fn percentile(vals: &[f64], p: f64) -> Option<f64> {
+    if vals.is_empty() {
+        return None;
+    }
+    assert!((0.0..=1.0).contains(&p), "quantile out of range");
+    let mut sorted: Vec<f64> = vals.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let h = p * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Some(sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = mean_std(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = mean_std(&[7.0]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let vals = [4.0, 1.0, 3.0, 2.0]; // sorted: 1 2 3 4
+        assert_eq!(percentile(&vals, 0.0), Some(1.0));
+        assert_eq!(percentile(&vals, 1.0), Some(4.0));
+        assert_eq!(percentile(&vals, 0.5), Some(2.5));
+        assert!((percentile(&vals, 0.95).unwrap() - 3.85).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.99), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn percentile_rejects_bad_p() {
+        percentile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn known_values() {
+        // Population std of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 2.
+        let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = mean_std(&vals);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.count, 8);
+    }
+}

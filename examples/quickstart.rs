@@ -1,0 +1,48 @@
+//! Quickstart: the paper's headline result in 60 lines.
+//!
+//! Runs a saturated 4-hop chain twice — plain IEEE 802.11, then EZ-flow —
+//! and prints buffer occupancy, delay and throughput side by side.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use ezflow::prelude::*;
+
+fn main() {
+    let secs = 300;
+    let until = Time::from_secs(secs);
+    let half = Time::from_secs(secs / 2);
+    let topo = chain(4, Time::ZERO, until);
+
+    println!("4-hop chain, saturated 2 Mb/s CBR source, {secs} s\n");
+    for (name, ez) in [("IEEE 802.11", false), ("EZ-flow", true)] {
+        let make: Box<dyn Fn(usize) -> Box<dyn Controller>> = if ez {
+            Box::new(|_| Box::new(EzFlowController::with_defaults()))
+        } else {
+            Box::new(|_| Box::new(FixedController::standard()))
+        };
+        let mut net = Network::from_topology(&topo, 7, &*make);
+        net.run_until(until);
+
+        println!("== {name} ==");
+        for node in 1..4 {
+            let b = net.metrics.buffer[node].window(half, until);
+            println!(
+                "  relay {node}: mean buffer {:5.1} pkts (max {:2.0}), cw = {}",
+                b.mean,
+                b.max,
+                net.cw_min(node)
+            );
+        }
+        let kbps = net.metrics.mean_kbps(0, half, until);
+        let delay = net.metrics.delay_net[&0].window(half, until).mean;
+        let drops: u64 = net.metrics.queue_drops.iter().sum();
+        println!(
+            "  source cw = {}, throughput = {kbps:.0} kb/s, delay = {delay:.2} s, relay drops = {drops}\n",
+            net.cw_min(0)
+        );
+    }
+    println!("EZ-flow empties the relay buffers, cuts delay by an order of");
+    println!("magnitude and still delivers more — without a single control message.");
+}

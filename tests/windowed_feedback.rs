@@ -1,0 +1,59 @@
+//! The §2.3 claim through the umbrella API: EZ-flow also serves traffic
+//! with end-to-end feedback (our windowed, TCP-like transport).
+
+use ezflow::prelude::*;
+use ezflow::net::topo::{self, FlowSpec};
+
+fn windowed_chain(hops: usize, window: usize, secs: u64) -> Topology {
+    let until = Time::from_secs(secs);
+    let base = topo::chain(hops, Time::ZERO, until);
+    Topology {
+        name: "windowed-chain",
+        positions: base.positions.clone(),
+        loss: base.loss.clone(),
+        flows: vec![FlowSpec::windowed(
+            0,
+            (0..=hops).collect(),
+            window,
+            Time::ZERO,
+            until,
+        )],
+    }
+}
+
+fn std_controller(_: usize) -> Box<dyn Controller> {
+    Box::new(FixedController::standard())
+}
+
+#[test]
+fn ezflow_also_serves_feedback_traffic() {
+    // §2.3: EZ-flow works for traffic with end-to-end feedback too. With
+    // a moderate window the queues sit inside EZ-flow's comfort band, so
+    // the controller must not disturb the flow or its reverse ACK stream.
+    let secs = 300;
+    let half = Time::from_secs(secs / 2);
+    let until = Time::from_secs(secs);
+    let t = windowed_chain(4, 12, secs);
+
+    let mut plain = Network::from_topology(&t, 5, &std_controller);
+    plain.run_until(until);
+    let make_ez = |_: usize| -> Box<dyn Controller> {
+        Box::new(EzFlowController::with_defaults())
+    };
+    let mut ez = Network::from_topology(&t, 5, &make_ez);
+    ez.run_until(until);
+
+    let k_plain = plain.metrics.mean_kbps(0, half, until);
+    let k_ez = ez.metrics.mean_kbps(0, half, until);
+    let d_plain = plain.metrics.delay_net[&0].window(half, until).mean;
+    let d_ez = ez.metrics.delay_net[&0].window(half, until).mean;
+    assert!(k_plain > 50.0 && k_ez > 50.0, "{k_plain:.0} / {k_ez:.0}");
+    assert!(
+        k_ez > 0.8 * k_plain,
+        "EZ-flow must not strangle the windowed flow: {k_ez:.0} vs {k_plain:.0}"
+    );
+    assert!(
+        d_ez <= d_plain * 1.1,
+        "EZ-flow must not worsen delay: {d_ez:.2} vs {d_plain:.2}"
+    );
+}
