@@ -13,7 +13,6 @@
 //!   occupancy, end-to-end throughput in packets/slot).
 
 use ezflow_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 use crate::kernel::pattern_distribution;
 use crate::model::{ModelConfig, SlottedModel};
@@ -37,7 +36,7 @@ pub fn exact_drift(region: Region, cw: &[u32; 4]) -> (f64, f64) {
 }
 
 /// Drift estimate for one region.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DriftReport {
     /// Region label (Table-4 order index; see [`Region`]).
     pub region: usize,
@@ -52,7 +51,7 @@ pub struct DriftReport {
 }
 
 /// Trajectory statistics.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct WalkStats {
     /// Slots simulated.
     pub slots: u64,

@@ -1,12 +1,11 @@
 //! The slotted random walk (Eqs. 2–4).
 
 use ezflow_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 use crate::kernel::sample_pattern;
 
 /// Parameters of the slotted model.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ModelConfig {
     /// Number of hops `K` (so `K` transmitters `0..K` and `K-1` relay
     /// buffers `b_1..b_{K-1}`).
@@ -325,7 +324,14 @@ mod tests {
         // The stabilized walk lives near the origin most of the time.
         assert!(matches!(
             region_of(ez.buffer(1), ez.buffer(2), ez.buffer(3)),
-            Region::A | Region::B | Region::C | Region::D | Region::E | Region::F | Region::G | Region::H
+            Region::A
+                | Region::B
+                | Region::C
+                | Region::D
+                | Region::E
+                | Region::F
+                | Region::G
+                | Region::H
         ));
     }
 }

@@ -1,11 +1,9 @@
 //! The region decomposition (Fig. 12) and the closed-form pattern
 //! probabilities of Table 4, for the 4-hop chain.
 
-use serde::{Deserialize, Serialize};
-
 /// One of the 8 regions of the positive orthant of `Z^3`, keyed by which
 /// relay buffers are nonempty (Fig. 12).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum Region {
     /// `b1 = b2 = b3 = 0`
     A,
@@ -88,17 +86,12 @@ fn sigma(set: &[usize], cw: &[u32]) -> f64 {
 /// 4-hop chain: `(z, P(z))` pairs for the given region and windows.
 pub fn table4_distribution(region: Region, cw: &[u32; 4]) -> Vec<(Vec<bool>, f64)> {
     let c = |i: usize| cw[i] as f64;
-    let z = |a: usize, b: usize, cc: usize, d: usize| {
-        vec![a == 1, b == 1, cc == 1, d == 1]
-    };
+    let z = |a: usize, b: usize, cc: usize, d: usize| vec![a == 1, b == 1, cc == 1, d == 1];
     match region {
         Region::A => vec![(z(1, 0, 0, 0), 1.0)],
         Region::B => {
             let denom = c(0) + c(1);
-            vec![
-                (z(1, 0, 0, 0), c(1) / denom),
-                (z(0, 1, 0, 0), c(0) / denom),
-            ]
+            vec![(z(1, 0, 0, 0), c(1) / denom), (z(0, 1, 0, 0), c(0) / denom)]
         }
         Region::C => vec![(z(0, 0, 1, 0), 1.0)],
         Region::D => vec![(z(1, 0, 0, 1), 1.0)],
@@ -121,10 +114,8 @@ pub fn table4_distribution(region: Region, cw: &[u32; 4]) -> Vec<(Vec<bool>, f64
         }
         Region::H => {
             let s = sigma(&[0, 1, 2, 3], cw);
-            let p2 = c(0) * c(1) * c(3) / s
-                + (c(1) * c(2) * c(3) / s) * (c(3) / (c(2) + c(3)));
-            let p3 = c(0) * c(2) * c(3) / s
-                + (c(0) * c(1) * c(2) / s) * (c(0) / (c(0) + c(1)));
+            let p2 = c(0) * c(1) * c(3) / s + (c(1) * c(2) * c(3) / s) * (c(3) / (c(2) + c(3)));
+            let p3 = c(0) * c(2) * c(3) / s + (c(0) * c(1) * c(2) / s) * (c(0) / (c(0) + c(1)));
             let p03 = (c(1) * c(2) * c(3) / s) * (c(2) / (c(2) + c(3)))
                 + (c(0) * c(1) * c(2) / s) * (c(1) / (c(0) + c(1)));
             vec![

@@ -5,9 +5,9 @@
 //! regressions in the event loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ezflow_core::EzFlowController;
 use ezflow_net::controller::{Controller, FixedController};
 use ezflow_net::{topo, Network};
-use ezflow_core::EzFlowController;
 use ezflow_sim::Time;
 
 fn std_controller(_: usize) -> Box<dyn Controller> {

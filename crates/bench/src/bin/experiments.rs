@@ -20,6 +20,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::full();
     let mut markdown = false;
     let mut csv_dir: Option<std::path::PathBuf> = None;
+    let mut json_path: Option<std::path::PathBuf> = None;
     let mut ids = Vec::new();
     for a in &args {
         match a.as_str() {
@@ -35,18 +36,22 @@ fn main() -> ExitCode {
             s if s.starts_with("--csv=") => {
                 csv_dir = Some(std::path::PathBuf::from(&s["--csv=".len()..]));
             }
+            s if s.starts_with("--json=") => {
+                json_path = Some(std::path::PathBuf::from(&s["--json=".len()..]));
+            }
             other => ids.push(other.to_string()),
         }
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments [--quick] [--markdown] [--csv=DIR] [--seed=N] [--time=F] <id>...\n\
+            "usage: experiments [--quick] [--markdown] [--csv=DIR] [--json=FILE] [--seed=N] [--time=F] <id>...\n\
              ids: fig1 table1 fig4 table2 scenario1 scenario2 table4 theorem1 ablations seeds all"
         );
         return ExitCode::from(2);
     }
 
     let mut all_ok = true;
+    let mut with_snapshots = Vec::new();
     for id in &ids {
         let Some(reports) = experiments::by_id(id, scale) else {
             eprintln!("unknown experiment id: {id}");
@@ -65,6 +70,19 @@ fn main() -> ExitCode {
                 }
             }
             all_ok &= rep.all_ok();
+            if !rep.snapshots.is_empty() {
+                with_snapshots.push(rep);
+            }
+        }
+    }
+    if let Some(path) = &json_path {
+        let count: usize = with_snapshots.iter().map(|r| r.snapshots.len()).sum();
+        match ezflow_bench::report::write_snapshots_json(&with_snapshots, path) {
+            Ok(()) => eprintln!("wrote {count} run snapshots to {}", path.display()),
+            Err(e) => {
+                eprintln!("JSON export failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
     if all_ok {

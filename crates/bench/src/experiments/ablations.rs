@@ -102,7 +102,10 @@ fn thresholds(rep: &mut Report, scale: Scale) {
             format!("{:.0} kb/s, {:.2} s, b1 = {:.1}", o.kbps, o.delay, o.b1),
         );
     }
-    rep.check("EZ-flow stabilizes the 4-hop chain for every b_max tried", all_stable);
+    rep.check(
+        "EZ-flow stabilizes the 4-hop chain for every b_max tried",
+        all_stable,
+    );
 }
 
 /// Fault injection: uniform Bernoulli link loss (missed overhearings and
@@ -135,8 +138,8 @@ fn loss_robustness(rep: &mut Report, scale: Scale) {
     ] {
         let t = topo::chain(4, Time::ZERO, until);
         let mut spec = NetworkSpec::from_topology(&t, scale.seed);
-        spec.loss = ezflow_phy::LossModel::ideal()
-            .with_burst(ezflow_phy::loss::GilbertElliott::classic());
+        spec.loss =
+            ezflow_phy::LossModel::ideal().with_burst(ezflow_phy::loss::GilbertElliott::classic());
         let mut net = Network::new(spec, &*make);
         net.run_until(until);
         let b1 = net.metrics.buffer[1].window(half, until).mean;
@@ -180,7 +183,11 @@ fn hop_boundary(rep: &mut Report, scale: Scale) {
         ez_stable &= ez.b1 < 15.0;
         rep.row(
             format!("{hops}-hop chain b1 (802.11 vs EZ-flow)"),
-            if hops <= 3 { "stable / stable" } else { "turbulent / stable" },
+            if hops <= 3 {
+                "stable / stable"
+            } else {
+                "turbulent / stable"
+            },
             format!("{:.1} / {:.1} packets", plain.b1, ez.b1),
         );
     }
@@ -223,11 +230,20 @@ fn tournament(rep: &mut Report, scale: Scale) {
         );
         results.push((*name, o));
     }
-    let get = |n: &str| results.iter().find(|(m, _)| *m == n).map(|(_, o)| o).expect("ran");
+    let get = |n: &str| {
+        results
+            .iter()
+            .find(|(m, _)| *m == n)
+            .map(|(_, o)| o)
+            .expect("ran")
+    };
     let plain = get("802.11");
     let ez = get("EZ-flow");
     let sq = get("static penalty q=1/128 [Aziz09]");
-    rep.check("EZ-flow beats 802.11 on throughput and delay", ez.kbps > plain.kbps && ez.delay < plain.delay / 5.0);
+    rep.check(
+        "EZ-flow beats 802.11 on throughput and delay",
+        ez.kbps > plain.kbps && ez.delay < plain.delay / 5.0,
+    );
     rep.check(
         "EZ-flow matches the hand-tuned static penalty (within 15%)",
         ez.kbps > 0.85 * sq.kbps,
@@ -252,7 +268,10 @@ fn rts_cts(rep: &mut Report, scale: Scale) {
     rep.row(
         "4-hop chain: 802.11 / 802.11+RTS-CTS / EZ-flow+RTS-CTS (b1)",
         "RTS/CTS does not cure turbulence (§5.1); EZ-flow works regardless",
-        format!("{:.1} / {:.1} / {:.1} packets", plain.b1, with_rts.b1, ez_rts.b1),
+        format!(
+            "{:.1} / {:.1} / {:.1} packets",
+            plain.b1, with_rts.b1, ez_rts.b1
+        ),
     );
     rep.check(
         "RTS/CTS alone does not stabilize the 4-hop chain",

@@ -149,9 +149,7 @@ pub fn theorem1(scale: Scale) -> Report {
                 max_dh < 0.05,
             );
         } else {
-            let d = |reg: Region| {
-                reports[reg.index()].mean_drift_b1
-            };
+            let d = |reg: Region| reports[reg.index()].mean_drift_b1;
             rep.check(
                 "fixed windows pump b1 in regions D, F, H (+1, +1/2, +1/4)",
                 (d(Region::D) - 1.0).abs() < 0.05

@@ -54,7 +54,10 @@ pub fn run(scale: Scale) -> Report {
 
     let mut per_algo = std::collections::HashMap::new();
     for algo in [Algo::Plain, Algo::EzFlow] {
-        let net = run_net(&topo, algo, t3, scale.seed);
+        let mut net = run_net(&topo, algo, t3, scale.seed);
+        rep.snapshots
+            .push(net.snapshot(&format!("scenario1/{}", algo.name())));
+        let net = net;
         // Fig. 6: throughput series.
         for f in [0u32, 1] {
             let pts = net.metrics.throughput[&f].points_kbps();
@@ -108,7 +111,11 @@ pub fn run(scale: Scale) -> Report {
     }
 
     // Period statistics.
-    let periods = [("P1 (F1 alone)", t0, t1), ("P2 (F1+F2)", t1, t2), ("P3 (F1 alone)", t2, t3)];
+    let periods = [
+        ("P1 (F1 alone)", t0, t1),
+        ("P2 (F1+F2)", t1, t2),
+        ("P3 (F1 alone)", t2, t3),
+    ];
     let paper: &[(&str, &str, &str, &str)] = &[
         ("P1 (F1 alone)", "802.11", "153.2 kb/s", "4.1 s"),
         ("P1 (F1 alone)", "EZ-flow", "183.9 kb/s (+20%)", "0.2 s"),
@@ -125,7 +132,11 @@ pub fn run(scale: Scale) -> Report {
         let net = &per_algo[algo.name()];
         for (label, from, to) in periods {
             let late = from + (to - from) / 2;
-            let flows: Vec<u32> = if label.contains("F1+F2") { vec![0, 1] } else { vec![0] };
+            let flows: Vec<u32> = if label.contains("F1+F2") {
+                vec![0, 1]
+            } else {
+                vec![0]
+            };
             let tput: f64 = flows
                 .iter()
                 .map(|f| net.metrics.mean_kbps(*f, late, to))
@@ -173,12 +184,7 @@ pub fn run(scale: Scale) -> Report {
     rep.row(
         "end of P1: relay windows (cw10..cw2)",
         "2^4",
-        format!(
-            "{} / {} / {}",
-            cw_at(10, t1),
-            cw_at(8, t1),
-            cw_at(6, t1)
-        ),
+        format!("{} / {} / {}", cw_at(10, t1), cw_at(8, t1), cw_at(6, t1)),
     );
     rep.row(
         "end of P1: source window cw12",
@@ -198,7 +204,10 @@ pub fn run(scale: Scale) -> Report {
     let (k2e, d2e) = g("P2 (F1+F2)", Algo::EzFlow);
     let (k3e, d3e) = g("P3 (F1 alone)", Algo::EzFlow);
     rep.check("P1: EZ-flow gains throughput", k1e > k1p);
-    rep.check("P1: EZ-flow cuts steady-state delay by >= 3x", d1e < d1p / 3.0);
+    rep.check(
+        "P1: EZ-flow cuts steady-state delay by >= 3x",
+        d1e < d1p / 3.0,
+    );
     rep.check("P2: EZ-flow >= 802.11 throughput", k2e > 0.95 * k2p);
     // Our stabilized queues settle mid-band ([b_min, b_max]) rather than
     // near-empty as in the paper's ns-2 runs, leaving a ~3 s residual

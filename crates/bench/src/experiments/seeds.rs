@@ -48,7 +48,10 @@ pub fn run(scale: Scale) -> Report {
         rep.row(
             format!("{name}: b1 over seeds"),
             if ez { "always ~empty" } else { "always ~50" },
-            format!("{:.1} ± {:.1} (range {:.1}..{:.1})", b1.mean, b1.std, b1.min, b1.max),
+            format!(
+                "{:.1} ± {:.1} (range {:.1}..{:.1})",
+                b1.mean, b1.std, b1.min, b1.max
+            ),
         );
         rep.row(
             format!("{name}: throughput over seeds"),
@@ -71,6 +74,9 @@ pub fn run(scale: Scale) -> Report {
         "every seed shows 802.11 saturated and EZ-flow empty at node 1",
         stable_everywhere,
     );
-    rep.check("every seed keeps EZ-flow delay under 1 s", ez_wins_everywhere);
+    rep.check(
+        "every seed keeps EZ-flow delay under 1 s",
+        ez_wins_everywhere,
+    );
     rep
 }

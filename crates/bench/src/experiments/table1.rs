@@ -49,9 +49,6 @@ pub fn run(scale: Scale) -> Report {
         );
         let _ = Duration::from_secs(1);
     }
-    rep.check(
-        "every link capacity within 8% of Table 1",
-        worst_err < 8.0,
-    );
+    rep.check("every link capacity within 8% of Table 1", worst_err < 8.0);
     rep
 }

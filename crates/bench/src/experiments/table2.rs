@@ -34,7 +34,11 @@ pub fn run(scale: Scale) -> Report {
         ("F2 alone", "802.11", ["157 ± 29", ""]),
         ("F2 alone", "EZ-flow (2^10 cap)", ["185 ± 26", ""]),
         ("F1 + F2", "802.11", ["7 ± 15", "143 ± 34 (FI 0.55)"]),
-        ("F1 + F2", "EZ-flow (2^10 cap)", ["71 ± 31", "110 ± 35 (FI 0.96)"]),
+        (
+            "F1 + F2",
+            "EZ-flow (2^10 cap)",
+            ["71 ± 31", "110 ± 35 (FI 0.96)"],
+        ),
     ];
 
     let mut results = std::collections::HashMap::new();

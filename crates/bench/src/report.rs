@@ -1,6 +1,10 @@
-//! Experiment reporting: paper-vs-measured tables and ASCII figures.
+//! Experiment reporting: paper-vs-measured tables, ASCII figures, and
+//! machine-readable run snapshots.
 
 use std::fmt::Write as _;
+
+use ezflow_net::RunSnapshot;
+use ezflow_sim::JsonValue;
 
 /// How much of the paper's experiment duration to simulate.
 #[derive(Clone, Copy, Debug)]
@@ -14,7 +18,10 @@ pub struct Scale {
 impl Scale {
     /// Full paper-length runs.
     pub fn full() -> Self {
-        Scale { time: 1.0, seed: 42 }
+        Scale {
+            time: 1.0,
+            seed: 42,
+        }
     }
 
     /// Quick runs for `cargo bench` / CI. Half the paper's durations: the
@@ -22,7 +29,10 @@ impl Scale {
     /// rounds at tens of packets per second), so cutting deeper than this
     /// turns adaptation transients into spurious check failures.
     pub fn quick() -> Self {
-        Scale { time: 0.5, seed: 42 }
+        Scale {
+            time: 0.5,
+            seed: 42,
+        }
     }
 
     /// Scales a duration in seconds, keeping a sane floor.
@@ -85,6 +95,9 @@ pub struct Report {
     pub checks: Vec<(String, bool)>,
     /// Raw series for CSV export.
     pub series: Vec<Series>,
+    /// Cross-layer run snapshots (one per simulated network), for JSON
+    /// export via [`write_snapshots_json`].
+    pub snapshots: Vec<RunSnapshot>,
 }
 
 impl Report {
@@ -177,11 +190,7 @@ impl Report {
                 "   {:<w_label$} | {:<w_paper$} | measured",
                 "metric", "paper"
             );
-            let _ = writeln!(
-                out,
-                "   {:-<w_label$}-+-{:-<w_paper$}-+----------",
-                "", ""
-            );
+            let _ = writeln!(out, "   {:-<w_label$}-+-{:-<w_paper$}-+----------", "", "");
             for r in &self.rows {
                 let _ = writeln!(
                     out,
@@ -231,6 +240,29 @@ impl Report {
         }
         out
     }
+}
+
+/// Serialises run snapshots gathered from `reports` as one JSON document:
+/// `{"snapshots": [RunSnapshot, ...]}`, in report order.
+pub fn snapshots_json(reports: &[Report]) -> JsonValue {
+    let snaps: Vec<JsonValue> = reports
+        .iter()
+        .flat_map(|r| r.snapshots.iter())
+        .map(RunSnapshot::to_json)
+        .collect();
+    JsonValue::obj(vec![("snapshots", JsonValue::Array(snaps))])
+}
+
+/// Writes [`snapshots_json`] pretty-printed to `path`.
+pub fn write_snapshots_json(reports: &[Report], path: &std::path::Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut text = snapshots_json(reports).to_pretty();
+    text.push('\n');
+    std::fs::write(path, text)
 }
 
 /// Formats kb/s ± std.

@@ -102,10 +102,7 @@ impl DiffQController {
 
     /// The window implied by the most congested successor.
     fn effective_cw(&self) -> Option<u32> {
-        self.diffs
-            .values()
-            .map(|&d| self.window_for(d))
-            .max()
+        self.diffs.values().map(|&d| self.window_for(d)).max()
     }
 }
 

@@ -37,6 +37,9 @@ pub struct Boe {
     /// Diagnostics: overheard frames whose checksum matched nothing
     /// (either aliasing already pruned it, or we never saw the send).
     pub misses: u64,
+    /// Diagnostics: lookups whose checksum matched more than one recorded
+    /// send (aliasing); the most recent match was used.
+    pub ambiguous: u64,
 }
 
 impl Boe {
@@ -48,6 +51,7 @@ impl Boe {
             sent: VecDeque::with_capacity(history.min(4096)),
             samples_produced: 0,
             misses: 0,
+            ambiguous: 0,
         }
     }
 
@@ -64,8 +68,19 @@ impl Boe {
     /// estimated successor buffer occupancy, in packets, if the checksum
     /// matches a recorded send.
     pub fn on_overheard(&mut self, ck: u16) -> Option<usize> {
-        // Most recent match: scan from the tail.
-        let idx = self.sent.iter().rposition(|&c| c == ck)?;
+        // One reverse scan finds the most recent match and, continuing past
+        // it, whether an older alias exists.
+        let mut idx = None;
+        for (i, &c) in self.sent.iter().enumerate().rev() {
+            if c == ck {
+                if idx.is_some() {
+                    self.ambiguous += 1;
+                    break;
+                }
+                idx = Some(i);
+            }
+        }
+        let idx = idx?;
         // Packets recorded after `p` are still queued at the successor.
         let b = self.sent.len() - 1 - idx;
         // Everything up to and including `p` has left the successor.
@@ -148,6 +163,10 @@ mod tests {
         boe.on_sent(9);
         // Most recent '5' is at index 2: one packet (9) after it.
         assert_eq!(boe.on_overheard(5), Some(1));
+        assert_eq!(boe.ambiguous, 1, "the older alias was detected");
+        // Unambiguous lookups leave the counter alone.
+        assert_eq!(boe.on_overheard(9), Some(0));
+        assert_eq!(boe.ambiguous, 1);
     }
 
     #[test]

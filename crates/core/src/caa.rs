@@ -15,12 +15,10 @@
 //! sluggishly to over-utilization, and vice versa, so competing nodes
 //! converge instead of oscillating in lockstep.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::EzFlowConfig;
 
 /// Outcome of feeding one sample to [`Caa::on_sample`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CaaDecision {
     /// Not enough samples yet, or thresholds not crossed persistently.
     Hold,
@@ -41,6 +39,13 @@ pub struct Caa {
     countdown: u32,
     /// Diagnostics: averaging rounds completed.
     pub rounds: u64,
+    /// Diagnostics: completed averages that doubled the window.
+    pub increases: u64,
+    /// Diagnostics: completed averages that halved the window.
+    pub decreases: u64,
+    /// Diagnostics: completed averages that left the window unchanged
+    /// (counter still charging, comfortable zone, or clamped at a bound).
+    pub holds: u64,
 }
 
 impl Caa {
@@ -55,6 +60,9 @@ impl Caa {
             countup: 0,
             countdown: 0,
             rounds: 0,
+            increases: 0,
+            decreases: 0,
+            holds: 0,
         }
     }
 
@@ -85,6 +93,16 @@ impl Caa {
     /// Applies Algorithm 1 to a completed average. Public so the
     /// analytical model can drive the same logic sample-less.
     pub fn on_average(&mut self, avg: f64) -> CaaDecision {
+        let decision = self.decide(avg);
+        match decision {
+            CaaDecision::Increase(_) => self.increases += 1,
+            CaaDecision::Decrease(_) => self.decreases += 1,
+            CaaDecision::Hold => self.holds += 1,
+        }
+        decision
+    }
+
+    fn decide(&mut self, avg: f64) -> CaaDecision {
         if avg > self.cfg.b_max {
             self.countdown = 0;
             self.countup += 1;
@@ -158,6 +176,10 @@ mod tests {
             assert_eq!(round(&mut c, 30), CaaDecision::Hold, "round {i}");
         }
         assert_eq!(round(&mut c, 30), CaaDecision::Increase(128));
+        assert_eq!(c.increases, 2);
+        assert_eq!(c.decreases, 0);
+        assert_eq!(c.holds, 9);
+        assert_eq!(c.rounds, c.increases + c.decreases + c.holds);
     }
 
     #[test]

@@ -1,12 +1,10 @@
 //! EZ-flow parameters.
 
-use serde::{Deserialize, Serialize};
-
 /// All tunables of the mechanism, defaulting to the values used in the
 /// paper's simulations (§5.1: `b_min = 0.05`, `b_max = 20`,
 /// `maxcw = 2^15`) and testbed (`mincw = 2^4`, 50-sample average,
 /// 1000-packet BOE history).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct EzFlowConfig {
     /// Lower buffer threshold. Deliberately below one packet: the mean
     /// must be *essentially always zero* before a node dares to become

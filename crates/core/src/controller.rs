@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use ezflow_net::controller::{Controller, ControllerEvent};
+use ezflow_net::controller::{Controller, ControllerCounters, ControllerEvent};
 use ezflow_sim::Time;
 
 use crate::boe::Boe;
@@ -148,6 +148,20 @@ impl Controller for EzFlowController {
     fn queue_window(&self, successor: usize) -> Option<u32> {
         self.per_succ.get(&successor).map(|(_, caa)| caa.cw())
     }
+
+    /// Sums the BOE/CAA diagnostics across all successors.
+    fn counters(&self) -> ControllerCounters {
+        let mut c = ControllerCounters::default();
+        for (boe, caa) in self.per_succ.values() {
+            c.boe_hits += boe.samples_produced;
+            c.boe_misses += boe.misses;
+            c.boe_ambiguous += boe.ambiguous;
+            c.caa_increases += caa.increases;
+            c.caa_decreases += caa.decreases;
+            c.caa_holds += caa.holds;
+        }
+        c
+    }
 }
 
 #[cfg(test)]
@@ -171,8 +185,7 @@ mod tests {
         let mut cw = 32;
         // Successor 2 always holds 30 packets: we send packet s, and by
         // the time we overhear it, 30 more of ours sit behind it.
-        let mut outstanding: std::collections::VecDeque<u64> =
-            std::collections::VecDeque::new();
+        let mut outstanding: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
         for _ in 0..30 {
             c.on_event(
                 Time::ZERO,
@@ -208,6 +221,11 @@ mod tests {
         }
         assert!(cw >= 128, "sustained b=30 > b_max must raise cw, got {cw}");
         assert!(c.boe_samples() > 1000);
+        let counters = c.counters();
+        assert_eq!(counters.boe_hits, c.boe_samples());
+        assert!(counters.caa_increases >= 2, "cw rose at least 32->128");
+        assert_eq!(counters.caa_decreases, 0);
+        assert!(counters.caa_holds > 0);
     }
 
     #[test]

@@ -83,7 +83,10 @@ fn per_successor_windows_diverge_at_the_fork() {
 
     // The long branch's head relay does not sit saturated: node 1 adapted.
     let b2 = net.metrics.buffer[2].window(half, until).mean;
-    assert!(b2 < 30.0, "branch head buffer must be controlled, got {b2:.1}");
+    assert!(
+        b2 < 30.0,
+        "branch head buffer must be controlled, got {b2:.1}"
+    );
 }
 
 #[test]

@@ -2,12 +2,11 @@
 
 use ezflow_phy::PhyTiming;
 use ezflow_sim::Duration;
-use serde::{Deserialize, Serialize};
 
 /// DCF parameters. Defaults are IEEE 802.11b DSSS at 1 Mb/s, matching the
 /// paper's testbed (Asus WL-500gP + Atheros, 802.11b, RTS/CTS off) and its
 /// ns-2 configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MacConfig {
     /// Slot time (802.11b: 20 µs).
     pub slot: Duration,

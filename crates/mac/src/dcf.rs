@@ -163,7 +163,7 @@ pub enum MacOutput {
 }
 
 /// Counters a [`Mac`] keeps about itself.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MacStats {
     /// Data transmission attempts put on the air.
     pub tx_attempts: u64,
@@ -190,6 +190,14 @@ pub struct MacStats {
     pub cts_sent: u64,
     /// CTS timeouts (failed RTS handshakes).
     pub cts_timeouts: u64,
+    /// Backoff slots drawn across all contention rounds — a direct read
+    /// on how much the station has been backing off.
+    pub backoff_slots: u64,
+    /// Countdown freezes caused by carrier sense reporting busy.
+    pub cca_busy: u64,
+    /// Countdowns that started with EIFS instead of DIFS (penalty after
+    /// an undecodable frame).
+    pub eifs_starts: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -331,7 +339,9 @@ impl Mac {
 
     fn draw_slots(&mut self, attempt: u32, rng: &mut SimRng) -> u32 {
         let window = self.cfg.window(self.cw_min, attempt);
-        rng.gen_range(window.max(1))
+        let slots = rng.gen_range(window.max(1));
+        self.stats.backoff_slots += slots as u64;
+        slots
     }
 
     fn can_count_down(&self, now: Time) -> bool {
@@ -363,6 +373,7 @@ impl Mac {
         self.tx_epoch += 1;
         // EIFS applies to the first deferral after the undecodable frame.
         self.current_ifs = if std::mem::take(&mut self.eifs_pending) {
+            self.stats.eifs_starts += 1;
             self.cfg.eifs_value()
         } else {
             self.cfg.difs
@@ -441,6 +452,9 @@ impl Mac {
     fn on_medium_busy(&mut self, now: Time) {
         self.medium_busy = true;
         if self.counting_phase() {
+            if self.countdown_from.is_some() {
+                self.stats.cca_busy += 1;
+            }
             self.freeze_countdown(now);
         }
     }
@@ -800,13 +814,21 @@ mod tests {
 
         // Frame leaves the air: ACK timeout armed.
         let end = t(DIFS) + air;
-        let out = mac.input(t(end.as_micros()), MacInput::TxEnded { medium_busy: false }, &mut rng);
+        let out = mac.input(
+            t(end.as_micros()),
+            MacInput::TxEnded { medium_busy: false },
+            &mut rng,
+        );
         let (after, _epoch2) = timer_delay(&out);
         assert_eq!(after, Duration::from_micros(SIFS + 304 + SLOT));
 
         // ACK arrives in time.
         let ack = Frame::ack_for(&data(1, 0, 1));
-        let out = mac.input(end + Duration::from_micros(SIFS + 304), MacInput::RxAck { frame: ack }, &mut rng);
+        let out = mac.input(
+            end + Duration::from_micros(SIFS + 304),
+            MacInput::RxAck { frame: ack },
+            &mut rng,
+        );
         assert!(out
             .iter()
             .any(|o| matches!(o, MacOutput::TxSuccess { attempts: 1, .. })));
@@ -842,7 +864,10 @@ mod tests {
 
         // Busy after DIFS + 2 full slots + half a slot.
         let busy_at = DIFS + 2 * SLOT + 10;
-        assert!(total_slots >= 3, "need >= 3 slots for this test, redraw seed");
+        assert!(
+            total_slots >= 3,
+            "need >= 3 slots for this test, redraw seed"
+        );
         mac.input(t(busy_at), MacInput::MediumBusy, &mut rng);
         // Idle again later: remaining = total - 2 (the half slot is lost).
         let out = mac.input(t(1000), MacInput::MediumIdle, &mut rng);
@@ -907,7 +932,9 @@ mod tests {
             now += after.as_micros();
             let out = mac.input(t(now), MacInput::TimerTxPath { epoch }, &mut rng);
             if let Some((queue, attempts)) = out.iter().find_map(|o| match o {
-                MacOutput::TxDropped { queue, attempts, .. } => Some((*queue, *attempts)),
+                MacOutput::TxDropped {
+                    queue, attempts, ..
+                } => Some((*queue, *attempts)),
                 _ => None,
             }) {
                 assert_eq!(queue, 3);
@@ -963,9 +990,15 @@ mod tests {
                 _ => None,
             })
             .expect("ack timer");
-        assert!(out.iter().any(|o| matches!(o, MacOutput::Deliver { frame } if frame.seq == 9)));
+        assert!(out
+            .iter()
+            .any(|o| matches!(o, MacOutput::Deliver { frame } if frame.seq == 9)));
 
-        let out = mac.input(t(100 + SIFS), MacInput::TimerAckJob { epoch: ack_epoch }, &mut rng);
+        let out = mac.input(
+            t(100 + SIFS),
+            MacInput::TimerAckJob { epoch: ack_epoch },
+            &mut rng,
+        );
         match &out[0] {
             MacOutput::StartTx { frame, air } => {
                 assert_eq!(frame.kind, FrameKind::Ack);
@@ -975,7 +1008,11 @@ mod tests {
             }
             o => panic!("expected ack StartTx, got {o:?}"),
         }
-        mac.input(t(100 + SIFS + 304), MacInput::TxEnded { medium_busy: false }, &mut rng);
+        mac.input(
+            t(100 + SIFS + 304),
+            MacInput::TxEnded { medium_busy: false },
+            &mut rng,
+        );
 
         // Duplicate (retry) arrives: re-ACK, no second Deliver.
         let mut dup = f;
@@ -1019,7 +1056,13 @@ mod tests {
         mac.input(t(busy_at), MacInput::MediumBusy, &mut rng);
         // The incoming frame is for us; it ends and the medium goes idle.
         let rx_end = busy_at + 8416;
-        let out = mac.input(t(rx_end), MacInput::RxData { frame: data(7, 0, 1) }, &mut rng);
+        let out = mac.input(
+            t(rx_end),
+            MacInput::RxData {
+                frame: data(7, 0, 1),
+            },
+            &mut rng,
+        );
         let ack_epoch = out
             .iter()
             .find_map(|o| match o {
@@ -1037,14 +1080,22 @@ mod tests {
 
         // SIFS later the ACK starts: countdown freezes again (radio busy),
         // and no slot is lost because less than DIFS elapsed.
-        let out = mac.input(t(rx_end + SIFS), MacInput::TimerAckJob { epoch: ack_epoch }, &mut rng);
+        let out = mac.input(
+            t(rx_end + SIFS),
+            MacInput::TimerAckJob { epoch: ack_epoch },
+            &mut rng,
+        );
         assert!(matches!(out[0], MacOutput::StartTx { .. }));
         // While radio-busy a medium-idle input must not start a countdown.
         let out = mac.input(t(rx_end + SIFS + 1), MacInput::MediumIdle, &mut rng);
         assert!(out.is_empty());
         // ACK done: countdown resumes with the same remaining slots.
         let ack_done = rx_end + SIFS + 304;
-        let out = mac.input(t(ack_done), MacInput::TxEnded { medium_busy: false }, &mut rng);
+        let out = mac.input(
+            t(ack_done),
+            MacInput::TxEnded { medium_busy: false },
+            &mut rng,
+        );
         let (resume2, _) = timer_delay(&out);
         assert_eq!((resume2.as_micros() - DIFS) / SLOT, total_slots - 1);
     }
@@ -1075,9 +1126,17 @@ mod tests {
             MacOutput::StartTx { air, .. } => *air,
             _ => panic!(),
         };
-        mac.input(t(DIFS) + air, MacInput::TxEnded { medium_busy: false }, &mut rng);
+        mac.input(
+            t(DIFS) + air,
+            MacInput::TxEnded { medium_busy: false },
+            &mut rng,
+        );
         let wrong = Frame::ack_for(&data(2, 0, 1));
-        let out = mac.input(t(DIFS) + air + Duration::from_micros(100), MacInput::RxAck { frame: wrong }, &mut rng);
+        let out = mac.input(
+            t(DIFS) + air + Duration::from_micros(100),
+            MacInput::RxAck { frame: wrong },
+            &mut rng,
+        );
         assert!(out.is_empty());
         assert!(!mac.is_idle(), "still waiting for the right ACK");
     }

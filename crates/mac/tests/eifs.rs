@@ -85,10 +85,13 @@ fn eifs_mark_is_ignored_when_disabled() {
 fn eifs_slot_consumption_uses_the_extended_space() {
     // With a countdown started under EIFS, a freeze before EIFS elapses
     // must consume no slots.
-    let mut mac = Mac::new(0, MacConfig {
-        eifs: true,
-        ..MacConfig::default()
-    });
+    let mut mac = Mac::new(
+        0,
+        MacConfig {
+            eifs: true,
+            ..MacConfig::default()
+        },
+    );
     let mut rng = SimRng::new(3);
     mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 16 }, &mut rng);
     mac.input(t(0), MacInput::MediumBusy, &mut rng);

@@ -163,10 +163,7 @@ impl Harness {
                 f.dst = RCV;
                 let outs = snd.input(
                     Time::from_micros(self.now),
-                    MacInput::Enqueue {
-                        frame: f,
-                        queue: 0,
-                    },
+                    MacInput::Enqueue { frame: f, queue: 0 },
                     &mut snd_rng,
                 );
                 offered += 1;

@@ -79,7 +79,11 @@ fn full_four_way_handshake() {
         "RTS reserves CTS+DATA+ACK"
     );
     let rts_end = DIFS + RTS_AIR;
-    let out = snd.input(t(rts_end), MacInput::TxEnded { medium_busy: false }, &mut rng);
+    let out = snd.input(
+        t(rts_end),
+        MacInput::TxEnded { medium_busy: false },
+        &mut rng,
+    );
     let (cts_to, _) = tx_timer(&out);
     assert_eq!(cts_to.as_micros(), SIFS + CTS_AIR + SLOT);
 
@@ -95,13 +99,21 @@ fn full_four_way_handshake() {
             _ => None,
         })
         .expect("cts job");
-    let out = rcv.input(t(rts_end + SIFS), MacInput::TimerAckJob { epoch: cts_epoch }, &mut rng2);
+    let out = rcv.input(
+        t(rts_end + SIFS),
+        MacInput::TimerAckJob { epoch: cts_epoch },
+        &mut rng2,
+    );
     let cts = started(&out).clone();
     assert_eq!(cts.kind, FrameKind::Cts);
     assert_eq!(cts.dst, 0);
     assert_eq!(cts.nav_micros, 2 * SIFS + DATA_AIR + ACK_AIR);
     let cts_end = rts_end + SIFS + CTS_AIR;
-    rcv.input(t(cts_end), MacInput::TxEnded { medium_busy: false }, &mut rng2);
+    rcv.input(
+        t(cts_end),
+        MacInput::TxEnded { medium_busy: false },
+        &mut rng2,
+    );
 
     // Sender gets the CTS, waits SIFS, sends the data.
     let out = snd.input(t(cts_end), MacInput::RxCts { frame: cts }, &mut rng);
@@ -111,12 +123,20 @@ fn full_four_way_handshake() {
     let d = started(&out).clone();
     assert_eq!(d.kind, FrameKind::Data);
     let data_end = cts_end + SIFS + DATA_AIR;
-    let out = snd.input(t(data_end), MacInput::TxEnded { medium_busy: false }, &mut rng);
+    let out = snd.input(
+        t(data_end),
+        MacInput::TxEnded { medium_busy: false },
+        &mut rng,
+    );
     let (ack_to, _) = tx_timer(&out);
     assert_eq!(ack_to.as_micros(), SIFS + ACK_AIR + SLOT);
 
     // Receiver delivers and ACKs; sender completes.
-    let out = rcv.input(t(data_end), MacInput::RxData { frame: d.clone() }, &mut rng2);
+    let out = rcv.input(
+        t(data_end),
+        MacInput::RxData { frame: d.clone() },
+        &mut rng2,
+    );
     assert!(out.iter().any(|o| matches!(o, MacOutput::Deliver { .. })));
     let ack = Frame::ack_for(&d);
     let out = snd.input(
@@ -265,7 +285,13 @@ fn rx_data_while_waiting_for_cts_is_served() {
     now += RTS_AIR;
     snd.input(t(now), MacInput::TxEnded { medium_busy: false }, &mut rng);
     // While waiting for the CTS, a data frame from node 0 arrives.
-    let out = snd.input(t(now + 2), MacInput::RxData { frame: data(9, 0, 1) }, &mut rng);
+    let out = snd.input(
+        t(now + 2),
+        MacInput::RxData {
+            frame: data(9, 0, 1),
+        },
+        &mut rng,
+    );
     assert!(out.iter().any(|o| matches!(o, MacOutput::Deliver { .. })));
     assert!(out
         .iter()

@@ -57,6 +57,26 @@ pub enum ControllerEvent<'a> {
 /// takes, aliased because the full type is a mouthful.
 pub type ControllerFactory = Box<dyn Fn(usize) -> Box<dyn Controller>>;
 
+/// Observability counters a controller can export for run snapshots.
+/// The field names follow EZ-flow's two mechanisms; algorithms without a
+/// BOE/CAA decomposition simply leave the counters at zero (the default).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControllerCounters {
+    /// Buffer-estimator samples successfully matched to a sent frame.
+    pub boe_hits: u64,
+    /// Overheard forwards whose checksum matched nothing (sampling loss).
+    pub boe_misses: u64,
+    /// Checksum matches that were ambiguous (several candidates; the most
+    /// recent was used).
+    pub boe_ambiguous: u64,
+    /// Adaptation rounds that raised the contention window.
+    pub caa_increases: u64,
+    /// Adaptation rounds that lowered the contention window.
+    pub caa_decreases: u64,
+    /// Adaptation rounds that left the contention window unchanged.
+    pub caa_holds: u64,
+}
+
 /// A per-node flow-control algorithm.
 pub trait Controller {
     /// Handles one observation; optionally returns a new `CWmin` for this
@@ -88,6 +108,12 @@ pub trait Controller {
     /// line topologies need.
     fn queue_window(&self, _successor: usize) -> Option<u32> {
         None
+    }
+
+    /// Counters for run snapshots. The default (all zero) suits
+    /// controllers with no estimator/adaptation machinery.
+    fn counters(&self) -> ControllerCounters {
+        ControllerCounters::default()
     }
 }
 

@@ -32,14 +32,16 @@ pub mod network;
 pub mod node;
 pub mod queue;
 pub mod routing;
+pub mod snapshot;
 pub mod topo;
 pub mod traffic;
 
-pub use controller::{Controller, ControllerEvent, FixedController};
+pub use controller::{Controller, ControllerCounters, ControllerEvent, FixedController};
 pub use metrics::Metrics;
 pub use network::{Network, NetworkSpec};
 pub use node::Node;
 pub use queue::TxQueue;
 pub use routing::StaticRouting;
+pub use snapshot::{NodeSnapshot, PerfSnapshot, QueueSnapshot, RunSnapshot, SchedulerSnapshot};
 pub use topo::{FlowSpec, Topology};
 pub use traffic::{CbrSource, Transport};

@@ -71,6 +71,12 @@ impl Metrics {
     }
 
     /// Records a packet reaching its final destination.
+    ///
+    /// Deliveries for flows that were not registered in [`Metrics::new`]
+    /// are ignored *uniformly*: no series, no `delivered` count. (An
+    /// earlier version counted unknown flows in `delivered` while the
+    /// series silently dropped them, which made `delivered` disagree with
+    /// `throughput` totals.)
     pub fn on_delivery(&mut self, now: Time, frame: &Frame) {
         let flow = frame.flow;
         if let Some(ts) = self.throughput.get_mut(&flow) {
@@ -82,7 +88,9 @@ impl Metrics {
         if let Some(d) = self.delay_e2e.get_mut(&flow) {
             d.push(now, now.saturating_since(frame.created).as_secs_f64());
         }
-        *self.delivered.entry(flow).or_insert(0) += 1;
+        if let Some(n) = self.delivered.get_mut(&flow) {
+            *n += 1;
+        }
     }
 
     /// Records a periodic per-node sample.
@@ -139,8 +147,9 @@ mod tests {
         let mut f = frame_with_times(0, 0);
         f.flow = 99;
         m.on_delivery(Time::from_secs(1), &f);
-        assert_eq!(m.delivered.get(&99), Some(&1), "count kept via entry API");
+        assert_eq!(m.delivered.get(&99), None, "unknown flows dropped whole");
         assert_eq!(m.throughput.len(), 1, "no series allocated for unknowns");
+        assert_eq!(m.delay_net.len(), 1);
     }
 
     #[test]

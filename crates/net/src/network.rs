@@ -23,13 +23,18 @@
 use std::collections::VecDeque;
 
 use ezflow_mac::{Mac, MacConfig, MacInput, MacOutput, MacStats};
-use ezflow_phy::{Channel, ChannelConfig, ChannelStats, Frame, FrameKind, LossModel, Position, TxId};
-use ezflow_sim::{Duration, Scheduler, SimRng, Time, TraceKind, TraceRing};
+use ezflow_phy::{
+    Channel, ChannelConfig, ChannelStats, Frame, FrameKind, LossModel, Position, TxId,
+};
+use ezflow_sim::{
+    DropCause, Duration, FrameClass, Scheduler, SimRng, Time, TraceKind, TracePayload, TraceRing,
+};
 
 use crate::controller::{Controller, ControllerEvent};
 use crate::metrics::Metrics;
 use crate::node::Node;
 use crate::routing::StaticRouting;
+use crate::snapshot::{NodeSnapshot, PerfSnapshot, QueueSnapshot, RunSnapshot, SchedulerSnapshot};
 use crate::topo::{FlowSpec, Topology};
 use crate::traffic::{CbrSource, Transport};
 
@@ -106,12 +111,72 @@ enum Ev {
     Traffic(usize),
     /// Periodic credit timeout for a windowed flow (by flow id).
     WindowRefresh(u32),
-    MacTxPath { node: usize, epoch: u64 },
-    MacAckJob { node: usize, epoch: u64 },
-    MacNav { node: usize },
-    TxEnd { tx: TxId, node: usize },
+    MacTxPath {
+        node: usize,
+        epoch: u64,
+    },
+    MacAckJob {
+        node: usize,
+        epoch: u64,
+    },
+    MacNav {
+        node: usize,
+    },
+    TxEnd {
+        tx: TxId,
+        node: usize,
+    },
     Sample,
     Backlog,
+}
+
+/// Number of [`Ev`] kinds, for the per-kind dispatch counters.
+const EV_KINDS: usize = 8;
+
+/// Stable names of the [`Ev`] kinds, in [`ev_index`] order — the keys of
+/// the snapshot's `dispatched_by_kind` object.
+const EV_NAMES: [&str; EV_KINDS] = [
+    "traffic",
+    "window_refresh",
+    "mac_tx_path",
+    "mac_ack_job",
+    "mac_nav",
+    "tx_end",
+    "sample",
+    "backlog",
+];
+
+fn ev_index(ev: &Ev) -> usize {
+    match ev {
+        Ev::Traffic(_) => 0,
+        Ev::WindowRefresh(_) => 1,
+        Ev::MacTxPath { .. } => 2,
+        Ev::MacAckJob { .. } => 3,
+        Ev::MacNav { .. } => 4,
+        Ev::TxEnd { .. } => 5,
+        Ev::Sample => 6,
+        Ev::Backlog => 7,
+    }
+}
+
+fn frame_class(kind: FrameKind) -> FrameClass {
+    match kind {
+        FrameKind::Data => FrameClass::Data,
+        FrameKind::Ack => FrameClass::Ack,
+        FrameKind::Rts => FrameClass::Rts,
+        FrameKind::Cts => FrameClass::Cts,
+    }
+}
+
+fn frame_payload(frame: &Frame) -> TracePayload {
+    TracePayload::Frame {
+        class: frame_class(frame.kind),
+        seq: frame.seq,
+        flow: frame.flow,
+        src: frame.src,
+        dst: frame.dst,
+        retry: frame.retry as u32,
+    }
 }
 
 /// A runnable simulated mesh network.
@@ -138,14 +203,16 @@ pub struct Network {
     worklist: VecDeque<(usize, MacInput)>,
     next_seq: u64,
     events: u64,
+    /// Dispatch counts per [`Ev`] kind ([`ev_index`] order).
+    dispatched: [u64; EV_KINDS],
+    /// Wall-clock time spent inside `run_until` (perf accounting only;
+    /// never fed back into the simulation).
+    wall: std::time::Duration,
 }
 
 impl Network {
     /// Builds a network; `make_controller` is called once per node.
-    pub fn new(
-        spec: NetworkSpec,
-        make_controller: &dyn Fn(usize) -> Box<dyn Controller>,
-    ) -> Self {
+    pub fn new(spec: NetworkSpec, make_controller: &dyn Fn(usize) -> Box<dyn Controller>) -> Self {
         let n = spec.positions.len();
         let master = SimRng::new(spec.seed);
         let channel = Channel::new(&spec.positions, spec.channel, spec.loss.clone());
@@ -203,9 +270,9 @@ impl Network {
         let mut worklist = VecDeque::new();
         for node in nodes.iter_mut() {
             if let Some(cw) = node.controller.initial_cw_min() {
-                let outs = node
-                    .mac
-                    .input(Time::ZERO, MacInput::SetCwMin { cw_min: cw }, &mut node.rng);
+                let outs =
+                    node.mac
+                        .input(Time::ZERO, MacInput::SetCwMin { cw_min: cw }, &mut node.rng);
                 debug_assert!(outs.is_empty());
             }
         }
@@ -290,6 +357,8 @@ impl Network {
             worklist,
             next_seq: 0,
             events: 0,
+            dispatched: [0; EV_KINDS],
+            wall: std::time::Duration::ZERO,
         }
     }
 
@@ -355,6 +424,7 @@ impl Network {
     /// Runs the simulation up to and including instant `until`.
     pub fn run_until(&mut self, until: Time) {
         debug_assert!(self.worklist.is_empty());
+        let t0 = std::time::Instant::now();
         while let Some(at) = self.sched.peek_time() {
             if at > until {
                 break;
@@ -363,9 +433,11 @@ impl Network {
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.events += 1;
+            self.dispatched[ev_index(&ev)] += 1;
             self.handle(ev);
         }
         self.now = until;
+        self.wall += t0.elapsed();
     }
 
     fn handle(&mut self, ev: Ev) {
@@ -373,11 +445,13 @@ impl Network {
             Ev::Traffic(i) => self.on_traffic(i),
             Ev::WindowRefresh(flow) => self.on_window_refresh(flow),
             Ev::MacTxPath { node, epoch } => {
-                self.worklist.push_back((node, MacInput::TimerTxPath { epoch }));
+                self.worklist
+                    .push_back((node, MacInput::TimerTxPath { epoch }));
                 self.drain();
             }
             Ev::MacAckJob { node, epoch } => {
-                self.worklist.push_back((node, MacInput::TimerAckJob { epoch }));
+                self.worklist
+                    .push_back((node, MacInput::TimerAckJob { epoch }));
                 self.drain();
             }
             Ev::MacNav { node } => {
@@ -412,7 +486,14 @@ impl Network {
         self.emit_packet(flow, src, dst, payload, 0)
     }
 
-    fn emit_packet(&mut self, flow: u32, src: usize, dst: usize, payload: u32, ack_ref: u64) -> u64 {
+    fn emit_packet(
+        &mut self,
+        flow: u32,
+        src: usize,
+        dst: usize,
+        payload: u32,
+        ack_ref: u64,
+    ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
         let mut frame = Frame::data(seq, flow, src, dst, payload, self.now);
@@ -433,7 +514,9 @@ impl Network {
     /// Tops a windowed flow up to its window, while it is active.
     fn window_fill(&mut self, flow: u32) {
         loop {
-            let Some(w) = self.windows.get(&flow) else { return };
+            let Some(w) = self.windows.get(&flow) else {
+                return;
+            };
             if self.now >= w.stop || w.outstanding.len() >= w.window {
                 return;
             }
@@ -450,10 +533,13 @@ impl Network {
     /// Credit timeout: write off outstanding packets older than the RTO
     /// (lost in the network; this transport does not retransmit).
     fn on_window_refresh(&mut self, flow: u32) {
-        let Some(w) = self.windows.get_mut(&flow) else { return };
+        let Some(w) = self.windows.get_mut(&flow) else {
+            return;
+        };
         let now = self.now;
         let rto = w.rto;
-        w.outstanding.retain(|_, &mut sent| now.saturating_since(sent) < rto);
+        w.outstanding
+            .retain(|_, &mut sent| now.saturating_since(sent) < rto);
         let stop = w.stop;
         self.window_fill(flow);
         self.drain();
@@ -470,10 +556,7 @@ impl Network {
                 self.now,
                 node,
                 TraceKind::TxEnd,
-                format!(
-                    "{:?} seq={} {}->{}",
-                    report.frame.kind, report.frame.seq, report.frame.src, report.frame.dst
-                ),
+                frame_payload(&report.frame),
             );
         }
         if self.eifs {
@@ -500,17 +583,28 @@ impl Network {
                         self.now,
                         d.node,
                         TraceKind::Collision,
-                        format!("seq={} from {}", frame.seq, frame.src),
+                        TracePayload::Collision {
+                            seq: frame.seq,
+                            src: frame.src,
+                        },
                     );
                 }
                 continue;
             }
             if d.node == frame.dst {
                 let input = match frame.kind {
-                    FrameKind::Data => MacInput::RxData { frame: frame.clone() },
-                    FrameKind::Ack => MacInput::RxAck { frame: frame.clone() },
-                    FrameKind::Rts => MacInput::RxRts { frame: frame.clone() },
-                    FrameKind::Cts => MacInput::RxCts { frame: frame.clone() },
+                    FrameKind::Data => MacInput::RxData {
+                        frame: frame.clone(),
+                    },
+                    FrameKind::Ack => MacInput::RxAck {
+                        frame: frame.clone(),
+                    },
+                    FrameKind::Rts => MacInput::RxRts {
+                        frame: frame.clone(),
+                    },
+                    FrameKind::Cts => MacInput::RxCts {
+                        frame: frame.clone(),
+                    },
                 };
                 self.worklist.push_back((d.node, input));
             } else {
@@ -527,7 +621,8 @@ impl Network {
                     // medium from the end of the frame.
                     FrameKind::Rts | FrameKind::Cts if frame.nav_micros > 0 => {
                         let until = self.now + ezflow_sim::Duration::from_micros(frame.nav_micros);
-                        self.worklist.push_back((d.node, MacInput::NavSet { until }));
+                        self.worklist
+                            .push_back((d.node, MacInput::NavSet { until }));
                     }
                     _ => {}
                 }
@@ -542,7 +637,8 @@ impl Network {
             let cw = self.nodes[id].mac.cw_min();
             self.metrics.on_sample(self.now, id, occ, cw);
         }
-        self.sched.schedule(self.now + self.sample_every, Ev::Sample);
+        self.sched
+            .schedule(self.now + self.sample_every, Ev::Sample);
     }
 
     fn on_backlog(&mut self) {
@@ -589,15 +685,8 @@ impl Network {
         match out {
             MacOutput::StartTx { frame, air } => {
                 if self.trace.enabled() {
-                    self.trace.push(
-                        self.now,
-                        id,
-                        TraceKind::TxStart,
-                        format!(
-                            "{:?} seq={} {}->{} retry={}",
-                            frame.kind, frame.seq, frame.src, frame.dst, frame.retry
-                        ),
-                    );
+                    self.trace
+                        .push(self.now, id, TraceKind::TxStart, frame_payload(&frame));
                 }
                 let end = self.now + air;
                 let rep = self.channel.start_tx(self.now, frame, end);
@@ -621,7 +710,8 @@ impl Network {
                     .schedule(self.now + after, Ev::MacAckJob { node: id, epoch });
             }
             MacOutput::SetTimerNav { after } => {
-                self.sched.schedule(self.now + after, Ev::MacNav { node: id });
+                self.sched
+                    .schedule(self.now + after, Ev::MacNav { node: id });
             }
             MacOutput::TxSuccess { frame, .. } => {
                 let cmd = self.nodes[id].controller.on_event(
@@ -640,7 +730,10 @@ impl Network {
                         self.now,
                         id,
                         TraceKind::Drop,
-                        format!("retry limit seq={}", frame.seq),
+                        TracePayload::Drop {
+                            cause: DropCause::RetryLimit,
+                            seq: frame.seq,
+                        },
                     );
                 }
             }
@@ -685,11 +778,19 @@ impl Network {
         fwd.src = id;
         fwd.dst = nh;
         fwd.retry = false;
+        let seq = fwd.seq;
         if !self.nodes[id].enqueue(false, fwd) {
             self.metrics.queue_drops[id] += 1;
             if self.trace.enabled() {
-                self.trace
-                    .push(self.now, id, TraceKind::Drop, "forward queue full");
+                self.trace.push(
+                    self.now,
+                    id,
+                    TraceKind::Drop,
+                    TracePayload::Drop {
+                        cause: DropCause::QueueFull,
+                        seq,
+                    },
+                );
             }
         }
         self.try_feed(id);
@@ -741,7 +842,10 @@ impl Network {
                 self.now,
                 id,
                 TraceKind::CwChange,
-                format!("{} -> {}", self.nodes[id].mac.cw_min(), cw),
+                TracePayload::CwChange {
+                    from: self.nodes[id].mac.cw_min(),
+                    to: cw,
+                },
             );
         }
         let node = &mut self.nodes[id];
@@ -749,6 +853,80 @@ impl Network {
             .mac
             .input(self.now, MacInput::SetCwMin { cw_min: cw }, &mut node.rng);
         debug_assert!(outs.is_empty());
+    }
+
+    /// Dispatch counts per event kind, `(name, count)`, in dispatch order.
+    pub fn dispatched_by_kind(&self) -> Vec<(&'static str, u64)> {
+        EV_NAMES
+            .iter()
+            .zip(self.dispatched.iter())
+            .map(|(&name, &n)| (name, n))
+            .collect()
+    }
+
+    /// Wall-clock time spent inside [`Network::run_until`] so far.
+    pub fn wall_time(&self) -> std::time::Duration {
+        self.wall
+    }
+
+    /// Takes a [`RunSnapshot`] of the whole network at the current
+    /// simulated instant. Mutable because the channel's airtime accounts
+    /// are brought up to date first.
+    pub fn snapshot(&mut self, label: &str) -> RunSnapshot {
+        self.channel.accrue_airtime(self.now);
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, node)| NodeSnapshot {
+                id,
+                controller: node.controller.name().to_string(),
+                cw_min: node.mac.cw_min(),
+                airtime: self.channel.airtime_breakdown(id),
+                mac: node.mac.stats(),
+                counters: node.controller.counters(),
+                queues: node
+                    .queues
+                    .iter()
+                    .map(|q| QueueSnapshot {
+                        own: q.own,
+                        successor: q.successor,
+                        occupancy: q.len(),
+                        cap: q.cap(),
+                        high_water: q.high_water,
+                        drops: q.drops,
+                        accepted: q.accepted,
+                    })
+                    .collect(),
+            })
+            .collect();
+        let wall_secs = self.wall.as_secs_f64();
+        let sim_secs = self.now.as_micros() as f64 / 1e6;
+        let per_wall = |x: f64| if wall_secs > 0.0 { x / wall_secs } else { 0.0 };
+        RunSnapshot {
+            label: label.to_string(),
+            at_us: self.now.as_micros(),
+            nodes,
+            channel: self.channel.stats(),
+            scheduler: SchedulerSnapshot {
+                scheduled_total: self.sched.scheduled_total(),
+                dispatched_total: self.events,
+                pending: self.sched.len(),
+                depth_high_water: self.sched.depth_high_water(),
+                dispatched_by_kind: EV_NAMES
+                    .iter()
+                    .zip(self.dispatched.iter())
+                    .map(|(&name, &n)| (name.to_string(), n))
+                    .collect(),
+            },
+            perf: PerfSnapshot {
+                wall_secs,
+                sim_secs,
+                events_per_sec: per_wall(self.events as f64),
+                sim_rate: per_wall(sim_secs),
+            },
+            trace_records: self.trace.pushed_total(),
+        }
     }
 
     /// Read-only access to a node (tests and experiments).
@@ -827,10 +1005,7 @@ mod tests {
         let b = run_chain(4, 20, 42);
         assert_eq!(a.metrics.delivered[&0], b.metrics.delivered[&0]);
         assert_eq!(a.events_processed(), b.events_processed());
-        assert_eq!(
-            a.mac_stats(0).tx_attempts,
-            b.mac_stats(0).tx_attempts
-        );
+        assert_eq!(a.mac_stats(0).tx_attempts, b.mac_stats(0).tx_attempts);
         let ka = a.metrics.mean_kbps(0, Time::ZERO, Time::from_secs(20));
         let kb = b.metrics.mean_kbps(0, Time::ZERO, Time::from_secs(20));
         assert_eq!(ka, kb);
@@ -879,10 +1054,7 @@ mod tests {
         // The paper's Fig. 1: in a 4-hop chain under standard 802.11, the
         // first relay's buffer grows to saturation.
         let net = run_chain(4, 120, 7);
-        let b1 = net
-            .metrics
-            .buffer[1]
-            .window(Time::from_secs(60), Time::from_secs(120));
+        let b1 = net.metrics.buffer[1].window(Time::from_secs(60), Time::from_secs(120));
         assert!(
             b1.mean > 40.0,
             "node 1 buffer should build toward 50, got mean {}",
@@ -901,10 +1073,7 @@ mod tests {
         // does not ratchet to saturation, and overflow drops stay
         // negligible — contrast with `four_hop_first_relay_buffer_builds_up`.
         let net = run_chain(3, 120, 7);
-        let b1 = net
-            .metrics
-            .buffer[1]
-            .window(Time::from_secs(60), Time::from_secs(120));
+        let b1 = net.metrics.buffer[1].window(Time::from_secs(60), Time::from_secs(120));
         assert!(
             b1.mean < 35.0,
             "3-hop node-1 mean buffer should stay off the ceiling, got {}",
@@ -923,9 +1092,83 @@ mod tests {
         let mut net = Network::from_topology(&t, 9, &std_controller);
         net.run_until(Time::from_secs(30));
         let before = net.metrics.mean_kbps(0, Time::ZERO, Time::from_secs(5));
-        let after = net.metrics.mean_kbps(0, Time::from_secs(10), Time::from_secs(30));
+        let after = net
+            .metrics
+            .mean_kbps(0, Time::from_secs(10), Time::from_secs(30));
         assert!(before > 100.0);
         assert_eq!(after, 0.0, "no deliveries after the flow stops");
+    }
+
+    #[test]
+    fn snapshot_captures_cross_layer_state_and_round_trips() {
+        let t = topo::chain(3, Time::ZERO, Time::from_secs(20));
+        let mut spec = NetworkSpec::from_topology(&t, 13);
+        spec.trace_cap = 256;
+        let mut net = Network::new(spec, &std_controller);
+        net.run_until(Time::from_secs(20));
+        let snap = net.snapshot("chain-3");
+
+        assert_eq!(snap.label, "chain-3");
+        assert_eq!(snap.at_us, 20_000_000);
+        assert_eq!(snap.nodes.len(), 4);
+        assert!(snap.scheduler.dispatched_total > 0);
+        assert_eq!(
+            snap.scheduler.dispatched_total,
+            snap.scheduler
+                .dispatched_by_kind
+                .iter()
+                .map(|(_, n)| n)
+                .sum::<u64>(),
+            "per-kind counts must sum to the total"
+        );
+        assert!(snap.scheduler.scheduled_total >= snap.scheduler.dispatched_total);
+        assert!(snap.scheduler.depth_high_water > 0);
+        assert!(snap.trace_records > 0);
+        let tx_ends = snap
+            .scheduler
+            .dispatched_by_kind
+            .iter()
+            .find(|(k, _)| k == "tx_end")
+            .expect("tx_end kind present")
+            .1;
+        assert!(tx_ends > 0, "a saturated chain transmits");
+        for node in &snap.nodes {
+            assert_eq!(node.controller, "802.11");
+            assert_eq!(
+                node.airtime.total_us(),
+                snap.at_us,
+                "airtime buckets must partition the run"
+            );
+        }
+        // The source transmits; its counters show up.
+        assert!(snap.nodes[0].mac.tx_attempts > 0);
+        assert!(snap.nodes[0].airtime.tx_us > 0);
+        assert!(snap.nodes[0].queues[0].high_water > 0);
+        // Wall-clock accounting ran.
+        assert!(snap.perf.wall_secs > 0.0);
+        assert!(snap.perf.events_per_sec > 0.0);
+
+        // JSON round trip through the sim JSON kernel.
+        let text = snap.to_json().to_pretty();
+        let parsed = ezflow_sim::JsonValue::parse(&text).unwrap();
+        let back = crate::snapshot::RunSnapshot::from_json(&parsed).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn trace_exports_typed_payloads_as_jsonl() {
+        let t = topo::chain(2, Time::ZERO, Time::from_secs(10));
+        let mut spec = NetworkSpec::from_topology(&t, 21);
+        spec.trace_cap = 4096;
+        let mut net = Network::new(spec, &std_controller);
+        net.run_until(Time::from_secs(10));
+        let jsonl = net.trace.to_jsonl();
+        let parsed = ezflow_sim::TraceRing::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed.len(), net.trace.len());
+        // Typed payloads survived the trip: at least one frame record.
+        assert!(parsed
+            .iter()
+            .any(|ev| matches!(ev.payload, ezflow_sim::TracePayload::Frame { .. })));
     }
 
     #[test]

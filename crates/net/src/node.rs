@@ -135,9 +135,7 @@ mod tests {
             assert!(n.enqueue(true, f));
             assert!(n.enqueue(false, frame(100 + i, 2)));
         }
-        let seqs: Vec<u64> = (0..6)
-            .map(|_| n.pop_round_robin().unwrap().0.seq)
-            .collect();
+        let seqs: Vec<u64> = (0..6).map(|_| n.pop_round_robin().unwrap().0.seq).collect();
         // Alternation between own (0..) and forwarded (100..).
         assert_eq!(seqs, vec![0, 100, 1, 101, 2, 102]);
         assert!(n.pop_round_robin().is_none());

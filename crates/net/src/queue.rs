@@ -24,6 +24,8 @@ pub struct TxQueue {
     pub drops: u64,
     /// Frames ever accepted.
     pub accepted: u64,
+    /// Deepest occupancy ever reached.
+    pub high_water: usize,
 }
 
 impl TxQueue {
@@ -38,6 +40,7 @@ impl TxQueue {
             fifo: VecDeque::with_capacity(cap),
             drops: 0,
             accepted: 0,
+            high_water: 0,
         }
     }
 
@@ -64,6 +67,7 @@ impl TxQueue {
         } else {
             self.accepted += 1;
             self.fifo.push_back(frame);
+            self.high_water = self.high_water.max(self.fifo.len());
             true
         }
     }
@@ -115,5 +119,23 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         TxQueue::new(false, 0, 0);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let mut q = TxQueue::new(false, 1, 10);
+        assert_eq!(q.high_water, 0);
+        for i in 0..4 {
+            q.push(frame(i));
+        }
+        q.pop();
+        q.pop();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water, 4, "peak, not current");
+        q.push(frame(9));
+        assert_eq!(q.high_water, 4, "refill below the peak");
+        q.push(frame(10));
+        q.push(frame(11));
+        assert_eq!(q.high_water, 5);
     }
 }

@@ -1,0 +1,496 @@
+//! End-of-run snapshots.
+//!
+//! A [`RunSnapshot`] is the cross-layer observability record of one
+//! simulation: per-node airtime budgets and counters from the PHY, MAC
+//! counters, controller (BOE/CAA) counters, queue statistics, scheduler
+//! and wall-clock performance numbers. It serialises to JSON (and back)
+//! through the dependency-free `ezflow-sim` JSON kernel, so experiment
+//! binaries can write machine-readable results next to their tables.
+//!
+//! The schema is flat and explicit — every counter appears under its own
+//! key — so downstream tooling never needs this crate to read a snapshot.
+
+use ezflow_mac::MacStats;
+use ezflow_phy::{Airtime, ChannelStats};
+use ezflow_sim::{JsonValue, Time};
+
+use crate::controller::ControllerCounters;
+
+fn get_u64(v: &JsonValue, name: &str) -> Result<u64, String> {
+    v.get(name)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing numeric '{name}'"))
+}
+
+fn get_f64(v: &JsonValue, name: &str) -> Result<f64, String> {
+    v.get(name)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing number '{name}'"))
+}
+
+fn get_str(v: &JsonValue, name: &str) -> Result<String, String> {
+    v.get(name)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string '{name}'"))
+}
+
+fn get_obj<'a>(v: &'a JsonValue, name: &str) -> Result<&'a JsonValue, String> {
+    v.get(name)
+        .ok_or_else(|| format!("missing object '{name}'"))
+}
+
+/// One interface queue's statistics at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueueSnapshot {
+    /// True for the own-traffic queue, false for a forward queue.
+    pub own: bool,
+    /// The successor this queue feeds.
+    pub successor: usize,
+    /// Packets queued right now.
+    pub occupancy: usize,
+    /// Capacity, packets.
+    pub cap: usize,
+    /// Deepest occupancy ever reached.
+    pub high_water: usize,
+    /// Drop-tail rejections.
+    pub drops: u64,
+    /// Frames ever accepted.
+    pub accepted: u64,
+}
+
+impl QueueSnapshot {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("own", self.own.into()),
+            ("successor", self.successor.into()),
+            ("occupancy", self.occupancy.into()),
+            ("cap", self.cap.into()),
+            ("high_water", self.high_water.into()),
+            ("drops", self.drops.into()),
+            ("accepted", self.accepted.into()),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<QueueSnapshot, String> {
+        Ok(QueueSnapshot {
+            own: v
+                .get("own")
+                .and_then(JsonValue::as_bool)
+                .ok_or("missing bool 'own'")?,
+            successor: get_u64(v, "successor")? as usize,
+            occupancy: get_u64(v, "occupancy")? as usize,
+            cap: get_u64(v, "cap")? as usize,
+            high_water: get_u64(v, "high_water")? as usize,
+            drops: get_u64(v, "drops")?,
+            accepted: get_u64(v, "accepted")?,
+        })
+    }
+}
+
+fn airtime_to_json(a: Airtime) -> JsonValue {
+    let (tx, rx, busy, idle) = a.fractions();
+    JsonValue::obj(vec![
+        ("tx_us", a.tx_us.into()),
+        ("rx_us", a.rx_us.into()),
+        ("busy_us", a.busy_us.into()),
+        ("idle_us", a.idle_us.into()),
+        // Derived, for consumers that only want the shape of the budget.
+        ("tx_frac", tx.into()),
+        ("rx_frac", rx.into()),
+        ("busy_frac", busy.into()),
+        ("idle_frac", idle.into()),
+    ])
+}
+
+fn airtime_from_json(v: &JsonValue) -> Result<Airtime, String> {
+    Ok(Airtime {
+        tx_us: get_u64(v, "tx_us")?,
+        rx_us: get_u64(v, "rx_us")?,
+        busy_us: get_u64(v, "busy_us")?,
+        idle_us: get_u64(v, "idle_us")?,
+    })
+}
+
+fn mac_to_json(m: &MacStats) -> JsonValue {
+    JsonValue::obj(vec![
+        ("tx_attempts", m.tx_attempts.into()),
+        ("tx_success", m.tx_success.into()),
+        ("retries", m.retries.into()),
+        ("drops_retry", m.drops_retry.into()),
+        ("acks_sent", m.acks_sent.into()),
+        ("acks_suppressed", m.acks_suppressed.into()),
+        ("dup_rx", m.dup_rx.into()),
+        ("spurious_ack", m.spurious_ack.into()),
+        ("delivered", m.delivered.into()),
+        ("rts_sent", m.rts_sent.into()),
+        ("cts_sent", m.cts_sent.into()),
+        ("cts_timeouts", m.cts_timeouts.into()),
+        ("backoff_slots", m.backoff_slots.into()),
+        ("cca_busy", m.cca_busy.into()),
+        ("eifs_starts", m.eifs_starts.into()),
+    ])
+}
+
+fn mac_from_json(v: &JsonValue) -> Result<MacStats, String> {
+    Ok(MacStats {
+        tx_attempts: get_u64(v, "tx_attempts")?,
+        tx_success: get_u64(v, "tx_success")?,
+        retries: get_u64(v, "retries")?,
+        drops_retry: get_u64(v, "drops_retry")?,
+        acks_sent: get_u64(v, "acks_sent")?,
+        acks_suppressed: get_u64(v, "acks_suppressed")?,
+        dup_rx: get_u64(v, "dup_rx")?,
+        spurious_ack: get_u64(v, "spurious_ack")?,
+        delivered: get_u64(v, "delivered")?,
+        rts_sent: get_u64(v, "rts_sent")?,
+        cts_sent: get_u64(v, "cts_sent")?,
+        cts_timeouts: get_u64(v, "cts_timeouts")?,
+        backoff_slots: get_u64(v, "backoff_slots")?,
+        cca_busy: get_u64(v, "cca_busy")?,
+        eifs_starts: get_u64(v, "eifs_starts")?,
+    })
+}
+
+fn counters_to_json(c: &ControllerCounters) -> JsonValue {
+    JsonValue::obj(vec![
+        ("boe_hits", c.boe_hits.into()),
+        ("boe_misses", c.boe_misses.into()),
+        ("boe_ambiguous", c.boe_ambiguous.into()),
+        ("caa_increases", c.caa_increases.into()),
+        ("caa_decreases", c.caa_decreases.into()),
+        ("caa_holds", c.caa_holds.into()),
+    ])
+}
+
+fn counters_from_json(v: &JsonValue) -> Result<ControllerCounters, String> {
+    Ok(ControllerCounters {
+        boe_hits: get_u64(v, "boe_hits")?,
+        boe_misses: get_u64(v, "boe_misses")?,
+        boe_ambiguous: get_u64(v, "boe_ambiguous")?,
+        caa_increases: get_u64(v, "caa_increases")?,
+        caa_decreases: get_u64(v, "caa_decreases")?,
+        caa_holds: get_u64(v, "caa_holds")?,
+    })
+}
+
+fn channel_to_json(c: &ChannelStats) -> JsonValue {
+    JsonValue::obj(vec![
+        ("tx_started", c.tx_started.into()),
+        ("collisions_at_dst", c.collisions_at_dst.into()),
+        ("bernoulli_losses", c.bernoulli_losses.into()),
+        ("clean_deliveries", c.clean_deliveries.into()),
+        ("captures", c.captures.into()),
+        ("hidden_losses", c.hidden_losses.into()),
+    ])
+}
+
+fn channel_from_json(v: &JsonValue) -> Result<ChannelStats, String> {
+    Ok(ChannelStats {
+        tx_started: get_u64(v, "tx_started")?,
+        collisions_at_dst: get_u64(v, "collisions_at_dst")?,
+        bernoulli_losses: get_u64(v, "bernoulli_losses")?,
+        clean_deliveries: get_u64(v, "clean_deliveries")?,
+        captures: get_u64(v, "captures")?,
+        hidden_losses: get_u64(v, "hidden_losses")?,
+    })
+}
+
+/// Everything observable about one node at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeSnapshot {
+    /// Node id.
+    pub id: usize,
+    /// Controller algorithm name.
+    pub controller: String,
+    /// Current `CWmin`.
+    pub cw_min: u32,
+    /// Where this node's time went, by radio state.
+    pub airtime: Airtime,
+    /// MAC counters.
+    pub mac: MacStats,
+    /// Controller (BOE/CAA) counters; zero for algorithms without them.
+    pub counters: ControllerCounters,
+    /// Per-queue statistics.
+    pub queues: Vec<QueueSnapshot>,
+}
+
+impl NodeSnapshot {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("id", self.id.into()),
+            ("controller", JsonValue::str(&self.controller)),
+            ("cw_min", self.cw_min.into()),
+            ("airtime", airtime_to_json(self.airtime)),
+            ("mac", mac_to_json(&self.mac)),
+            ("counters", counters_to_json(&self.counters)),
+            (
+                "queues",
+                JsonValue::Array(self.queues.iter().map(QueueSnapshot::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<NodeSnapshot, String> {
+        let queues = get_obj(v, "queues")?
+            .as_array()
+            .ok_or("'queues' is not an array")?
+            .iter()
+            .map(QueueSnapshot::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(NodeSnapshot {
+            id: get_u64(v, "id")? as usize,
+            controller: get_str(v, "controller")?,
+            cw_min: get_u64(v, "cw_min")? as u32,
+            airtime: airtime_from_json(get_obj(v, "airtime")?)?,
+            mac: mac_from_json(get_obj(v, "mac")?)?,
+            counters: counters_from_json(get_obj(v, "counters")?)?,
+            queues,
+        })
+    }
+}
+
+/// Scheduler-side accounting: how much event machinery the run turned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchedulerSnapshot {
+    /// Events ever scheduled.
+    pub scheduled_total: u64,
+    /// Events dispatched (popped and handled).
+    pub dispatched_total: u64,
+    /// Events still pending at snapshot time.
+    pub pending: usize,
+    /// Deepest the pending-event heap ever got.
+    pub depth_high_water: usize,
+    /// Dispatch counts per event kind, in the network's kind order.
+    pub dispatched_by_kind: Vec<(String, u64)>,
+}
+
+impl SchedulerSnapshot {
+    fn to_json(&self) -> JsonValue {
+        let by_kind = self
+            .dispatched_by_kind
+            .iter()
+            .map(|(k, n)| (k.as_str(), JsonValue::from(*n)))
+            .collect();
+        JsonValue::obj(vec![
+            ("scheduled_total", self.scheduled_total.into()),
+            ("dispatched_total", self.dispatched_total.into()),
+            ("pending", self.pending.into()),
+            ("depth_high_water", self.depth_high_water.into()),
+            ("dispatched_by_kind", JsonValue::obj(by_kind)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<SchedulerSnapshot, String> {
+        let by_kind_obj = get_obj(v, "dispatched_by_kind")?;
+        let JsonValue::Object(pairs) = by_kind_obj else {
+            return Err("'dispatched_by_kind' is not an object".into());
+        };
+        let dispatched_by_kind = pairs
+            .iter()
+            .map(|(k, n)| {
+                n.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("bad count for kind '{k}'"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SchedulerSnapshot {
+            scheduled_total: get_u64(v, "scheduled_total")?,
+            dispatched_total: get_u64(v, "dispatched_total")?,
+            pending: get_u64(v, "pending")? as usize,
+            depth_high_water: get_u64(v, "depth_high_water")? as usize,
+            dispatched_by_kind,
+        })
+    }
+}
+
+/// Wall-clock performance of the run. The only non-deterministic part of
+/// a snapshot — everything else is a pure function of the spec and seed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerfSnapshot {
+    /// Wall-clock seconds spent inside `run_until`.
+    pub wall_secs: f64,
+    /// Simulated seconds covered.
+    pub sim_secs: f64,
+    /// Events dispatched per wall-clock second.
+    pub events_per_sec: f64,
+    /// Simulated seconds per wall-clock second.
+    pub sim_rate: f64,
+}
+
+impl PerfSnapshot {
+    fn to_json(self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("wall_secs", self.wall_secs.into()),
+            ("sim_secs", self.sim_secs.into()),
+            ("events_per_sec", self.events_per_sec.into()),
+            ("sim_rate", self.sim_rate.into()),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<PerfSnapshot, String> {
+        Ok(PerfSnapshot {
+            wall_secs: get_f64(v, "wall_secs")?,
+            sim_secs: get_f64(v, "sim_secs")?,
+            events_per_sec: get_f64(v, "events_per_sec")?,
+            sim_rate: get_f64(v, "sim_rate")?,
+        })
+    }
+}
+
+/// The cross-layer record of one simulation run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSnapshot {
+    /// Free-form label (scenario and algorithm, usually).
+    pub label: String,
+    /// Simulated instant the snapshot was taken at, microseconds.
+    pub at_us: u64,
+    /// Per-node state, in node-id order.
+    pub nodes: Vec<NodeSnapshot>,
+    /// Shared-channel counters.
+    pub channel: ChannelStats,
+    /// Event-machinery accounting.
+    pub scheduler: SchedulerSnapshot,
+    /// Wall-clock performance.
+    pub perf: PerfSnapshot,
+    /// Trace records ever pushed (including evicted or disabled ones).
+    pub trace_records: u64,
+}
+
+impl RunSnapshot {
+    /// Simulated instant the snapshot was taken at.
+    pub fn at(&self) -> Time {
+        Time::from_micros(self.at_us)
+    }
+
+    /// The JSON representation.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("label", JsonValue::str(&self.label)),
+            ("at_us", self.at_us.into()),
+            (
+                "nodes",
+                JsonValue::Array(self.nodes.iter().map(NodeSnapshot::to_json).collect()),
+            ),
+            ("channel", channel_to_json(&self.channel)),
+            ("scheduler", self.scheduler.to_json()),
+            ("perf", self.perf.to_json()),
+            ("trace_records", self.trace_records.into()),
+        ])
+    }
+
+    /// Reconstructs a snapshot from its JSON representation.
+    pub fn from_json(v: &JsonValue) -> Result<RunSnapshot, String> {
+        let nodes = get_obj(v, "nodes")?
+            .as_array()
+            .ok_or("'nodes' is not an array")?
+            .iter()
+            .map(NodeSnapshot::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(RunSnapshot {
+            label: get_str(v, "label")?,
+            at_us: get_u64(v, "at_us")?,
+            nodes,
+            channel: channel_from_json(get_obj(v, "channel")?)?,
+            scheduler: SchedulerSnapshot::from_json(get_obj(v, "scheduler")?)?,
+            perf: PerfSnapshot::from_json(get_obj(v, "perf")?)?,
+            trace_records: get_u64(v, "trace_records")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunSnapshot {
+        RunSnapshot {
+            label: "scenario-1/ez-flow".into(),
+            at_us: 120_000_000,
+            nodes: vec![NodeSnapshot {
+                id: 0,
+                controller: "ez-flow".into(),
+                cw_min: 64,
+                airtime: Airtime {
+                    tx_us: 10,
+                    rx_us: 20,
+                    busy_us: 30,
+                    idle_us: 40,
+                },
+                mac: MacStats {
+                    tx_attempts: 5,
+                    tx_success: 4,
+                    retries: 1,
+                    backoff_slots: 77,
+                    ..MacStats::default()
+                },
+                counters: ControllerCounters {
+                    boe_hits: 9,
+                    caa_increases: 2,
+                    ..ControllerCounters::default()
+                },
+                queues: vec![QueueSnapshot {
+                    own: true,
+                    successor: 1,
+                    occupancy: 3,
+                    cap: 50,
+                    high_water: 17,
+                    drops: 2,
+                    accepted: 100,
+                }],
+            }],
+            channel: ChannelStats {
+                tx_started: 5,
+                clean_deliveries: 4,
+                collisions_at_dst: 1,
+                ..ChannelStats::default()
+            },
+            scheduler: SchedulerSnapshot {
+                scheduled_total: 1000,
+                dispatched_total: 990,
+                pending: 10,
+                depth_high_water: 42,
+                dispatched_by_kind: vec![("traffic".into(), 500), ("tx_end".into(), 490)],
+            },
+            perf: PerfSnapshot {
+                wall_secs: 0.5,
+                sim_secs: 120.0,
+                events_per_sec: 1980.0,
+                sim_rate: 240.0,
+            },
+            trace_records: 12345,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snap = sample();
+        let json = snap.to_json();
+        let text = json.to_pretty();
+        let parsed = JsonValue::parse(&text).unwrap();
+        let back = RunSnapshot::from_json(&parsed).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn json_carries_airtime_fractions() {
+        let json = sample().to_json();
+        let air = json.get("nodes").unwrap().as_array().unwrap()[0]
+            .get("airtime")
+            .unwrap()
+            .clone();
+        let frac = |k: &str| air.get(k).unwrap().as_f64().unwrap();
+        let sum = frac("tx_frac") + frac("rx_frac") + frac("busy_frac") + frac("idle_frac");
+        assert!(
+            (sum - 1.0).abs() < 1e-9,
+            "fractions must sum to 1, got {sum}"
+        );
+        assert!((frac("tx_frac") - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_json_reports_missing_fields() {
+        let err = RunSnapshot::from_json(&JsonValue::obj(vec![])).unwrap_err();
+        assert!(err.contains("nodes"), "{err}");
+    }
+}

@@ -7,11 +7,9 @@
 //! flow.
 
 use ezflow_sim::{Duration, Time};
-use serde::{Deserialize, Serialize};
 
 /// How a flow's source paces itself.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum Transport {
     /// Open-loop constant bit rate (the paper's workload: UDP-like, no
     /// feedback whatsoever).
@@ -30,7 +28,6 @@ pub enum Transport {
         ack_payload: u32,
     },
 }
-
 
 /// A CBR source description.
 #[derive(Clone, Debug)]

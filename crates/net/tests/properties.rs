@@ -104,4 +104,59 @@ proptest! {
         }
         prop_assert_eq!(net.metrics.delivered[&0], rx.delivered);
     }
+
+    /// Observability counters are cumulative: a later snapshot of the same
+    /// run never shows a smaller value for any counter, and each node's
+    /// airtime buckets always partition elapsed time exactly.
+    #[test]
+    fn snapshot_counters_are_monotone(
+        seed in any::<u64>(),
+        hops in 1usize..5,
+        loss in 0f64..0.2,
+    ) {
+        let secs = 12;
+        let mut net = build(hops, loss, 2_000_000, seed, secs);
+        net.run_until(Time::from_secs(secs / 2));
+        let early = net.snapshot("early");
+        net.run_until(Time::from_secs(secs));
+        let late = net.snapshot("late");
+
+        prop_assert!(late.scheduler.scheduled_total >= early.scheduler.scheduled_total);
+        prop_assert!(late.scheduler.dispatched_total >= early.scheduler.dispatched_total);
+        prop_assert!(late.scheduler.depth_high_water >= early.scheduler.depth_high_water);
+        prop_assert!(late.trace_records >= early.trace_records);
+        for (e, l) in early
+            .scheduler
+            .dispatched_by_kind
+            .iter()
+            .zip(late.scheduler.dispatched_by_kind.iter())
+        {
+            prop_assert_eq!(&e.0, &l.0);
+            prop_assert!(l.1 >= e.1, "dispatch count for {} went backwards", e.0);
+        }
+
+        for (a, b) in early.nodes.iter().zip(late.nodes.iter()) {
+            let ma = &a.mac;
+            let mb = &b.mac;
+            prop_assert!(mb.tx_attempts >= ma.tx_attempts);
+            prop_assert!(mb.tx_success >= ma.tx_success);
+            prop_assert!(mb.retries >= ma.retries);
+            prop_assert!(mb.backoff_slots >= ma.backoff_slots);
+            prop_assert!(mb.cca_busy >= ma.cca_busy);
+            for (qa, qb) in a.queues.iter().zip(b.queues.iter()) {
+                prop_assert!(qb.high_water >= qa.high_water);
+                prop_assert!(qb.drops >= qa.drops);
+                prop_assert!(qb.accepted >= qa.accepted);
+            }
+            prop_assert!(b.airtime.tx_us >= a.airtime.tx_us);
+            // The buckets partition the elapsed simulated time exactly.
+            prop_assert_eq!(a.airtime.total_us(), early.at_us);
+            prop_assert_eq!(b.airtime.total_us(), late.at_us);
+            let (tx, rx, busy, idle) = b.airtime.fractions();
+            prop_assert!((tx + rx + busy + idle - 1.0).abs() < 1e-9);
+        }
+
+        prop_assert!(late.channel.tx_started >= early.channel.tx_started);
+        prop_assert!(late.channel.clean_deliveries >= early.channel.clean_deliveries);
+    }
 }

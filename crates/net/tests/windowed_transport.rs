@@ -52,7 +52,10 @@ fn window_clocking_bounds_every_queue() {
     }
     // No overflow drops anywhere: the window is far below the 50-slot cap.
     assert_eq!(net.metrics.queue_drops.iter().sum::<u64>(), 0);
-    assert_eq!(net.metrics.source_drops[&0], 0, "ACK clocking, no blind CBR");
+    assert_eq!(
+        net.metrics.source_drops[&0], 0,
+        "ACK clocking, no blind CBR"
+    );
 }
 
 #[test]

@@ -14,13 +14,12 @@
 //! 1000-entry window).
 
 use ezflow_sim::Time;
-use serde::{Deserialize, Serialize};
 
 /// MAC frame type. The paper runs with RTS/CTS disabled (its §5 explains
 /// the sensing range already covers the RTS/CTS protection area), but the
 /// MAC implements the handshake so that claim can be *tested* — see the
 /// `rts_cts` ablation.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FrameKind {
     /// A data frame (MAC header + transport payload).
     Data,
@@ -33,7 +32,7 @@ pub enum FrameKind {
 }
 
 /// One frame, either queued, on the air, or delivered.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Frame {
     /// Frame type.
     pub kind: FrameKind,

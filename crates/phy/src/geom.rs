@@ -1,9 +1,7 @@
 //! Planar geometry for node placement.
 
-use serde::{Deserialize, Serialize};
-
 /// A node position in meters on the plane.
-#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct Position {
     /// East-west coordinate, meters.
     pub x: f64,
@@ -38,7 +36,9 @@ impl Position {
 /// Places `n` nodes on a straight east-west line with constant `spacing`
 /// meters between neighbours — the canonical K-hop chain of the paper.
 pub fn line_positions(n: usize, spacing: f64) -> Vec<Position> {
-    (0..n).map(|i| Position::new(i as f64 * spacing, 0.0)).collect()
+    (0..n)
+        .map(|i| Position::new(i as f64 * spacing, 0.0))
+        .collect()
 }
 
 #[cfg(test)]

@@ -36,5 +36,7 @@ pub mod timing;
 pub use frame::{Frame, FrameKind};
 pub use geom::Position;
 pub use loss::LossModel;
-pub use medium::{Channel, ChannelConfig, ChannelStats, Delivery, EndReport, StartReport, TxId};
+pub use medium::{
+    Airtime, Channel, ChannelConfig, ChannelStats, Delivery, EndReport, StartReport, TxId,
+};
 pub use timing::PhyTiming;

@@ -1,14 +1,13 @@
 //! PHY timing: how long a frame occupies the air.
 
 use ezflow_sim::Duration;
-use serde::{Deserialize, Serialize};
 
 /// Air-time parameters of the radio.
 ///
 /// Defaults model IEEE 802.11b DSSS at the fixed 1 Mb/s rate the paper's
 /// testbed and simulations use, with the long PLCP preamble + header
 /// (144 + 48 = 192 µs, always transmitted at 1 Mb/s).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PhyTiming {
     /// Payload transmission rate in bits/s.
     pub rate_bps: u64,

@@ -25,12 +25,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod rng;
 pub mod sched;
 pub mod time;
 pub mod trace;
 
+pub use json::{JsonError, JsonValue};
 pub use rng::SimRng;
 pub use sched::{EventId, Scheduler};
 pub use time::{Duration, Time};
-pub use trace::{TraceEvent, TraceKind, TraceRing};
+pub use trace::{
+    DropCause, FrameClass, TraceEvent, TraceFilter, TraceKind, TracePayload, TraceRing,
+};

@@ -204,7 +204,11 @@ mod tests {
         let mut c1 = parent.derive(1);
         let mut c2 = parent.derive(2);
         let mut c1b = parent.derive(1);
-        assert_eq!(c1.next_u64(), c1b.next_u64(), "derive must be deterministic");
+        assert_eq!(
+            c1.next_u64(),
+            c1b.next_u64(),
+            "derive must be deterministic"
+        );
         let same = (0..64).filter(|_| c1.next_u32() == c2.next_u32()).count();
         assert!(same < 4);
     }

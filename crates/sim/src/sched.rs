@@ -68,6 +68,7 @@ impl<E> Ord for Entry<E> {
 pub struct Scheduler<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
+    depth_high_water: usize,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -82,6 +83,7 @@ impl<E> Scheduler<E> {
         Scheduler {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            depth_high_water: 0,
         }
     }
 
@@ -90,6 +92,7 @@ impl<E> Scheduler<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.depth_high_water = self.depth_high_water.max(self.heap.len());
         EventId(seq)
     }
 
@@ -116,6 +119,12 @@ impl<E> Scheduler<E> {
     /// Total number of events ever scheduled (diagnostic).
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// The deepest the pending-event heap has ever been — a measure of
+    /// how much simultaneous future the simulation keeps in flight.
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_high_water
     }
 }
 
@@ -176,6 +185,26 @@ mod tests {
         s.pop();
         assert_eq!(s.len(), 9);
         assert_eq!(s.scheduled_total(), 10);
+    }
+
+    #[test]
+    fn depth_high_water_tracks_peak_not_current() {
+        let mut s: Scheduler<u64> = Scheduler::new();
+        assert_eq!(s.depth_high_water(), 0);
+        for i in 0..4 {
+            s.schedule(Time::from_micros(i), i);
+        }
+        s.pop();
+        s.pop();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.depth_high_water(), 4);
+        // Refilling below the old peak leaves the high-water untouched.
+        s.schedule(Time::from_micros(9), 9);
+        assert_eq!(s.depth_high_water(), 4);
+        // Exceeding it moves it.
+        s.schedule(Time::from_micros(10), 10);
+        s.schedule(Time::from_micros(11), 11);
+        assert_eq!(s.depth_high_water(), 5);
     }
 
     #[test]

@@ -3,10 +3,17 @@
 //! A `TraceRing` is the simulator's answer to `tcpdump`: components push
 //! one-line records of interesting moments (frame on air, collision, queue
 //! drop, contention-window change) and the ring keeps the most recent `cap`
-//! of them. It is cheap enough to leave on in tests — the records are plain
-//! structs, there is no formatting cost until somebody renders them — and
-//! it can be disabled entirely (`cap == 0`) for benchmark runs.
+//! of them. Records carry a typed, `Copy` [`TracePayload`] instead of a
+//! pre-formatted string, so pushing on the hot path never allocates —
+//! formatting happens only when somebody renders or exports the ring. It
+//! can be disabled entirely (`cap == 0`) for benchmark runs.
+//!
+//! For offline analysis the ring exports JSONL (one JSON object per line)
+//! via [`TraceRing::to_jsonl`], and [`TraceRing::parse_jsonl`] reads the
+//! same format back. [`TraceFilter`] narrows a ring by kind, node, and
+//! time window.
 
+use crate::json::JsonValue;
 use crate::time::Time;
 use core::fmt;
 use std::collections::VecDeque;
@@ -32,8 +39,307 @@ pub enum TraceKind {
     Misc,
 }
 
-/// One trace record.
-#[derive(Clone, Debug)]
+impl TraceKind {
+    /// Stable machine-readable name, used by the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::TxStart => "TxStart",
+            TraceKind::TxEnd => "TxEnd",
+            TraceKind::Collision => "Collision",
+            TraceKind::Drop => "Drop",
+            TraceKind::Queue => "Queue",
+            TraceKind::CwChange => "CwChange",
+            TraceKind::BoeSample => "BoeSample",
+            TraceKind::Misc => "Misc",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<TraceKind> {
+        Some(match name {
+            "TxStart" => TraceKind::TxStart,
+            "TxEnd" => TraceKind::TxEnd,
+            "Collision" => TraceKind::Collision,
+            "Drop" => TraceKind::Drop,
+            "Queue" => TraceKind::Queue,
+            "CwChange" => TraceKind::CwChange,
+            "BoeSample" => TraceKind::BoeSample,
+            "Misc" => TraceKind::Misc,
+            _ => return None,
+        })
+    }
+}
+
+/// MAC-level class of a traced frame. The sim kernel keeps its own copy
+/// of this enum (rather than borrowing the PHY's frame type) so tracing
+/// stays dependency-free; producers map their frame kinds into it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum FrameClass {
+    /// A data frame.
+    Data,
+    /// An acknowledgement.
+    Ack,
+    /// A request-to-send.
+    Rts,
+    /// A clear-to-send.
+    Cts,
+}
+
+impl FrameClass {
+    /// Stable name ("Data", "Ack", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            FrameClass::Data => "Data",
+            FrameClass::Ack => "Ack",
+            FrameClass::Rts => "Rts",
+            FrameClass::Cts => "Cts",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<FrameClass> {
+        Some(match name {
+            "Data" => FrameClass::Data,
+            "Ack" => FrameClass::Ack,
+            "Rts" => FrameClass::Rts,
+            "Cts" => FrameClass::Cts,
+            _ => return None,
+        })
+    }
+}
+
+/// Why a packet was dropped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum DropCause {
+    /// The MAC gave up after the retry limit.
+    RetryLimit,
+    /// A forwarding queue was full.
+    QueueFull,
+}
+
+impl DropCause {
+    /// Stable name used by the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropCause::RetryLimit => "retry_limit",
+            DropCause::QueueFull => "queue_full",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<DropCause> {
+        Some(match name {
+            "retry_limit" => DropCause::RetryLimit,
+            "queue_full" => DropCause::QueueFull,
+            _ => return None,
+        })
+    }
+}
+
+/// The typed, allocation-free body of a trace record.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TracePayload {
+    /// No extra detail.
+    Empty,
+    /// A fixed annotation (for `Misc` records).
+    Text(&'static str),
+    /// A frame identified by class, sequence number, flow, and endpoints.
+    Frame {
+        /// MAC-level class.
+        class: FrameClass,
+        /// Flow-level sequence number.
+        seq: u64,
+        /// Flow id the frame belongs to.
+        flow: u32,
+        /// Transmitting node.
+        src: usize,
+        /// Intended receiver.
+        dst: usize,
+        /// Retry count at the moment of the record.
+        retry: u32,
+    },
+    /// A reception destroyed by interference from `src`.
+    Collision {
+        /// Sequence number of the victim frame.
+        seq: u64,
+        /// The interfering transmitter.
+        src: usize,
+    },
+    /// A packet dropped, and why.
+    Drop {
+        /// The reason.
+        cause: DropCause,
+        /// Sequence number of the dropped packet.
+        seq: u64,
+    },
+    /// A queue occupancy observation.
+    Queue {
+        /// Packets currently queued.
+        occupancy: u32,
+        /// Queue capacity.
+        cap: u32,
+    },
+    /// A contention-window move.
+    CwChange {
+        /// Previous CWmin.
+        from: u32,
+        /// New CWmin.
+        to: u32,
+    },
+    /// A buffer-occupancy estimate from the BOE.
+    BoeSample {
+        /// The successor the estimate concerns.
+        successor: usize,
+        /// Estimated backlog (packets).
+        estimate: u32,
+    },
+}
+
+impl fmt::Display for TracePayload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TracePayload::Empty => Ok(()),
+            TracePayload::Text(s) => f.write_str(s),
+            TracePayload::Frame {
+                class,
+                seq,
+                flow,
+                src,
+                dst,
+                retry,
+            } => write!(
+                f,
+                "{} seq={seq} flow={flow} {src}->{dst} retry={retry}",
+                class.name()
+            ),
+            TracePayload::Collision { seq, src } => write!(f, "seq={seq} from {src}"),
+            TracePayload::Drop { cause, seq } => write!(f, "{} seq={seq}", cause.name()),
+            TracePayload::Queue { occupancy, cap } => write!(f, "{occupancy}/{cap}"),
+            TracePayload::CwChange { from, to } => write!(f, "{from} -> {to}"),
+            TracePayload::BoeSample {
+                successor,
+                estimate,
+            } => write!(f, "succ {successor} b={estimate}"),
+        }
+    }
+}
+
+impl TracePayload {
+    fn to_json(self) -> JsonValue {
+        match self {
+            TracePayload::Empty => JsonValue::obj(vec![("type", JsonValue::str("empty"))]),
+            TracePayload::Text(s) => JsonValue::obj(vec![
+                ("type", JsonValue::str("text")),
+                ("text", JsonValue::str(s)),
+            ]),
+            TracePayload::Frame {
+                class,
+                seq,
+                flow,
+                src,
+                dst,
+                retry,
+            } => JsonValue::obj(vec![
+                ("type", JsonValue::str("frame")),
+                ("class", JsonValue::str(class.name())),
+                ("seq", seq.into()),
+                ("flow", flow.into()),
+                ("src", src.into()),
+                ("dst", dst.into()),
+                ("retry", retry.into()),
+            ]),
+            TracePayload::Collision { seq, src } => JsonValue::obj(vec![
+                ("type", JsonValue::str("collision")),
+                ("seq", seq.into()),
+                ("src", src.into()),
+            ]),
+            TracePayload::Drop { cause, seq } => JsonValue::obj(vec![
+                ("type", JsonValue::str("drop")),
+                ("cause", JsonValue::str(cause.name())),
+                ("seq", seq.into()),
+            ]),
+            TracePayload::Queue { occupancy, cap } => JsonValue::obj(vec![
+                ("type", JsonValue::str("queue")),
+                ("occupancy", occupancy.into()),
+                ("cap", cap.into()),
+            ]),
+            TracePayload::CwChange { from, to } => JsonValue::obj(vec![
+                ("type", JsonValue::str("cw_change")),
+                ("from", from.into()),
+                ("to", to.into()),
+            ]),
+            TracePayload::BoeSample {
+                successor,
+                estimate,
+            } => JsonValue::obj(vec![
+                ("type", JsonValue::str("boe_sample")),
+                ("successor", successor.into()),
+                ("estimate", estimate.into()),
+            ]),
+        }
+    }
+
+    fn from_json(v: &JsonValue) -> Result<TracePayload, String> {
+        let ty = v
+            .get("type")
+            .and_then(JsonValue::as_str)
+            .ok_or("payload missing 'type'")?;
+        let u64_field = |name: &str| {
+            v.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("payload missing numeric '{name}'"))
+        };
+        Ok(match ty {
+            "empty" => TracePayload::Empty,
+            // &'static str cannot be reconstituted from parsed text; an
+            // imported text payload keeps only its presence.
+            "text" => TracePayload::Text(""),
+            "frame" => {
+                let class = v
+                    .get("class")
+                    .and_then(JsonValue::as_str)
+                    .and_then(FrameClass::from_name)
+                    .ok_or("bad frame class")?;
+                TracePayload::Frame {
+                    class,
+                    seq: u64_field("seq")?,
+                    flow: u64_field("flow")? as u32,
+                    src: u64_field("src")? as usize,
+                    dst: u64_field("dst")? as usize,
+                    retry: u64_field("retry")? as u32,
+                }
+            }
+            "collision" => TracePayload::Collision {
+                seq: u64_field("seq")?,
+                src: u64_field("src")? as usize,
+            },
+            "drop" => {
+                let cause = v
+                    .get("cause")
+                    .and_then(JsonValue::as_str)
+                    .and_then(DropCause::from_name)
+                    .ok_or("bad drop cause")?;
+                TracePayload::Drop {
+                    cause,
+                    seq: u64_field("seq")?,
+                }
+            }
+            "queue" => TracePayload::Queue {
+                occupancy: u64_field("occupancy")? as u32,
+                cap: u64_field("cap")? as u32,
+            },
+            "cw_change" => TracePayload::CwChange {
+                from: u64_field("from")? as u32,
+                to: u64_field("to")? as u32,
+            },
+            "boe_sample" => TracePayload::BoeSample {
+                successor: u64_field("successor")? as usize,
+                estimate: u64_field("estimate")? as u32,
+            },
+            other => return Err(format!("unknown payload type '{other}'")),
+        })
+    }
+}
+
+/// One trace record. `Copy`: pushing stores 40-odd bytes, no heap.
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct TraceEvent {
     /// When it happened.
     pub at: Time,
@@ -41,21 +347,119 @@ pub struct TraceEvent {
     pub node: usize,
     /// Category.
     pub kind: TraceKind,
-    /// Human-readable detail, already formatted by the producer.
-    pub detail: String,
+    /// Typed detail; formatted only on render/export.
+    pub payload: TracePayload,
 }
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.node == usize::MAX {
-            write!(f, "[{}] {:?}: {}", self.at, self.kind, self.detail)
+            write!(f, "[{}] {:?}: {}", self.at, self.kind, self.payload)
         } else {
             write!(
                 f,
                 "[{}] n{} {:?}: {}",
-                self.at, self.node, self.kind, self.detail
+                self.at, self.node, self.kind, self.payload
             )
         }
+    }
+}
+
+impl TraceEvent {
+    /// The JSONL representation of one record.
+    pub fn to_json(&self) -> JsonValue {
+        let mut fields = vec![("at_us", JsonValue::from(self.at.as_micros()))];
+        if self.node != usize::MAX {
+            fields.push(("node", JsonValue::from(self.node)));
+        }
+        fields.push(("kind", JsonValue::str(self.kind.name())));
+        fields.push(("payload", self.payload.to_json()));
+        JsonValue::obj(fields)
+    }
+
+    /// Reconstruct a record from its JSONL representation.
+    pub fn from_json(v: &JsonValue) -> Result<TraceEvent, String> {
+        let at = v
+            .get("at_us")
+            .and_then(JsonValue::as_u64)
+            .ok_or("record missing 'at_us'")?;
+        let node = match v.get("node") {
+            Some(n) => n.as_u64().ok_or("bad 'node'")? as usize,
+            None => usize::MAX,
+        };
+        let kind = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .and_then(TraceKind::from_name)
+            .ok_or("bad 'kind'")?;
+        let payload = TracePayload::from_json(v.get("payload").ok_or("record missing 'payload'")?)?;
+        Ok(TraceEvent {
+            at: Time::from_micros(at),
+            node,
+            kind,
+            payload,
+        })
+    }
+}
+
+/// A conjunctive filter over trace records: every constraint set must
+/// hold. Built fluently: `TraceFilter::new().kind(..).node(..)`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceFilter {
+    kind: Option<TraceKind>,
+    node: Option<usize>,
+    from: Option<Time>,
+    until: Option<Time>,
+}
+
+impl TraceFilter {
+    /// A filter matching everything.
+    pub fn new() -> Self {
+        TraceFilter::default()
+    }
+
+    /// Keep only records of `kind`.
+    pub fn kind(mut self, kind: TraceKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Keep only records concerning `node`.
+    pub fn node(mut self, node: usize) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Keep only records in the half-open window `[from, until)`.
+    pub fn between(mut self, from: Time, until: Time) -> Self {
+        self.from = Some(from);
+        self.until = Some(until);
+        self
+    }
+
+    /// Whether `ev` passes every constraint.
+    pub fn matches(&self, ev: &TraceEvent) -> bool {
+        if let Some(k) = self.kind {
+            if ev.kind != k {
+                return false;
+            }
+        }
+        if let Some(n) = self.node {
+            if ev.node != n {
+                return false;
+            }
+        }
+        if let Some(from) = self.from {
+            if ev.at < from {
+                return false;
+            }
+        }
+        if let Some(until) = self.until {
+            if ev.at >= until {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -72,6 +476,8 @@ impl TraceRing {
     pub fn new(cap: usize) -> Self {
         TraceRing {
             cap,
+            // Full capacity up front (bounded for sanity), so steady-state
+            // pushes never reallocate.
             ring: VecDeque::with_capacity(cap.min(4096)),
             pushed: 0,
         }
@@ -82,8 +488,9 @@ impl TraceRing {
         self.cap > 0
     }
 
-    /// Pushes a record, evicting the oldest if full.
-    pub fn push(&mut self, at: Time, node: usize, kind: TraceKind, detail: impl Into<String>) {
+    /// Pushes a record, evicting the oldest if full. The payload is
+    /// `Copy`; nothing is formatted or allocated here.
+    pub fn push(&mut self, at: Time, node: usize, kind: TraceKind, payload: TracePayload) {
         self.pushed += 1;
         if self.cap == 0 {
             return;
@@ -95,13 +502,18 @@ impl TraceRing {
             at,
             node,
             kind,
-            detail: detail.into(),
+            payload,
         });
     }
 
     /// Records currently held, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
         self.ring.iter()
+    }
+
+    /// Records passing `filter`, oldest first.
+    pub fn filtered(&self, filter: TraceFilter) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter().filter(move |ev| filter.matches(ev))
     }
 
     /// Number of records currently held.
@@ -129,9 +541,34 @@ impl TraceRing {
         out
     }
 
+    /// Exports the held records as JSONL: one compact JSON object per
+    /// line, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.ring {
+            out.push_str(&ev.to_json().to_compact());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Drops all held records (the counter is preserved).
     pub fn clear(&mut self) {
         self.ring.clear();
+    }
+
+    /// Parses records from JSONL produced by [`TraceRing::to_jsonl`].
+    /// Blank lines are skipped; the error names the offending line.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+        let mut out = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = JsonValue::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            out.push(TraceEvent::from_json(&v).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+        Ok(out)
     }
 }
 
@@ -143,23 +580,48 @@ mod tests {
         Time::from_micros(us)
     }
 
+    fn frame(seq: u64) -> TracePayload {
+        TracePayload::Frame {
+            class: FrameClass::Data,
+            seq,
+            flow: 0,
+            src: 0,
+            dst: 1,
+            retry: 0,
+        }
+    }
+
     #[test]
     fn keeps_most_recent_cap_records() {
         let mut ring = TraceRing::new(3);
         for i in 0..5u64 {
-            ring.push(t(i), 0, TraceKind::Misc, format!("e{i}"));
+            ring.push(t(i), 0, TraceKind::TxStart, frame(i));
         }
         assert_eq!(ring.len(), 3);
         assert_eq!(ring.pushed_total(), 5);
-        let details: Vec<_> = ring.iter().map(|e| e.detail.clone()).collect();
-        assert_eq!(details, vec!["e2", "e3", "e4"]);
+        let seqs: Vec<u64> = ring
+            .iter()
+            .map(|e| match e.payload {
+                TracePayload::Frame { seq, .. } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
     }
 
     #[test]
     fn zero_cap_disables_storage_but_counts() {
         let mut ring = TraceRing::new(0);
         assert!(!ring.enabled());
-        ring.push(t(1), 0, TraceKind::Drop, "gone");
+        ring.push(
+            t(1),
+            0,
+            TraceKind::Drop,
+            TracePayload::Drop {
+                cause: DropCause::QueueFull,
+                seq: 9,
+            },
+        );
         assert!(ring.is_empty());
         assert_eq!(ring.pushed_total(), 1);
     }
@@ -167,10 +629,20 @@ mod tests {
     #[test]
     fn render_formats_lines() {
         let mut ring = TraceRing::new(8);
-        ring.push(t(1_000_000), 2, TraceKind::Collision, "frame 7 at n3");
-        ring.push(t(2_000_000), usize::MAX, TraceKind::Misc, "global");
+        ring.push(
+            t(1_000_000),
+            2,
+            TraceKind::Collision,
+            TracePayload::Collision { seq: 7, src: 3 },
+        );
+        ring.push(
+            t(2_000_000),
+            usize::MAX,
+            TraceKind::Misc,
+            TracePayload::Text("global"),
+        );
         let text = ring.render();
-        assert!(text.contains("n2 Collision: frame 7 at n3"), "{text}");
+        assert!(text.contains("n2 Collision: seq=7 from 3"), "{text}");
         assert!(text.contains("Misc: global"), "{text}");
         // The node field is omitted for global records.
         assert!(!text.contains("n18446744073709551615"), "{text}");
@@ -179,9 +651,109 @@ mod tests {
     #[test]
     fn clear_preserves_counter() {
         let mut ring = TraceRing::new(2);
-        ring.push(t(0), 0, TraceKind::Misc, "a");
+        ring.push(t(0), 0, TraceKind::Misc, TracePayload::Empty);
         ring.clear();
         assert!(ring.is_empty());
         assert_eq!(ring.pushed_total(), 1);
+    }
+
+    #[test]
+    fn filters_by_kind_node_and_window() {
+        let mut ring = TraceRing::new(64);
+        for i in 0..10u64 {
+            let kind = if i % 2 == 0 {
+                TraceKind::TxStart
+            } else {
+                TraceKind::TxEnd
+            };
+            ring.push(t(i * 100), (i % 3) as usize, kind, frame(i));
+        }
+        let starts: Vec<_> = ring
+            .filtered(TraceFilter::new().kind(TraceKind::TxStart))
+            .collect();
+        assert_eq!(starts.len(), 5);
+        assert!(starts.iter().all(|e| e.kind == TraceKind::TxStart));
+
+        let on_node_1: Vec<_> = ring.filtered(TraceFilter::new().node(1)).collect();
+        assert_eq!(on_node_1.len(), 3, "i = 1, 4, 7");
+
+        // Half-open window: 300 included, 600 excluded.
+        let windowed: Vec<_> = ring
+            .filtered(TraceFilter::new().between(t(300), t(600)))
+            .collect();
+        assert_eq!(windowed.len(), 3, "i = 3, 4, 5");
+
+        let combined: Vec<_> = ring
+            .filtered(
+                TraceFilter::new()
+                    .kind(TraceKind::TxEnd)
+                    .node(1)
+                    .between(t(0), t(500)),
+            )
+            .collect();
+        assert_eq!(combined.len(), 1, "only i = 1");
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_payload() {
+        let mut ring = TraceRing::new(64);
+        ring.push(t(1), 0, TraceKind::TxStart, frame(5));
+        ring.push(
+            t(2),
+            1,
+            TraceKind::Collision,
+            TracePayload::Collision { seq: 5, src: 2 },
+        );
+        ring.push(
+            t(3),
+            2,
+            TraceKind::Drop,
+            TracePayload::Drop {
+                cause: DropCause::RetryLimit,
+                seq: 6,
+            },
+        );
+        ring.push(
+            t(4),
+            0,
+            TraceKind::Queue,
+            TracePayload::Queue {
+                occupancy: 12,
+                cap: 50,
+            },
+        );
+        ring.push(
+            t(5),
+            0,
+            TraceKind::CwChange,
+            TracePayload::CwChange { from: 32, to: 64 },
+        );
+        ring.push(
+            t(6),
+            1,
+            TraceKind::BoeSample,
+            TracePayload::BoeSample {
+                successor: 2,
+                estimate: 7,
+            },
+        );
+        ring.push(t(7), usize::MAX, TraceKind::Misc, TracePayload::Empty);
+
+        let jsonl = ring.to_jsonl();
+        assert_eq!(jsonl.lines().count(), ring.len());
+        let parsed = TraceRing::parse_jsonl(&jsonl).unwrap();
+        let original: Vec<TraceEvent> = ring.iter().copied().collect();
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn parse_jsonl_reports_bad_lines() {
+        assert!(TraceRing::parse_jsonl("{oops")
+            .unwrap_err()
+            .contains("line 1"));
+        let missing_kind = r#"{"at_us": 1, "payload": {"type": "empty"}}"#;
+        assert!(TraceRing::parse_jsonl(missing_kind).is_err());
+        // Blank lines are fine.
+        assert_eq!(TraceRing::parse_jsonl("\n\n").unwrap().len(), 0);
     }
 }

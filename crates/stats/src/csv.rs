@@ -28,12 +28,7 @@ mod tests {
         let dir = std::env::temp_dir().join("ezflow_csv_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("out.csv");
-        write_csv(
-            &path,
-            &["t", "kbps"],
-            &[vec![1.0, 10.5], vec![2.0, 20.25]],
-        )
-        .unwrap();
+        write_csv(&path, &["t", "kbps"], &[vec![1.0, 10.5], vec![2.0, 20.25]]).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text, "t,kbps\n1,10.5\n2,20.25\n");
         std::fs::remove_file(&path).ok();

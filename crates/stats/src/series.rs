@@ -1,14 +1,13 @@
 //! Time-binned series.
 
 use ezflow_sim::{Duration, Time};
-use serde::{Deserialize, Serialize};
 
 use crate::summary::{mean_std, Summary};
 
 /// Accumulates delivered bits into fixed-width time bins; reads back as a
 /// throughput (kb/s) series — the paper's Figs. 6 and the throughput
 /// columns of Tables 1–3.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ThroughputSeries {
     bin: Duration,
     bits: Vec<f64>,
@@ -90,7 +89,7 @@ impl ThroughputSeries {
 
 /// A series of timestamped scalar samples (delays, buffer occupancies,
 /// contention windows) that can be read back raw or bin-averaged.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SampleSeries {
     samples: Vec<(Time, f64)>,
 }

@@ -1,9 +1,7 @@
 //! Scalar summaries.
 
-use serde::{Deserialize, Serialize};
-
 /// Mean, standard deviation and extrema of a set of samples.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Summary {
     /// Arithmetic mean (0 for an empty set).
     pub mean: f64,

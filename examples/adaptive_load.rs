@@ -31,7 +31,10 @@ fn main() {
     });
 
     println!("scenario 1 under EZ-flow; F2 active 300..600 s\n");
-    println!("{:>5}  {:>6} {:>6} {:>6} {:>6} | {:>9} {:>9}", "t[s]", "cw12", "cw10", "cw11", "cw9", "F1 kb/s", "F2 kb/s");
+    println!(
+        "{:>5}  {:>6} {:>6} {:>6} {:>6} | {:>9} {:>9}",
+        "t[s]", "cw12", "cw10", "cw11", "cw9", "F1 kb/s", "F2 kb/s"
+    );
     let step = Duration::from_secs(60);
     let mut at = Time::ZERO + step;
     while at <= t3 {

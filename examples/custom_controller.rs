@@ -90,9 +90,18 @@ fn main() {
     let topo = chain(4, Time::ZERO, until);
 
     let entries: Vec<(&str, ControllerFactory)> = vec![
-        ("802.11", Box::new(|_| Box::new(FixedController::standard()))),
-        ("EZ-flow", Box::new(|_| Box::new(EzFlowController::with_defaults()))),
-        ("overhear-rate (this example)", Box::new(|_| Box::new(OverhearRate::new()))),
+        (
+            "802.11",
+            Box::new(|_| Box::new(FixedController::standard())),
+        ),
+        (
+            "EZ-flow",
+            Box::new(|_| Box::new(EzFlowController::with_defaults())),
+        ),
+        (
+            "overhear-rate (this example)",
+            Box::new(|_| Box::new(OverhearRate::new())),
+        ),
     ];
 
     println!("4-hop chain shoot-out, {secs} s\n");

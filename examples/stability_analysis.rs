@@ -41,7 +41,10 @@ fn main() {
     }
 
     println!("per-region one-step drift under EZ-flow (outside S, Foster condition):");
-    println!("{:>8} {:>10} {:>10} {:>10}", "region", "visits", "E[dh]", "E[db1]");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10}",
+        "region", "visits", "E[dh]", "E[db1]"
+    );
     for r in drift_by_region(ModelConfig::default(), 20_000, 25, 5) {
         if r.visits == 0 {
             continue;

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo-wide hygiene gate: formatting, lints, tests. Run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test -q --workspace
+
+echo "all checks passed"

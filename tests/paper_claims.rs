@@ -34,7 +34,9 @@ fn parking_lot_fairness() {
     };
     let mut ez = Network::from_topology(&topo, 5, &make_ez);
     ez.run_until(until);
-    let ke: Vec<f64> = (0..2).map(|f| ez.metrics.mean_kbps(f, warm, until)).collect();
+    let ke: Vec<f64> = (0..2)
+        .map(|f| ez.metrics.mean_kbps(f, warm, until))
+        .collect();
     let fi_ez = jain_index(&ke);
 
     assert!(
@@ -74,12 +76,18 @@ fn merging_flows_adapt() {
     // While both flows run, both get real throughput.
     let k1 = net.metrics.mean_kbps(0, t1 + Duration::from_secs(60), t2);
     let k2 = net.metrics.mean_kbps(1, t1 + Duration::from_secs(60), t2);
-    assert!(k1 > 20.0 && k2 > 20.0, "both flows must flow: {k1:.1} / {k2:.1}");
+    assert!(
+        k1 > 20.0 && k2 > 20.0,
+        "both flows must flow: {k1:.1} / {k2:.1}"
+    );
 
     // The F1 source's window climbed while competing and the network
     // returned to a healthy single-flow regime afterwards.
     let k_final = net.metrics.mean_kbps(0, t2 + Duration::from_secs(100), t3);
-    assert!(k_final > 120.0, "post-F2 recovery too weak: {k_final:.1} kb/s");
+    assert!(
+        k_final > 120.0,
+        "post-F2 recovery too weak: {k_final:.1} kb/s"
+    );
     // Relay queues empty again at the end.
     for node in [10usize, 8, 6, 4, 3, 2, 1] {
         assert!(
@@ -120,8 +128,16 @@ fn model_and_simulator_agree() {
 
     assert!(sim_plain_b1 > 40.0, "simulator: 802.11 turbulent");
     assert!(sim_ez_b1 < 5.0, "simulator: EZ-flow stable");
-    assert!(fixed.h() > 500, "model: fixed windows diverge, h={}", fixed.h());
-    assert!(adaptive.h() < 200, "model: EZ-flow bounded, h={}", adaptive.h());
+    assert!(
+        fixed.h() > 500,
+        "model: fixed windows diverge, h={}",
+        fixed.h()
+    );
+    assert!(
+        adaptive.h() < 200,
+        "model: EZ-flow bounded, h={}",
+        adaptive.h()
+    );
 }
 
 /// Controllers are interchangeable through the same harness (the crate's

@@ -1,8 +1,8 @@
 //! The §2.3 claim through the umbrella API: EZ-flow also serves traffic
 //! with end-to-end feedback (our windowed, TCP-like transport).
 
-use ezflow::prelude::*;
 use ezflow::net::topo::{self, FlowSpec};
+use ezflow::prelude::*;
 
 fn windowed_chain(hops: usize, window: usize, secs: u64) -> Topology {
     let until = Time::from_secs(secs);
@@ -37,9 +37,7 @@ fn ezflow_also_serves_feedback_traffic() {
 
     let mut plain = Network::from_topology(&t, 5, &std_controller);
     plain.run_until(until);
-    let make_ez = |_: usize| -> Box<dyn Controller> {
-        Box::new(EzFlowController::with_defaults())
-    };
+    let make_ez = |_: usize| -> Box<dyn Controller> { Box::new(EzFlowController::with_defaults()) };
     let mut ez = Network::from_topology(&t, 5, &make_ez);
     ez.run_until(until);
 
