@@ -5,7 +5,13 @@
 //! cargo run --release -p ezflow-bench --bin experiments -- fig1 table2
 //! cargo run --release -p ezflow-bench --bin experiments -- --quick all
 //! cargo run --release -p ezflow-bench --bin experiments -- --markdown all
+//! cargo run --release -p ezflow-bench --bin experiments -- --jobs=4 seeds
 //! ```
+//!
+//! `--jobs=N` fans each experiment's independent runs across N worker
+//! threads (`--jobs=0`, the default, uses the machine's parallelism;
+//! `--jobs=1` forces the old serial behaviour). Results are identical
+//! for every N — runs are pure functions of their spec and seed.
 //!
 //! Ids: fig1, table1, fig4, table2, scenario1 (fig6/fig7/fig8),
 //! scenario2 (fig10/fig11/table3), table4, theorem1, ablations, all.
@@ -33,6 +39,9 @@ fn main() -> ExitCode {
             s if s.starts_with("--time=") => {
                 scale.time = s["--time=".len()..].parse().expect("numeric factor");
             }
+            s if s.starts_with("--jobs=") => {
+                scale.jobs = s["--jobs=".len()..].parse().expect("numeric job count");
+            }
             s if s.starts_with("--csv=") => {
                 csv_dir = Some(std::path::PathBuf::from(&s["--csv=".len()..]));
             }
@@ -44,7 +53,7 @@ fn main() -> ExitCode {
     }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments [--quick] [--markdown] [--csv=DIR] [--json=FILE] [--seed=N] [--time=F] <id>...\n\
+            "usage: experiments [--quick] [--markdown] [--csv=DIR] [--json=FILE] [--seed=N] [--time=F] [--jobs=N] <id>...\n\
              ids: fig1 table1 fig4 table2 scenario1 scenario2 table4 theorem1 ablations seeds all"
         );
         return ExitCode::from(2);

@@ -1,0 +1,116 @@
+//! Measures the sweep runner's parallel speedup and records it in
+//! `BENCH_sim_speed.json`.
+//!
+//! ```text
+//! cargo run --release -p ezflow-bench --bin sweep_bench -- [--out=FILE]
+//! ```
+//!
+//! Runs one batch of independent chain simulations twice — `--jobs=1`
+//! (serial) and `--jobs=4` — verifies the two produce **byte-identical**
+//! run snapshots (perf block zeroed; it is wall-clock and honestly
+//! non-deterministic), and writes a `"sweep"` entry into the JSON file
+//! next to the existing events/s baseline. The entry records the wall
+//! times, the speedup, and the machine's available parallelism — on a
+//! single-core container the speedup is ~1× by physics, and the entry
+//! says so rather than pretending otherwise.
+
+use std::time::Instant;
+
+use ezflow_bench::runner::{Job, SweepRunner};
+use ezflow_core::EzFlowController;
+use ezflow_net::{topo, FixedController, NetworkSpec, PerfSnapshot};
+use ezflow_sim::{JsonValue, Time};
+
+const RUNS: usize = 8;
+const SIM_SECS: u64 = 240;
+const PAR_JOBS: usize = 4;
+
+fn batch() -> Vec<Job> {
+    let until = Time::from_secs(SIM_SECS);
+    (0..RUNS)
+        .map(|i| {
+            let hops = 3 + i % 3;
+            let t = topo::chain(hops, Time::ZERO, until);
+            let spec = NetworkSpec::from_topology(&t, 42 + i as u64);
+            let make: Box<dyn Fn(usize) -> Box<dyn ezflow_net::Controller> + Send + Sync> =
+                if i % 2 == 0 {
+                    Box::new(|_| Box::new(FixedController::standard()))
+                } else {
+                    Box::new(|_| Box::new(EzFlowController::with_defaults()))
+                };
+            Job::new(format!("sweep/{hops}hop/{i}"), spec, until, make)
+        })
+        .collect()
+}
+
+/// Runs the batch under `workers` threads; returns (wall seconds, one
+/// comparable snapshot digest per job).
+fn timed(workers: usize) -> (f64, Vec<String>) {
+    let start = Instant::now();
+    let digests = SweepRunner::new(workers).run_map(batch(), |i, mut net| {
+        let mut snap = net.snapshot(&format!("job{i}"));
+        snap.perf = PerfSnapshot::zeroed();
+        snap.to_json().to_compact()
+    });
+    (start.elapsed().as_secs_f64(), digests)
+}
+
+fn main() -> std::process::ExitCode {
+    let mut out = std::path::PathBuf::from("BENCH_sim_speed.json");
+    for a in std::env::args().skip(1) {
+        if let Some(p) = a.strip_prefix("--out=") {
+            out = p.into();
+        } else {
+            eprintln!("usage: sweep_bench [--out=FILE]");
+            return std::process::ExitCode::from(2);
+        }
+    }
+
+    let machine = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("{RUNS} runs x {SIM_SECS} sim-seconds; machine parallelism {machine}");
+
+    let (serial_secs, serial) = timed(1);
+    eprintln!("jobs=1: {serial_secs:.2} s");
+    let (par_secs, par) = timed(PAR_JOBS);
+    eprintln!("jobs={PAR_JOBS}: {par_secs:.2} s");
+
+    let identical = serial == par;
+    if !identical {
+        eprintln!("ERROR: parallel snapshots diverged from serial");
+        return std::process::ExitCode::FAILURE;
+    }
+    let speedup = serial_secs / par_secs;
+    eprintln!("speedup {speedup:.2}x, outputs byte-identical");
+
+    let entry = JsonValue::obj(vec![
+        ("runs", (RUNS as f64).into()),
+        ("sim_secs_per_run", (SIM_SECS as f64).into()),
+        ("jobs_serial", 1.0.into()),
+        ("jobs_parallel", (PAR_JOBS as f64).into()),
+        ("serial_secs", serial_secs.into()),
+        ("parallel_secs", par_secs.into()),
+        ("speedup", speedup.into()),
+        ("machine_parallelism", (machine as f64).into()),
+        ("outputs_byte_identical", JsonValue::Bool(identical)),
+    ]);
+
+    // Merge into the existing baseline file, replacing any prior entry.
+    let mut doc = match std::fs::read_to_string(&out) {
+        Ok(text) => JsonValue::parse(&text).unwrap_or(JsonValue::Object(Vec::new())),
+        Err(_) => JsonValue::Object(Vec::new()),
+    };
+    if let JsonValue::Object(fields) = &mut doc {
+        fields.retain(|(k, _)| k != "sweep");
+        fields.push(("sweep".to_string(), entry));
+    }
+    let mut text = doc.to_pretty();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&out, text) {
+        eprintln!("failed to write {}: {e}", out.display());
+        return std::process::ExitCode::FAILURE;
+    }
+    eprintln!("recorded sweep entry in {}", out.display());
+    std::process::ExitCode::SUCCESS
+}

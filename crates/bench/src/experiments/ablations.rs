@@ -2,6 +2,10 @@
 //! its parameters, robustness to link loss, the hop-count stability
 //! boundary, and a controller tournament against the static penalty and
 //! an idealized DiffQ.
+//!
+//! Every sub-experiment is a sweep of independent runs, so each one
+//! batches its runs through the [`crate::runner::SweepRunner`] and
+//! consumes the outcomes in job order.
 
 use ezflow_core::baselines::{static_penalty_factory, DiffQController};
 use ezflow_core::{EzFlowConfig, EzFlowController};
@@ -11,6 +15,7 @@ use ezflow_sim::Time;
 
 use super::Algo;
 use crate::report::{Report, Scale};
+use crate::runner::Job;
 
 /// Runs all ablations.
 pub fn run(scale: Scale) -> Report {
@@ -27,39 +32,16 @@ pub fn run(scale: Scale) -> Report {
     rep
 }
 
+#[derive(Clone, Copy)]
 struct Outcome {
     kbps: f64,
     delay: f64,
     b1: f64,
 }
 
-fn chain_run(
-    hops: usize,
-    secs: u64,
-    seed: u64,
-    loss: f64,
-    make: &dyn Fn(usize) -> Box<dyn Controller>,
-) -> Outcome {
-    chain_run_cfg(hops, secs, seed, loss, false, make)
-}
-
-fn chain_run_cfg(
-    hops: usize,
-    secs: u64,
-    seed: u64,
-    loss: f64,
-    rts_cts: bool,
-    make: &dyn Fn(usize) -> Box<dyn Controller>,
-) -> Outcome {
+/// The three numbers every chain ablation reads off a finished run.
+fn outcome(net: &Network, secs: u64) -> Outcome {
     let until = Time::from_secs(secs);
-    let t = topo::chain(hops, Time::ZERO, until);
-    let mut spec = NetworkSpec::from_topology(&t, seed);
-    if loss > 0.0 {
-        spec.loss = ezflow_phy::LossModel::uniform(loss);
-    }
-    spec.mac.rts_cts = rts_cts;
-    let mut net = Network::new(spec, make);
-    net.run_until(until);
     let half = Time::from_secs(secs / 2);
     Outcome {
         kbps: net.metrics.mean_kbps(0, half, until),
@@ -68,19 +50,74 @@ fn chain_run_cfg(
     }
 }
 
+/// One K-hop chain run as a sweep job.
+fn chain_job(
+    label: impl Into<String>,
+    hops: usize,
+    secs: u64,
+    seed: u64,
+    loss: f64,
+    rts_cts: bool,
+    make: ControllerFactory,
+) -> Job {
+    let until = Time::from_secs(secs);
+    let t = topo::chain(hops, Time::ZERO, until);
+    let mut spec = NetworkSpec::from_topology(&t, seed);
+    if loss > 0.0 {
+        spec.loss = ezflow_phy::LossModel::uniform(loss);
+    }
+    spec.mac.rts_cts = rts_cts;
+    Job::new(label, spec, until, make)
+}
+
+/// Runs a batch of chain jobs and reduces each to its [`Outcome`].
+fn run_outcomes(scale: Scale, secs: u64, jobs: Vec<Job>) -> Vec<Outcome> {
+    scale
+        .runner()
+        .run_map(jobs, move |_, net| outcome(&net, secs))
+}
+
 /// `b_max` / `b_min` sweep on the 4-hop chain.
 fn thresholds(rep: &mut Report, scale: Scale) {
     let secs = scale.secs(600);
     rep.note(format!("threshold sweeps: 4-hop chain, {secs} s per run"));
-    let mut all_stable = true;
-    for b_max in [5.0, 10.0, 20.0, 40.0] {
+    let b_maxes = [5.0, 10.0, 20.0, 40.0];
+    let b_mins = [0.05, 1.0, 5.0];
+    let mut jobs = Vec::new();
+    for b_max in b_maxes {
         let cfg = EzFlowConfig {
             b_max,
             ..EzFlowConfig::default()
         };
-        let o = chain_run(4, secs, scale.seed, 0.0, &move |_| {
-            Box::new(EzFlowController::new(cfg, 32))
-        });
+        jobs.push(chain_job(
+            format!("ablations/b_max={b_max}"),
+            4,
+            secs,
+            scale.seed,
+            0.0,
+            false,
+            Box::new(move |_| Box::new(EzFlowController::new(cfg, 32))),
+        ));
+    }
+    for b_min in b_mins {
+        let cfg = EzFlowConfig {
+            b_min,
+            ..EzFlowConfig::default()
+        };
+        jobs.push(chain_job(
+            format!("ablations/b_min={b_min}"),
+            4,
+            secs,
+            scale.seed,
+            0.0,
+            false,
+            Box::new(move |_| Box::new(EzFlowController::new(cfg, 32))),
+        ));
+    }
+    let outs = run_outcomes(scale, secs, jobs);
+
+    let mut all_stable = true;
+    for (b_max, o) in b_maxes.iter().zip(&outs[..b_maxes.len()]) {
         all_stable &= o.b1 < 15.0;
         rep.row(
             format!("b_max = {b_max}"),
@@ -88,14 +125,7 @@ fn thresholds(rep: &mut Report, scale: Scale) {
             format!("{:.0} kb/s, {:.2} s, b1 = {:.1}", o.kbps, o.delay, o.b1),
         );
     }
-    for b_min in [0.05, 1.0, 5.0] {
-        let cfg = EzFlowConfig {
-            b_min,
-            ..EzFlowConfig::default()
-        };
-        let o = chain_run(4, secs, scale.seed, 0.0, &move |_| {
-            Box::new(EzFlowController::new(cfg, 32))
-        });
+    for (b_min, o) in b_mins.iter().zip(&outs[b_maxes.len()..]) {
         rep.row(
             format!("b_min = {b_min}"),
             "b_min must be ~0.1 or nodes become too aggressive (§3.3)",
@@ -112,11 +142,46 @@ fn thresholds(rep: &mut Report, scale: Scale) {
 /// retransmissions everywhere) — the BOE's robustness claim.
 fn loss_robustness(rep: &mut Report, scale: Scale) {
     let secs = scale.secs(600);
+    let until = Time::from_secs(secs);
+    let losses = [0.0, 0.1, 0.2];
+
+    let mut jobs: Vec<Job> = losses
+        .iter()
+        .map(|&loss| {
+            chain_job(
+                format!("ablations/loss={loss}"),
+                4,
+                secs,
+                scale.seed,
+                loss,
+                false,
+                Box::new(|_| Box::new(EzFlowController::with_defaults())),
+            )
+        })
+        .collect();
+    // Bursty fades (Gilbert-Elliott) are the BOE's worst case: whole runs
+    // of overhearings vanish at once. Same mean loss rate (~13%) as the
+    // Bernoulli rows, but clustered.
+    let bursty = ["802.11", "EZ-flow"];
+    for (name, make) in bursty
+        .iter()
+        .zip([Algo::Plain.factory(), Algo::EzFlow.factory()])
+    {
+        let t = topo::chain(4, Time::ZERO, until);
+        let mut spec = NetworkSpec::from_topology(&t, scale.seed);
+        spec.loss =
+            ezflow_phy::LossModel::ideal().with_burst(ezflow_phy::loss::GilbertElliott::classic());
+        jobs.push(Job::new(
+            format!("ablations/bursty/{name}"),
+            spec,
+            until,
+            make,
+        ));
+    }
+    let outs = run_outcomes(scale, secs, jobs);
+
     let mut stable = true;
-    for loss in [0.0, 0.1, 0.2] {
-        let o = chain_run(4, secs, scale.seed, loss, &|_| {
-            Box::new(EzFlowController::with_defaults())
-        });
+    for (&loss, o) in losses.iter().zip(&outs[..losses.len()]) {
         if loss > 0.0 {
             stable &= o.b1 < 15.0;
         }
@@ -126,33 +191,14 @@ fn loss_robustness(rep: &mut Report, scale: Scale) {
             format!("{:.0} kb/s, {:.2} s, b1 = {:.1}", o.kbps, o.delay, o.b1),
         );
     }
-    // Bursty fades (Gilbert-Elliott) are the BOE's worst case: whole runs
-    // of overhearings vanish at once. Same mean loss rate (~13%) as the
-    // Bernoulli rows, but clustered.
-    let until = Time::from_secs(secs);
-    let half = Time::from_secs(secs / 2);
     let mut b1s = Vec::new();
-    for (name, make) in [
-        ("802.11", Algo::Plain.factory()),
-        ("EZ-flow", Algo::EzFlow.factory()),
-    ] {
-        let t = topo::chain(4, Time::ZERO, until);
-        let mut spec = NetworkSpec::from_topology(&t, scale.seed);
-        spec.loss =
-            ezflow_phy::LossModel::ideal().with_burst(ezflow_phy::loss::GilbertElliott::classic());
-        let mut net = Network::new(spec, &*make);
-        net.run_until(until);
-        let b1 = net.metrics.buffer[1].window(half, until).mean;
+    for (name, o) in bursty.iter().zip(&outs[losses.len()..]) {
         rep.row(
             format!("bursty loss (Gilbert-Elliott, ~13% mean) [{name}]"),
             "BOE tolerates clustered missed overhearings (§3.2)",
-            format!(
-                "{:.0} kb/s, {:.2} s, b1 = {b1:.1}",
-                net.metrics.mean_kbps(0, half, until),
-                net.metrics.delay_net[&0].window(half, until).mean
-            ),
+            format!("{:.0} kb/s, {:.2} s, b1 = {:.1}", o.kbps, o.delay, o.b1),
         );
-        b1s.push(b1);
+        b1s.push(o.b1);
     }
     // The fades themselves throttle the source via retries, so even
     // 802.11's queue rides below the ceiling here; the meaningful claim
@@ -168,15 +214,35 @@ fn loss_robustness(rep: &mut Report, scale: Scale) {
 /// Stability boundary in hop count, 802.11 vs EZ-flow.
 fn hop_boundary(rep: &mut Report, scale: Scale) {
     let secs = scale.secs(600);
+    let hops_range: Vec<usize> = (2..=8).collect();
+    let mut jobs = Vec::new();
+    for &hops in &hops_range {
+        jobs.push(chain_job(
+            format!("ablations/hops={hops}/802.11"),
+            hops,
+            secs,
+            scale.seed,
+            0.0,
+            false,
+            Box::new(|_| Box::new(FixedController::standard())),
+        ));
+        jobs.push(chain_job(
+            format!("ablations/hops={hops}/EZ-flow"),
+            hops,
+            secs,
+            scale.seed,
+            0.0,
+            false,
+            Box::new(|_| Box::new(EzFlowController::with_defaults())),
+        ));
+    }
+    let outs = run_outcomes(scale, secs, jobs);
+
     let mut plain_unstable = true;
     let mut ez_stable = true;
-    for hops in 2..=8usize {
-        let plain = chain_run(hops, secs, scale.seed, 0.0, &|_| {
-            Box::new(FixedController::standard())
-        });
-        let ez = chain_run(hops, secs, scale.seed, 0.0, &|_| {
-            Box::new(EzFlowController::with_defaults())
-        });
+    for (i, &hops) in hops_range.iter().enumerate() {
+        let plain = outs[2 * i];
+        let ez = outs[2 * i + 1];
         if hops >= 4 {
             plain_unstable &= plain.b1 > 35.0;
         }
@@ -215,9 +281,25 @@ fn tournament(rep: &mut Report, scale: Scale) {
         ),
     ];
 
+    let names: Vec<&str> = entries.iter().map(|(n, _)| *n).collect();
+    let jobs: Vec<Job> = entries
+        .into_iter()
+        .map(|(name, make)| {
+            chain_job(
+                format!("ablations/tournament/{name}"),
+                8,
+                secs,
+                scale.seed,
+                0.0,
+                false,
+                make,
+            )
+        })
+        .collect();
+    let outs = run_outcomes(scale, secs, jobs);
+
     let mut results = Vec::new();
-    for (name, make) in &entries {
-        let o = chain_run(8, secs, scale.seed, 0.0, make.as_ref());
+    for (name, o) in names.iter().zip(outs) {
         rep.row(
             format!("8-hop chain [{name}]"),
             match *name {
@@ -256,15 +338,37 @@ fn tournament(rep: &mut Report, scale: Scale) {
 /// claim instead of assuming it.
 fn rts_cts(rep: &mut Report, scale: Scale) {
     let secs = scale.secs(600);
-    let plain = chain_run_cfg(4, secs, scale.seed, 0.0, false, &|_| {
-        Box::new(FixedController::standard())
-    });
-    let with_rts = chain_run_cfg(4, secs, scale.seed, 0.0, true, &|_| {
-        Box::new(FixedController::standard())
-    });
-    let ez_rts = chain_run_cfg(4, secs, scale.seed, 0.0, true, &|_| {
-        Box::new(EzFlowController::with_defaults())
-    });
+    let jobs = vec![
+        chain_job(
+            "ablations/rts/802.11",
+            4,
+            secs,
+            scale.seed,
+            0.0,
+            false,
+            Box::new(|_| Box::new(FixedController::standard())),
+        ),
+        chain_job(
+            "ablations/rts/802.11+rts",
+            4,
+            secs,
+            scale.seed,
+            0.0,
+            true,
+            Box::new(|_| Box::new(FixedController::standard())),
+        ),
+        chain_job(
+            "ablations/rts/EZ-flow+rts",
+            4,
+            secs,
+            scale.seed,
+            0.0,
+            true,
+            Box::new(|_| Box::new(EzFlowController::with_defaults())),
+        ),
+    ];
+    let outs = run_outcomes(scale, secs, jobs);
+    let (plain, with_rts, ez_rts) = (outs[0], outs[1], outs[2]);
     rep.row(
         "4-hop chain: 802.11 / 802.11+RTS-CTS / EZ-flow+RTS-CTS (b1)",
         "RTS/CTS does not cure turbulence (§5.1); EZ-flow works regardless",
@@ -287,26 +391,31 @@ fn rts_cts(rep: &mut Report, scale: Scale) {
 fn eifs(rep: &mut Report, scale: Scale) {
     let secs = scale.secs(600);
     let until = Time::from_secs(secs);
-    let half = Time::from_secs(secs / 2);
+    let hops_tried = [3usize, 4];
+    let jobs: Vec<Job> = hops_tried
+        .iter()
+        .map(|&hops| {
+            let t = topo::chain(hops, Time::ZERO, until);
+            let mut spec = NetworkSpec::from_topology(&t, scale.seed);
+            spec.mac.eifs = true;
+            Job::new(
+                format!("ablations/eifs/{hops}-hop"),
+                spec,
+                until,
+                Box::new(|_| Box::new(FixedController::standard()) as Box<dyn Controller>),
+            )
+        })
+        .collect();
+    let outs = run_outcomes(scale, secs, jobs);
+
     let mut outcomes = Vec::new();
-    for hops in [3usize, 4] {
-        let t = topo::chain(hops, Time::ZERO, until);
-        let mut spec = NetworkSpec::from_topology(&t, scale.seed);
-        spec.mac.eifs = true;
-        let mut net = Network::new(spec, &|_| {
-            Box::new(FixedController::standard()) as Box<dyn Controller>
-        });
-        net.run_until(until);
-        let b1 = net.metrics.buffer[1].window(half, until).mean;
+    for (&hops, o) in hops_tried.iter().zip(outs) {
         rep.row(
             format!("{hops}-hop chain, 802.11 + EIFS (b1, kb/s)"),
             "EIFS throttles the deaf source; skipped in the baseline model",
-            format!(
-                "b1 = {b1:.1}, {:.0} kb/s",
-                net.metrics.mean_kbps(0, half, until)
-            ),
+            format!("b1 = {:.1}, {:.0} kb/s", o.b1, o.kbps),
         );
-        outcomes.push((hops, b1));
+        outcomes.push((hops, o.b1));
     }
     // Measured outcome: EIFS calms the 3-hop chain further (it brakes the
     // source on every sensed-not-decoded frame) but does NOT cure the
@@ -339,18 +448,30 @@ fn bidirectional(rep: &mut Report, scale: Scale) {
         loss: base.loss.clone(),
         flows,
     };
-    let mut results = Vec::new();
-    for (name, make) in [
-        ("802.11", Algo::Plain.factory()),
-        ("EZ-flow", Algo::EzFlow.factory()),
-    ] {
-        let mut net = Network::from_topology(&t, scale.seed, &*make);
-        net.run_until(until);
+    let names = ["802.11", "EZ-flow"];
+    let jobs: Vec<Job> = names
+        .iter()
+        .zip([Algo::Plain.factory(), Algo::EzFlow.factory()])
+        .map(|(name, make)| {
+            Job::new(
+                format!("ablations/bidir/{name}"),
+                NetworkSpec::from_topology(&t, scale.seed),
+                until,
+                make,
+            )
+        })
+        .collect();
+    let per_run = scale.runner().run_map(jobs, move |_, net| {
         let k0 = net.metrics.mean_kbps(0, half, until);
         let k1 = net.metrics.mean_kbps(1, half, until);
         let d: f64 = (net.metrics.delay_net[&0].window(half, until).mean
             + net.metrics.delay_net[&1].window(half, until).mean)
             / 2.0;
+        (k0, k1, d)
+    });
+
+    let mut results = Vec::new();
+    for (name, (k0, k1, d)) in names.iter().zip(per_run) {
         rep.row(
             format!("5-hop bidirectional [{name}]"),
             "EZ-flow handles flows without end-to-end feedback (§2.3)",
@@ -383,8 +504,11 @@ fn windowed_transport(rep: &mut Report, scale: Scale) {
     let half = Time::from_secs(secs / 2);
     let base = topo::chain(4, Time::ZERO, until);
 
-    let mut moderate = Vec::new();
-    for window in [12usize, 40] {
+    let windows = [12usize, 40];
+    let names = ["802.11", "EZ-flow"];
+    let mut jobs = Vec::new();
+    let mut keys = Vec::new();
+    for &window in &windows {
         let t = Topology {
             name: "windowed-chain",
             positions: base.positions.clone(),
@@ -397,29 +521,41 @@ fn windowed_transport(rep: &mut Report, scale: Scale) {
                 until,
             )],
         };
-        for (name, make) in [
-            ("802.11", Algo::Plain.factory()),
-            ("EZ-flow", Algo::EzFlow.factory()),
-        ] {
-            let mut net = Network::from_topology(&t, scale.seed, &*make);
-            net.run_until(until);
-            let k = net.metrics.mean_kbps(0, half, until);
-            let d = net.metrics.delay_net[&0].window(half, until);
-            let p95 = net.metrics.delay_net[&0]
-                .percentile_in(half, until, 0.95)
-                .unwrap_or(0.0);
-            rep.row(
-                format!("4-hop chain, window-{window} transport [{name}]"),
-                if window == 12 {
-                    "moderate window: EZ-flow must not interfere (§2.3)"
-                } else {
-                    "oversized window: control loops interact (limitation)"
-                },
-                format!("{k:.0} kb/s, delay {:.2} s (p95 {p95:.2})", d.mean),
-            );
-            if window == 12 {
-                moderate.push((k, d.mean));
-            }
+        for (name, make) in names
+            .iter()
+            .zip([Algo::Plain.factory(), Algo::EzFlow.factory()])
+        {
+            jobs.push(Job::new(
+                format!("ablations/window-{window}/{name}"),
+                NetworkSpec::from_topology(&t, scale.seed),
+                until,
+                make,
+            ));
+            keys.push((window, *name));
+        }
+    }
+    let per_run = scale.runner().run_map(jobs, move |_, net| {
+        let k = net.metrics.mean_kbps(0, half, until);
+        let d = net.metrics.delay_net[&0].window(half, until);
+        let p95 = net.metrics.delay_net[&0]
+            .percentile_in(half, until, 0.95)
+            .unwrap_or(0.0);
+        (k, d.mean, p95)
+    });
+
+    let mut moderate = Vec::new();
+    for ((window, name), (k, d_mean, p95)) in keys.iter().zip(per_run) {
+        rep.row(
+            format!("4-hop chain, window-{window} transport [{name}]"),
+            if *window == 12 {
+                "moderate window: EZ-flow must not interfere (§2.3)"
+            } else {
+                "oversized window: control loops interact (limitation)"
+            },
+            format!("{k:.0} kb/s, delay {d_mean:.2} s (p95 {p95:.2})"),
+        );
+        if *window == 12 {
+            moderate.push((k, d_mean));
         }
     }
     rep.check(
@@ -435,12 +571,28 @@ fn windowed_transport(rep: &mut Report, scale: Scale) {
 /// The MadWifi 2^10 cap: how much stabilization it costs on a long chain.
 fn hw_cap(rep: &mut Report, scale: Scale) {
     let secs = scale.secs(900);
-    let capped = chain_run(8, secs, scale.seed, 0.0, &|_| {
-        Box::new(EzFlowController::new(EzFlowConfig::testbed(), 32))
-    });
-    let free = chain_run(8, secs, scale.seed, 0.0, &|_| {
-        Box::new(EzFlowController::with_defaults())
-    });
+    let jobs = vec![
+        chain_job(
+            "ablations/cap/2^10",
+            8,
+            secs,
+            scale.seed,
+            0.0,
+            false,
+            Box::new(|_| Box::new(EzFlowController::new(EzFlowConfig::testbed(), 32))),
+        ),
+        chain_job(
+            "ablations/cap/2^15",
+            8,
+            secs,
+            scale.seed,
+            0.0,
+            false,
+            Box::new(|_| Box::new(EzFlowController::with_defaults())),
+        ),
+    ];
+    let outs = run_outcomes(scale, secs, jobs);
+    let (capped, free) = (outs[0], outs[1]);
     rep.row(
         "8-hop chain, EZ-flow capped at 2^10 vs 2^15",
         "cap limits stabilization (§4.3); simulation without it fully stabilizes (§5)",

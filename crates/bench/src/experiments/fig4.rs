@@ -5,13 +5,18 @@
 //! 43.1 (N2), 43.7 (N4); with EZ-flow 29.5 (N1), 5.2 (N2), 5.3 (N4); all
 //! other relays negligible. N1's partial relief (29.5 rather than ~5) is
 //! the MadWifi `CWmin <= 2^10` hardware cap in action — which we model.
+//!
+//! The four runs (two flows × two algorithms) are independent and fan
+//! out through the [`crate::runner::SweepRunner`]; the buffer series the
+//! figures need ride back on the returned networks.
 
-use ezflow_net::topo;
+use ezflow_net::{topo, NetworkSpec};
 use ezflow_sim::{Duration, Time};
 use ezflow_stats::render_series;
 
-use super::{run_net, Algo};
+use super::Algo;
 use crate::report::{Report, Scale};
+use crate::runner::Job;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -31,30 +36,43 @@ pub fn run(scale: Scale) -> Report {
         ("F1", true, false, vec![1usize, 2, 3]),
         ("F2", false, true, vec![4usize, 5, 6]),
     ];
-    let mut avg = std::collections::HashMap::new();
+    let algos = [Algo::Plain, Algo::EzFlowTestbed];
+    let mut jobs = Vec::new();
+    let mut keys = Vec::new();
     for (label, f1, f2, nodes) in &cases {
         let t = topo::testbed(*f1, *f2, Time::ZERO, until);
-        for algo in [Algo::Plain, Algo::EzFlowTestbed] {
-            let net = run_net(&t, algo, until, scale.seed);
-            for &node in nodes {
-                let mean = net.metrics.buffer[node].window(warm, until).mean;
-                avg.insert((*label, algo.name(), node), mean);
-                rep.row(
-                    format!("{label} {}: mean buffer N{node}", algo.name()),
-                    paper_value(label, algo, node),
-                    format!("{mean:.1} packets"),
-                );
-            }
-            // One representative figure per run: the flow's first relay.
-            let first = nodes[0];
-            let series = net.metrics.buffer[first].binned_mean(Duration::from_secs(20));
-            rep.figures.push(render_series(
-                &format!("{label} {}: buffer of N{first} [packets]", algo.name()),
-                &series,
-                64,
-                8,
+        for algo in algos {
+            jobs.push(Job::new(
+                format!("fig4/{label}/{}", algo.name()),
+                NetworkSpec::from_topology(&t, scale.seed),
+                until,
+                algo.factory(),
             ));
+            keys.push((*label, algo, nodes.clone()));
         }
+    }
+    let nets = scale.runner().run(jobs);
+
+    let mut avg = std::collections::HashMap::new();
+    for ((label, algo, nodes), net) in keys.iter().zip(nets.iter()) {
+        for &node in nodes {
+            let mean = net.metrics.buffer[node].window(warm, until).mean;
+            avg.insert((*label, algo.name(), node), mean);
+            rep.row(
+                format!("{label} {}: mean buffer N{node}", algo.name()),
+                paper_value(label, *algo, node),
+                format!("{mean:.1} packets"),
+            );
+        }
+        // One representative figure per run: the flow's first relay.
+        let first = nodes[0];
+        let series = net.metrics.buffer[first].binned_mean(Duration::from_secs(20));
+        rep.figures.push(render_series(
+            &format!("{label} {}: buffer of N{first} [packets]", algo.name()),
+            &series,
+            64,
+            8,
+        ));
     }
 
     let b = |l: &str, a: Algo, n: usize| *avg.get(&(l, a.name(), n)).unwrap_or(&f64::NAN);

@@ -14,7 +14,7 @@ pub mod table1;
 pub mod table2;
 
 use ezflow_core::EzFlowController;
-use ezflow_net::controller::{Controller, FixedController};
+use ezflow_net::controller::{ControllerFactory, FixedController};
 use ezflow_net::{topo::Topology, Network};
 use ezflow_sim::Time;
 
@@ -32,8 +32,9 @@ pub enum Algo {
 }
 
 impl Algo {
-    /// Per-node controller factory.
-    pub fn factory(self) -> Box<dyn Fn(usize) -> Box<dyn Controller>> {
+    /// Per-node controller factory (`Send + Sync`, so one factory can be
+    /// handed to the sweep runner's worker threads).
+    pub fn factory(self) -> ControllerFactory {
         match self {
             Algo::Plain => Box::new(|_| Box::new(FixedController::standard())),
             Algo::EzFlow => Box::new(|_| Box::new(EzFlowController::with_defaults())),

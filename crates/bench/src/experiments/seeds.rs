@@ -1,14 +1,18 @@
 //! **Seed robustness** (beyond the paper): the qualitative conclusions
 //! must not depend on the random seed. Runs the headline 4-hop comparison
 //! across many independent seeds and reports the outcome *distributions*.
+//!
+//! The 20 runs (2 algorithms × 10 seeds) are completely independent, so
+//! they go through the [`crate::runner::SweepRunner`] as one batch.
 
 use ezflow_core::EzFlowController;
-use ezflow_net::controller::{Controller, FixedController};
-use ezflow_net::{topo, Network};
+use ezflow_net::controller::{ControllerFactory, FixedController};
+use ezflow_net::{topo, NetworkSpec};
 use ezflow_sim::Time;
 use ezflow_stats::mean_std;
 
 use crate::report::{Report, Scale};
+use crate::runner::Job;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -23,31 +27,47 @@ pub fn run(scale: Scale) -> Report {
     );
     rep.note(format!("{secs} s per run, seeds {:?}", seeds));
 
-    let mut stable_everywhere = true;
-    let mut ez_wins_everywhere = true;
-    for (name, ez) in [("802.11", false), ("EZ-flow", true)] {
-        let mut b1s = Vec::new();
-        let mut kbps = Vec::new();
-        let mut delays = Vec::new();
+    // One batch: [802.11 × seeds..., EZ-flow × seeds...], in that order.
+    let algos: [(&str, bool); 2] = [("802.11", false), ("EZ-flow", true)];
+    let mut jobs = Vec::new();
+    for (name, ez) in algos {
         for &seed in &seeds {
-            let topo = topo::chain(4, Time::ZERO, until);
-            let make: Box<dyn Fn(usize) -> Box<dyn Controller>> = if ez {
+            let t = topo::chain(4, Time::ZERO, until);
+            let make: ControllerFactory = if ez {
                 Box::new(|_| Box::new(EzFlowController::with_defaults()))
             } else {
                 Box::new(|_| Box::new(FixedController::standard()))
             };
-            let mut net = Network::from_topology(&topo, seed, &*make);
-            net.run_until(until);
-            b1s.push(net.metrics.buffer[1].window(half, until).mean);
-            kbps.push(net.metrics.mean_kbps(0, half, until));
-            delays.push(net.metrics.delay_net[&0].window(half, until).mean);
+            jobs.push(Job::new(
+                format!("seeds/{name}/{seed}"),
+                NetworkSpec::from_topology(&t, seed),
+                until,
+                make,
+            ));
         }
+    }
+    // Reduce each run to its three numbers on the worker thread.
+    let outcomes = scale.runner().run_map(jobs, |_, net| {
+        (
+            net.metrics.buffer[1].window(half, until).mean,
+            net.metrics.mean_kbps(0, half, until),
+            net.metrics.delay_net[&0].window(half, until).mean,
+        )
+    });
+
+    let mut stable_everywhere = true;
+    let mut ez_wins_everywhere = true;
+    for (a, (name, ez)) in algos.iter().enumerate() {
+        let runs = &outcomes[a * seeds.len()..(a + 1) * seeds.len()];
+        let b1s: Vec<f64> = runs.iter().map(|r| r.0).collect();
+        let kbps: Vec<f64> = runs.iter().map(|r| r.1).collect();
+        let delays: Vec<f64> = runs.iter().map(|r| r.2).collect();
         let b1 = mean_std(&b1s);
         let k = mean_std(&kbps);
         let d = mean_std(&delays);
         rep.row(
             format!("{name}: b1 over seeds"),
-            if ez { "always ~empty" } else { "always ~50" },
+            if *ez { "always ~empty" } else { "always ~50" },
             format!(
                 "{:.1} ± {:.1} (range {:.1}..{:.1})",
                 b1.mean, b1.std, b1.min, b1.max
@@ -63,7 +83,7 @@ pub fn run(scale: Scale) -> Report {
             "",
             format!("{:.2} ± {:.2} s (max {:.2})", d.mean, d.std, d.max),
         );
-        if ez {
+        if *ez {
             stable_everywhere &= b1.max < 10.0;
             ez_wins_everywhere &= d.max < 1.0;
         } else {

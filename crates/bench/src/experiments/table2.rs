@@ -5,13 +5,18 @@
 //! Paper: F1 alone 119 ± 25; F2 alone 157 ± 29; together F1 starves
 //! (7 ± 15 vs 143 ± 34, FI = 0.55). EZ-flow: 148 ± 28, 185 ± 26, and
 //! together 71 ± 31 / 110 ± 35 with FI = 0.96.
+//!
+//! The six runs (three flow combinations × two algorithms) are
+//! independent, so they go through the [`crate::runner::SweepRunner`] as
+//! one batch.
 
-use ezflow_net::topo;
+use ezflow_net::{topo, NetworkSpec};
 use ezflow_sim::Time;
 use ezflow_stats::jain_index;
 
-use super::{run_net, Algo};
+use super::Algo;
 use crate::report::{kbps, Report, Scale};
+use crate::runner::Job;
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Report {
@@ -41,47 +46,58 @@ pub fn run(scale: Scale) -> Report {
         ),
     ];
 
-    let mut results = std::collections::HashMap::new();
+    // Batch order: cases × algorithms, algorithms fastest.
+    let algos = [Algo::Plain, Algo::EzFlowTestbed];
+    let mut jobs = Vec::new();
+    let mut keys = Vec::new();
     for (label, f1, f2) in &cases {
         let t = topo::testbed(*f1, *f2, Time::ZERO, until);
-        for algo in [Algo::Plain, Algo::EzFlowTestbed] {
-            let net = run_net(&t, algo, until, scale.seed);
-            let flows: Vec<u32> = {
-                let mut ids: Vec<u32> = net.metrics.throughput.keys().copied().collect();
-                ids.sort_unstable();
-                ids
-            };
-            let mut kb = Vec::new();
-            for &f in &flows {
-                let sm = net.metrics.throughput[&f].window_kbps(warm, until);
-                kb.push((f, sm.mean, sm.std));
-            }
-            let fi = jain_index(&kb.iter().map(|&(_, m, _)| m).collect::<Vec<_>>());
-            let p = paper
-                .iter()
-                .find(|(l, a, _)| l == label && *a == algo.name())
-                .map(|(_, _, v)| v)
-                .expect("paper row");
-            if kb.len() == 1 {
-                rep.row(
-                    format!("{label} [{}]", algo.name()),
-                    p[0].to_string(),
-                    kbps(kb[0].1, kb[0].2),
-                );
-            } else {
-                rep.row(
-                    format!("{label} F1 [{}]", algo.name()),
-                    p[0].to_string(),
-                    kbps(kb[0].1, kb[0].2),
-                );
-                rep.row(
-                    format!("{label} F2 [{}]", algo.name()),
-                    p[1].to_string(),
-                    format!("{} (FI {fi:.2})", kbps(kb[1].1, kb[1].2)),
-                );
-            }
-            results.insert((*label, algo.name()), (kb, fi));
+        for algo in algos {
+            jobs.push(Job::new(
+                format!("table2/{label}/{}", algo.name()),
+                NetworkSpec::from_topology(&t, scale.seed),
+                until,
+                algo.factory(),
+            ));
+            keys.push((*label, algo));
         }
+    }
+    let outcomes = scale.runner().run_map(jobs, |_, net| {
+        let mut kb = Vec::new();
+        for (&f, ts) in net.metrics.throughput.iter() {
+            let sm = ts.window_kbps(warm, until);
+            kb.push((f, sm.mean, sm.std));
+        }
+        let fi = jain_index(&kb.iter().map(|&(_, m, _)| m).collect::<Vec<_>>());
+        (kb, fi)
+    });
+
+    let mut results = std::collections::HashMap::new();
+    for ((label, algo), (kb, fi)) in keys.iter().zip(outcomes) {
+        let p = paper
+            .iter()
+            .find(|(l, a, _)| l == label && *a == algo.name())
+            .map(|(_, _, v)| v)
+            .expect("paper row");
+        if kb.len() == 1 {
+            rep.row(
+                format!("{label} [{}]", algo.name()),
+                p[0].to_string(),
+                kbps(kb[0].1, kb[0].2),
+            );
+        } else {
+            rep.row(
+                format!("{label} F1 [{}]", algo.name()),
+                p[0].to_string(),
+                kbps(kb[0].1, kb[0].2),
+            );
+            rep.row(
+                format!("{label} F2 [{}]", algo.name()),
+                p[1].to_string(),
+                format!("{} (FI {fi:.2})", kbps(kb[1].1, kb[1].2)),
+            );
+        }
+        results.insert((*label, algo.name()), (kb, fi));
     }
 
     let get = |l: &'static str, a: Algo| results[&(l, a.name())].clone();

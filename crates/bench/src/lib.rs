@@ -17,5 +17,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod runner;
 
 pub use report::{Report, Row, Scale};
+pub use runner::{Job, SweepRunner};

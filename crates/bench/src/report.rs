@@ -13,6 +13,10 @@ pub struct Scale {
     pub time: f64,
     /// Random seed for the runs.
     pub seed: u64,
+    /// Worker threads for independent runs within one experiment
+    /// (`0` = machine parallelism, `1` = serial). Results are identical
+    /// for any value — see [`crate::runner::SweepRunner`].
+    pub jobs: usize,
 }
 
 impl Scale {
@@ -21,6 +25,7 @@ impl Scale {
         Scale {
             time: 1.0,
             seed: 42,
+            jobs: 0,
         }
     }
 
@@ -32,12 +37,18 @@ impl Scale {
         Scale {
             time: 0.5,
             seed: 42,
+            jobs: 0,
         }
     }
 
     /// Scales a duration in seconds, keeping a sane floor.
     pub fn secs(&self, paper_secs: u64) -> u64 {
         ((paper_secs as f64 * self.time) as u64).max(30)
+    }
+
+    /// The sweep runner this scale asks for.
+    pub fn runner(&self) -> crate::runner::SweepRunner {
+        crate::runner::SweepRunner::new(self.jobs)
     }
 }
 

@@ -30,7 +30,7 @@ pub fn static_penalty_factory(
     flows: &[FlowSpec],
     relay_cw: u32,
     q_inv: u32,
-) -> impl Fn(usize) -> Box<dyn Controller> {
+) -> impl Fn(usize) -> Box<dyn Controller> + Send + Sync {
     assert!(relay_cw.is_power_of_two());
     assert!(q_inv.is_power_of_two());
     let mut role: HashMap<usize, u32> = HashMap::new();

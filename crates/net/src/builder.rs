@@ -1,0 +1,217 @@
+//! Spec → network construction.
+//!
+//! [`NetworkSpec`] is the static, `Clone`-able description of a network
+//! (positions, channel, loss, MAC parameters, flows, seed); this module
+//! turns one into a runnable [`Network`]: derives the per-node RNG
+//! streams, installs routes (including reverse paths for windowed
+//! flows), creates the interface queues the paper's queue discipline
+//! asks for, builds each flow's [`crate::transport::FlowTransport`], and
+//! schedules the initial events. Being plain data, a spec can be built
+//! once and shipped across threads — the sweep runner in `ezflow-bench`
+//! leans on exactly that.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ezflow_mac::{Mac, MacConfig, MacInput};
+use ezflow_phy::{Channel, ChannelConfig, LossModel, Position};
+use ezflow_sim::{Duration, Scheduler, SimRng, Time, TraceRing};
+
+use crate::controller::Controller;
+use crate::engine::{Ev, EV_KINDS};
+use crate::metrics::Metrics;
+use crate::network::Network;
+use crate::node::Node;
+use crate::routing::StaticRouting;
+use crate::topo::{FlowSpec, Topology};
+use crate::traffic::{CbrSource, Transport};
+use crate::transport::build_transport;
+
+/// Static description of a network to build.
+#[derive(Clone, Debug)]
+pub struct NetworkSpec {
+    /// Node positions.
+    pub positions: Vec<Position>,
+    /// Channel geometry parameters.
+    pub channel: ChannelConfig,
+    /// Link loss process.
+    pub loss: LossModel,
+    /// MAC parameters.
+    pub mac: MacConfig,
+    /// Interface queue capacity, packets (the paper's hardware: 50).
+    pub queue_cap: usize,
+    /// The flows.
+    pub flows: Vec<FlowSpec>,
+    /// Metric sampling period for buffer/cw traces.
+    pub sample_every: Duration,
+    /// Throughput bin width for the metric series.
+    pub metric_bin: Duration,
+    /// Master random seed.
+    pub seed: u64,
+    /// Trace ring capacity (0 disables tracing).
+    pub trace_cap: usize,
+}
+
+impl NetworkSpec {
+    /// Spec from a [`Topology`] with the paper's defaults (including the
+    /// 3-hop carrier-sense range [`crate::topo::CS_RANGE`]).
+    pub fn from_topology(topo: &Topology, seed: u64) -> Self {
+        let channel = ChannelConfig {
+            cs_range: crate::topo::CS_RANGE,
+            ..ChannelConfig::default()
+        };
+        NetworkSpec {
+            positions: topo.positions.clone(),
+            channel,
+            loss: topo.loss.clone(),
+            mac: MacConfig::default(),
+            queue_cap: 50,
+            flows: topo.flows.clone(),
+            sample_every: Duration::from_secs(1),
+            metric_bin: Duration::from_secs(10),
+            seed,
+            trace_cap: 0,
+        }
+    }
+
+    /// Builds the runnable network this spec describes;
+    /// `make_controller` is called once per node. Equivalent to
+    /// [`Network::new`].
+    pub fn build(self, make_controller: &dyn Fn(usize) -> Box<dyn Controller>) -> Network {
+        build(self, make_controller)
+    }
+}
+
+/// Builds a [`Network`] from its spec (the body of [`Network::new`]).
+pub(crate) fn build(
+    spec: NetworkSpec,
+    make_controller: &dyn Fn(usize) -> Box<dyn Controller>,
+) -> Network {
+    let n = spec.positions.len();
+    let master = SimRng::new(spec.seed);
+    let channel = Channel::new(&spec.positions, spec.channel, spec.loss.clone());
+    let chan_rng = master.derive(u64::MAX);
+
+    let mut routing = StaticRouting::new();
+    for f in &spec.flows {
+        routing.install_path(&f.path);
+    }
+
+    let mut nodes: Vec<Node> = (0..n)
+        .map(|id| {
+            Node::new(
+                id,
+                Mac::new(id, spec.mac),
+                make_controller(id),
+                master.derive(id as u64),
+            )
+        })
+        .collect();
+
+    // Windowed flows need the reverse path for their end-to-end ACKs.
+    for f in &spec.flows {
+        if matches!(f.transport, Transport::Windowed { .. }) {
+            let mut rev = f.path.clone();
+            rev.reverse();
+            routing.install_path(&rev);
+        }
+    }
+
+    // Create the queues each flow needs: an own-traffic queue at the
+    // source, a forward queue at every relay (per successor).
+    for f in &spec.flows {
+        let src = f.path[0];
+        let dst = *f.path.last().expect("non-empty path");
+        let first_hop = routing.next_hop(src, dst).expect("installed");
+        nodes[src].queue_index(true, first_hop, spec.queue_cap);
+        for &relay in &f.path[1..f.path.len() - 1] {
+            let nh = routing.next_hop(relay, dst).expect("installed");
+            nodes[relay].queue_index(false, nh, spec.queue_cap);
+        }
+        if matches!(f.transport, Transport::Windowed { .. }) {
+            // Reverse-direction queues: the sink originates ACKs, the
+            // relays forward them toward the source.
+            let first_back = routing.next_hop(dst, src).expect("installed");
+            nodes[dst].queue_index(true, first_back, spec.queue_cap);
+            for &relay in f.path[1..f.path.len() - 1].iter() {
+                let nh = routing.next_hop(relay, src).expect("installed");
+                nodes[relay].queue_index(false, nh, spec.queue_cap);
+            }
+        }
+    }
+
+    // Program initial contention windows.
+    for node in nodes.iter_mut() {
+        if let Some(cw) = node.controller.initial_cw_min() {
+            let outs = node
+                .mac
+                .input(Time::ZERO, MacInput::SetCwMin { cw_min: cw }, &mut node.rng);
+            debug_assert!(outs.is_empty());
+        }
+    }
+
+    let sources: Vec<CbrSource> = spec
+        .flows
+        .iter()
+        .map(|f| CbrSource {
+            flow: f.id,
+            src: f.path[0],
+            dst: *f.path.last().expect("non-empty"),
+            rate_bps: f.rate_bps,
+            payload_bytes: f.payload_bytes,
+            start: f.start,
+            stop: f.stop,
+        })
+        .collect();
+
+    let successors: Vec<Vec<usize>> = (0..n).map(|id| routing.successors(id)).collect();
+    let backlog_every = nodes
+        .iter()
+        .filter_map(|nd| nd.controller.backlog_period())
+        .min();
+
+    let flow_ids: Vec<u32> = spec.flows.iter().map(|f| f.id).collect();
+    let metrics = Metrics::new(n, &flow_ids, spec.metric_bin);
+
+    let transports: BTreeMap<u32, _> = spec
+        .flows
+        .iter()
+        .map(|f| (f.id, build_transport(f)))
+        .collect();
+
+    let mut sched = Scheduler::new();
+    for (i, s) in sources.iter().enumerate() {
+        sched.schedule(s.start, Ev::Traffic(i));
+    }
+    for f in &spec.flows {
+        if let Some(p) = transports[&f.id].refresh_period() {
+            sched.schedule(f.start + p, Ev::WindowRefresh(f.id));
+        }
+    }
+    sched.schedule(Time::ZERO + spec.sample_every, Ev::Sample);
+    if let Some(p) = backlog_every {
+        sched.schedule(Time::ZERO + p, Ev::Backlog);
+    }
+
+    Network {
+        now: Time::ZERO,
+        sched,
+        channel,
+        chan_rng,
+        nodes,
+        routing,
+        sources,
+        successors,
+        transports,
+        queue_cap: spec.queue_cap,
+        eifs: spec.mac.eifs,
+        sample_every: spec.sample_every,
+        backlog_every,
+        metrics,
+        trace: TraceRing::new(spec.trace_cap),
+        worklist: VecDeque::new(),
+        next_seq: 0,
+        events: 0,
+        dispatched: [0; EV_KINDS],
+        wall: std::time::Duration::ZERO,
+    }
+}

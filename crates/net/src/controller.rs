@@ -54,8 +54,9 @@ pub enum ControllerEvent<'a> {
 }
 
 /// A boxed per-node controller factory — what [`crate::Network::new`]
-/// takes, aliased because the full type is a mouthful.
-pub type ControllerFactory = Box<dyn Fn(usize) -> Box<dyn Controller>>;
+/// takes, aliased because the full type is a mouthful. `Send + Sync` so
+/// one factory can be shared with sweep-runner worker threads.
+pub type ControllerFactory = Box<dyn Fn(usize) -> Box<dyn Controller> + Send + Sync>;
 
 /// Observability counters a controller can export for run snapshots.
 /// The field names follow EZ-flow's two mechanisms; algorithms without a
@@ -78,7 +79,13 @@ pub struct ControllerCounters {
 }
 
 /// A per-node flow-control algorithm.
-pub trait Controller {
+///
+/// `Send` is a supertrait: a controller is owned by its node and crosses
+/// thread boundaries together with the whole [`crate::Network`] when a
+/// sweep runner fans independent runs across workers. Controllers are
+/// plain state machines, so the bound is free — it exists to keep
+/// `Box<dyn Controller>` (and therefore `Network`) `Send`.
+pub trait Controller: Send {
     /// Handles one observation; optionally returns a new `CWmin` for this
     /// node's MAC.
     fn on_event(&mut self, now: Time, event: ControllerEvent<'_>) -> Option<u32>;

@@ -15,7 +15,12 @@
 //!   network *passively* and adapts `CWmin`.
 //! * [`node`] / [`network`] — one node = queues + DCF MAC + controller;
 //!   the [`network::Network`] owns the scheduler, the channel, and the
-//!   metrics and runs the whole thing deterministically.
+//!   metrics and runs the whole thing deterministically. It is a thin
+//!   façade over three focused layers: [`builder`] (spec → network
+//!   construction), [`engine`] (the scheduler event loop and
+//!   MAC/channel/controller dispatch) and [`transport`] (per-flow pacing
+//!   behind the [`transport::FlowTransport`] trait). `Network` is `Send`,
+//!   so independent runs parallelise across plain threads.
 //! * [`topo`] — the paper's topologies: K-hop chains (Fig. 1), the 9-node
 //!   campus testbed (Fig. 3, calibrated to Table 1), scenario 1 (Fig. 5)
 //!   and scenario 2 (Fig. 9).
@@ -25,8 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod calibrate;
 pub mod controller;
+pub mod engine;
 pub mod metrics;
 pub mod network;
 pub mod node;
@@ -35,8 +42,11 @@ pub mod routing;
 pub mod snapshot;
 pub mod topo;
 pub mod traffic;
+pub mod transport;
 
-pub use controller::{Controller, ControllerCounters, ControllerEvent, FixedController};
+pub use controller::{
+    Controller, ControllerCounters, ControllerEvent, ControllerFactory, FixedController,
+};
 pub use metrics::Metrics;
 pub use network::{Network, NetworkSpec};
 pub use node::Node;
@@ -45,3 +55,4 @@ pub use routing::StaticRouting;
 pub use snapshot::{NodeSnapshot, PerfSnapshot, QueueSnapshot, RunSnapshot, SchedulerSnapshot};
 pub use topo::{FlowSpec, Topology};
 pub use traffic::{CbrSource, Transport};
+pub use transport::{FlowTransport, TransportCtx, TRANSPORT_ACK_FLOW};

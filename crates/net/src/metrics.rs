@@ -10,8 +10,12 @@
 //! * per-node **buffer occupancy** trace, sampled every second (Figs. 1, 4),
 //! * per-node **`CWmin`** trace (Figs. 8, 11 plot `log2` of these values),
 //! * drop counters by cause.
+//!
+//! Per-flow maps are `BTreeMap`s, not `HashMap`s: everything downstream
+//! that iterates them (snapshot JSON, report tables, CSV export) then
+//! emits flows in id order, so identical runs serialise byte-identically.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ezflow_phy::Frame;
 use ezflow_sim::{Duration, Time};
@@ -22,13 +26,13 @@ pub struct Metrics {
     /// Throughput bin width.
     pub bin: Duration,
     /// Per-flow delivered-bits series.
-    pub throughput: HashMap<u32, ThroughputSeries>,
+    pub throughput: BTreeMap<u32, ThroughputSeries>,
     /// Per-flow delay from first dequeue at the source (seconds).
-    pub delay_net: HashMap<u32, SampleSeries>,
+    pub delay_net: BTreeMap<u32, SampleSeries>,
     /// Per-flow delay from packet creation (seconds).
-    pub delay_e2e: HashMap<u32, SampleSeries>,
+    pub delay_e2e: BTreeMap<u32, SampleSeries>,
     /// Per-flow delivered packet counts.
-    pub delivered: HashMap<u32, u64>,
+    pub delivered: BTreeMap<u32, u64>,
     /// Per-node total interface-queue occupancy, sampled periodically.
     pub buffer: Vec<SampleSeries>,
     /// Per-node `CWmin`, sampled periodically.
@@ -36,7 +40,7 @@ pub struct Metrics {
     /// Per-node packets dropped on queue overflow (relay queues).
     pub queue_drops: Vec<u64>,
     /// Per-flow packets dropped at the (full) source queue.
-    pub source_drops: HashMap<u32, u64>,
+    pub source_drops: BTreeMap<u32, u64>,
     /// Per-node packets dropped at the MAC retry limit.
     pub retry_drops: Vec<u64>,
 }
@@ -44,11 +48,11 @@ pub struct Metrics {
 impl Metrics {
     /// Creates metrics for `nodes` nodes and the given flow ids.
     pub fn new(nodes: usize, flows: &[u32], bin: Duration) -> Self {
-        let mut throughput = HashMap::new();
-        let mut delay_net = HashMap::new();
-        let mut delay_e2e = HashMap::new();
-        let mut delivered = HashMap::new();
-        let mut source_drops = HashMap::new();
+        let mut throughput = BTreeMap::new();
+        let mut delay_net = BTreeMap::new();
+        let mut delay_e2e = BTreeMap::new();
+        let mut delivered = BTreeMap::new();
+        let mut source_drops = BTreeMap::new();
         for &f in flows {
             throughput.insert(f, ThroughputSeries::new(bin));
             delay_net.insert(f, SampleSeries::new());
@@ -108,11 +112,10 @@ impl Metrics {
     }
 
     /// Per-flow mean throughputs (kb/s) over a window, in flow-id order —
-    /// the input to Jain's index.
+    /// the input to Jain's index. (The map is ordered, so no sort.)
     pub fn all_kbps(&self, from: Time, to: Time) -> Vec<(u32, f64)> {
-        let mut ids: Vec<u32> = self.throughput.keys().copied().collect();
-        ids.sort_unstable();
-        ids.iter()
+        self.throughput
+            .keys()
             .map(|&f| (f, self.mean_kbps(f, from, to)))
             .collect()
     }

@@ -1,11 +1,21 @@
-//! The network orchestrator.
+//! The network orchestrator — a thin façade over three focused layers.
 //!
 //! [`Network`] owns the scheduler, the shared channel, the nodes and the
-//! metrics, and mediates between them: MAC outputs become channel calls and
-//! scheduled timers, channel reports become MAC inputs and controller
-//! observations. All randomness flows through per-node streams derived
-//! from one master seed, so a run is a pure function of
-//! `(NetworkSpec, controllers, seed)`.
+//! metrics. The work is split across sibling modules with explicit
+//! interfaces, and this module only defines the state and the public
+//! read API:
+//!
+//! * [`crate::builder`] — spec → network construction
+//!   ([`NetworkSpec::build`], the body of [`Network::new`]);
+//! * [`crate::engine`] — the scheduler event loop ([`Network::run_until`],
+//!   [`Network::snapshot`]) and MAC/channel/controller dispatch;
+//! * [`crate::transport`] — per-flow pacing behind the
+//!   [`crate::transport::FlowTransport`] trait (CBR and windowed).
+//!
+//! All randomness flows through per-node streams derived from one master
+//! seed, so a run is a pure function of `(NetworkSpec, controllers,
+//! seed)` — and, because `Network` is `Send` (asserted below), many runs
+//! can proceed on independent threads without compromising that.
 //!
 //! ## Event flow for one data frame
 //!
@@ -20,346 +30,75 @@
 //!        └─▶ Overheard to everyone else in decode range ─▶ controllers
 //! ```
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
-use ezflow_mac::{Mac, MacConfig, MacInput, MacOutput, MacStats};
-use ezflow_phy::{
-    Channel, ChannelConfig, ChannelStats, Frame, FrameKind, LossModel, Position, TxId,
-};
-use ezflow_sim::{
-    DropCause, Duration, FrameClass, Scheduler, SimRng, Time, TraceKind, TracePayload, TraceRing,
-};
+use ezflow_mac::{MacInput, MacStats};
+use ezflow_phy::{Channel, ChannelStats};
+use ezflow_sim::{Duration, Scheduler, SimRng, Time, TraceRing};
 
-use crate::controller::{Controller, ControllerEvent};
+pub use crate::builder::NetworkSpec;
+pub use crate::transport::TRANSPORT_ACK_FLOW;
+
+use crate::controller::Controller;
+use crate::engine::{Ev, EV_KINDS};
 use crate::metrics::Metrics;
 use crate::node::Node;
 use crate::routing::StaticRouting;
-use crate::snapshot::{NodeSnapshot, PerfSnapshot, QueueSnapshot, RunSnapshot, SchedulerSnapshot};
-use crate::topo::{FlowSpec, Topology};
-use crate::traffic::{CbrSource, Transport};
-
-/// Flow ids at or above this offset are internal transport-ACK streams of
-/// windowed flows (ack flow id = `TRANSPORT_ACK_FLOW + data flow id`);
-/// they carry no user payload and are excluded from the user metrics.
-pub const TRANSPORT_ACK_FLOW: u32 = 1 << 24;
-
-/// Closed-loop state of one windowed flow.
-struct WindowState {
-    src: usize,
-    dst: usize,
-    window: usize,
-    payload: u32,
-    ack_payload: u32,
-    stop: Time,
-    /// Outstanding data packets: seq -> send time.
-    outstanding: std::collections::HashMap<u64, Time>,
-    /// Credit timeout: an unacked packet older than this is written off
-    /// (our transport does not retransmit; see `Transport::Windowed`).
-    rto: Duration,
-}
-
-/// Static description of a network to build.
-#[derive(Clone, Debug)]
-pub struct NetworkSpec {
-    /// Node positions.
-    pub positions: Vec<Position>,
-    /// Channel geometry parameters.
-    pub channel: ChannelConfig,
-    /// Link loss process.
-    pub loss: LossModel,
-    /// MAC parameters.
-    pub mac: MacConfig,
-    /// Interface queue capacity, packets (the paper's hardware: 50).
-    pub queue_cap: usize,
-    /// The flows.
-    pub flows: Vec<FlowSpec>,
-    /// Metric sampling period for buffer/cw traces.
-    pub sample_every: Duration,
-    /// Throughput bin width for the metric series.
-    pub metric_bin: Duration,
-    /// Master random seed.
-    pub seed: u64,
-    /// Trace ring capacity (0 disables tracing).
-    pub trace_cap: usize,
-}
-
-impl NetworkSpec {
-    /// Spec from a [`Topology`] with the paper's defaults (including the
-    /// 3-hop carrier-sense range [`crate::topo::CS_RANGE`]).
-    pub fn from_topology(topo: &Topology, seed: u64) -> Self {
-        let channel = ChannelConfig {
-            cs_range: crate::topo::CS_RANGE,
-            ..ChannelConfig::default()
-        };
-        NetworkSpec {
-            positions: topo.positions.clone(),
-            channel,
-            loss: topo.loss.clone(),
-            mac: MacConfig::default(),
-            queue_cap: 50,
-            flows: topo.flows.clone(),
-            sample_every: Duration::from_secs(1),
-            metric_bin: Duration::from_secs(10),
-            seed,
-            trace_cap: 0,
-        }
-    }
-}
-
-#[derive(Clone, Debug)]
-enum Ev {
-    Traffic(usize),
-    /// Periodic credit timeout for a windowed flow (by flow id).
-    WindowRefresh(u32),
-    MacTxPath {
-        node: usize,
-        epoch: u64,
-    },
-    MacAckJob {
-        node: usize,
-        epoch: u64,
-    },
-    MacNav {
-        node: usize,
-    },
-    TxEnd {
-        tx: TxId,
-        node: usize,
-    },
-    Sample,
-    Backlog,
-}
-
-/// Number of [`Ev`] kinds, for the per-kind dispatch counters.
-const EV_KINDS: usize = 8;
-
-/// Stable names of the [`Ev`] kinds, in [`ev_index`] order — the keys of
-/// the snapshot's `dispatched_by_kind` object.
-const EV_NAMES: [&str; EV_KINDS] = [
-    "traffic",
-    "window_refresh",
-    "mac_tx_path",
-    "mac_ack_job",
-    "mac_nav",
-    "tx_end",
-    "sample",
-    "backlog",
-];
-
-fn ev_index(ev: &Ev) -> usize {
-    match ev {
-        Ev::Traffic(_) => 0,
-        Ev::WindowRefresh(_) => 1,
-        Ev::MacTxPath { .. } => 2,
-        Ev::MacAckJob { .. } => 3,
-        Ev::MacNav { .. } => 4,
-        Ev::TxEnd { .. } => 5,
-        Ev::Sample => 6,
-        Ev::Backlog => 7,
-    }
-}
-
-fn frame_class(kind: FrameKind) -> FrameClass {
-    match kind {
-        FrameKind::Data => FrameClass::Data,
-        FrameKind::Ack => FrameClass::Ack,
-        FrameKind::Rts => FrameClass::Rts,
-        FrameKind::Cts => FrameClass::Cts,
-    }
-}
-
-fn frame_payload(frame: &Frame) -> TracePayload {
-    TracePayload::Frame {
-        class: frame_class(frame.kind),
-        seq: frame.seq,
-        flow: frame.flow,
-        src: frame.src,
-        dst: frame.dst,
-        retry: frame.retry as u32,
-    }
-}
+use crate::topo::Topology;
+use crate::traffic::CbrSource;
+use crate::transport::FlowTransport;
 
 /// A runnable simulated mesh network.
+///
+/// Construction lives in [`crate::builder`], the event loop in
+/// [`crate::engine`]; this type is the shared state they operate on and
+/// the stable public surface (`new`, `run_until`, `snapshot`, `metrics`).
 pub struct Network {
-    now: Time,
-    sched: Scheduler<Ev>,
-    channel: Channel,
-    chan_rng: SimRng,
-    nodes: Vec<Node>,
-    routing: StaticRouting,
-    sources: Vec<CbrSource>,
+    pub(crate) now: Time,
+    pub(crate) sched: Scheduler<Ev>,
+    pub(crate) channel: Channel,
+    pub(crate) chan_rng: SimRng,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) routing: StaticRouting,
+    pub(crate) sources: Vec<CbrSource>,
     /// Successor sets per node (for backlog reports).
-    successors: Vec<Vec<usize>>,
-    /// Closed-loop state per windowed flow id.
-    windows: std::collections::HashMap<u32, WindowState>,
-    queue_cap: usize,
-    eifs: bool,
-    sample_every: Duration,
-    backlog_every: Option<Duration>,
+    pub(crate) successors: Vec<Vec<usize>>,
+    /// Per-flow pacing discipline, keyed by flow id (ordered so that any
+    /// whole-table walk is deterministic).
+    pub(crate) transports: BTreeMap<u32, Box<dyn FlowTransport>>,
+    pub(crate) queue_cap: usize,
+    pub(crate) eifs: bool,
+    pub(crate) sample_every: Duration,
+    pub(crate) backlog_every: Option<Duration>,
     /// Recorded measurements.
     pub metrics: Metrics,
     /// Event trace ring.
     pub trace: TraceRing,
-    worklist: VecDeque<(usize, MacInput)>,
-    next_seq: u64,
-    events: u64,
-    /// Dispatch counts per [`Ev`] kind ([`ev_index`] order).
-    dispatched: [u64; EV_KINDS],
+    pub(crate) worklist: VecDeque<(usize, MacInput)>,
+    pub(crate) next_seq: u64,
+    pub(crate) events: u64,
+    /// Dispatch counts per event kind.
+    pub(crate) dispatched: [u64; EV_KINDS],
     /// Wall-clock time spent inside `run_until` (perf accounting only;
     /// never fed back into the simulation).
-    wall: std::time::Duration,
+    pub(crate) wall: std::time::Duration,
 }
+
+/// `Network` must stay `Send`: the sweep runner in `ezflow-bench` moves
+/// whole networks across `std::thread::scope` workers. The bound is
+/// enforced here, at the root, so a non-`Send` field (an `Rc`, a raw
+/// pointer, a non-`Send` controller) fails to compile with a message
+/// pointing at this line rather than at a distant spawn site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Network>();
+    assert_send::<NetworkSpec>();
+};
 
 impl Network {
     /// Builds a network; `make_controller` is called once per node.
     pub fn new(spec: NetworkSpec, make_controller: &dyn Fn(usize) -> Box<dyn Controller>) -> Self {
-        let n = spec.positions.len();
-        let master = SimRng::new(spec.seed);
-        let channel = Channel::new(&spec.positions, spec.channel, spec.loss.clone());
-        let chan_rng = master.derive(u64::MAX);
-
-        let mut routing = StaticRouting::new();
-        for f in &spec.flows {
-            routing.install_path(&f.path);
-        }
-
-        let mut nodes: Vec<Node> = (0..n)
-            .map(|id| {
-                Node::new(
-                    id,
-                    Mac::new(id, spec.mac),
-                    make_controller(id),
-                    master.derive(id as u64),
-                )
-            })
-            .collect();
-
-        // Windowed flows need the reverse path for their end-to-end ACKs.
-        for f in &spec.flows {
-            if matches!(f.transport, Transport::Windowed { .. }) {
-                let mut rev = f.path.clone();
-                rev.reverse();
-                routing.install_path(&rev);
-            }
-        }
-
-        // Create the queues each flow needs: an own-traffic queue at the
-        // source, a forward queue at every relay (per successor).
-        for f in &spec.flows {
-            let src = f.path[0];
-            let dst = *f.path.last().expect("non-empty path");
-            let first_hop = routing.next_hop(src, dst).expect("installed");
-            nodes[src].queue_index(true, first_hop, spec.queue_cap);
-            for &relay in &f.path[1..f.path.len() - 1] {
-                let nh = routing.next_hop(relay, dst).expect("installed");
-                nodes[relay].queue_index(false, nh, spec.queue_cap);
-            }
-            if matches!(f.transport, Transport::Windowed { .. }) {
-                // Reverse-direction queues: the sink originates ACKs, the
-                // relays forward them toward the source.
-                let first_back = routing.next_hop(dst, src).expect("installed");
-                nodes[dst].queue_index(true, first_back, spec.queue_cap);
-                for &relay in f.path[1..f.path.len() - 1].iter() {
-                    let nh = routing.next_hop(relay, src).expect("installed");
-                    nodes[relay].queue_index(false, nh, spec.queue_cap);
-                }
-            }
-        }
-
-        // Program initial contention windows.
-        let mut worklist = VecDeque::new();
-        for node in nodes.iter_mut() {
-            if let Some(cw) = node.controller.initial_cw_min() {
-                let outs =
-                    node.mac
-                        .input(Time::ZERO, MacInput::SetCwMin { cw_min: cw }, &mut node.rng);
-                debug_assert!(outs.is_empty());
-            }
-        }
-
-        let sources: Vec<CbrSource> = spec
-            .flows
-            .iter()
-            .map(|f| CbrSource {
-                flow: f.id,
-                src: f.path[0],
-                dst: *f.path.last().expect("non-empty"),
-                rate_bps: f.rate_bps,
-                payload_bytes: f.payload_bytes,
-                start: f.start,
-                stop: f.stop,
-            })
-            .collect();
-
-        let successors: Vec<Vec<usize>> = (0..n).map(|id| routing.successors(id)).collect();
-        let backlog_every = nodes
-            .iter()
-            .filter_map(|nd| nd.controller.backlog_period())
-            .min();
-
-        let flow_ids: Vec<u32> = spec.flows.iter().map(|f| f.id).collect();
-        let metrics = Metrics::new(n, &flow_ids, spec.metric_bin);
-
-        let mut windows = std::collections::HashMap::new();
-        for f in &spec.flows {
-            if let Transport::Windowed {
-                window,
-                ack_payload,
-            } = f.transport
-            {
-                windows.insert(
-                    f.id,
-                    WindowState {
-                        src: f.path[0],
-                        dst: *f.path.last().expect("non-empty"),
-                        window,
-                        payload: f.payload_bytes,
-                        ack_payload,
-                        stop: f.stop,
-                        outstanding: std::collections::HashMap::new(),
-                        rto: Duration::from_secs(3),
-                    },
-                );
-            }
-        }
-
-        let mut sched = Scheduler::new();
-        for (i, s) in sources.iter().enumerate() {
-            sched.schedule(s.start, Ev::Traffic(i));
-        }
-        for f in &spec.flows {
-            if matches!(f.transport, Transport::Windowed { .. }) {
-                sched.schedule(f.start + Duration::from_secs(1), Ev::WindowRefresh(f.id));
-            }
-        }
-        sched.schedule(Time::ZERO + spec.sample_every, Ev::Sample);
-        if let Some(p) = backlog_every {
-            sched.schedule(Time::ZERO + p, Ev::Backlog);
-        }
-
-        worklist.clear();
-        Network {
-            now: Time::ZERO,
-            sched,
-            channel,
-            chan_rng,
-            nodes,
-            routing,
-            sources,
-            successors,
-            windows,
-            queue_cap: spec.queue_cap,
-            eifs: spec.mac.eifs,
-            sample_every: spec.sample_every,
-            backlog_every,
-            metrics,
-            trace: TraceRing::new(spec.trace_cap),
-            worklist,
-            next_seq: 0,
-            events: 0,
-            dispatched: [0; EV_KINDS],
-            wall: std::time::Duration::ZERO,
-        }
+        crate::builder::build(spec, make_controller)
     }
 
     /// Convenience: build straight from a topology.
@@ -421,514 +160,6 @@ impl Network {
         self.nodes[node].controller.name()
     }
 
-    /// Runs the simulation up to and including instant `until`.
-    pub fn run_until(&mut self, until: Time) {
-        debug_assert!(self.worklist.is_empty());
-        let t0 = std::time::Instant::now();
-        while let Some(at) = self.sched.peek_time() {
-            if at > until {
-                break;
-            }
-            let (at, ev) = self.sched.pop().expect("peeked");
-            debug_assert!(at >= self.now, "time went backwards");
-            self.now = at;
-            self.events += 1;
-            self.dispatched[ev_index(&ev)] += 1;
-            self.handle(ev);
-        }
-        self.now = until;
-        self.wall += t0.elapsed();
-    }
-
-    fn handle(&mut self, ev: Ev) {
-        match ev {
-            Ev::Traffic(i) => self.on_traffic(i),
-            Ev::WindowRefresh(flow) => self.on_window_refresh(flow),
-            Ev::MacTxPath { node, epoch } => {
-                self.worklist
-                    .push_back((node, MacInput::TimerTxPath { epoch }));
-                self.drain();
-            }
-            Ev::MacAckJob { node, epoch } => {
-                self.worklist
-                    .push_back((node, MacInput::TimerAckJob { epoch }));
-                self.drain();
-            }
-            Ev::MacNav { node } => {
-                self.worklist.push_back((node, MacInput::TimerNav));
-                self.drain();
-            }
-            Ev::TxEnd { tx, node } => self.on_tx_end(tx, node),
-            Ev::Sample => self.on_sample(),
-            Ev::Backlog => self.on_backlog(),
-        }
-    }
-
-    fn on_traffic(&mut self, i: usize) {
-        let s = self.sources[i].clone();
-        if s.active_at(self.now) {
-            if self.windows.contains_key(&s.flow) {
-                self.window_fill(s.flow);
-            } else {
-                self.emit_data_packet(s.flow, s.src, s.dst, s.payload_bytes);
-            }
-            self.drain();
-        }
-        let next = self.now + s.interval();
-        if next < s.stop {
-            self.sched.schedule(next, Ev::Traffic(i));
-        }
-    }
-
-    /// Creates one data packet at `src` bound for `dst` and offers it to
-    /// the source queue.
-    fn emit_data_packet(&mut self, flow: u32, src: usize, dst: usize, payload: u32) -> u64 {
-        self.emit_packet(flow, src, dst, payload, 0)
-    }
-
-    fn emit_packet(
-        &mut self,
-        flow: u32,
-        src: usize,
-        dst: usize,
-        payload: u32,
-        ack_ref: u64,
-    ) -> u64 {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        let mut frame = Frame::data(seq, flow, src, dst, payload, self.now);
-        frame.ack_ref = ack_ref;
-        let nh = self
-            .routing
-            .next_hop(src, dst)
-            .expect("source must be routed");
-        frame.src = src;
-        frame.dst = nh;
-        if !self.nodes[src].enqueue(true, frame) {
-            *self.metrics.source_drops.entry(flow).or_insert(0) += 1;
-        }
-        self.try_feed(src);
-        seq
-    }
-
-    /// Tops a windowed flow up to its window, while it is active.
-    fn window_fill(&mut self, flow: u32) {
-        loop {
-            let Some(w) = self.windows.get(&flow) else {
-                return;
-            };
-            if self.now >= w.stop || w.outstanding.len() >= w.window {
-                return;
-            }
-            let (src, dst, payload) = (w.src, w.dst, w.payload);
-            let seq = self.emit_data_packet(flow, src, dst, payload);
-            self.windows
-                .get_mut(&flow)
-                .expect("checked")
-                .outstanding
-                .insert(seq, self.now);
-        }
-    }
-
-    /// Credit timeout: write off outstanding packets older than the RTO
-    /// (lost in the network; this transport does not retransmit).
-    fn on_window_refresh(&mut self, flow: u32) {
-        let Some(w) = self.windows.get_mut(&flow) else {
-            return;
-        };
-        let now = self.now;
-        let rto = w.rto;
-        w.outstanding
-            .retain(|_, &mut sent| now.saturating_since(sent) < rto);
-        let stop = w.stop;
-        self.window_fill(flow);
-        self.drain();
-        if self.now < stop {
-            self.sched
-                .schedule(self.now + Duration::from_secs(1), Ev::WindowRefresh(flow));
-        }
-    }
-
-    fn on_tx_end(&mut self, tx: TxId, node: usize) {
-        let report = self.channel.end_tx(self.now, tx, &mut self.chan_rng);
-        if self.trace.enabled() {
-            self.trace.push(
-                self.now,
-                node,
-                TraceKind::TxEnd,
-                frame_payload(&report.frame),
-            );
-        }
-        if self.eifs {
-            // EIFS marks must precede the idle transitions so the resumed
-            // deferral uses the extended space.
-            for &r in &report.sensed_dirty {
-                self.worklist.push_back((r, MacInput::EifsMark));
-            }
-        }
-        for &r in &report.became_idle {
-            self.worklist.push_back((r, MacInput::MediumIdle));
-        }
-        self.worklist.push_back((
-            node,
-            MacInput::TxEnded {
-                medium_busy: self.channel.is_busy(node),
-            },
-        ));
-        let frame = report.frame;
-        for d in &report.deliveries {
-            if !d.clean {
-                if self.trace.enabled() && d.node == frame.dst {
-                    self.trace.push(
-                        self.now,
-                        d.node,
-                        TraceKind::Collision,
-                        TracePayload::Collision {
-                            seq: frame.seq,
-                            src: frame.src,
-                        },
-                    );
-                }
-                continue;
-            }
-            if d.node == frame.dst {
-                let input = match frame.kind {
-                    FrameKind::Data => MacInput::RxData {
-                        frame: frame.clone(),
-                    },
-                    FrameKind::Ack => MacInput::RxAck {
-                        frame: frame.clone(),
-                    },
-                    FrameKind::Rts => MacInput::RxRts {
-                        frame: frame.clone(),
-                    },
-                    FrameKind::Cts => MacInput::RxCts {
-                        frame: frame.clone(),
-                    },
-                };
-                self.worklist.push_back((d.node, input));
-            } else {
-                match frame.kind {
-                    FrameKind::Data => {
-                        // Passive overhearing: the controller gets it for
-                        // free.
-                        let cmd = self.nodes[d.node]
-                            .controller
-                            .on_event(self.now, ControllerEvent::Overheard { frame: &frame });
-                        self.apply_cw(d.node, cmd);
-                    }
-                    // Virtual carrier sense: overheard RTS/CTS reserve the
-                    // medium from the end of the frame.
-                    FrameKind::Rts | FrameKind::Cts if frame.nav_micros > 0 => {
-                        let until = self.now + ezflow_sim::Duration::from_micros(frame.nav_micros);
-                        self.worklist
-                            .push_back((d.node, MacInput::NavSet { until }));
-                    }
-                    _ => {}
-                }
-            }
-        }
-        self.drain();
-    }
-
-    fn on_sample(&mut self) {
-        for id in 0..self.nodes.len() {
-            let occ = self.nodes[id].occupancy();
-            let cw = self.nodes[id].mac.cw_min();
-            self.metrics.on_sample(self.now, id, occ, cw);
-        }
-        self.sched
-            .schedule(self.now + self.sample_every, Ev::Sample);
-    }
-
-    fn on_backlog(&mut self) {
-        for id in 0..self.nodes.len() {
-            if self.nodes[id].controller.backlog_period().is_none() {
-                continue;
-            }
-            for si in 0..self.successors[id].len() {
-                let s = self.successors[id][si];
-                let backlog = self.nodes[s].occupancy();
-                let own_backlog = self.nodes[id].occupancy();
-                let cmd = self.nodes[id].controller.on_event(
-                    self.now,
-                    ControllerEvent::NeighborBacklog {
-                        neighbor: s,
-                        backlog,
-                        own_backlog,
-                    },
-                );
-                self.apply_cw(id, cmd);
-            }
-        }
-        self.drain();
-        if let Some(p) = self.backlog_every {
-            self.sched.schedule(self.now + p, Ev::Backlog);
-        }
-    }
-
-    /// Processes queued MAC inputs until quiescence.
-    fn drain(&mut self) {
-        while let Some((id, input)) = self.worklist.pop_front() {
-            let outs = {
-                let node = &mut self.nodes[id];
-                node.mac.input(self.now, input, &mut node.rng)
-            };
-            for o in outs {
-                self.handle_output(id, o);
-            }
-            self.try_feed(id);
-        }
-    }
-
-    fn handle_output(&mut self, id: usize, out: MacOutput) {
-        match out {
-            MacOutput::StartTx { frame, air } => {
-                if self.trace.enabled() {
-                    self.trace
-                        .push(self.now, id, TraceKind::TxStart, frame_payload(&frame));
-                }
-                let end = self.now + air;
-                let rep = self.channel.start_tx(self.now, frame, end);
-                self.sched.schedule(
-                    end,
-                    Ev::TxEnd {
-                        tx: rep.tx_id,
-                        node: id,
-                    },
-                );
-                for r in rep.became_busy {
-                    self.worklist.push_back((r, MacInput::MediumBusy));
-                }
-            }
-            MacOutput::SetTimerTxPath { after, epoch } => {
-                self.sched
-                    .schedule(self.now + after, Ev::MacTxPath { node: id, epoch });
-            }
-            MacOutput::SetTimerAckJob { after, epoch } => {
-                self.sched
-                    .schedule(self.now + after, Ev::MacAckJob { node: id, epoch });
-            }
-            MacOutput::SetTimerNav { after } => {
-                self.sched
-                    .schedule(self.now + after, Ev::MacNav { node: id });
-            }
-            MacOutput::TxSuccess { frame, .. } => {
-                let cmd = self.nodes[id].controller.on_event(
-                    self.now,
-                    ControllerEvent::SentToSuccessor {
-                        successor: frame.dst,
-                        frame: &frame,
-                    },
-                );
-                self.apply_cw(id, cmd);
-            }
-            MacOutput::TxDropped { frame, .. } => {
-                self.metrics.retry_drops[id] += 1;
-                if self.trace.enabled() {
-                    self.trace.push(
-                        self.now,
-                        id,
-                        TraceKind::Drop,
-                        TracePayload::Drop {
-                            cause: DropCause::RetryLimit,
-                            seq: frame.seq,
-                        },
-                    );
-                }
-            }
-            MacOutput::Deliver { frame } => self.on_deliver(id, frame),
-            MacOutput::NeedFrame => self.try_feed(id),
-        }
-    }
-
-    fn on_deliver(&mut self, id: usize, frame: Frame) {
-        if frame.final_dst == id {
-            if frame.flow >= TRANSPORT_ACK_FLOW {
-                // A transport ACK made it back to the source: release the
-                // credit and clock out the next packet.
-                let data_flow = frame.flow - TRANSPORT_ACK_FLOW;
-                if let Some(w) = self.windows.get_mut(&data_flow) {
-                    w.outstanding.remove(&frame.ack_ref);
-                }
-                self.window_fill(data_flow);
-                return;
-            }
-            self.metrics.on_delivery(self.now, &frame);
-            if let Some(w) = self.windows.get(&frame.flow) {
-                // The sink acknowledges end-to-end: a small ACK packet
-                // travels the reverse path like any other traffic.
-                let (sink, source, ack_payload) = (w.dst, w.src, w.ack_payload);
-                self.emit_packet(
-                    frame.flow + TRANSPORT_ACK_FLOW,
-                    sink,
-                    source,
-                    ack_payload,
-                    frame.seq,
-                );
-            }
-            return;
-        }
-        let Some(nh) = self.routing.next_hop(id, frame.final_dst) else {
-            // A frame we cannot route: topology bug; count as a drop.
-            self.metrics.queue_drops[id] += 1;
-            return;
-        };
-        let mut fwd = frame;
-        fwd.src = id;
-        fwd.dst = nh;
-        fwd.retry = false;
-        let seq = fwd.seq;
-        if !self.nodes[id].enqueue(false, fwd) {
-            self.metrics.queue_drops[id] += 1;
-            if self.trace.enabled() {
-                self.trace.push(
-                    self.now,
-                    id,
-                    TraceKind::Drop,
-                    TracePayload::Drop {
-                        cause: DropCause::QueueFull,
-                        seq,
-                    },
-                );
-            }
-        }
-        self.try_feed(id);
-    }
-
-    /// Feeds the MAC its next frame if it is idle and a queue is backlogged.
-    fn try_feed(&mut self, id: usize) {
-        if !self.nodes[id].mac.is_idle() {
-            return;
-        }
-        let Some((mut frame, qidx)) = self.nodes[id].pop_round_robin() else {
-            return;
-        };
-        if frame.origin == id && frame.entered_net == frame.created {
-            frame.entered_net = self.now;
-        }
-        // §7 extension: per-successor windows. If the controller keeps a
-        // distinct window for this frame's successor, program it for this
-        // frame's contention (the 802.11e per-queue CWmin pattern).
-        if let Some(cw) = self.nodes[id].controller.queue_window(frame.dst) {
-            if cw != self.nodes[id].mac.cw_min() {
-                let node = &mut self.nodes[id];
-                let outs =
-                    node.mac
-                        .input(self.now, MacInput::SetCwMin { cw_min: cw }, &mut node.rng);
-                debug_assert!(outs.is_empty());
-            }
-        }
-        let outs = {
-            let node = &mut self.nodes[id];
-            node.mac.input(
-                self.now,
-                MacInput::Enqueue { frame, queue: qidx },
-                &mut node.rng,
-            )
-        };
-        for o in outs {
-            self.handle_output(id, o);
-        }
-    }
-
-    fn apply_cw(&mut self, id: usize, cmd: Option<u32>) {
-        let Some(cw) = cmd else { return };
-        if cw == self.nodes[id].mac.cw_min() {
-            return;
-        }
-        if self.trace.enabled() {
-            self.trace.push(
-                self.now,
-                id,
-                TraceKind::CwChange,
-                TracePayload::CwChange {
-                    from: self.nodes[id].mac.cw_min(),
-                    to: cw,
-                },
-            );
-        }
-        let node = &mut self.nodes[id];
-        let outs = node
-            .mac
-            .input(self.now, MacInput::SetCwMin { cw_min: cw }, &mut node.rng);
-        debug_assert!(outs.is_empty());
-    }
-
-    /// Dispatch counts per event kind, `(name, count)`, in dispatch order.
-    pub fn dispatched_by_kind(&self) -> Vec<(&'static str, u64)> {
-        EV_NAMES
-            .iter()
-            .zip(self.dispatched.iter())
-            .map(|(&name, &n)| (name, n))
-            .collect()
-    }
-
-    /// Wall-clock time spent inside [`Network::run_until`] so far.
-    pub fn wall_time(&self) -> std::time::Duration {
-        self.wall
-    }
-
-    /// Takes a [`RunSnapshot`] of the whole network at the current
-    /// simulated instant. Mutable because the channel's airtime accounts
-    /// are brought up to date first.
-    pub fn snapshot(&mut self, label: &str) -> RunSnapshot {
-        self.channel.accrue_airtime(self.now);
-        let nodes = self
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(id, node)| NodeSnapshot {
-                id,
-                controller: node.controller.name().to_string(),
-                cw_min: node.mac.cw_min(),
-                airtime: self.channel.airtime_breakdown(id),
-                mac: node.mac.stats(),
-                counters: node.controller.counters(),
-                queues: node
-                    .queues
-                    .iter()
-                    .map(|q| QueueSnapshot {
-                        own: q.own,
-                        successor: q.successor,
-                        occupancy: q.len(),
-                        cap: q.cap(),
-                        high_water: q.high_water,
-                        drops: q.drops,
-                        accepted: q.accepted,
-                    })
-                    .collect(),
-            })
-            .collect();
-        let wall_secs = self.wall.as_secs_f64();
-        let sim_secs = self.now.as_micros() as f64 / 1e6;
-        let per_wall = |x: f64| if wall_secs > 0.0 { x / wall_secs } else { 0.0 };
-        RunSnapshot {
-            label: label.to_string(),
-            at_us: self.now.as_micros(),
-            nodes,
-            channel: self.channel.stats(),
-            scheduler: SchedulerSnapshot {
-                scheduled_total: self.sched.scheduled_total(),
-                dispatched_total: self.events,
-                pending: self.sched.len(),
-                depth_high_water: self.sched.depth_high_water(),
-                dispatched_by_kind: EV_NAMES
-                    .iter()
-                    .zip(self.dispatched.iter())
-                    .map(|(&name, &n)| (name.to_string(), n))
-                    .collect(),
-            },
-            perf: PerfSnapshot {
-                wall_secs,
-                sim_secs,
-                events_per_sec: per_wall(self.events as f64),
-                sim_rate: per_wall(sim_secs),
-            },
-            trace_records: self.trace.pushed_total(),
-        }
-    }
-
     /// Read-only access to a node (tests and experiments).
     pub fn node(&self, id: usize) -> &Node {
         &self.nodes[id]
@@ -937,247 +168,5 @@ impl Network {
     /// Queue capacity the network was built with.
     pub fn queue_cap(&self) -> usize {
         self.queue_cap
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::controller::FixedController;
-    use crate::topo;
-
-    fn std_controller(_id: usize) -> Box<dyn Controller> {
-        Box::new(FixedController::standard())
-    }
-
-    fn run_chain(hops: usize, secs: u64, seed: u64) -> Network {
-        let t = topo::chain(hops, Time::ZERO, Time::from_secs(secs));
-        let mut net = Network::from_topology(&t, seed, &std_controller);
-        net.run_until(Time::from_secs(secs));
-        net
-    }
-
-    #[test]
-    fn single_hop_link_saturates_near_ideal_capacity() {
-        let net = run_chain(1, 60, 1);
-        let kbps = net
-            .metrics
-            .mean_kbps(0, Time::from_secs(10), Time::from_secs(60));
-        // Analytic loss-free capacity is ~880 kb/s (see calibrate.rs).
-        assert!(
-            (850.0..905.0).contains(&kbps),
-            "1-hop saturation throughput {kbps} kb/s"
-        );
-        // No relay: no queue drops anywhere but the source.
-        assert_eq!(net.metrics.queue_drops.iter().sum::<u64>(), 0);
-        assert!(net.metrics.source_drops[&0] > 0, "2 Mb/s CBR must overflow");
-    }
-
-    #[test]
-    fn two_hop_throughput_is_roughly_half() {
-        let net = run_chain(2, 60, 2);
-        let kbps = net
-            .metrics
-            .mean_kbps(0, Time::from_secs(10), Time::from_secs(60));
-        // Two mutually-sensing transmitters share the channel.
-        assert!(
-            (350.0..480.0).contains(&kbps),
-            "2-hop saturation throughput {kbps} kb/s"
-        );
-    }
-
-    #[test]
-    fn delivery_counters_are_consistent() {
-        let net = run_chain(3, 30, 3);
-        let delivered = net.metrics.delivered[&0];
-        assert!(delivered > 0);
-        let bits = net.metrics.throughput[&0].total_bits();
-        assert_eq!(bits as u64, delivered * 8000);
-        // Delays are positive and time-ordered.
-        let pts = net.metrics.delay_net[&0].points();
-        assert_eq!(pts.len() as u64, delivered);
-        assert!(pts.iter().all(|&(_, d)| d > 0.0));
-    }
-
-    #[test]
-    fn identical_seeds_reproduce_identical_runs() {
-        let a = run_chain(4, 20, 42);
-        let b = run_chain(4, 20, 42);
-        assert_eq!(a.metrics.delivered[&0], b.metrics.delivered[&0]);
-        assert_eq!(a.events_processed(), b.events_processed());
-        assert_eq!(a.mac_stats(0).tx_attempts, b.mac_stats(0).tx_attempts);
-        let ka = a.metrics.mean_kbps(0, Time::ZERO, Time::from_secs(20));
-        let kb = b.metrics.mean_kbps(0, Time::ZERO, Time::from_secs(20));
-        assert_eq!(ka, kb);
-    }
-
-    #[test]
-    fn different_seeds_differ() {
-        let a = run_chain(4, 20, 1);
-        let b = run_chain(4, 20, 2);
-        let sig = |n: &Network| {
-            (0..4)
-                .map(|i| n.mac_stats(i).tx_attempts)
-                .collect::<Vec<_>>()
-        };
-        assert_ne!(
-            sig(&a),
-            sig(&b),
-            "independent randomness should change micro-behaviour"
-        );
-    }
-
-    #[test]
-    fn without_capture_hidden_terminals_collide() {
-        // Fault-model check: disabling capture turns the hidden pair
-        // (0, 3) of a 4-hop chain into a collision source, and the MAC
-        // recovers by retrying.
-        let t = topo::chain(4, Time::ZERO, Time::from_secs(30));
-        let mut spec = NetworkSpec::from_topology(&t, 5);
-        spec.channel.cs_range = 550.0; // 3-hop neighbours hidden again
-        spec.channel.capture_ratio = f64::INFINITY;
-        let mut net = Network::new(spec, &std_controller);
-        net.run_until(Time::from_secs(30));
-        assert!(
-            net.channel_stats().collisions_at_dst > 0,
-            "hidden terminals must collide without capture"
-        );
-        assert!(net.mac_stats(0).retries > 0, "the MAC must retry");
-        assert!(
-            net.metrics.delivered[&0] > 0,
-            "traffic still flows end to end"
-        );
-    }
-
-    #[test]
-    fn four_hop_first_relay_buffer_builds_up() {
-        // The paper's Fig. 1: in a 4-hop chain under standard 802.11, the
-        // first relay's buffer grows to saturation.
-        let net = run_chain(4, 120, 7);
-        let b1 = net.metrics.buffer[1].window(Time::from_secs(60), Time::from_secs(120));
-        assert!(
-            b1.mean > 40.0,
-            "node 1 buffer should build toward 50, got mean {}",
-            b1.mean
-        );
-        assert!(
-            net.metrics.queue_drops[1] > 500,
-            "the saturated relay must shed overflow, got {}",
-            net.metrics.queue_drops[1]
-        );
-    }
-
-    #[test]
-    fn three_hop_chain_is_stable() {
-        // "Stable" in the paper's sense: the relay buffer fluctuates but
-        // does not ratchet to saturation, and overflow drops stay
-        // negligible — contrast with `four_hop_first_relay_buffer_builds_up`.
-        let net = run_chain(3, 120, 7);
-        let b1 = net.metrics.buffer[1].window(Time::from_secs(60), Time::from_secs(120));
-        assert!(
-            b1.mean < 35.0,
-            "3-hop node-1 mean buffer should stay off the ceiling, got {}",
-            b1.mean
-        );
-        assert!(
-            net.metrics.queue_drops[1] < 200,
-            "3-hop relay overflow drops should be negligible, got {}",
-            net.metrics.queue_drops[1]
-        );
-    }
-
-    #[test]
-    fn traffic_stops_at_flow_end() {
-        let t = topo::chain(1, Time::ZERO, Time::from_secs(5));
-        let mut net = Network::from_topology(&t, 9, &std_controller);
-        net.run_until(Time::from_secs(30));
-        let before = net.metrics.mean_kbps(0, Time::ZERO, Time::from_secs(5));
-        let after = net
-            .metrics
-            .mean_kbps(0, Time::from_secs(10), Time::from_secs(30));
-        assert!(before > 100.0);
-        assert_eq!(after, 0.0, "no deliveries after the flow stops");
-    }
-
-    #[test]
-    fn snapshot_captures_cross_layer_state_and_round_trips() {
-        let t = topo::chain(3, Time::ZERO, Time::from_secs(20));
-        let mut spec = NetworkSpec::from_topology(&t, 13);
-        spec.trace_cap = 256;
-        let mut net = Network::new(spec, &std_controller);
-        net.run_until(Time::from_secs(20));
-        let snap = net.snapshot("chain-3");
-
-        assert_eq!(snap.label, "chain-3");
-        assert_eq!(snap.at_us, 20_000_000);
-        assert_eq!(snap.nodes.len(), 4);
-        assert!(snap.scheduler.dispatched_total > 0);
-        assert_eq!(
-            snap.scheduler.dispatched_total,
-            snap.scheduler
-                .dispatched_by_kind
-                .iter()
-                .map(|(_, n)| n)
-                .sum::<u64>(),
-            "per-kind counts must sum to the total"
-        );
-        assert!(snap.scheduler.scheduled_total >= snap.scheduler.dispatched_total);
-        assert!(snap.scheduler.depth_high_water > 0);
-        assert!(snap.trace_records > 0);
-        let tx_ends = snap
-            .scheduler
-            .dispatched_by_kind
-            .iter()
-            .find(|(k, _)| k == "tx_end")
-            .expect("tx_end kind present")
-            .1;
-        assert!(tx_ends > 0, "a saturated chain transmits");
-        for node in &snap.nodes {
-            assert_eq!(node.controller, "802.11");
-            assert_eq!(
-                node.airtime.total_us(),
-                snap.at_us,
-                "airtime buckets must partition the run"
-            );
-        }
-        // The source transmits; its counters show up.
-        assert!(snap.nodes[0].mac.tx_attempts > 0);
-        assert!(snap.nodes[0].airtime.tx_us > 0);
-        assert!(snap.nodes[0].queues[0].high_water > 0);
-        // Wall-clock accounting ran.
-        assert!(snap.perf.wall_secs > 0.0);
-        assert!(snap.perf.events_per_sec > 0.0);
-
-        // JSON round trip through the sim JSON kernel.
-        let text = snap.to_json().to_pretty();
-        let parsed = ezflow_sim::JsonValue::parse(&text).unwrap();
-        let back = crate::snapshot::RunSnapshot::from_json(&parsed).unwrap();
-        assert_eq!(back, snap);
-    }
-
-    #[test]
-    fn trace_exports_typed_payloads_as_jsonl() {
-        let t = topo::chain(2, Time::ZERO, Time::from_secs(10));
-        let mut spec = NetworkSpec::from_topology(&t, 21);
-        spec.trace_cap = 4096;
-        let mut net = Network::new(spec, &std_controller);
-        net.run_until(Time::from_secs(10));
-        let jsonl = net.trace.to_jsonl();
-        let parsed = ezflow_sim::TraceRing::parse_jsonl(&jsonl).unwrap();
-        assert_eq!(parsed.len(), net.trace.len());
-        // Typed payloads survived the trip: at least one frame record.
-        assert!(parsed
-            .iter()
-            .any(|ev| matches!(ev.payload, ezflow_sim::TracePayload::Frame { .. })));
-    }
-
-    #[test]
-    fn sample_traces_cover_the_run() {
-        let net = run_chain(2, 10, 11);
-        assert_eq!(net.metrics.buffer[0].len(), 10);
-        assert_eq!(net.metrics.cw[1].len(), 10);
-        // Standard controller: cw stays at the default.
-        let cw = net.metrics.cw[1].window(Time::ZERO, Time::from_secs(10));
-        assert_eq!(cw.mean, 32.0);
     }
 }

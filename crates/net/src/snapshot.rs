@@ -319,6 +319,20 @@ pub struct PerfSnapshot {
 }
 
 impl PerfSnapshot {
+    /// An all-zero perf block.
+    ///
+    /// Wall-clock numbers are the one honestly non-deterministic part of a
+    /// [`RunSnapshot`]; tests (and the sweep runner's byte-identity check)
+    /// overwrite `snapshot.perf` with this before comparing JSON.
+    pub fn zeroed() -> Self {
+        PerfSnapshot {
+            wall_secs: 0.0,
+            sim_secs: 0.0,
+            events_per_sec: 0.0,
+            sim_rate: 0.0,
+        }
+    }
+
     fn to_json(self) -> JsonValue {
         JsonValue::obj(vec![
             ("wall_secs", self.wall_secs.into()),

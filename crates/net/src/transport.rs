@@ -1,0 +1,326 @@
+//! Flow transports: how a flow's source paces itself.
+//!
+//! The paper's workload is open-loop CBR, but the harness also models a
+//! closed-loop fixed-window transport (TCP-like self-clocking). Both are
+//! implementations of one small trait, [`FlowTransport`], so the engine
+//! dispatches pacing decisions without knowing which discipline a flow
+//! runs — and a future retransmitting transport is a third impl, not a
+//! new `match` arm in the event loop.
+//!
+//! The transport talks back to the engine through [`TransportCtx`]:
+//! `send` creates one packet at a source and offers it to the interface
+//! queue (the engine's packet factory), `now` reads the simulated clock.
+//! Transports are deliberately *passive* otherwise — they cannot touch
+//! the scheduler, the channel or the MAC, which keeps the layering
+//! one-directional: engine → transport → (via ctx) engine packet entry.
+
+use std::collections::BTreeMap;
+
+use ezflow_sim::{Duration, Time};
+
+use crate::network::Network;
+use crate::topo::FlowSpec;
+use crate::traffic::Transport;
+
+/// Flow ids at or above this offset are internal transport-ACK streams of
+/// windowed flows (ack flow id = `TRANSPORT_ACK_FLOW + data flow id`);
+/// they carry no user payload and are excluded from the user metrics.
+pub const TRANSPORT_ACK_FLOW: u32 = 1 << 24;
+
+/// What a transport may ask of the engine.
+///
+/// Implemented by [`Network`]; a trait (rather than `&mut Network`) so
+/// the transport surface is explicit and mockable.
+pub trait TransportCtx {
+    /// Current simulated time.
+    fn now(&self) -> Time;
+
+    /// Creates one data packet of `flow` at `src` bound for `dst` and
+    /// offers it to the source's own-traffic queue. `ack_ref` is the
+    /// data sequence number a transport ACK releases (0 for data).
+    /// Returns the packet's sequence number.
+    fn send(&mut self, flow: u32, src: usize, dst: usize, payload: u32, ack_ref: u64) -> u64;
+}
+
+/// One flow's pacing discipline.
+///
+/// All methods are callbacks from the engine's event loop; the default
+/// bodies describe a purely open-loop transport, so an implementation
+/// only overrides what its feedback loop needs.
+pub trait FlowTransport: Send {
+    /// Called at every source generation tick while the flow is active
+    /// (the CBR interval clocks the ticks for every transport kind).
+    fn on_tick(&mut self, ctx: &mut dyn TransportCtx);
+
+    /// If `Some(p)`, the engine delivers [`FlowTransport::on_refresh`]
+    /// every `p`, starting at flow start + `p`. `None` (the default)
+    /// means no periodic transport timer at all.
+    fn refresh_period(&self) -> Option<Duration> {
+        None
+    }
+
+    /// Periodic transport timer (credit timeouts, future retransmission
+    /// timers). Returns `true` to keep the timer armed.
+    fn on_refresh(&mut self, _ctx: &mut dyn TransportCtx) -> bool {
+        false
+    }
+
+    /// A data packet of this flow reached its final destination; `seq`
+    /// is its sequence number. Called *after* the user metrics recorded
+    /// the delivery.
+    fn on_data_delivered(&mut self, _ctx: &mut dyn TransportCtx, _seq: u64) {}
+
+    /// A transport ACK of this flow made it back to the source;
+    /// `ack_ref` names the data packet it releases.
+    fn on_ack_delivered(&mut self, _ctx: &mut dyn TransportCtx, _ack_ref: u64) {}
+}
+
+/// Open-loop constant bit rate (the paper's workload): one packet per
+/// tick, no feedback whatsoever.
+pub struct CbrFlow {
+    flow: u32,
+    src: usize,
+    dst: usize,
+    payload: u32,
+}
+
+impl FlowTransport for CbrFlow {
+    fn on_tick(&mut self, ctx: &mut dyn TransportCtx) {
+        ctx.send(self.flow, self.src, self.dst, self.payload, 0);
+    }
+}
+
+/// Closed-loop fixed-window transport: at most `window` data packets in
+/// flight; the sink returns a small end-to-end ACK packet (routed hop by
+/// hop over the reverse path) that releases the next one. Lost packets
+/// are written off by a credit timeout — no retransmission.
+pub struct WindowedFlow {
+    flow: u32,
+    src: usize,
+    dst: usize,
+    window: usize,
+    payload: u32,
+    ack_payload: u32,
+    stop: Time,
+    /// Outstanding data packets: seq -> send time. A `BTreeMap` so the
+    /// RTO write-off walks packets in sequence order — write-off order
+    /// (and thus counter/trace order) is a pure function of the seed.
+    outstanding: BTreeMap<u64, Time>,
+    /// Credit timeout: an unacked packet older than this is written off.
+    rto: Duration,
+}
+
+impl WindowedFlow {
+    /// Tops the flow up to its window, while it is active.
+    fn fill(&mut self, ctx: &mut dyn TransportCtx) {
+        while ctx.now() < self.stop && self.outstanding.len() < self.window {
+            let seq = ctx.send(self.flow, self.src, self.dst, self.payload, 0);
+            self.outstanding.insert(seq, ctx.now());
+        }
+    }
+}
+
+impl FlowTransport for WindowedFlow {
+    fn on_tick(&mut self, ctx: &mut dyn TransportCtx) {
+        self.fill(ctx);
+    }
+
+    fn refresh_period(&self) -> Option<Duration> {
+        Some(Duration::from_secs(1))
+    }
+
+    /// Credit timeout: write off outstanding packets older than the RTO
+    /// (lost in the network; this transport does not retransmit).
+    fn on_refresh(&mut self, ctx: &mut dyn TransportCtx) -> bool {
+        let now = ctx.now();
+        let rto = self.rto;
+        self.outstanding
+            .retain(|_, &mut sent| now.saturating_since(sent) < rto);
+        self.fill(ctx);
+        ctx.now() < self.stop
+    }
+
+    /// The sink acknowledges end-to-end: a small ACK packet travels the
+    /// reverse path like any other traffic.
+    fn on_data_delivered(&mut self, ctx: &mut dyn TransportCtx, seq: u64) {
+        ctx.send(
+            self.flow + TRANSPORT_ACK_FLOW,
+            self.dst,
+            self.src,
+            self.ack_payload,
+            seq,
+        );
+    }
+
+    /// A credit came home: release it and clock out the next packet.
+    fn on_ack_delivered(&mut self, ctx: &mut dyn TransportCtx, ack_ref: u64) {
+        self.outstanding.remove(&ack_ref);
+        self.fill(ctx);
+    }
+}
+
+/// Builds the transport implementation a flow spec asks for.
+pub(crate) fn build_transport(f: &FlowSpec) -> Box<dyn FlowTransport> {
+    let src = f.path[0];
+    let dst = *f.path.last().expect("non-empty path");
+    match f.transport {
+        Transport::Cbr => Box::new(CbrFlow {
+            flow: f.id,
+            src,
+            dst,
+            payload: f.payload_bytes,
+        }),
+        Transport::Windowed {
+            window,
+            ack_payload,
+        } => Box::new(WindowedFlow {
+            flow: f.id,
+            src,
+            dst,
+            window,
+            payload: f.payload_bytes,
+            ack_payload,
+            stop: f.stop,
+            outstanding: BTreeMap::new(),
+            rto: Duration::from_secs(3),
+        }),
+    }
+}
+
+impl Network {
+    /// Runs `f` against the transport of `flow` with the network itself
+    /// as the transport's context.
+    ///
+    /// The transport is taken out of the table for the duration of the
+    /// call, so `f` may re-enter the network mutably (`ctx.send` feeds
+    /// the MAC). Re-entry *for the same flow* would find the slot empty
+    /// and no-op — which cannot happen today: `ctx.send` never delivers
+    /// a frame synchronously (deliveries only surface from the drain
+    /// loop's receive path).
+    pub(crate) fn with_transport(
+        &mut self,
+        flow: u32,
+        f: impl FnOnce(&mut dyn FlowTransport, &mut Network),
+    ) {
+        let Some(mut t) = self.transports.remove(&flow) else {
+            return;
+        };
+        f(t.as_mut(), self);
+        self.transports.insert(flow, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted context: records sends, plays back a fixed clock.
+    struct Recorder {
+        now: Time,
+        next_seq: u64,
+        sent: Vec<(u32, usize, usize, u32, u64)>,
+    }
+
+    impl TransportCtx for Recorder {
+        fn now(&self) -> Time {
+            self.now
+        }
+        fn send(&mut self, flow: u32, src: usize, dst: usize, payload: u32, ack_ref: u64) -> u64 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.sent.push((flow, src, dst, payload, ack_ref));
+            seq
+        }
+    }
+
+    fn windowed(window: usize) -> WindowedFlow {
+        WindowedFlow {
+            flow: 0,
+            src: 0,
+            dst: 3,
+            window,
+            payload: 1000,
+            ack_payload: 40,
+            stop: Time::from_secs(100),
+            outstanding: BTreeMap::new(),
+            rto: Duration::from_secs(3),
+        }
+    }
+
+    #[test]
+    fn cbr_sends_one_packet_per_tick() {
+        let mut ctx = Recorder {
+            now: Time::ZERO,
+            next_seq: 0,
+            sent: Vec::new(),
+        };
+        let mut t = CbrFlow {
+            flow: 7,
+            src: 1,
+            dst: 4,
+            payload: 1000,
+        };
+        t.on_tick(&mut ctx);
+        t.on_tick(&mut ctx);
+        assert_eq!(ctx.sent, vec![(7, 1, 4, 1000, 0), (7, 1, 4, 1000, 0)]);
+        assert_eq!(t.refresh_period(), None, "CBR needs no transport timer");
+    }
+
+    #[test]
+    fn window_fills_to_cap_and_acks_release_credits() {
+        let mut ctx = Recorder {
+            now: Time::ZERO,
+            next_seq: 0,
+            sent: Vec::new(),
+        };
+        let mut t = windowed(4);
+        t.on_tick(&mut ctx);
+        assert_eq!(ctx.sent.len(), 4, "fills straight to the window");
+        t.on_tick(&mut ctx);
+        assert_eq!(ctx.sent.len(), 4, "window full: no further sends");
+
+        // The sink's delivery callback emits the reverse-path ACK.
+        t.on_data_delivered(&mut ctx, 0);
+        let ack = *ctx.sent.last().unwrap();
+        assert_eq!(ack, (TRANSPORT_ACK_FLOW, 3, 0, 40, 0));
+
+        // The ACK coming home releases one credit.
+        t.on_ack_delivered(&mut ctx, 0);
+        assert_eq!(t.outstanding.len(), 4, "refilled to the window");
+        assert_eq!(ctx.sent.len(), 6, "one data packet clocked out");
+    }
+
+    #[test]
+    fn refresh_writes_off_old_packets_in_seq_order() {
+        let mut ctx = Recorder {
+            now: Time::ZERO,
+            next_seq: 0,
+            sent: Vec::new(),
+        };
+        let mut t = windowed(3);
+        t.on_tick(&mut ctx);
+        assert_eq!(t.outstanding.len(), 3);
+
+        // Past the RTO: everything outstanding is written off and the
+        // window refills at the new instant.
+        ctx.now = Time::from_secs(5);
+        assert!(t.on_refresh(&mut ctx), "flow still active: keep the timer");
+        assert_eq!(t.outstanding.len(), 3);
+        assert!(t.outstanding.values().all(|&s| s == Time::from_secs(5)));
+
+        // After stop the timer asks to be disarmed.
+        ctx.now = Time::from_secs(100);
+        assert!(!t.on_refresh(&mut ctx));
+    }
+
+    #[test]
+    fn write_off_order_is_deterministic() {
+        // The BTreeMap guarantees the retain walk visits sequence
+        // numbers in order — the determinism fix for the RTO path.
+        let t = windowed(8);
+        let keys: Vec<u64> = t.outstanding.keys().copied().collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+}

@@ -102,6 +102,11 @@ impl<E> Scheduler<E> {
     }
 
     /// The instant of the earliest pending event, if any.
+    ///
+    /// Together with [`Scheduler::len`] / [`Scheduler::is_empty`] this is
+    /// the only queue state `ezflow-net`'s engine loop reads: it peeks to
+    /// decide whether the next event falls before its horizon, without
+    /// popping-and-repushing.
     pub fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|e| e.at)
     }

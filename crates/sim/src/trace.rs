@@ -470,6 +470,15 @@ pub struct TraceRing {
     pushed: u64,
 }
 
+/// The ring is embedded in `ezflow-net`'s `Network`, which crosses thread
+/// boundaries when a sweep runner fans runs across workers — so it must
+/// stay `Send` (plain owned data; this trips at compile time if a future
+/// field breaks that).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<TraceRing>();
+};
+
 impl TraceRing {
     /// Creates a ring keeping at most `cap` records; `cap == 0` disables
     /// tracing (pushes become no-ops beyond a counter increment).

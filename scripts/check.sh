@@ -12,4 +12,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
 
+echo "== cargo doc (no deps, deny warnings) =="
+# Our crates only: vendored dev stubs (vendor/*) are not held to our
+# rustdoc standards.
+DOC_FLAGS=(-p ezflow)
+for d in crates/*/; do DOC_FLAGS+=(-p "ezflow-$(basename "$d")"); done
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet "${DOC_FLAGS[@]}"
+
+echo "== parallel sweep smoke (seeds, --quick --jobs=2) =="
+cargo run --release -q -p ezflow-bench --bin experiments -- --quick --jobs=2 seeds >/dev/null
+
 echo "all checks passed"
