@@ -32,6 +32,15 @@ pub struct Boe {
     history: usize,
     /// Checksums of packets handed to the successor, oldest first.
     sent: VecDeque<u16>,
+    /// Occurrence count of every 16-bit checksum currently in `sent`,
+    /// indexed by checksum. Boxed (128 KiB) so a `Boe` itself stays a few
+    /// words — moving one around is cheap, and a mesh with thousands of
+    /// estimators keeps them out of every cache line that touches the
+    /// struct. Makes the common *miss* (`counts[ck] == 0`) and the
+    /// unambiguous/ambiguous distinction (`counts[ck] >= 2`) O(1); the
+    /// ring is scanned only on an actual hit, and only back to the most
+    /// recent match.
+    counts: Box<[u16]>,
     /// Diagnostics: samples produced.
     pub samples_produced: u64,
     /// Diagnostics: overheard frames whose checksum matched nothing
@@ -44,11 +53,16 @@ pub struct Boe {
 
 impl Boe {
     /// Creates an estimator remembering the last `history` sends.
+    ///
+    /// `history` is capped at `u16::MAX` so the per-checksum occurrence
+    /// counts cannot overflow even if every recorded send aliases.
     pub fn new(history: usize) -> Self {
         assert!(history > 0);
+        assert!(history <= u16::MAX as usize);
         Boe {
             history,
             sent: VecDeque::with_capacity(history.min(4096)),
+            counts: vec![0u16; 1 << 16].into_boxed_slice(),
             samples_produced: 0,
             misses: 0,
             ambiguous: 0,
@@ -59,32 +73,39 @@ impl Boe {
     /// the successor (it is now at the tail of the successor's FIFO).
     pub fn on_sent(&mut self, ck: u16) {
         if self.sent.len() == self.history {
-            self.sent.pop_front();
+            let evicted = self.sent.pop_front().expect("non-empty at capacity");
+            self.counts[evicted as usize] -= 1;
         }
         self.sent.push_back(ck);
+        self.counts[ck as usize] += 1;
     }
 
     /// Processes an overheard forward by the successor; returns the
     /// estimated successor buffer occupancy, in packets, if the checksum
     /// matches a recorded send.
+    ///
+    /// The common miss costs one table read; a hit scans the ring only
+    /// back to the most recent match (the occurrence count already says
+    /// whether an older alias exists).
     pub fn on_overheard(&mut self, ck: u16) -> Option<usize> {
-        // One reverse scan finds the most recent match and, continuing past
-        // it, whether an older alias exists.
-        let mut idx = None;
-        for (i, &c) in self.sent.iter().enumerate().rev() {
-            if c == ck {
-                if idx.is_some() {
-                    self.ambiguous += 1;
-                    break;
-                }
-                idx = Some(i);
-            }
+        let occurrences = self.counts[ck as usize];
+        if occurrences == 0 {
+            return None;
         }
-        let idx = idx?;
+        if occurrences >= 2 {
+            self.ambiguous += 1;
+        }
+        let idx = self
+            .sent
+            .iter()
+            .rposition(|&c| c == ck)
+            .expect("count says present");
         // Packets recorded after `p` are still queued at the successor.
         let b = self.sent.len() - 1 - idx;
         // Everything up to and including `p` has left the successor.
-        self.sent.drain(..=idx);
+        for evicted in self.sent.drain(..=idx) {
+            self.counts[evicted as usize] -= 1;
+        }
         self.samples_produced += 1;
         Some(b)
     }
@@ -179,6 +200,114 @@ mod tests {
         // Oldest surviving entry is 40.
         assert_eq!(boe.on_overheard(39), None);
         assert_eq!(boe.on_overheard(40), Some(9));
+    }
+
+    /// The pre-filter estimator, kept verbatim as a test oracle: one
+    /// reverse scan per overheard frame, no occurrence table. The filtered
+    /// path must produce identical estimates *and* identical diagnostics.
+    struct RefBoe {
+        history: usize,
+        sent: VecDeque<u16>,
+        samples_produced: u64,
+        ambiguous: u64,
+    }
+
+    impl RefBoe {
+        fn new(history: usize) -> Self {
+            RefBoe {
+                history,
+                sent: VecDeque::new(),
+                samples_produced: 0,
+                ambiguous: 0,
+            }
+        }
+
+        fn on_sent(&mut self, ck: u16) {
+            if self.sent.len() == self.history {
+                self.sent.pop_front();
+            }
+            self.sent.push_back(ck);
+        }
+
+        fn on_overheard(&mut self, ck: u16) -> Option<usize> {
+            let mut idx = None;
+            for (i, &c) in self.sent.iter().enumerate().rev() {
+                if c == ck {
+                    if idx.is_some() {
+                        self.ambiguous += 1;
+                        break;
+                    }
+                    idx = Some(i);
+                }
+            }
+            let idx = idx?;
+            let b = self.sent.len() - 1 - idx;
+            self.sent.drain(..=idx);
+            self.samples_produced += 1;
+            Some(b)
+        }
+    }
+
+    #[test]
+    fn count_filter_matches_reference_scan_exactly() {
+        // A deliberately alias-heavy workload: checksums folded into a
+        // tiny space (0..=7) over a small history, interleaving sends,
+        // hits, and misses. Every estimate and every counter must agree
+        // with the unfiltered reference at every step.
+        let mut fast = Boe::new(12);
+        let mut slow = RefBoe::new(12);
+        let mut x: u32 = 0x2545_f491;
+        // xorshift: deterministic, dependency-free pseudo-randomness.
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 17;
+            x ^= x << 5;
+            x
+        };
+        for _ in 0..4000 {
+            let r = step();
+            let ck = (r & 7) as u16;
+            if r & 0x18 == 0 {
+                // 1-in-4: overhear (often a miss or an alias).
+                assert_eq!(fast.on_overheard(ck), slow.on_overheard(ck));
+            } else {
+                fast.on_sent(ck);
+                slow.on_sent(ck);
+            }
+            assert_eq!(fast.len(), slow.sent.len());
+            assert_eq!(fast.samples_produced, slow.samples_produced);
+            assert_eq!(fast.ambiguous, slow.ambiguous);
+        }
+        assert!(fast.ambiguous > 0, "the workload must exercise aliasing");
+        assert!(fast.samples_produced > 0, "and produce samples");
+    }
+
+    #[test]
+    fn count_table_tracks_ring_across_eviction_and_prune() {
+        let mut boe = Boe::new(4);
+        for ck in [1u16, 2, 1, 3] {
+            boe.on_sent(ck);
+        }
+        // Ring full: sending 4 evicts the oldest '1'; the remaining '1'
+        // must still be findable (count went 2 -> 1, not to 0).
+        boe.on_sent(4);
+        assert_eq!(boe.on_overheard(1), Some(2), "ring is [2,1,3,4]");
+        // The prune dropped 2 and 1; both must now be O(1) misses.
+        assert_eq!(boe.on_overheard(2), None);
+        assert_eq!(boe.on_overheard(1), None);
+        assert_eq!(boe.on_overheard(3), Some(1));
+    }
+
+    #[test]
+    fn cloned_estimator_diverges_independently() {
+        // `Boe` is cloned when controllers are duplicated; the boxed count
+        // table must deep-copy so the clones do not share state.
+        let mut a = Boe::new(8);
+        a.on_sent(5);
+        let mut b = a.clone();
+        assert_eq!(b.on_overheard(5), Some(0));
+        assert_eq!(a.on_overheard(5), Some(0), "clone's prune must not leak");
+        assert_eq!(b.on_overheard(5), None);
     }
 
     #[test]

@@ -198,6 +198,10 @@ pub struct MacStats {
     /// Countdowns that started with EIFS instead of DIFS (penalty after
     /// an undecodable frame).
     pub eifs_starts: u64,
+    /// Timer firings ignored because their epoch token was stale — the
+    /// cancellation-free scheduler's "cancelled" events, a direct read on
+    /// how many heap entries were scheduled and then abandoned.
+    pub stale_epochs: u64,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -310,21 +314,41 @@ impl Mac {
     }
 
     /// Feeds one input, returns the outputs it provoked.
+    ///
+    /// Allocating convenience wrapper around [`Mac::input_into`]. (An input
+    /// with no outputs still costs nothing: `Vec::new` does not allocate.)
     pub fn input(&mut self, now: Time, input: MacInput, rng: &mut SimRng) -> Vec<MacOutput> {
         let mut out = Vec::new();
+        self.input_into(now, input, rng, &mut out);
+        out
+    }
+
+    /// Feeds one input, appending the outputs it provoked to `out`.
+    ///
+    /// The buffer is *not* cleared: the caller owns its lifecycle, so a
+    /// drained buffer can be reused across millions of inputs without a
+    /// single allocation — the network layer keeps a small pool for exactly
+    /// that (MAC handling can recurse through frame delivery).
+    pub fn input_into(
+        &mut self,
+        now: Time,
+        input: MacInput,
+        rng: &mut SimRng,
+        out: &mut Vec<MacOutput>,
+    ) {
         match input {
-            MacInput::Enqueue { frame, queue } => self.on_enqueue(now, frame, queue, rng, &mut out),
+            MacInput::Enqueue { frame, queue } => self.on_enqueue(now, frame, queue, rng, out),
             MacInput::MediumBusy => self.on_medium_busy(now),
-            MacInput::MediumIdle => self.on_medium_idle(now, &mut out),
-            MacInput::TimerTxPath { epoch } => self.on_timer_tx(now, epoch, rng, &mut out),
-            MacInput::TimerAckJob { epoch } => self.on_timer_ack(now, epoch, &mut out),
-            MacInput::TxEnded { medium_busy } => self.on_tx_ended(now, medium_busy, &mut out),
-            MacInput::RxData { frame } => self.on_rx_data(now, frame, &mut out),
-            MacInput::RxAck { frame } => self.on_rx_ack(now, frame, rng, &mut out),
-            MacInput::RxRts { frame } => self.on_rx_rts(frame, &mut out),
-            MacInput::RxCts { frame } => self.on_rx_cts(frame, &mut out),
-            MacInput::NavSet { until } => self.on_nav_set(now, until, &mut out),
-            MacInput::TimerNav => self.on_timer_nav(now, &mut out),
+            MacInput::MediumIdle => self.on_medium_idle(now, out),
+            MacInput::TimerTxPath { epoch } => self.on_timer_tx(now, epoch, rng, out),
+            MacInput::TimerAckJob { epoch } => self.on_timer_ack(now, epoch, out),
+            MacInput::TxEnded { medium_busy } => self.on_tx_ended(now, medium_busy, out),
+            MacInput::RxData { frame } => self.on_rx_data(now, frame, out),
+            MacInput::RxAck { frame } => self.on_rx_ack(now, frame, rng, out),
+            MacInput::RxRts { frame } => self.on_rx_rts(frame, out),
+            MacInput::RxCts { frame } => self.on_rx_cts(frame, out),
+            MacInput::NavSet { until } => self.on_nav_set(now, until, out),
+            MacInput::TimerNav => self.on_timer_nav(now, out),
             MacInput::EifsMark => {
                 if self.cfg.eifs {
                     self.eifs_pending = true;
@@ -334,7 +358,6 @@ impl Mac {
                 self.cw_min = cw_min.max(1);
             }
         }
-        out
     }
 
     fn draw_slots(&mut self, attempt: u32, rng: &mut SimRng) -> u32 {
@@ -468,6 +491,7 @@ impl Mac {
 
     fn on_timer_tx(&mut self, now: Time, epoch: u64, rng: &mut SimRng, out: &mut Vec<MacOutput>) {
         if epoch != self.tx_epoch {
+            self.stats.stale_epochs += 1;
             return; // stale
         }
         match self.phase {
@@ -571,6 +595,7 @@ impl Mac {
 
     fn on_timer_ack(&mut self, now: Time, epoch: u64, out: &mut Vec<MacOutput>) {
         if epoch != self.ack_epoch {
+            self.stats.stale_epochs += 1;
             return;
         }
         let Some(ack) = self.ack_job.take() else {

@@ -212,6 +212,10 @@ pub(crate) fn build(
         next_seq: 0,
         events: 0,
         dispatched: [0; EV_KINDS],
+        by_kind_cache: [("", 0); EV_KINDS],
+        start_report: ezflow_phy::StartReport::default(),
+        end_report: ezflow_phy::EndReport::default(),
+        mac_out_pool: Vec::new(),
         wall: std::time::Duration::ZERO,
     }
 }

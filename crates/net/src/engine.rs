@@ -146,7 +146,7 @@ impl Network {
     }
 
     fn on_traffic(&mut self, i: usize) {
-        let s = self.sources[i].clone();
+        let s = self.sources[i]; // Copy — no per-tick clone
         if s.active_at(self.now) {
             self.with_transport(s.flow, |t, net| t.on_tick(net));
             self.drain();
@@ -200,7 +200,13 @@ impl Network {
     }
 
     fn on_tx_end(&mut self, tx: TxId, node: usize) {
-        let report = self.channel.end_tx(self.now, tx, &mut self.chan_rng);
+        // Take-out/put-back (the `transports` pattern): the scratch report
+        // is refilled in place by the channel — no per-transmission Vec
+        // allocations — and must be out of `self` while deliveries fan out
+        // through `&mut self` controller/trace calls.
+        let mut report = std::mem::take(&mut self.end_report);
+        self.channel
+            .end_tx_into(self.now, tx, &mut self.chan_rng, &mut report);
         if self.trace.enabled() {
             self.trace.push(
                 self.now,
@@ -225,7 +231,7 @@ impl Network {
                 medium_busy: self.channel.is_busy(node),
             },
         ));
-        let frame = report.frame;
+        let frame = &report.frame;
         for d in &report.deliveries {
             if !d.clean {
                 if self.trace.enabled() && d.node == frame.dst {
@@ -242,6 +248,8 @@ impl Network {
                 continue;
             }
             if d.node == frame.dst {
+                // The fan-out's single frame copy: the addressed receiver
+                // takes ownership, everyone else borrows.
                 let input = match frame.kind {
                     FrameKind::Data => MacInput::RxData {
                         frame: frame.clone(),
@@ -264,7 +272,7 @@ impl Network {
                         // free.
                         let cmd = self.nodes[d.node]
                             .controller
-                            .on_event(self.now, ControllerEvent::Overheard { frame: &frame });
+                            .on_event(self.now, ControllerEvent::Overheard { frame });
                         self.apply_cw(d.node, cmd);
                     }
                     // Virtual carrier sense: overheard RTS/CTS reserve the
@@ -278,6 +286,7 @@ impl Network {
                 }
             }
         }
+        self.end_report = report;
         self.drain();
     }
 
@@ -319,16 +328,19 @@ impl Network {
 
     /// Processes queued MAC inputs until quiescence.
     fn drain(&mut self) {
+        let mut outs = self.mac_out_pool.pop().unwrap_or_default();
         while let Some((id, input)) = self.worklist.pop_front() {
-            let outs = {
+            {
                 let node = &mut self.nodes[id];
-                node.mac.input(self.now, input, &mut node.rng)
-            };
-            for o in outs {
+                node.mac
+                    .input_into(self.now, input, &mut node.rng, &mut outs);
+            }
+            for o in outs.drain(..) {
                 self.handle_output(id, o);
             }
             self.try_feed(id);
         }
+        self.mac_out_pool.push(outs);
     }
 
     fn handle_output(&mut self, id: usize, out: MacOutput) {
@@ -339,15 +351,18 @@ impl Network {
                         .push(self.now, id, TraceKind::TxStart, frame_payload(&frame));
                 }
                 let end = self.now + air;
-                let rep = self.channel.start_tx(self.now, frame, end);
+                // Scratch report: `start_tx_into` refills it in place.
+                // Disjoint-field borrows, so no take-out dance is needed.
+                self.channel
+                    .start_tx_into(self.now, frame, end, &mut self.start_report);
                 self.sched.schedule(
                     end,
                     Ev::TxEnd {
-                        tx: rep.tx_id,
+                        tx: self.start_report.tx_id,
                         node: id,
                     },
                 );
-                for r in rep.became_busy {
+                for &r in &self.start_report.became_busy {
                     self.worklist.push_back((r, MacInput::MediumBusy));
                 }
             }
@@ -456,17 +471,20 @@ impl Network {
                 debug_assert!(outs.is_empty());
             }
         }
-        let outs = {
+        let mut outs = self.mac_out_pool.pop().unwrap_or_default();
+        {
             let node = &mut self.nodes[id];
-            node.mac.input(
+            node.mac.input_into(
                 self.now,
                 MacInput::Enqueue { frame, queue: qidx },
                 &mut node.rng,
-            )
-        };
-        for o in outs {
+                &mut outs,
+            );
+        }
+        for o in outs.drain(..) {
             self.handle_output(id, o);
         }
+        self.mac_out_pool.push(outs);
     }
 
     fn apply_cw(&mut self, id: usize, cmd: Option<u32>) {
@@ -493,12 +511,24 @@ impl Network {
     }
 
     /// Dispatch counts per event kind, `(name, count)`, in dispatch order.
-    pub fn dispatched_by_kind(&self) -> Vec<(&'static str, u64)> {
-        EV_NAMES
-            .iter()
-            .zip(self.dispatched.iter())
-            .map(|(&name, &n)| (name, n))
-            .collect()
+    ///
+    /// Returns a slice into a cache refreshed on each call — repeated
+    /// polling (progress displays, per-round sweeps) never allocates.
+    pub fn dispatched_by_kind(&mut self) -> &[(&'static str, u64)] {
+        for (slot, (&name, &n)) in self
+            .by_kind_cache
+            .iter_mut()
+            .zip(EV_NAMES.iter().zip(self.dispatched.iter()))
+        {
+            *slot = (name, n);
+        }
+        &self.by_kind_cache
+    }
+
+    /// Scratch-buffer reuses in the channel — allocations the hot path
+    /// avoided (see the `hotpath_bench` gate).
+    pub fn buffer_reuses(&self) -> u64 {
+        self.channel.buffer_reuses()
     }
 
     /// Wall-clock time spent inside [`Network::run_until`] so far.
@@ -561,6 +591,8 @@ impl Network {
                 sim_secs,
                 events_per_sec: per_wall(self.events as f64),
                 sim_rate: per_wall(sim_secs),
+                sched_depth_high_water: self.sched.depth_high_water() as u64,
+                stale_epoch_drops: self.nodes.iter().map(|n| n.mac.stats().stale_epochs).sum(),
             },
             trace_records: self.trace.pushed_total(),
         }

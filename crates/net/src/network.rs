@@ -79,6 +79,20 @@ pub struct Network {
     pub(crate) events: u64,
     /// Dispatch counts per event kind.
     pub(crate) dispatched: [u64; EV_KINDS],
+    /// Cached `(name, count)` view of `dispatched`, refreshed on read by
+    /// [`Network::dispatched_by_kind`] so the getter never allocates.
+    pub(crate) by_kind_cache: [(&'static str, u64); EV_KINDS],
+    /// Scratch channel reports, refilled in place by `start_tx_into` /
+    /// `end_tx_into` on every transmission — the steady state of the
+    /// event loop allocates nothing for them.
+    pub(crate) start_report: ezflow_phy::StartReport,
+    /// Taken out (`std::mem::take`) while its deliveries fan out, then
+    /// put back, like `transports` in [`crate::transport`].
+    pub(crate) end_report: ezflow_phy::EndReport,
+    /// Pool of drained MAC output buffers. A pool rather than a single
+    /// buffer because output handling recurses (Deliver → enqueue →
+    /// try_feed feeds the MAC again); depth bounds the pool size.
+    pub(crate) mac_out_pool: Vec<Vec<ezflow_mac::MacOutput>>,
     /// Wall-clock time spent inside `run_until` (perf accounting only;
     /// never fed back into the simulation).
     pub(crate) wall: std::time::Duration,

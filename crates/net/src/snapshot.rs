@@ -129,6 +129,7 @@ fn mac_to_json(m: &MacStats) -> JsonValue {
         ("backoff_slots", m.backoff_slots.into()),
         ("cca_busy", m.cca_busy.into()),
         ("eifs_starts", m.eifs_starts.into()),
+        ("stale_epochs", m.stale_epochs.into()),
     ])
 }
 
@@ -149,6 +150,7 @@ fn mac_from_json(v: &JsonValue) -> Result<MacStats, String> {
         backoff_slots: get_u64(v, "backoff_slots")?,
         cca_busy: get_u64(v, "cca_busy")?,
         eifs_starts: get_u64(v, "eifs_starts")?,
+        stale_epochs: get_u64(v, "stale_epochs")?,
     })
 }
 
@@ -304,8 +306,10 @@ impl SchedulerSnapshot {
     }
 }
 
-/// Wall-clock performance of the run. The only non-deterministic part of
-/// a snapshot — everything else is a pure function of the spec and seed.
+/// Wall-clock performance of the run, plus the heap-churn gauges that
+/// explain it. The wall-clock numbers are the only non-deterministic part
+/// of a snapshot — everything else is a pure function of the spec and
+/// seed — so tests zero this whole block before comparing.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PerfSnapshot {
     /// Wall-clock seconds spent inside `run_until`.
@@ -316,6 +320,12 @@ pub struct PerfSnapshot {
     pub events_per_sec: f64,
     /// Simulated seconds per wall-clock second.
     pub sim_rate: f64,
+    /// Deepest the scheduler's pending-event heap ever got — the working
+    /// set the event loop keeps alive.
+    pub sched_depth_high_water: u64,
+    /// Timer events dispatched only to be discarded as stale (epoch-token
+    /// cancellation): heap entries the simulation paid for but never used.
+    pub stale_epoch_drops: u64,
 }
 
 impl PerfSnapshot {
@@ -330,6 +340,8 @@ impl PerfSnapshot {
             sim_secs: 0.0,
             events_per_sec: 0.0,
             sim_rate: 0.0,
+            sched_depth_high_water: 0,
+            stale_epoch_drops: 0,
         }
     }
 
@@ -339,6 +351,8 @@ impl PerfSnapshot {
             ("sim_secs", self.sim_secs.into()),
             ("events_per_sec", self.events_per_sec.into()),
             ("sim_rate", self.sim_rate.into()),
+            ("sched_depth_high_water", self.sched_depth_high_water.into()),
+            ("stale_epoch_drops", self.stale_epoch_drops.into()),
         ])
     }
 
@@ -348,6 +362,8 @@ impl PerfSnapshot {
             sim_secs: get_f64(v, "sim_secs")?,
             events_per_sec: get_f64(v, "events_per_sec")?,
             sim_rate: get_f64(v, "sim_rate")?,
+            sched_depth_high_water: get_u64(v, "sched_depth_high_water")?,
+            stale_epoch_drops: get_u64(v, "stale_epoch_drops")?,
         })
     }
 }
@@ -471,6 +487,8 @@ mod tests {
                 sim_secs: 120.0,
                 events_per_sec: 1980.0,
                 sim_rate: 240.0,
+                sched_depth_high_water: 42,
+                stale_epoch_drops: 7,
             },
             trace_records: 12345,
         }

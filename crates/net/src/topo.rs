@@ -218,6 +218,36 @@ pub fn scenario1_end() -> Time {
     Time::from_secs(2504)
 }
 
+/// A dense `rows × cols` grid mesh with one saturating west→east flow per
+/// row, all active over `[start, stop)`.
+///
+/// Nodes sit every `spacing` meters in both directions, so tight spacings
+/// put *every* node inside every other's carrier-sense range — the
+/// worst case for the channel's per-sender neighbor lists (degree ≈ N)
+/// and therefore the stressor `hotpath_bench` uses to check the
+/// neighbor-table path never loses to the full scan it replaced.
+pub fn grid(rows: usize, cols: usize, spacing: f64, start: Time, stop: Time) -> Topology {
+    assert!(rows >= 1 && cols >= 2, "each row must carry a 1+ hop flow");
+    let mut positions = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            positions.push(Position::new(c as f64 * spacing, r as f64 * spacing));
+        }
+    }
+    let flows = (0..rows)
+        .map(|r| {
+            let path: Vec<usize> = (0..cols).map(|c| r * cols + c).collect();
+            FlowSpec::saturating(r as u32, path, start, stop)
+        })
+        .collect();
+    Topology {
+        name: "grid",
+        positions,
+        loss: LossModel::ideal(),
+        flows,
+    }
+}
+
 /// Fig. 9 (reconstruction): three flows with hidden sources.
 ///
 /// * F1: N0→N1→…→N9 (9 hops along the x axis), 5 s – 4500 s.
@@ -334,6 +364,28 @@ mod tests {
         // Branch heads are 2 hops of distance from the junction's chain.
         assert!(ch.can_sense(6, 4));
         assert!(ch.can_sense(8, 4));
+    }
+
+    #[test]
+    fn grid_is_dense_and_rowwise_connected() {
+        let t = grid(4, 4, 140.0, Time::ZERO, Time::from_secs(10));
+        assert_eq!(t.positions.len(), 16);
+        assert_eq!(t.flows.len(), 4);
+        let ch = channel_for(&t);
+        for f in &t.flows {
+            for w in f.path.windows(2) {
+                assert!(ch.can_decode(w[0], w[1]), "hop {}->{}", w[0], w[1]);
+            }
+        }
+        // 140 m spacing: the whole 420 m x 420 m grid fits inside one
+        // 620 m carrier-sense disk — every node senses every other.
+        for a in 0..16 {
+            for b in 0..16 {
+                if a != b {
+                    assert!(ch.can_sense(a, b), "{a} must sense {b}");
+                }
+            }
+        }
     }
 
     #[test]

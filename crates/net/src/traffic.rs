@@ -29,8 +29,9 @@ pub enum Transport {
     },
 }
 
-/// A CBR source description.
-#[derive(Clone, Debug)]
+/// A CBR source description. `Copy` (5 words) so the per-tick hot path
+/// reads it without cloning through the heap.
+#[derive(Clone, Copy, Debug)]
 pub struct CbrSource {
     /// Flow id (index into the network's flow table).
     pub flow: u32,

@@ -141,12 +141,24 @@ struct ActiveTx {
 }
 
 /// What a `start_tx` call changed.
-#[derive(Debug)]
+///
+/// Reusable: [`Channel::start_tx_into`] clears and refills the vector in
+/// place, so one report can serve millions of transmissions without
+/// allocating (see DESIGN.md "Hot-path budget").
+#[derive(Debug, Default)]
 pub struct StartReport {
     /// Handle to pass back to [`Channel::end_tx`].
     pub tx_id: TxId,
     /// Nodes whose medium went idle -> busy because of this transmission.
     pub became_busy: Vec<usize>,
+}
+
+impl Default for TxId {
+    fn default() -> Self {
+        // A value no live transmission ever carries, so a default-built
+        // report handed to `end_tx` by mistake fails loudly.
+        TxId(u64::MAX)
+    }
 }
 
 /// One potential reception at the end of a transmission.
@@ -159,6 +171,9 @@ pub struct Delivery {
 }
 
 /// What an `end_tx` call changed.
+///
+/// Reusable like [`StartReport`]: [`Channel::end_tx_into`] clears and
+/// refills the vectors in place.
 #[derive(Debug)]
 pub struct EndReport {
     /// The frame that was on the air.
@@ -174,6 +189,18 @@ pub struct EndReport {
     pub sensed_dirty: Vec<usize>,
 }
 
+impl Default for EndReport {
+    fn default() -> Self {
+        EndReport {
+            // Placeholder overwritten by `end_tx_into`.
+            frame: Frame::data(0, 0, 0, 0, 0, Time::ZERO),
+            deliveries: Vec::new(),
+            became_idle: Vec::new(),
+            sensed_dirty: Vec::new(),
+        }
+    }
+}
+
 /// The shared broadcast medium.
 pub struct Channel {
     cfg: ChannelConfig,
@@ -186,7 +213,19 @@ pub struct Channel {
     sense: Vec<Vec<bool>>,
     /// Pairwise distances, meters.
     dist: Vec<Vec<f64>>,
+    /// Per sender: the nodes (ascending, sender excluded) inside decode
+    /// range — the only rows of `decode[s]` that are ever true. Geometry is
+    /// fixed at construction, so these lists never change.
+    decode_from: Vec<Vec<usize>>,
+    /// Per sender: the nodes (ascending, sender excluded) inside
+    /// carrier-sense range. A superset of `decode_from[s]` because
+    /// `cs_range >= tx_range` is asserted at construction.
+    sense_from: Vec<Vec<usize>>,
     active: Vec<ActiveTx>,
+    /// Recycled per-node `corrupted` buffers from completed transmissions.
+    corrupted_pool: Vec<Vec<bool>>,
+    /// Times a pooled buffer was reused instead of freshly allocated.
+    pool_reuses: u64,
     /// Per node: number of active transmissions it senses.
     sense_count: Vec<u32>,
     /// Per node: number of own active transmissions (0 or 1 in practice).
@@ -197,8 +236,12 @@ pub struct Channel {
     airtime_us: Vec<u64>,
     /// Per node: tx/rx/busy/idle split, accrued lazily at transitions.
     air: Vec<Airtime>,
-    /// Instant up to which `air` has been accrued.
-    air_clock: Time,
+    /// Per node: instant up to which `air[node]` has been accrued. A
+    /// node's radio-state class (tx > rx > busy > idle) only changes when
+    /// one of its counters does, so each node is settled independently,
+    /// right before such a change ([`Channel::touch_air`]) — events no
+    /// longer pay an O(N) sweep for nodes whose state cannot have moved.
+    air_since: Vec<Time>,
     next_tx: u64,
     stats: ChannelStats,
 }
@@ -225,6 +268,12 @@ impl Channel {
                 sense[s][r] = positions[s].within(&positions[r], cfg.cs_range);
             }
         }
+        let decode_from: Vec<Vec<usize>> = (0..n)
+            .map(|s| (0..n).filter(|&r| decode[s][r]).collect())
+            .collect();
+        let sense_from: Vec<Vec<usize>> = (0..n)
+            .map(|s| (0..n).filter(|&r| sense[s][r]).collect())
+            .collect();
         Channel {
             cfg,
             loss,
@@ -232,13 +281,17 @@ impl Channel {
             decode,
             sense,
             dist,
+            decode_from,
+            sense_from,
             active: Vec::new(),
+            corrupted_pool: Vec::new(),
+            pool_reuses: 0,
             sense_count: vec![0; n],
             tx_count: vec![0; n],
             rx_count: vec![0; n],
             airtime_us: vec![0; n],
             air: vec![Airtime::default(); n],
-            air_clock: Time::ZERO,
+            air_since: vec![Time::ZERO; n],
             next_tx: 0,
             stats: ChannelStats::default(),
         }
@@ -250,23 +303,34 @@ impl Channel {
     /// with the final simulation instant before reading
     /// [`Channel::airtime_breakdown`], so the buckets cover the whole run.
     pub fn accrue_airtime(&mut self, now: Time) {
-        if now <= self.air_clock {
+        for node in 0..self.n {
+            self.touch_air(node, now);
+        }
+    }
+
+    /// Settles `node`'s airtime bucket up to `now` under its *current*
+    /// radio-state class. Must be called before any of the node's
+    /// tx/rx/sense counters change; the bucket sums are then identical to
+    /// an every-event full sweep, because the class is piecewise constant
+    /// between counter changes and interval lengths add exactly in
+    /// integer microseconds.
+    fn touch_air(&mut self, node: usize, now: Time) {
+        let since = self.air_since[node];
+        if now <= since {
             return;
         }
-        let span = now.since(self.air_clock).as_micros();
-        for node in 0..self.n {
-            let air = &mut self.air[node];
-            if self.tx_count[node] > 0 {
-                air.tx_us += span;
-            } else if self.rx_count[node] > 0 {
-                air.rx_us += span;
-            } else if self.sense_count[node] > 0 {
-                air.busy_us += span;
-            } else {
-                air.idle_us += span;
-            }
+        let span = now.since(since).as_micros();
+        let air = &mut self.air[node];
+        if self.tx_count[node] > 0 {
+            air.tx_us += span;
+        } else if self.rx_count[node] > 0 {
+            air.rx_us += span;
+        } else if self.sense_count[node] > 0 {
+            air.busy_us += span;
+        } else {
+            air.idle_us += span;
         }
-        self.air_clock = now;
+        self.air_since[node] = now;
     }
 
     /// The tx/rx/busy/idle time split of `node`, as accrued so far.
@@ -337,18 +401,50 @@ impl Channel {
         self.dist[interferer][receiver] < self.cfg.capture_ratio * self.dist[sender][receiver]
     }
 
+    /// Times a pooled scratch buffer was reused instead of allocated —
+    /// the "allocations avoided" counter the hot-path bench records.
+    pub fn buffer_reuses(&self) -> u64 {
+        self.pool_reuses
+    }
+
     /// Puts `frame` on the air from `frame.src` until `end`.
+    ///
+    /// Allocating convenience wrapper around [`Channel::start_tx_into`].
+    pub fn start_tx(&mut self, now: Time, frame: Frame, end: Time) -> StartReport {
+        let mut report = StartReport::default();
+        self.start_tx_into(now, frame, end, &mut report);
+        report
+    }
+
+    /// Puts `frame` on the air from `frame.src` until `end`, writing the
+    /// outcome into `report` (cleared first).
     ///
     /// Marks interference both ways against every already-active
     /// transmission and reports which nodes newly sense a busy medium.
-    pub fn start_tx(&mut self, now: Time, frame: Frame, end: Time) -> StartReport {
+    /// Only the sender's static neighbor lists are visited, so the cost is
+    /// O(degree), not O(N), and a reused `report` allocates nothing once
+    /// its vector has grown to the densest neighborhood.
+    pub fn start_tx_into(&mut self, now: Time, frame: Frame, end: Time, report: &mut StartReport) {
         debug_assert!(end > now, "zero-length transmission");
         let src = frame.src;
         debug_assert!(src < self.n, "unknown transmitter");
-        self.accrue_airtime(now);
+        // Only the sender and its sense neighborhood change radio state;
+        // settle exactly those nodes' airtime buckets, not all N.
+        self.touch_air(src, now);
+        for i in 0..self.sense_from[src].len() {
+            let r = self.sense_from[src][i];
+            self.touch_air(r, now);
+        }
         self.stats.tx_started += 1;
 
-        let mut corrupted = vec![false; self.n];
+        let mut corrupted = match self.corrupted_pool.pop() {
+            Some(mut buf) => {
+                self.pool_reuses += 1;
+                buf.fill(false);
+                buf
+            }
+            None => vec![false; self.n],
+        };
         // The sender cannot receive anything, including its own frame.
         corrupted[src] = true;
         let mut overlapped = false;
@@ -358,7 +454,9 @@ impl Channel {
         // Interference with every overlapping active transmission, in both
         // directions. A transmission whose end is exactly `now` no longer
         // overlaps (its `end_tx` is being delivered in this same instant).
-        let decode = &self.decode;
+        // Only nodes inside a sender's decode range can have a reception
+        // destroyed, so each direction visits that sender's neighbor list.
+        let decode_from = &self.decode_from;
         let sense = &self.sense;
         let dist = &self.dist;
         let ratio = self.cfg.capture_ratio;
@@ -372,16 +470,18 @@ impl Channel {
             overlapped = true;
             a.overlapped = true;
             let other = a.frame.src;
-            for r in 0..self.n {
-                // New tx destroys `a`'s reception at r?
-                if decode[other][r] && corrupts(src, other, r) {
+            // New tx destroys `a`'s reception at r?
+            for &r in &decode_from[other] {
+                if corrupts(src, other, r) {
                     a.corrupted[r] = true;
                     if r == a.frame.dst && src != r && !sense[src][other] {
                         a.hidden_hit = true;
                     }
                 }
-                // `a` destroys the new tx's reception at r?
-                if decode[src][r] && corrupts(other, src, r) {
+            }
+            // `a` destroys the new tx's reception at r?
+            for &r in &decode_from[src] {
+                if corrupts(other, src, r) {
                     corrupted[r] = true;
                     if r == dst && other != r && !sense[other][src] {
                         hidden_hit = true;
@@ -403,27 +503,45 @@ impl Channel {
         });
 
         self.tx_count[src] += 1;
-        let mut became_busy = Vec::new();
-        for r in 0..self.n {
-            if self.decode[src][r] && r != src {
+        report.became_busy.clear();
+        // decode range ⊆ sense range, so one pass over the sense list
+        // (ascending, keeping `became_busy` sorted) covers both counters.
+        for &r in &self.sense_from[src] {
+            if self.decode[src][r] {
                 self.rx_count[r] += 1;
             }
-            if self.sense[src][r] {
-                self.sense_count[r] += 1;
-                if self.sense_count[r] == 1 {
-                    became_busy.push(r);
-                }
+            self.sense_count[r] += 1;
+            if self.sense_count[r] == 1 {
+                report.became_busy.push(r);
             }
         }
-        StartReport {
-            tx_id: id,
-            became_busy,
-        }
+        report.tx_id = id;
     }
 
     /// Takes a transmission off the air and resolves its receptions.
+    ///
+    /// Allocating convenience wrapper around [`Channel::end_tx_into`].
     pub fn end_tx(&mut self, now: Time, tx_id: TxId, rng: &mut SimRng) -> EndReport {
-        self.accrue_airtime(now);
+        let mut report = EndReport::default();
+        self.end_tx_into(now, tx_id, rng, &mut report);
+        report
+    }
+
+    /// Takes a transmission off the air and resolves its receptions,
+    /// writing the outcome into `report` (cleared first).
+    ///
+    /// Visits only the sender's static sense neighborhood; nodes that never
+    /// hear the sender need no bookkeeping. The loss-model RNG is consulted
+    /// for decode-range nodes in ascending order, exactly as the full scan
+    /// did, so the random stream — and with it every downstream draw — is
+    /// bit-identical.
+    pub fn end_tx_into(
+        &mut self,
+        now: Time,
+        tx_id: TxId,
+        rng: &mut SimRng,
+        report: &mut EndReport,
+    ) {
         let idx = self
             .active
             .iter()
@@ -441,34 +559,34 @@ impl Channel {
         let src = frame.src;
         self.airtime_us[src] += end.since(start).as_micros();
 
+        // As in `start_tx_into`: settle the airtime of exactly the nodes
+        // whose counters are about to move.
+        self.touch_air(src, now);
+        for i in 0..self.sense_from[src].len() {
+            let r = self.sense_from[src][i];
+            self.touch_air(r, now);
+        }
+
         debug_assert!(self.tx_count[src] > 0);
         self.tx_count[src] -= 1;
-        let mut became_idle = Vec::new();
-        for r in 0..self.n {
-            if self.decode[src][r] && r != src {
+        report.became_idle.clear();
+        for &r in &self.sense_from[src] {
+            if self.decode[src][r] {
                 debug_assert!(self.rx_count[r] > 0);
                 self.rx_count[r] -= 1;
             }
-            if self.sense[src][r] {
-                debug_assert!(self.sense_count[r] > 0);
-                self.sense_count[r] -= 1;
-                if self.sense_count[r] == 0 {
-                    became_idle.push(r);
-                }
+            debug_assert!(self.sense_count[r] > 0);
+            self.sense_count[r] -= 1;
+            if self.sense_count[r] == 0 {
+                report.became_idle.push(r);
             }
         }
 
-        let mut deliveries = Vec::new();
-        let mut sensed_dirty = Vec::new();
-        #[allow(clippy::needless_range_loop)] // r indexes several tables
-        for r in 0..self.n {
-            if r == src {
-                continue;
-            }
+        report.deliveries.clear();
+        report.sensed_dirty.clear();
+        for &r in &self.sense_from[src] {
             if !self.decode[src][r] {
-                if self.sense[src][r] {
-                    sensed_dirty.push(r);
-                }
+                report.sensed_dirty.push(r);
                 continue;
             }
             let mut clean = !corrupted[r];
@@ -491,17 +609,13 @@ impl Channel {
                 }
             }
             if !clean {
-                sensed_dirty.push(r);
+                report.sensed_dirty.push(r);
             }
-            deliveries.push(Delivery { node: r, clean });
+            report.deliveries.push(Delivery { node: r, clean });
         }
 
-        EndReport {
-            frame,
-            deliveries,
-            became_idle,
-            sensed_dirty,
-        }
+        report.frame = frame;
+        self.corrupted_pool.push(corrupted);
     }
 }
 
@@ -842,6 +956,258 @@ mod tests {
         ch.end_tx(t(100), a.tx_id, &mut rng);
         assert_eq!(ch.stats().collisions_at_dst, 1);
         assert_eq!(ch.stats().hidden_losses, 0, "1 senses 3 at 400 m");
+    }
+
+    /// The original O(N)-per-transmission channel, kept verbatim as a test
+    /// oracle: every loop scans all nodes, every report allocates. The
+    /// optimised neighbor-list path must be observationally identical.
+    struct RefChannel {
+        n: usize,
+        decode: Vec<Vec<bool>>,
+        sense: Vec<Vec<bool>>,
+        dist: Vec<Vec<f64>>,
+        ratio: f64,
+        loss: LossModel,
+        sense_count: Vec<u32>,
+        active: Vec<(u64, Frame, Time, Vec<bool>, bool, bool)>,
+        next_tx: u64,
+    }
+
+    impl RefChannel {
+        fn new(positions: &[crate::geom::Position], cfg: ChannelConfig, loss: LossModel) -> Self {
+            let n = positions.len();
+            let mut decode = vec![vec![false; n]; n];
+            let mut sense = vec![vec![false; n]; n];
+            let mut dist = vec![vec![0.0; n]; n];
+            for s in 0..n {
+                for r in 0..n {
+                    dist[s][r] = positions[s].distance(&positions[r]);
+                    if s == r {
+                        continue;
+                    }
+                    decode[s][r] = positions[s].within(&positions[r], cfg.tx_range);
+                    sense[s][r] = positions[s].within(&positions[r], cfg.cs_range);
+                }
+            }
+            RefChannel {
+                n,
+                decode,
+                sense,
+                dist,
+                ratio: cfg.capture_ratio,
+                loss,
+                sense_count: vec![0; n],
+                active: Vec::new(),
+                next_tx: 0,
+            }
+        }
+
+        fn corrupts(&self, i: usize, s: usize, r: usize) -> bool {
+            i == r || (self.sense[i][r] && self.dist[i][r] < self.ratio * self.dist[s][r])
+        }
+
+        // Written in plain index style on purpose: this is the oracle the
+        // neighbor-list fast path is checked against.
+        #[allow(clippy::needless_range_loop)]
+        fn start_tx(&mut self, now: Time, frame: Frame, end: Time) -> (u64, Vec<usize>) {
+            let src = frame.src;
+            let mut corrupted = vec![false; self.n];
+            corrupted[src] = true;
+            let mut hidden_hit = false;
+            let dst = frame.dst;
+            for a_idx in 0..self.active.len() {
+                if self.active[a_idx].2 <= now {
+                    continue;
+                }
+                let other = self.active[a_idx].1.src;
+                let a_dst = self.active[a_idx].1.dst;
+                for r in 0..self.n {
+                    if self.decode[other][r] && self.corrupts(src, other, r) {
+                        self.active[a_idx].3[r] = true;
+                        if r == a_dst && src != r && !self.sense[src][other] {
+                            self.active[a_idx].5 = true;
+                        }
+                    }
+                    if self.decode[src][r] && self.corrupts(other, src, r) {
+                        corrupted[r] = true;
+                        if r == dst && other != r && !self.sense[other][src] {
+                            hidden_hit = true;
+                        }
+                    }
+                    self.active[a_idx].4 = true;
+                }
+            }
+            let id = self.next_tx;
+            self.next_tx += 1;
+            self.active
+                .push((id, frame, end, corrupted, false, hidden_hit));
+            let mut became_busy = Vec::new();
+            for r in 0..self.n {
+                if self.sense[src][r] {
+                    self.sense_count[r] += 1;
+                    if self.sense_count[r] == 1 {
+                        became_busy.push(r);
+                    }
+                }
+            }
+            (id, became_busy)
+        }
+
+        #[allow(clippy::type_complexity, clippy::needless_range_loop)]
+        fn end_tx(
+            &mut self,
+            id: u64,
+            rng: &mut SimRng,
+        ) -> (Vec<(usize, bool)>, Vec<usize>, Vec<usize>) {
+            let idx = self.active.iter().position(|a| a.0 == id).unwrap();
+            let (_, frame, _, corrupted, _, _) = self.active.swap_remove(idx);
+            let src = frame.src;
+            let mut became_idle = Vec::new();
+            for r in 0..self.n {
+                if self.sense[src][r] {
+                    self.sense_count[r] -= 1;
+                    if self.sense_count[r] == 0 {
+                        became_idle.push(r);
+                    }
+                }
+            }
+            let mut deliveries = Vec::new();
+            let mut sensed_dirty = Vec::new();
+            for r in 0..self.n {
+                if r == src {
+                    continue;
+                }
+                if !self.decode[src][r] {
+                    if self.sense[src][r] {
+                        sensed_dirty.push(r);
+                    }
+                    continue;
+                }
+                let mut clean = !corrupted[r];
+                if clean && self.loss.drops(src, r, rng) {
+                    clean = false;
+                }
+                if !clean {
+                    sensed_dirty.push(r);
+                }
+                deliveries.push((r, clean));
+            }
+            (deliveries, became_idle, sensed_dirty)
+        }
+    }
+
+    proptest::proptest! {
+        /// On random topologies and densities the neighbor-list channel
+        /// produces reports identical — same contents, same (sorted) order,
+        /// same RNG consumption — to the reference full scan.
+        #[test]
+        fn neighbor_lists_match_full_scan(
+            seed in proptest::prelude::any::<u64>(),
+            coords in proptest::collection::vec((0.0f64..1200.0, 0.0f64..1200.0), 2..9),
+            txs in proptest::collection::vec(
+                (0usize..8, 0usize..8, 0u64..600, 1u64..400),
+                1..30
+            ),
+            loss_p in 0.0f64..0.6,
+        ) {
+            use proptest::prelude::{prop_assert_eq, prop_assert};
+            let pos: Vec<crate::geom::Position> = coords
+                .iter()
+                .map(|&(x, y)| crate::geom::Position::new(x, y))
+                .collect();
+            let n = pos.len();
+            let mut loss = LossModel::ideal();
+            for s in 0..n {
+                for r in 0..n {
+                    if s != r && (s + r) % 3 == 0 {
+                        loss.set_link(s, r, loss_p);
+                    }
+                }
+            }
+            let cfg = ChannelConfig::default();
+            let mut fast = Channel::new(&pos, cfg, loss.clone());
+            let mut slow = RefChannel::new(&pos, cfg, loss);
+            let mut rng_fast = SimRng::new(seed);
+            let mut rng_slow = SimRng::new(seed);
+
+            #[derive(Clone, Copy)]
+            enum Ev { Start(usize), End(usize) }
+            let mut events: Vec<(u64, Ev)> = Vec::new();
+            for (i, &(_, _, start, dur)) in txs.iter().enumerate() {
+                events.push((start, Ev::Start(i)));
+                events.push((start + dur, Ev::End(i)));
+            }
+            events.sort_by_key(|&(t, ev)| (t, match ev { Ev::Start(_) => 1, Ev::End(_) => 0 }));
+
+            let mut ids = vec![None; txs.len()];
+            let mut end_report = EndReport::default();
+            for (t, ev) in events {
+                match ev {
+                    Ev::Start(i) => {
+                        let (src, dst, start, dur) = txs[i];
+                        if src == dst || src >= n || dst >= n { continue; }
+                        let mut f = Frame::data(i as u64, 0, src, dst, 1000, Time::ZERO);
+                        f.src = src;
+                        f.dst = dst;
+                        let rep = fast.start_tx(
+                            Time::from_micros(start),
+                            f.clone(),
+                            Time::from_micros(start + dur),
+                        );
+                        let (ref_id, ref_busy) =
+                            slow.start_tx(Time::from_micros(start), f, Time::from_micros(start + dur));
+                        prop_assert_eq!(&rep.became_busy, &ref_busy);
+                        ids[i] = Some((rep.tx_id, ref_id));
+                    }
+                    Ev::End(i) => {
+                        let Some((id, ref_id)) = ids[i] else { continue };
+                        fast.end_tx_into(Time::from_micros(t), id, &mut rng_fast, &mut end_report);
+                        let (ref_del, ref_idle, ref_dirty) = slow.end_tx(ref_id, &mut rng_slow);
+                        let got: Vec<(usize, bool)> = end_report
+                            .deliveries
+                            .iter()
+                            .map(|d| (d.node, d.clean))
+                            .collect();
+                        prop_assert_eq!(&got, &ref_del);
+                        prop_assert_eq!(&end_report.became_idle, &ref_idle);
+                        prop_assert_eq!(&end_report.sensed_dirty, &ref_dirty);
+                        prop_assert!(
+                            end_report.became_idle.windows(2).all(|w| w[0] < w[1]),
+                            "became_idle must stay sorted"
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(fast.active_count(), slow.active.len());
+        }
+    }
+
+    #[test]
+    fn reused_reports_allocate_nothing_in_steady_state() {
+        let mut ch = chan(5);
+        let mut rng = SimRng::new(40);
+        let mut start = StartReport::default();
+        let mut end = EndReport::default();
+        for i in 0..100u64 {
+            let at = t(i * 1000);
+            ch.start_tx_into(
+                at,
+                data(0, 1),
+                at + ezflow_sim::Duration::from_micros(100),
+                &mut start,
+            );
+            ch.end_tx_into(
+                at + ezflow_sim::Duration::from_micros(100),
+                start.tx_id,
+                &mut rng,
+                &mut end,
+            );
+            assert_eq!(end.deliveries.len(), 1);
+        }
+        // After the first round-trip every corrupted buffer comes from
+        // the pool.
+        assert_eq!(ch.buffer_reuses(), 99);
+        assert_eq!(ch.stats().clean_deliveries, 100);
     }
 
     #[test]

@@ -22,4 +22,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet "${DOC_FLAGS[@]}"
 echo "== parallel sweep smoke (seeds, --quick --jobs=2) =="
 cargo run --release -q -p ezflow-bench --bin experiments -- --quick --jobs=2 seeds >/dev/null
 
+echo "== hot-path determinism gate (hotpath_bench --check) =="
+# Byte-compares the perf-zeroed run snapshots against the committed
+# golden (event counts, never wall time — non-flaky), and warns if
+# events/s fell >20% below the recorded BENCH_sim_speed.json entry.
+cargo run --release -q -p ezflow-bench --bin hotpath_bench -- --check
+
 echo "all checks passed"
