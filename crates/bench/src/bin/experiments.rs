@@ -13,6 +13,15 @@
 //! `--jobs=1` forces the old serial behaviour). Results are identical
 //! for every N — runs are pure functions of their spec and seed.
 //!
+//! `--trace-dir=DIR` arms the per-packet flight recorder and writes each
+//! traced run's lifecycle JSONL as `DIR/<experiment>_<algo>.jsonl` — the
+//! input format of the `trace` inspector binary. The capture is bounded
+//! (`--flight-cap=N` journeys, default 4096): past the bound the recorder
+//! samples admissions deterministically and evicts finished journeys, and
+//! this harness reports exactly how much was kept — a partial capture is
+//! always labelled, never silent. Recording never changes the simulation:
+//! runs are bit-identical with or without it.
+//!
 //! Ids: fig1, table1, fig4, table2, scenario1 (fig6/fig7/fig8),
 //! scenario2 (fig10/fig11/table3), table4, theorem1, ablations, all.
 
@@ -27,6 +36,8 @@ fn main() -> ExitCode {
     let mut markdown = false;
     let mut csv_dir: Option<std::path::PathBuf> = None;
     let mut json_path: Option<std::path::PathBuf> = None;
+    let mut trace_dir: Option<std::path::PathBuf> = None;
+    let mut flight_cap: Option<usize> = None;
     let mut ids = Vec::new();
     for a in &args {
         match a.as_str() {
@@ -48,12 +59,25 @@ fn main() -> ExitCode {
             s if s.starts_with("--json=") => {
                 json_path = Some(std::path::PathBuf::from(&s["--json=".len()..]));
             }
+            s if s.starts_with("--trace-dir=") => {
+                trace_dir = Some(std::path::PathBuf::from(&s["--trace-dir=".len()..]));
+            }
+            s if s.starts_with("--flight-cap=") => {
+                flight_cap = Some(s["--flight-cap=".len()..].parse().expect("numeric cap"));
+            }
             other => ids.push(other.to_string()),
         }
     }
+    // The recorder only runs when there is somewhere to write its export.
+    if trace_dir.is_some() {
+        scale.flight_cap = flight_cap.unwrap_or(4096);
+    } else if flight_cap.is_some() {
+        eprintln!("--flight-cap has no effect without --trace-dir=DIR");
+    }
     if ids.is_empty() {
         eprintln!(
-            "usage: experiments [--quick] [--markdown] [--csv=DIR] [--json=FILE] [--seed=N] [--time=F] [--jobs=N] <id>...\n\
+            "usage: experiments [--quick] [--markdown] [--csv=DIR] [--json=FILE] [--trace-dir=DIR]\n\
+             \x20                  [--flight-cap=N] [--seed=N] [--time=F] [--jobs=N] <id>...\n\
              ids: fig1 table1 fig4 table2 scenario1 scenario2 table4 theorem1 ablations seeds all"
         );
         return ExitCode::from(2);
@@ -76,6 +100,31 @@ fn main() -> ExitCode {
                 match rep.write_csv(dir) {
                     Ok(files) => eprintln!("wrote {} CSV files to {}", files.len(), dir.display()),
                     Err(e) => eprintln!("CSV export failed: {e}"),
+                }
+            }
+            if let Some(dir) = &trace_dir {
+                match rep.write_lifecycles(dir) {
+                    Ok(files) => {
+                        for (path, st) in files {
+                            eprintln!(
+                                "wrote lifecycle JSONL {} ({} journeys kept)",
+                                path.display(),
+                                st.tracked - st.evicted
+                            );
+                            if st.stride > 1 || st.evicted > 0 {
+                                eprintln!(
+                                    "  PARTIAL capture: cap bound hit — sampling 1/{} \
+                                     ({} packets skipped, {} journeys evicted); \
+                                     raise --flight-cap for a fuller census",
+                                    st.stride, st.skipped, st.evicted
+                                );
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("lifecycle export failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
             all_ok &= rep.all_ok();

@@ -29,6 +29,14 @@
 //! determinism makes this non-flaky. It then *warns* (never fails — CI
 //! machines vary) if events/s fell more than 20% below the recorded
 //! `"hotpath"` entry.
+//!
+//! These runs keep the flight recorder **off** (`flight_cap = 0`, the
+//! default), so the golden byte-compare doubles as the recorder's
+//! zero-cost gate: any recorder code leaking into the disabled path —
+//! consuming RNG draws, perturbing scheduling — shows up as snapshot
+//! drift, and any residual overhead shows up in the events/s warning.
+//! (`crates/net/tests/flight.rs` proves the complementary half: the
+//! simulation is bit-identical with the recorder *on*.)
 
 use std::path::PathBuf;
 

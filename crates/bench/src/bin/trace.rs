@@ -1,0 +1,247 @@
+//! `trace` — the per-packet lifecycle inspector.
+//!
+//! Reads the JSONL that the flight recorder exports (one
+//! [`ezflow_sim::TraceEvent`] per line, produced by
+//! `experiments --trace-dir=DIR` or [`ezflow_net::FlightRecorder::to_jsonl`])
+//! and answers the questions the aggregate counters cannot: *what happened
+//! to this packet*, *which packets fared worst*, and *where and why were
+//! packets dropped*.
+//!
+//! ```text
+//! trace journey --packet=ID FILE   # one packet's full hop-by-hop story
+//! trace worst [--flow=F] [--top=K] FILE   # slowest delivered journeys
+//! trace drops [--by-cause] FILE    # drop census (per journey, or grouped)
+//! ```
+//!
+//! Flow ids are the simulator's: the paper's F1 is flow 0, F2 is flow 1.
+//! A capture produced under budget pressure is a *sample* of the traffic
+//! (the harness says so when writing it); every journey in the file is
+//! still complete from admission to its terminal delivery or drop.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use ezflow_net::{group_journeys, summarize_journey, JourneySummary};
+use ezflow_sim::{TraceEvent, TraceRing};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: trace <command> [flags] FILE\n\
+         commands:\n\
+         \x20 journey --packet=ID   print one packet's full lifecycle\n\
+         \x20 worst [--flow=F] [--top=K]   slowest delivered journeys (default top 10)\n\
+         \x20 drops [--by-cause]    drop census, grouped by cause with --by-cause\n\
+         FILE is a lifecycle JSONL export (experiments --trace-dir=DIR)"
+    );
+    ExitCode::from(2)
+}
+
+/// Microseconds rendered for humans: µs under 1 ms, else ms.
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us} µs")
+    } else {
+        format!("{:.3} ms", us as f64 / 1_000.0)
+    }
+}
+
+fn hops_arrow(s: &JourneySummary) -> String {
+    let mut out = String::new();
+    for (i, h) in s.hops.iter().enumerate() {
+        if i > 0 {
+            out.push('→');
+        }
+        out.push_str(&format!("N{h}"));
+    }
+    if let Some((_, node)) = s.delivered {
+        out.push_str(&format!("→N{node}"));
+    }
+    out
+}
+
+fn load(path: &str) -> Result<Vec<TraceEvent>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    TraceRing::parse_jsonl(&text).map_err(|e| format!("{path} is not a lifecycle export: {e}"))
+}
+
+fn cmd_journey(events: &[TraceEvent], packet: u64) -> ExitCode {
+    let journeys = group_journeys(events);
+    let Some(evs) = journeys.get(&packet) else {
+        eprintln!(
+            "packet {packet} is not in this capture ({} journeys: seq {:?}..{:?})",
+            journeys.len(),
+            journeys.keys().next(),
+            journeys.keys().next_back(),
+        );
+        return ExitCode::FAILURE;
+    };
+    let s = summarize_journey(packet, evs);
+    println!(
+        "packet {packet} (flow {})",
+        s.flow.map_or("?".into(), |f| f.to_string())
+    );
+    println!("  path: {}", hops_arrow(&s));
+    println!("  hops: {}, DCF attempts: {}", s.hops.len(), s.attempts);
+    match (s.delivered, s.dropped) {
+        (Some((at, node)), _) => {
+            let lat = s.latency_us().map_or("?".into(), fmt_us);
+            println!("  DELIVERED at N{node}, t={at}, end-to-end {lat}");
+        }
+        (None, Some((at, node, cause))) => {
+            println!("  DROPPED at N{node}, t={at}, cause: {}", cause.name());
+        }
+        (None, None) => println!("  IN FLIGHT when the capture ended"),
+    }
+    println!();
+    for ev in evs {
+        println!("  {ev}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_worst(events: &[TraceEvent], flow: Option<u32>, top: usize) -> ExitCode {
+    let journeys = group_journeys(events);
+    let mut delivered: Vec<(u64, JourneySummary)> = journeys
+        .iter()
+        .map(|(&seq, evs)| summarize_journey(seq, evs))
+        .filter(|s| flow.is_none() || s.flow == flow)
+        .filter_map(|s| s.latency_us().map(|l| (l, s)))
+        .collect();
+    if delivered.is_empty() {
+        eprintln!(
+            "no delivered journeys{} in this capture",
+            flow.map_or(String::new(), |f| format!(" of flow {f}"))
+        );
+        return ExitCode::FAILURE;
+    }
+    delivered.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.seq.cmp(&b.1.seq)));
+    println!(
+        "{} delivered journeys{}; {} slowest:",
+        delivered.len(),
+        flow.map_or(String::new(), |f| format!(" of flow {f}")),
+        top.min(delivered.len())
+    );
+    println!(
+        "  {:>10} | {:>5} | {:>12} | {:>8} | path",
+        "packet", "flow", "latency", "attempts"
+    );
+    for (lat, s) in delivered.iter().take(top) {
+        println!(
+            "  {:>10} | {:>5} | {:>12} | {:>8} | {}",
+            s.seq,
+            s.flow.map_or("?".into(), |f| f.to_string()),
+            fmt_us(*lat),
+            s.attempts,
+            hops_arrow(s)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_drops(events: &[TraceEvent], by_cause: bool) -> ExitCode {
+    let journeys = group_journeys(events);
+    let dropped: Vec<JourneySummary> = journeys
+        .iter()
+        .map(|(&seq, evs)| summarize_journey(seq, evs))
+        .filter(|s| s.dropped.is_some())
+        .collect();
+    println!(
+        "{} journeys, {} ended in a drop",
+        journeys.len(),
+        dropped.len()
+    );
+    if by_cause {
+        // cause -> node -> count, rendered as one line per (cause, node).
+        let mut census: BTreeMap<&'static str, BTreeMap<usize, u64>> = BTreeMap::new();
+        for s in &dropped {
+            let (_, node, cause) = s.dropped.expect("filtered on dropped");
+            *census
+                .entry(cause.name())
+                .or_default()
+                .entry(node)
+                .or_insert(0) += 1;
+        }
+        for (cause, nodes) in &census {
+            let total: u64 = nodes.values().sum();
+            println!("  {cause}: {total}");
+            for (node, n) in nodes {
+                println!("    N{node}: {n}");
+            }
+        }
+    } else {
+        for s in &dropped {
+            let (at, node, cause) = s.dropped.expect("filtered on dropped");
+            println!(
+                "  packet {:>8} flow {} dropped at N{node} t={at} ({}) after {}",
+                s.seq,
+                s.flow.map_or("?".into(), |f| f.to_string()),
+                cause.name(),
+                hops_arrow(s)
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let mut packet: Option<u64> = None;
+    let mut flow: Option<u32> = None;
+    let mut top = 10usize;
+    let mut by_cause = false;
+    let mut file: Option<String> = None;
+    for a in &args[1..] {
+        match a.as_str() {
+            "--by-cause" => by_cause = true,
+            s if s.starts_with("--packet=") => {
+                packet = Some(match s["--packet=".len()..].parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                });
+            }
+            s if s.starts_with("--flow=") => {
+                flow = Some(match s["--flow=".len()..].parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                });
+            }
+            s if s.starts_with("--top=") => {
+                top = match s["--top=".len()..].parse() {
+                    Ok(v) => v,
+                    Err(_) => return usage(),
+                };
+            }
+            s if s.starts_with("--") => return usage(),
+            other => {
+                if file.replace(other.to_string()).is_some() {
+                    return usage();
+                }
+            }
+        }
+    }
+    let Some(file) = file else {
+        return usage();
+    };
+    let events = match load(&file) {
+        Ok(evs) => evs,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd.as_str() {
+        "journey" => {
+            let Some(packet) = packet else {
+                eprintln!("journey needs --packet=ID");
+                return usage();
+            };
+            cmd_journey(&events, packet)
+        }
+        "worst" => cmd_worst(&events, flow, top),
+        "drops" => cmd_drops(&events, by_cause),
+        _ => usage(),
+    }
+}

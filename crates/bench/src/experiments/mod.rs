@@ -15,7 +15,7 @@ pub mod table2;
 
 use ezflow_core::EzFlowController;
 use ezflow_net::controller::{ControllerFactory, FixedController};
-use ezflow_net::{topo::Topology, Network};
+use ezflow_net::{topo::Topology, Network, NetworkSpec};
 use ezflow_sim::Time;
 
 use crate::report::{Report, Scale};
@@ -58,8 +58,15 @@ impl Algo {
 }
 
 /// Builds and runs a topology to `until` under `algo`.
-pub fn run_net(topo: &Topology, algo: Algo, until: Time, seed: u64) -> Network {
-    let mut net = Network::from_topology(topo, seed, &*algo.factory());
+///
+/// `flight_cap` arms the per-packet flight recorder (`0` = off, the
+/// experiments' default). Recording is observation-only — the run's
+/// content is bit-identical either way — so experiments pass
+/// [`Scale::flight_cap`] through unconditionally.
+pub fn run_net(topo: &Topology, algo: Algo, until: Time, seed: u64, flight_cap: usize) -> Network {
+    let mut spec = NetworkSpec::from_topology(topo, seed);
+    spec.flight_cap = flight_cap;
+    let mut net = Network::new(spec, &*algo.factory());
     net.run_until(until);
     net
 }

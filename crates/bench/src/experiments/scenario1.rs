@@ -54,9 +54,16 @@ pub fn run(scale: Scale) -> Report {
 
     let mut per_algo = std::collections::HashMap::new();
     for algo in [Algo::Plain, Algo::EzFlow] {
-        let mut net = run_net(&topo, algo, t3, scale.seed);
+        let mut net = run_net(&topo, algo, t3, scale.seed, scale.flight_cap);
         rep.snapshots
             .push(net.snapshot(&format!("scenario1/{}", algo.name())));
+        if scale.flight_cap > 0 {
+            rep.lifecycle(
+                algo.name().replace(['.', ' ', '(', ')'], ""),
+                net.flight.to_jsonl(),
+                net.flight.stats(),
+            );
+        }
         let net = net;
         // Fig. 6: throughput series.
         for f in [0u32, 1] {

@@ -42,7 +42,14 @@ pub fn run(scale: Scale) -> Report {
 
     let mut per_algo = std::collections::HashMap::new();
     for algo in [Algo::Plain, Algo::EzFlow] {
-        let net = run_net(&topo, algo, t3, scale.seed);
+        let net = run_net(&topo, algo, t3, scale.seed, scale.flight_cap);
+        if scale.flight_cap > 0 {
+            rep.lifecycle(
+                algo.name().replace(['.', ' ', '(', ')'], ""),
+                net.flight.to_jsonl(),
+                net.flight.stats(),
+            );
+        }
         for f in [0u32, 1, 2] {
             rep.figures.push(render_series(
                 &format!("Fig10 {}: delay of F{} [s]", algo.name(), f + 1),

@@ -17,6 +17,12 @@ pub struct Scale {
     /// (`0` = machine parallelism, `1` = serial). Results are identical
     /// for any value — see [`crate::runner::SweepRunner`].
     pub jobs: usize,
+    /// Flight-recorder capacity in packet journeys (`0`, the default,
+    /// leaves the recorder off). Recording never perturbs a run — the
+    /// simulation content is bit-identical either way — so turning this
+    /// on changes only what the scenario experiments *export*: per-packet
+    /// lifecycle JSONL attached to their reports as [`Lifecycle`]s.
+    pub flight_cap: usize,
 }
 
 impl Scale {
@@ -26,6 +32,7 @@ impl Scale {
             time: 1.0,
             seed: 42,
             jobs: 0,
+            flight_cap: 0,
         }
     }
 
@@ -38,6 +45,7 @@ impl Scale {
             time: 0.5,
             seed: 42,
             jobs: 0,
+            flight_cap: 0,
         }
     }
 
@@ -89,6 +97,21 @@ pub struct Series {
     pub points: Vec<(f64, f64)>,
 }
 
+/// A per-packet lifecycle export from one simulated network: the flight
+/// recorder's JSONL dump plus the admission stats needed to report how
+/// bounded the capture was. Written out by [`Report::write_lifecycles`].
+#[derive(Clone, Debug)]
+pub struct Lifecycle {
+    /// File-friendly run label, e.g. "scenario1_80211".
+    pub label: String,
+    /// One JSON [`ezflow_sim::TraceEvent`] per line, the `trace` CLI's
+    /// input format.
+    pub jsonl: String,
+    /// The recorder's admission accounting (tracked / skipped / evicted /
+    /// sampling stride) — surfaced so a bounded capture is never silent.
+    pub stats: ezflow_net::FlightStats,
+}
+
 /// The result of one experiment.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -109,6 +132,10 @@ pub struct Report {
     /// Cross-layer run snapshots (one per simulated network), for JSON
     /// export via [`write_snapshots_json`].
     pub snapshots: Vec<RunSnapshot>,
+    /// Per-packet lifecycle exports (one per traced network), for JSONL
+    /// export via [`Report::write_lifecycles`]. Empty unless the run's
+    /// [`Scale::flight_cap`] was non-zero.
+    pub lifecycles: Vec<Lifecycle>,
 }
 
 impl Report {
@@ -165,6 +192,42 @@ impl Report {
             let rows: Vec<Vec<f64>> = s.points.iter().map(|&(x, y)| vec![x, y]).collect();
             ezflow_stats::write_csv(&path, &[&s.headers.0, &s.headers.1], &rows)?;
             written.push(path);
+        }
+        Ok(written)
+    }
+
+    /// Attaches a per-packet lifecycle export from a traced run. The
+    /// recorder's stats ride along so the writer can report sampling and
+    /// eviction instead of dropping packets silently.
+    pub fn lifecycle(
+        &mut self,
+        label: impl Into<String>,
+        jsonl: String,
+        stats: ezflow_net::FlightStats,
+    ) {
+        self.lifecycles.push(Lifecycle {
+            label: label.into(),
+            jsonl,
+            stats,
+        });
+    }
+
+    /// Writes every attached lifecycle as `<dir>/<id>_<label>.jsonl` and
+    /// returns `(path, stats)` pairs for the caller to log. The capture is
+    /// bounded by the recorder's journey cap — when the bound forced
+    /// sampling (`stats.stride > 1`) or eviction, the returned stats say
+    /// so; callers must surface that, never silently pretend the file is a
+    /// full census.
+    pub fn write_lifecycles(
+        &self,
+        dir: &std::path::Path,
+    ) -> std::io::Result<Vec<(std::path::PathBuf, ezflow_net::FlightStats)>> {
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for lc in &self.lifecycles {
+            let path = dir.join(format!("{}_{}.jsonl", self.id, lc.label));
+            std::fs::write(&path, &lc.jsonl)?;
+            written.push((path, lc.stats));
         }
         Ok(written)
     }

@@ -17,7 +17,7 @@ fn json_export_round_trips_with_cross_layer_stats() {
     let until = Time::from_secs(30);
     for algo in [Algo::Plain, Algo::EzFlow] {
         let topo = topo::chain(3, Time::from_secs(1), until);
-        let mut net = run_net(&topo, algo, until, 42);
+        let mut net = run_net(&topo, algo, until, 42, 0);
         rep.snapshots
             .push(net.snapshot(&format!("smoke/{}", algo.name())));
     }

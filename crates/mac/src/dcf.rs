@@ -102,6 +102,20 @@ pub enum MacInput {
     },
 }
 
+/// Contention state behind one DCF transmission attempt, captured when
+/// the frame hits the air. This is the flight recorder's per-attempt
+/// hook: `cw`/`slots` are the window and backoff actually drawn for the
+/// attempt, not the MAC's current configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxAttempt {
+    /// 0-based attempt number (0 = first transmission).
+    pub attempt: u32,
+    /// Contention window the backoff was drawn from.
+    pub cw: u32,
+    /// Backoff slots drawn for this attempt.
+    pub slots: u32,
+}
+
 /// Everything the MAC can ask of the network layer.
 #[derive(Clone, Debug)]
 pub enum MacOutput {
@@ -111,6 +125,9 @@ pub enum MacOutput {
         frame: Frame,
         /// Air time (PLCP + serialization).
         air: Duration,
+        /// Attempt metadata for contended (data/RTS) transmissions;
+        /// `None` for SIFS responses (ACK/CTS), which never contend.
+        info: Option<TxAttempt>,
     },
     /// Arm (or re-arm) the transmit-path timer `after` from now.
     SetTimerTxPath {
@@ -233,6 +250,10 @@ struct Current {
     /// 0-based attempt counter.
     attempt: u32,
     slots_left: u32,
+    /// Contention window the current attempt's backoff was drawn from.
+    cw_drawn: u32,
+    /// Backoff slots drawn for the current attempt (before countdown).
+    slots_drawn: u32,
 }
 
 /// One 802.11 DCF radio.
@@ -465,6 +486,8 @@ impl Mac {
             queue,
             attempt: 0,
             slots_left,
+            cw_drawn: self.cfg.window(self.cw_min, 0),
+            slots_drawn: slots_left,
         });
         self.phase = Phase::Contend;
         if self.can_count_down(now) {
@@ -505,6 +528,11 @@ impl Mac {
                 cur.slots_left = 0;
                 let mut frame = cur.frame.clone();
                 frame.retry = cur.attempt > 0;
+                let info = Some(TxAttempt {
+                    attempt: cur.attempt,
+                    cw: cur.cw_drawn,
+                    slots: cur.slots_drawn,
+                });
                 if self.cfg.rts_cts {
                     // Reserve the medium first.
                     let nav = self.cfg.rts_nav(frame.payload_bytes);
@@ -515,14 +543,18 @@ impl Mac {
                     self.txing_kind = Some(FrameKind::Rts);
                     self.stats.rts_sent += 1;
                     let air = self.cfg.rts_air();
-                    out.push(MacOutput::StartTx { frame: rts, air });
+                    out.push(MacOutput::StartTx {
+                        frame: rts,
+                        air,
+                        info,
+                    });
                 } else {
                     self.phase = Phase::TxData;
                     self.radio_busy = true;
                     self.txing_kind = Some(FrameKind::Data);
                     self.stats.tx_attempts += 1;
                     let air = self.cfg.data_air(frame.payload_bytes);
-                    out.push(MacOutput::StartTx { frame, air });
+                    out.push(MacOutput::StartTx { frame, air, info });
                 }
             }
             Phase::PostBackoff => {
@@ -551,12 +583,17 @@ impl Mac {
                 let cur = self.cur.as_mut().expect("sifsdata without frame");
                 let mut frame = cur.frame.clone();
                 frame.retry = cur.attempt > 0;
+                let info = Some(TxAttempt {
+                    attempt: cur.attempt,
+                    cw: cur.cw_drawn,
+                    slots: cur.slots_drawn,
+                });
                 self.phase = Phase::TxData;
                 self.radio_busy = true;
                 self.txing_kind = Some(FrameKind::Data);
                 self.stats.tx_attempts += 1;
                 let air = self.cfg.data_air(frame.payload_bytes);
-                out.push(MacOutput::StartTx { frame, air });
+                out.push(MacOutput::StartTx { frame, air, info });
             }
             _ => {}
         }
@@ -585,7 +622,11 @@ impl Mac {
         } else {
             let attempt = cur.attempt;
             let slots = self.draw_slots(attempt, rng);
-            self.cur.as_mut().expect("checked above").slots_left = slots;
+            let cw = self.cfg.window(self.cw_min, attempt);
+            let cur = self.cur.as_mut().expect("checked above");
+            cur.slots_left = slots;
+            cur.cw_drawn = cw;
+            cur.slots_drawn = slots;
             self.phase = Phase::Contend;
             if self.can_count_down(now) {
                 self.start_countdown(now, out);
@@ -622,7 +663,11 @@ impl Mac {
                 self.cfg.ack_air()
             }
         };
-        out.push(MacOutput::StartTx { frame: ack, air });
+        out.push(MacOutput::StartTx {
+            frame: ack,
+            air,
+            info: None,
+        });
     }
 
     fn on_tx_ended(&mut self, now: Time, medium_busy: bool, out: &mut Vec<MacOutput>) {
@@ -828,7 +873,7 @@ mod tests {
         // Backoff completes: frame goes on the air.
         let out = mac.input(t(DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
         let air = match &out[0] {
-            MacOutput::StartTx { frame, air } => {
+            MacOutput::StartTx { frame, air, .. } => {
                 assert_eq!(frame.seq, 1);
                 assert!(!frame.retry);
                 *air
@@ -968,7 +1013,7 @@ mod tests {
                 break true;
             }
             if let Some(air) = out.iter().find_map(|o| match o {
-                MacOutput::StartTx { frame, air } => {
+                MacOutput::StartTx { frame, air, .. } => {
                     if attempts_seen > 0 {
                         assert!(frame.retry, "retries must set the retry flag");
                     }
@@ -1025,7 +1070,7 @@ mod tests {
             &mut rng,
         );
         match &out[0] {
-            MacOutput::StartTx { frame, air } => {
+            MacOutput::StartTx { frame, air, .. } => {
                 assert_eq!(frame.kind, FrameKind::Ack);
                 assert_eq!(frame.dst, 0);
                 assert_eq!(frame.seq, 9);

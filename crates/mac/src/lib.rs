@@ -36,4 +36,4 @@ pub mod config;
 pub mod dcf;
 
 pub use config::MacConfig;
-pub use dcf::{Mac, MacInput, MacOutput, MacStats};
+pub use dcf::{Mac, MacInput, MacOutput, MacStats, TxAttempt};

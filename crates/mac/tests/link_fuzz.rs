@@ -114,7 +114,7 @@ impl Harness {
     fn handle_outputs(&mut self, who: usize, outs: Vec<MacOutput>) {
         for o in outs {
             match o {
-                MacOutput::StartTx { frame, air } => {
+                MacOutput::StartTx { frame, air, .. } => {
                     let end = self.now + air.as_micros();
                     self.schedule(end, who, EvKind::TxEnded);
                     // The peer receives it unless the loss process bites.

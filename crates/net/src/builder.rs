@@ -49,6 +49,9 @@ pub struct NetworkSpec {
     pub seed: u64,
     /// Trace ring capacity (0 disables tracing).
     pub trace_cap: usize,
+    /// Flight-recorder capacity in packet journeys (0 disables the
+    /// recorder; see [`crate::flight::FlightRecorder`]).
+    pub flight_cap: usize,
 }
 
 impl NetworkSpec {
@@ -70,6 +73,7 @@ impl NetworkSpec {
             metric_bin: Duration::from_secs(10),
             seed,
             trace_cap: 0,
+            flight_cap: 0,
         }
     }
 
@@ -208,6 +212,7 @@ pub(crate) fn build(
         backlog_every,
         metrics,
         trace: TraceRing::new(spec.trace_cap),
+        flight: crate::flight::FlightRecorder::new(spec.flight_cap),
         worklist: VecDeque::new(),
         next_seq: 0,
         events: 0,

@@ -18,12 +18,16 @@
 //! through per-node streams derived from the master seed.
 
 use ezflow_mac::{MacInput, MacOutput};
-use ezflow_phy::{Frame, FrameKind, TxId};
-use ezflow_sim::{DropCause, FrameClass, Time, TraceKind, TracePayload};
+use ezflow_phy::{DecodeOutcome, Frame, FrameKind, TxId};
+use ezflow_sim::{
+    BoeVerdict, DropCause, FrameClass, RxOutcome, Time, TraceEvent, TraceKind, TracePayload,
+};
 
 use crate::controller::ControllerEvent;
 use crate::network::Network;
-use crate::snapshot::{NodeSnapshot, PerfSnapshot, QueueSnapshot, RunSnapshot, SchedulerSnapshot};
+use crate::snapshot::{
+    LatencySnapshot, NodeSnapshot, PerfSnapshot, QueueSnapshot, RunSnapshot, SchedulerSnapshot,
+};
 use crate::transport::{TransportCtx, TRANSPORT_ACK_FLOW};
 
 /// The engine's event vocabulary.
@@ -101,6 +105,15 @@ fn frame_payload(frame: &Frame) -> TracePayload {
     }
 }
 
+fn rx_outcome(o: DecodeOutcome) -> RxOutcome {
+    match o {
+        DecodeOutcome::Clean => RxOutcome::Clean,
+        DecodeOutcome::Capture => RxOutcome::Capture,
+        DecodeOutcome::Collision => RxOutcome::Collision,
+        DecodeOutcome::Loss => RxOutcome::Loss,
+    }
+}
+
 impl Network {
     /// Runs the simulation up to and including instant `until`.
     pub fn run_until(&mut self, until: Time) {
@@ -126,14 +139,18 @@ impl Network {
             Ev::Traffic(i) => self.on_traffic(i),
             Ev::WindowRefresh(flow) => self.on_window_refresh(flow),
             Ev::MacTxPath { node, epoch } => {
+                let stale0 = self.stale_epochs_if_traced(node);
                 self.worklist
                     .push_back((node, MacInput::TimerTxPath { epoch }));
                 self.drain();
+                self.trace_stale_epoch(node, epoch, stale0);
             }
             Ev::MacAckJob { node, epoch } => {
+                let stale0 = self.stale_epochs_if_traced(node);
                 self.worklist
                     .push_back((node, MacInput::TimerAckJob { epoch }));
                 self.drain();
+                self.trace_stale_epoch(node, epoch, stale0);
             }
             Ev::MacNav { node } => {
                 self.worklist.push_back((node, MacInput::TimerNav));
@@ -143,6 +160,50 @@ impl Network {
             Ev::Sample => self.on_sample(),
             Ev::Backlog => self.on_backlog(),
         }
+    }
+
+    /// The node's stale-epoch counter, read only when tracing is on — the
+    /// before-value for [`Network::trace_stale_epoch`]'s delta check.
+    fn stale_epochs_if_traced(&self, node: usize) -> u64 {
+        if self.trace.enabled() {
+            self.nodes[node].mac.stats().stale_epochs
+        } else {
+            0
+        }
+    }
+
+    /// Emits a `Drop { StaleEpoch }` trace record if the MAC timer event
+    /// just drained was discarded as stale. An *event* drop, not a packet
+    /// drop: the record goes to the trace ring only (no packet journey is
+    /// touched) and `seq` carries the stale epoch token.
+    fn trace_stale_epoch(&mut self, node: usize, epoch: u64, stale0: u64) {
+        if self.trace.enabled() && self.nodes[node].mac.stats().stale_epochs > stale0 {
+            self.trace.push(
+                self.now,
+                node,
+                TraceKind::Drop,
+                TracePayload::Drop {
+                    cause: DropCause::StaleEpoch,
+                    seq: epoch,
+                },
+            );
+        }
+    }
+
+    /// Appends one lifecycle record to packet `seq`'s journey. No-op when
+    /// the packet is not tracked — callers still guard with
+    /// `flight.enabled()` / `flight.is_tracked()` where building the
+    /// payload costs anything.
+    fn flight_record(&mut self, seq: u64, node: usize, kind: TraceKind, payload: TracePayload) {
+        self.flight.record(
+            seq,
+            TraceEvent {
+                at: self.now,
+                node,
+                kind,
+                payload,
+            },
+        );
     }
 
     fn on_traffic(&mut self, i: usize) {
@@ -192,8 +253,43 @@ impl Network {
             .expect("source must be routed");
         frame.src = src;
         frame.dst = nh;
+        if self.flight.enabled() {
+            self.flight.admit(
+                seq,
+                TraceEvent {
+                    at: self.now,
+                    node: src,
+                    kind: TraceKind::Admit,
+                    payload: TracePayload::Admit { seq, flow },
+                },
+            );
+        }
         if !self.nodes[src].enqueue(true, frame) {
             *self.metrics.source_drops.entry(flow).or_insert(0) += 1;
+            let payload = TracePayload::Drop {
+                cause: DropCause::SourceQueueFull,
+                seq,
+            };
+            if self.trace.enabled() {
+                self.trace.push(self.now, src, TraceKind::Drop, payload);
+            }
+            if self.flight.is_tracked(seq) {
+                self.flight_record(seq, src, TraceKind::Drop, payload);
+                self.flight.complete(seq);
+            }
+        } else if self.flight.is_tracked(seq) {
+            let (occ, cap) = self.nodes[src].queue_depth(true, nh);
+            self.flight_record(
+                seq,
+                src,
+                TraceKind::Enqueue,
+                TracePayload::Enqueue {
+                    seq,
+                    flow,
+                    occupancy: occ as u32,
+                    cap: cap as u32,
+                },
+            );
         }
         self.try_feed(src);
         seq
@@ -233,6 +329,20 @@ impl Network {
         ));
         let frame = &report.frame;
         for d in &report.deliveries {
+            // Decode-outcome attribution at the addressed receiver: where
+            // the PHY says what actually happened to this transmission.
+            if d.node == frame.dst && self.flight.is_tracked(frame.seq) {
+                self.flight_record(
+                    frame.seq,
+                    d.node,
+                    TraceKind::RxOutcome,
+                    TracePayload::RxOutcome {
+                        seq: frame.seq,
+                        class: frame_class(frame.kind),
+                        outcome: rx_outcome(d.outcome),
+                    },
+                );
+            }
             if !d.clean {
                 if self.trace.enabled() && d.node == frame.dst {
                     self.trace.push(
@@ -269,10 +379,39 @@ impl Network {
                 match frame.kind {
                     FrameKind::Data => {
                         // Passive overhearing: the controller gets it for
-                        // free.
+                        // free. For tracked packets, the BOE's verdict is
+                        // read back as a counter delta — the controller
+                        // interface stays untouched.
+                        let before = self
+                            .flight
+                            .is_tracked(frame.seq)
+                            .then(|| self.nodes[d.node].controller.counters());
                         let cmd = self.nodes[d.node]
                             .controller
                             .on_event(self.now, ControllerEvent::Overheard { frame });
+                        if let Some(b) = before {
+                            let a = self.nodes[d.node].controller.counters();
+                            let verdict = if a.boe_hits > b.boe_hits {
+                                Some(BoeVerdict::Hit)
+                            } else if a.boe_ambiguous > b.boe_ambiguous {
+                                Some(BoeVerdict::Ambiguous)
+                            } else if a.boe_misses > b.boe_misses {
+                                Some(BoeVerdict::Miss)
+                            } else {
+                                None
+                            };
+                            if let Some(verdict) = verdict {
+                                self.flight_record(
+                                    frame.seq,
+                                    d.node,
+                                    TraceKind::BoeOverhear,
+                                    TracePayload::BoeOverhear {
+                                        seq: frame.seq,
+                                        verdict,
+                                    },
+                                );
+                            }
+                        }
                         self.apply_cw(d.node, cmd);
                     }
                     // Virtual carrier sense: overheard RTS/CTS reserve the
@@ -345,10 +484,28 @@ impl Network {
 
     fn handle_output(&mut self, id: usize, out: MacOutput) {
         match out {
-            MacOutput::StartTx { frame, air } => {
+            MacOutput::StartTx { frame, air, info } => {
                 if self.trace.enabled() {
                     self.trace
                         .push(self.now, id, TraceKind::TxStart, frame_payload(&frame));
+                }
+                // One DCF attempt with its contention state. Recorded for
+                // the data frame only (an RTS preceding it shares the same
+                // attempt; SIFS responses carry no contention info).
+                if let Some(i) = info {
+                    if frame.is_data() && self.flight.is_tracked(frame.seq) {
+                        self.flight_record(
+                            frame.seq,
+                            id,
+                            TraceKind::Attempt,
+                            TracePayload::Attempt {
+                                seq: frame.seq,
+                                attempt: i.attempt,
+                                cw: i.cw,
+                                slots: i.slots,
+                            },
+                        );
+                    }
                 }
                 let end = self.now + air;
                 // Scratch report: `start_tx_into` refills it in place.
@@ -379,6 +536,10 @@ impl Network {
                     .schedule(self.now + after, Ev::MacNav { node: id });
             }
             MacOutput::TxSuccess { frame, .. } => {
+                // Hop latency: enqueue at this node → acknowledged
+                // transmission. Always on — deterministic, no RNG touched.
+                self.metrics.hop_latency[id]
+                    .record(self.now.saturating_since(frame.hop_entered).as_micros());
                 let cmd = self.nodes[id].controller.on_event(
                     self.now,
                     ControllerEvent::SentToSuccessor {
@@ -390,16 +551,16 @@ impl Network {
             }
             MacOutput::TxDropped { frame, .. } => {
                 self.metrics.retry_drops[id] += 1;
+                let payload = TracePayload::Drop {
+                    cause: DropCause::RetryLimit,
+                    seq: frame.seq,
+                };
                 if self.trace.enabled() {
-                    self.trace.push(
-                        self.now,
-                        id,
-                        TraceKind::Drop,
-                        TracePayload::Drop {
-                            cause: DropCause::RetryLimit,
-                            seq: frame.seq,
-                        },
-                    );
+                    self.trace.push(self.now, id, TraceKind::Drop, payload);
+                }
+                if self.flight.is_tracked(frame.seq) {
+                    self.flight_record(frame.seq, id, TraceKind::Drop, payload);
+                    self.flight.complete(frame.seq);
                 }
             }
             MacOutput::Deliver { frame } => self.on_deliver(id, frame),
@@ -409,6 +570,20 @@ impl Network {
 
     fn on_deliver(&mut self, id: usize, frame: Frame) {
         if frame.final_dst == id {
+            // Terminal record for the packet's journey — transport ACKs
+            // are packets too and end theirs here.
+            if self.flight.is_tracked(frame.seq) {
+                self.flight_record(
+                    frame.seq,
+                    id,
+                    TraceKind::Deliver,
+                    TracePayload::Deliver {
+                        seq: frame.seq,
+                        flow: frame.flow,
+                    },
+                );
+                self.flight.complete(frame.seq);
+            }
             if frame.flow >= TRANSPORT_ACK_FLOW {
                 // A transport ACK made it back to the source.
                 let data_flow = frame.flow - TRANSPORT_ACK_FLOW;
@@ -424,26 +599,53 @@ impl Network {
         let Some(nh) = self.routing.next_hop(id, frame.final_dst) else {
             // A frame we cannot route: topology bug; count as a drop.
             self.metrics.queue_drops[id] += 1;
+            let payload = TracePayload::Drop {
+                cause: DropCause::Unroutable,
+                seq: frame.seq,
+            };
+            if self.trace.enabled() {
+                self.trace.push(self.now, id, TraceKind::Drop, payload);
+            }
+            if self.flight.is_tracked(frame.seq) {
+                self.flight_record(frame.seq, id, TraceKind::Drop, payload);
+                self.flight.complete(frame.seq);
+            }
             return;
         };
         let mut fwd = frame;
         fwd.src = id;
         fwd.dst = nh;
         fwd.retry = false;
+        // Per-hop latency clock restarts at every relay.
+        fwd.hop_entered = self.now;
         let seq = fwd.seq;
+        let flow = fwd.flow;
         if !self.nodes[id].enqueue(false, fwd) {
             self.metrics.queue_drops[id] += 1;
+            let payload = TracePayload::Drop {
+                cause: DropCause::QueueFull,
+                seq,
+            };
             if self.trace.enabled() {
-                self.trace.push(
-                    self.now,
-                    id,
-                    TraceKind::Drop,
-                    TracePayload::Drop {
-                        cause: DropCause::QueueFull,
-                        seq,
-                    },
-                );
+                self.trace.push(self.now, id, TraceKind::Drop, payload);
             }
+            if self.flight.is_tracked(seq) {
+                self.flight_record(seq, id, TraceKind::Drop, payload);
+                self.flight.complete(seq);
+            }
+        } else if self.flight.is_tracked(seq) {
+            let (occ, cap) = self.nodes[id].queue_depth(false, nh);
+            self.flight_record(
+                seq,
+                id,
+                TraceKind::Enqueue,
+                TracePayload::Enqueue {
+                    seq,
+                    flow,
+                    occupancy: occ as u32,
+                    cap: cap as u32,
+                },
+            );
         }
         self.try_feed(id);
     }
@@ -458,6 +660,17 @@ impl Network {
         };
         if frame.origin == id && frame.entered_net == frame.created {
             frame.entered_net = self.now;
+        }
+        if self.flight.is_tracked(frame.seq) {
+            self.flight_record(
+                frame.seq,
+                id,
+                TraceKind::Dequeue,
+                TracePayload::Dequeue {
+                    seq: frame.seq,
+                    flow: frame.flow,
+                },
+            );
         }
         // §7 extension: per-successor windows. If the controller keeps a
         // distinct window for this frame's successor, program it for this
@@ -593,6 +806,16 @@ impl Network {
                 sim_rate: per_wall(sim_secs),
                 sched_depth_high_water: self.sched.depth_high_water() as u64,
                 stale_epoch_drops: self.nodes.iter().map(|n| n.mac.stats().stale_epochs).sum(),
+                trace_evictions: self.trace.pushed_total() - self.trace.len() as u64,
+            },
+            latency: LatencySnapshot {
+                per_flow: self
+                    .metrics
+                    .flow_latency
+                    .iter()
+                    .map(|(&f, h)| (f, h.clone()))
+                    .collect(),
+                per_hop: self.metrics.hop_latency.clone(),
             },
             trace_records: self.trace.pushed_total(),
         }

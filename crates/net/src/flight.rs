@@ -1,0 +1,537 @@
+//! The packet flight recorder.
+//!
+//! Where the [`TraceRing`](ezflow_sim::TraceRing) answers "what happened
+//! recently, anywhere?", the [`FlightRecorder`] answers "what happened to
+//! *this packet*?". Every data packet admitted while the recorder is
+//! enabled gets a journey — the time-ordered list of its lifecycle
+//! [`TraceEvent`]s from source admission through every hop's
+//! enqueue/dequeue/attempt to terminal delivery or drop. The engine feeds
+//! it; the `trace` inspector CLI and the experiment harness read the JSONL
+//! export.
+//!
+//! Budget discipline: the recorder is bounded by a packet cap, recycles
+//! event buffers through a pool instead of freeing them, and when the cap
+//! is hit with no finished journey to evict it **samples** — the admission
+//! stride doubles and the skip is counted in [`FlightStats`], never
+//! silent. With `cap == 0` the recorder is disabled and every call is a
+//! no-op behind one branch, keeping the hot path cost-free.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use ezflow_sim::{DropCause, Time, TraceEvent, TraceKind, TracePayload};
+
+/// One packet's recorded lifecycle.
+#[derive(Debug)]
+struct Journey {
+    events: Vec<TraceEvent>,
+    done: bool,
+}
+
+/// Bookkeeping counters of a [`FlightRecorder`] — how many packets were
+/// recorded, sampled away, or evicted, and the current admission stride.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Packets whose journeys were (or still are) recorded.
+    pub tracked: u64,
+    /// Packets not recorded because of sampling or budget pressure.
+    pub skipped: u64,
+    /// Finished journeys evicted to make room for new admissions.
+    pub evicted: u64,
+    /// Current admission stride: 1 records every packet, `n` records every
+    /// n-th. Doubles whenever the cap is hit with nothing evictable.
+    pub stride: u64,
+}
+
+/// A bounded recorder of per-packet lifecycle journeys.
+pub struct FlightRecorder {
+    cap: usize,
+    records: BTreeMap<u64, Journey>,
+    /// Seqs of finished journeys, oldest first — the eviction queue.
+    done_order: VecDeque<u64>,
+    /// Recycled event buffers from evicted journeys.
+    pool: Vec<Vec<TraceEvent>>,
+    stride: u64,
+    offered: u64,
+    tracked: u64,
+    skipped: u64,
+    evicted: u64,
+}
+
+// The recorder lives inside `Network`, which sweep runners move across
+// threads; keep it `Send` (compile-time check, like `TraceRing`'s).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<FlightRecorder>();
+};
+
+impl FlightRecorder {
+    /// Creates a recorder keeping at most `cap` packet journeys;
+    /// `cap == 0` disables recording entirely.
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap,
+            records: BTreeMap::new(),
+            done_order: VecDeque::new(),
+            pool: Vec::new(),
+            stride: 1,
+            offered: 0,
+            tracked: 0,
+            skipped: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Whether journeys are being recorded. The engine guards every
+    /// recording site with this so a disabled recorder costs one branch.
+    pub fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Offers a newly admitted packet for tracking and, if accepted,
+    /// records `event` (normally the `Admit` record) as the journey's
+    /// first entry. Returns whether the packet is now tracked.
+    ///
+    /// Acceptance is deterministic: every `stride`-th offered packet is
+    /// taken. When the cap is reached, the oldest *finished* journey is
+    /// evicted; if every tracked journey is still in flight the stride
+    /// doubles instead and this packet is skipped (counted, never silent).
+    pub fn admit(&mut self, seq: u64, event: TraceEvent) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        let slot = self.offered;
+        self.offered += 1;
+        if !slot.is_multiple_of(self.stride) {
+            self.skipped += 1;
+            return false;
+        }
+        if self.records.len() >= self.cap && !self.evict_oldest_done() {
+            self.stride = self.stride.saturating_mul(2);
+            self.skipped += 1;
+            return false;
+        }
+        let mut events = self.pool.pop().unwrap_or_default();
+        events.push(event);
+        self.records.insert(
+            seq,
+            Journey {
+                events,
+                done: false,
+            },
+        );
+        self.tracked += 1;
+        true
+    }
+
+    /// Appends `event` to the journey of packet `seq`, if it is tracked.
+    /// Finished journeys are sealed: the terminal delivery/drop is the
+    /// packet's last word, and trailing MAC bookkeeping that reuses its
+    /// sequence number (the final hop ACK's decode outcome, duplicate
+    /// deliveries of a retransmission) is not appended.
+    pub fn record(&mut self, seq: u64, event: TraceEvent) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(j) = self.records.get_mut(&seq) {
+            if !j.done {
+                j.events.push(event);
+            }
+        }
+    }
+
+    /// Marks packet `seq`'s journey as finished (delivered or dropped),
+    /// making it eligible for eviction under budget pressure.
+    pub fn complete(&mut self, seq: u64) {
+        if let Some(j) = self.records.get_mut(&seq) {
+            if !j.done {
+                j.done = true;
+                self.done_order.push_back(seq);
+            }
+        }
+    }
+
+    /// Whether packet `seq`'s journey is being recorded. Lets the engine
+    /// skip building events (e.g. controller-counter deltas) for packets
+    /// nobody is watching.
+    pub fn is_tracked(&self, seq: u64) -> bool {
+        self.cap > 0 && self.records.contains_key(&seq)
+    }
+
+    /// The recorded journey of packet `seq`, oldest event first.
+    pub fn journey(&self, seq: u64) -> Option<&[TraceEvent]> {
+        self.records.get(&seq).map(|j| j.events.as_slice())
+    }
+
+    /// Number of journeys currently held.
+    pub fn packets(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total events currently held across all journeys.
+    pub fn events(&self) -> usize {
+        self.records.values().map(|j| j.events.len()).sum()
+    }
+
+    /// Current bookkeeping counters.
+    pub fn stats(&self) -> FlightStats {
+        FlightStats {
+            tracked: self.tracked,
+            skipped: self.skipped,
+            evicted: self.evicted,
+            stride: self.stride,
+        }
+    }
+
+    /// Exports every held journey as JSONL, one event per line, globally
+    /// ordered by (time, packet id, within-packet order) — a stable order
+    /// independent of map internals, so exports are byte-reproducible.
+    pub fn to_jsonl(&self) -> String {
+        let mut all: Vec<(u64, u64, usize, &TraceEvent)> = Vec::with_capacity(self.events());
+        for (&seq, j) in &self.records {
+            for (i, ev) in j.events.iter().enumerate() {
+                all.push((ev.at.as_micros(), seq, i, ev));
+            }
+        }
+        all.sort_by_key(|&(at, seq, i, _)| (at, seq, i));
+        let mut out = String::new();
+        for (_, _, _, ev) in all {
+            out.push_str(&ev.to_json().to_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    fn evict_oldest_done(&mut self) -> bool {
+        while let Some(seq) = self.done_order.pop_front() {
+            if let Some(mut j) = self.records.remove(&seq) {
+                j.events.clear();
+                self.pool.push(j.events);
+                self.evicted += 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Groups a flat event list (e.g. a parsed JSONL export) into per-packet
+/// journeys, keyed by packet id. Events without a packet id (`Queue`,
+/// `CwChange`, ...) are ignored. Within a journey the input order is
+/// preserved, which for recorder exports is lifecycle order.
+pub fn group_journeys(events: &[TraceEvent]) -> BTreeMap<u64, Vec<TraceEvent>> {
+    let mut out: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+    for ev in events {
+        if let Some(seq) = ev.payload.packet() {
+            out.entry(seq).or_default().push(*ev);
+        }
+    }
+    out
+}
+
+/// The condensed story of one packet's journey, derived from its events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JourneySummary {
+    /// Packet id.
+    pub seq: u64,
+    /// Flow id, if any lifecycle record named it.
+    pub flow: Option<u32>,
+    /// Nodes the packet was enqueued at, in hop order (source first).
+    pub hops: Vec<usize>,
+    /// Total DCF transmission attempts across all hops.
+    pub attempts: u64,
+    /// When the packet was admitted at its source.
+    pub admitted: Option<Time>,
+    /// When (and where) the packet reached its final destination.
+    pub delivered: Option<(Time, usize)>,
+    /// When, where, and why the packet was dropped.
+    pub dropped: Option<(Time, usize, DropCause)>,
+}
+
+impl JourneySummary {
+    /// End-to-end latency in microseconds, for delivered packets with a
+    /// recorded admission.
+    pub fn latency_us(&self) -> Option<u64> {
+        let (at, _) = self.delivered?;
+        let admitted = self.admitted?;
+        Some(at.as_micros().saturating_sub(admitted.as_micros()))
+    }
+}
+
+/// Condenses one packet's journey (events in lifecycle order, as recorded
+/// or as grouped by [`group_journeys`]) into a [`JourneySummary`].
+pub fn summarize_journey(seq: u64, events: &[TraceEvent]) -> JourneySummary {
+    let mut s = JourneySummary {
+        seq,
+        flow: None,
+        hops: Vec::new(),
+        attempts: 0,
+        admitted: None,
+        delivered: None,
+        dropped: None,
+    };
+    for ev in events {
+        match ev.payload {
+            TracePayload::Admit { flow, .. } => {
+                s.flow.get_or_insert(flow);
+                s.admitted.get_or_insert(ev.at);
+                if s.hops.is_empty() {
+                    s.hops.push(ev.node);
+                }
+            }
+            TracePayload::Enqueue { flow, .. } => {
+                s.flow.get_or_insert(flow);
+                if s.hops.last() != Some(&ev.node) {
+                    s.hops.push(ev.node);
+                }
+            }
+            TracePayload::Attempt { .. } => s.attempts += 1,
+            TracePayload::Deliver { flow, .. } => {
+                s.flow.get_or_insert(flow);
+                s.delivered.get_or_insert((ev.at, ev.node));
+            }
+            TracePayload::Drop { cause, .. } if ev.kind == TraceKind::Drop => {
+                s.dropped.get_or_insert((ev.at, ev.node, cause));
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> Time {
+        Time::from_micros(us)
+    }
+
+    fn admit_ev(us: u64, node: usize, seq: u64) -> TraceEvent {
+        TraceEvent {
+            at: t(us),
+            node,
+            kind: TraceKind::Admit,
+            payload: TracePayload::Admit { seq, flow: 1 },
+        }
+    }
+
+    fn ev(us: u64, node: usize, kind: TraceKind, payload: TracePayload) -> TraceEvent {
+        TraceEvent {
+            at: t(us),
+            node,
+            kind,
+            payload,
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let mut fr = FlightRecorder::new(0);
+        assert!(!fr.enabled());
+        assert!(!fr.admit(1, admit_ev(0, 0, 1)));
+        fr.record(1, admit_ev(0, 0, 1));
+        assert_eq!(fr.packets(), 0);
+        assert_eq!(fr.stats().tracked, 0);
+        assert_eq!(fr.stats().skipped, 0, "disabled != sampled");
+    }
+
+    #[test]
+    fn records_full_journey_in_order() {
+        let mut fr = FlightRecorder::new(8);
+        assert!(fr.admit(7, admit_ev(0, 0, 7)));
+        fr.record(
+            7,
+            ev(
+                1,
+                0,
+                TraceKind::Enqueue,
+                TracePayload::Enqueue {
+                    seq: 7,
+                    flow: 1,
+                    occupancy: 1,
+                    cap: 50,
+                },
+            ),
+        );
+        fr.record(
+            7,
+            ev(
+                2,
+                2,
+                TraceKind::Deliver,
+                TracePayload::Deliver { seq: 7, flow: 1 },
+            ),
+        );
+        fr.complete(7);
+        let j = fr.journey(7).unwrap();
+        assert_eq!(j.len(), 3);
+        assert!(j.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(fr.is_tracked(7));
+        assert_eq!(fr.stats().tracked, 1);
+    }
+
+    #[test]
+    fn untracked_records_are_dropped() {
+        let mut fr = FlightRecorder::new(4);
+        fr.record(99, admit_ev(0, 0, 99));
+        assert_eq!(fr.packets(), 0);
+        assert_eq!(fr.events(), 0);
+    }
+
+    #[test]
+    fn evicts_oldest_finished_journey_when_full() {
+        let mut fr = FlightRecorder::new(2);
+        assert!(fr.admit(1, admit_ev(0, 0, 1)));
+        fr.complete(1);
+        assert!(fr.admit(2, admit_ev(1, 0, 2)));
+        fr.complete(2);
+        // Cap reached; the next admission evicts seq 1 (oldest finished).
+        assert!(fr.admit(3, admit_ev(2, 0, 3)));
+        assert!(fr.journey(1).is_none());
+        assert!(fr.journey(2).is_some());
+        assert!(fr.journey(3).is_some());
+        let st = fr.stats();
+        assert_eq!(st.evicted, 1);
+        assert_eq!(st.stride, 1, "eviction sufficed; no sampling");
+    }
+
+    #[test]
+    fn samples_by_doubling_stride_when_nothing_evictable() {
+        let mut fr = FlightRecorder::new(2);
+        assert!(fr.admit(1, admit_ev(0, 0, 1)));
+        assert!(fr.admit(2, admit_ev(1, 0, 2)));
+        // Both journeys in flight: cap hit, nothing evictable -> stride 2,
+        // packet skipped.
+        assert!(!fr.admit(3, admit_ev(2, 0, 3)));
+        assert_eq!(fr.stats().stride, 2);
+        assert_eq!(fr.stats().skipped, 1);
+        // Next offer lands on an odd slot and is sampled away.
+        assert!(!fr.admit(4, admit_ev(3, 0, 4)));
+        assert_eq!(fr.stats().skipped, 2);
+        // Finish one journey; the next even slot admits again.
+        fr.complete(1);
+        assert!(fr.admit(5, admit_ev(4, 0, 5)));
+        assert_eq!(fr.stats().evicted, 1);
+    }
+
+    #[test]
+    fn pool_recycles_event_buffers() {
+        let mut fr = FlightRecorder::new(1);
+        assert!(fr.admit(1, admit_ev(0, 0, 1)));
+        fr.complete(1);
+        assert!(fr.admit(2, admit_ev(1, 0, 2)));
+        // Seq 1's buffer was recycled; the new journey holds only its own
+        // admit record.
+        assert_eq!(fr.journey(2).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_export_is_time_ordered_and_parseable() {
+        let mut fr = FlightRecorder::new(8);
+        fr.admit(2, admit_ev(5, 0, 2));
+        fr.admit(1, admit_ev(3, 0, 1));
+        fr.record(
+            1,
+            ev(
+                9,
+                1,
+                TraceKind::Deliver,
+                TracePayload::Deliver { seq: 1, flow: 1 },
+            ),
+        );
+        fr.record(
+            2,
+            ev(
+                7,
+                1,
+                TraceKind::Deliver,
+                TracePayload::Deliver { seq: 2, flow: 1 },
+            ),
+        );
+        let jsonl = fr.to_jsonl();
+        let parsed = ezflow_sim::TraceRing::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed.len(), 4);
+        assert!(parsed.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn group_and_summarize_reconstruct_a_delivery_and_a_drop() {
+        let events = vec![
+            admit_ev(0, 0, 1),
+            ev(
+                0,
+                0,
+                TraceKind::Enqueue,
+                TracePayload::Enqueue {
+                    seq: 1,
+                    flow: 1,
+                    occupancy: 1,
+                    cap: 50,
+                },
+            ),
+            ev(
+                1,
+                0,
+                TraceKind::Attempt,
+                TracePayload::Attempt {
+                    seq: 1,
+                    attempt: 0,
+                    cw: 32,
+                    slots: 9,
+                },
+            ),
+            ev(
+                2,
+                1,
+                TraceKind::Enqueue,
+                TracePayload::Enqueue {
+                    seq: 1,
+                    flow: 1,
+                    occupancy: 1,
+                    cap: 50,
+                },
+            ),
+            ev(
+                3,
+                1,
+                TraceKind::Attempt,
+                TracePayload::Attempt {
+                    seq: 1,
+                    attempt: 0,
+                    cw: 32,
+                    slots: 2,
+                },
+            ),
+            ev(
+                4,
+                2,
+                TraceKind::Deliver,
+                TracePayload::Deliver { seq: 1, flow: 1 },
+            ),
+            admit_ev(1, 3, 9),
+            ev(
+                5,
+                3,
+                TraceKind::Drop,
+                TracePayload::Drop {
+                    cause: DropCause::RetryLimit,
+                    seq: 9,
+                },
+            ),
+        ];
+        let grouped = group_journeys(&events);
+        assert_eq!(grouped.len(), 2);
+
+        let ok = summarize_journey(1, &grouped[&1]);
+        assert_eq!(ok.hops, vec![0, 1]);
+        assert_eq!(ok.attempts, 2);
+        assert_eq!(ok.delivered, Some((t(4), 2)));
+        assert_eq!(ok.dropped, None);
+        assert_eq!(ok.latency_us(), Some(4));
+
+        let bad = summarize_journey(9, &grouped[&9]);
+        assert_eq!(bad.delivered, None);
+        assert_eq!(bad.dropped, Some((t(5), 3, DropCause::RetryLimit)));
+        assert_eq!(bad.latency_us(), None);
+    }
+}

@@ -34,6 +34,7 @@ pub mod builder;
 pub mod calibrate;
 pub mod controller;
 pub mod engine;
+pub mod flight;
 pub mod metrics;
 pub mod network;
 pub mod node;
@@ -47,12 +48,15 @@ pub mod transport;
 pub use controller::{
     Controller, ControllerCounters, ControllerEvent, ControllerFactory, FixedController,
 };
+pub use flight::{group_journeys, summarize_journey, FlightRecorder, FlightStats, JourneySummary};
 pub use metrics::Metrics;
 pub use network::{Network, NetworkSpec};
 pub use node::Node;
 pub use queue::TxQueue;
 pub use routing::StaticRouting;
-pub use snapshot::{NodeSnapshot, PerfSnapshot, QueueSnapshot, RunSnapshot, SchedulerSnapshot};
+pub use snapshot::{
+    LatencySnapshot, NodeSnapshot, PerfSnapshot, QueueSnapshot, RunSnapshot, SchedulerSnapshot,
+};
 pub use topo::{FlowSpec, Topology};
 pub use traffic::{CbrSource, Transport};
 pub use transport::{FlowTransport, TransportCtx, TRANSPORT_ACK_FLOW};

@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 
 use ezflow_phy::Frame;
 use ezflow_sim::{Duration, Time};
-use ezflow_stats::{SampleSeries, ThroughputSeries};
+use ezflow_stats::{LogHistogram, SampleSeries, ThroughputSeries};
 
 /// All series recorded during one run.
 pub struct Metrics {
@@ -43,6 +43,12 @@ pub struct Metrics {
     pub source_drops: BTreeMap<u32, u64>,
     /// Per-node packets dropped at the MAC retry limit.
     pub retry_drops: Vec<u64>,
+    /// Per-flow network-latency histogram (µs from first dequeue at the
+    /// source to delivery) — the p50/p95/p99/p999 source for snapshots.
+    pub flow_latency: BTreeMap<u32, LogHistogram>,
+    /// Per-node hop-latency histogram (µs from enqueue at the node to the
+    /// hop's successful transmission).
+    pub hop_latency: Vec<LogHistogram>,
 }
 
 impl Metrics {
@@ -53,12 +59,14 @@ impl Metrics {
         let mut delay_e2e = BTreeMap::new();
         let mut delivered = BTreeMap::new();
         let mut source_drops = BTreeMap::new();
+        let mut flow_latency = BTreeMap::new();
         for &f in flows {
             throughput.insert(f, ThroughputSeries::new(bin));
             delay_net.insert(f, SampleSeries::new());
             delay_e2e.insert(f, SampleSeries::new());
             delivered.insert(f, 0);
             source_drops.insert(f, 0);
+            flow_latency.insert(f, LogHistogram::new());
         }
         Metrics {
             bin,
@@ -71,6 +79,8 @@ impl Metrics {
             queue_drops: vec![0; nodes],
             source_drops,
             retry_drops: vec![0; nodes],
+            flow_latency,
+            hop_latency: (0..nodes).map(|_| LogHistogram::new()).collect(),
         }
     }
 
@@ -88,6 +98,9 @@ impl Metrics {
         }
         if let Some(d) = self.delay_net.get_mut(&flow) {
             d.push(now, now.saturating_since(frame.entered_net).as_secs_f64());
+        }
+        if let Some(h) = self.flow_latency.get_mut(&flow) {
+            h.record(now.saturating_since(frame.entered_net).as_micros());
         }
         if let Some(d) = self.delay_e2e.get_mut(&flow) {
             d.push(now, now.saturating_since(frame.created).as_secs_f64());

@@ -41,6 +41,7 @@ pub use crate::transport::TRANSPORT_ACK_FLOW;
 
 use crate::controller::Controller;
 use crate::engine::{Ev, EV_KINDS};
+use crate::flight::FlightRecorder;
 use crate::metrics::Metrics;
 use crate::node::Node;
 use crate::routing::StaticRouting;
@@ -74,6 +75,9 @@ pub struct Network {
     pub metrics: Metrics,
     /// Event trace ring.
     pub trace: TraceRing,
+    /// Per-packet lifecycle recorder (disabled unless the spec sets
+    /// `flight_cap > 0`).
+    pub flight: FlightRecorder,
     pub(crate) worklist: VecDeque<(usize, MacInput)>,
     pub(crate) next_seq: u64,
     pub(crate) events: u64,

@@ -74,6 +74,17 @@ impl Node {
         q.push(frame)
     }
 
+    /// Occupancy and capacity of the queue for (`own`, `successor`) —
+    /// what the flight recorder's `Enqueue` record reports. `(0, 0)` if
+    /// the queue does not exist.
+    pub fn queue_depth(&self, own: bool, successor: usize) -> (usize, usize) {
+        self.queues
+            .iter()
+            .find(|q| q.own == own && q.successor == successor)
+            .map(|q| (q.len(), q.cap()))
+            .unwrap_or((0, 0))
+    }
+
     /// Pops the next frame to transmit, serving nonempty queues
     /// round-robin. Returns the frame and the index of the queue it came
     /// from.

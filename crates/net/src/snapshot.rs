@@ -13,6 +13,7 @@
 use ezflow_mac::MacStats;
 use ezflow_phy::{Airtime, ChannelStats};
 use ezflow_sim::{JsonValue, Time};
+use ezflow_stats::LogHistogram;
 
 use crate::controller::ControllerCounters;
 
@@ -326,6 +327,9 @@ pub struct PerfSnapshot {
     /// Timer events dispatched only to be discarded as stale (epoch-token
     /// cancellation): heap entries the simulation paid for but never used.
     pub stale_epoch_drops: u64,
+    /// Trace-ring records pushed but no longer held (evicted by the
+    /// bounded ring, or never stored because tracing was disabled).
+    pub trace_evictions: u64,
 }
 
 impl PerfSnapshot {
@@ -342,6 +346,7 @@ impl PerfSnapshot {
             sim_rate: 0.0,
             sched_depth_high_water: 0,
             stale_epoch_drops: 0,
+            trace_evictions: 0,
         }
     }
 
@@ -353,6 +358,7 @@ impl PerfSnapshot {
             ("sim_rate", self.sim_rate.into()),
             ("sched_depth_high_water", self.sched_depth_high_water.into()),
             ("stale_epoch_drops", self.stale_epoch_drops.into()),
+            ("trace_evictions", self.trace_evictions.into()),
         ])
     }
 
@@ -364,7 +370,98 @@ impl PerfSnapshot {
             sim_rate: get_f64(v, "sim_rate")?,
             sched_depth_high_water: get_u64(v, "sched_depth_high_water")?,
             stale_epoch_drops: get_u64(v, "stale_epoch_drops")?,
+            trace_evictions: get_u64(v, "trace_evictions")?,
         })
+    }
+}
+
+/// One log-bucketed latency histogram as JSON: the sparse buckets (the
+/// ground truth that round-trips exactly) plus derived p50/p95/p99/p999
+/// microsecond quantiles for consumers that only want headline numbers.
+fn hist_to_json(h: &LogHistogram) -> JsonValue {
+    let [p50, p95, p99, p999] = h.percentiles();
+    let buckets = h
+        .buckets()
+        .map(|(b, n)| JsonValue::Array(vec![b.into(), n.into()]))
+        .collect();
+    JsonValue::obj(vec![
+        ("total", h.total().into()),
+        ("buckets", JsonValue::Array(buckets)),
+        ("p50_us", p50.into()),
+        ("p95_us", p95.into()),
+        ("p99_us", p99.into()),
+        ("p999_us", p999.into()),
+    ])
+}
+
+/// Parses a histogram back from its buckets; the derived quantile keys
+/// are recomputed on demand, never trusted from input.
+fn hist_from_json(v: &JsonValue) -> Result<LogHistogram, String> {
+    let buckets = get_obj(v, "buckets")?
+        .as_array()
+        .ok_or("'buckets' is not an array")?;
+    let mut pairs = Vec::with_capacity(buckets.len());
+    for b in buckets {
+        let pair = b.as_array().ok_or("histogram bucket is not a pair")?;
+        if pair.len() != 2 {
+            return Err("histogram bucket is not a [bucket, count] pair".into());
+        }
+        let idx = pair[0].as_u64().ok_or("bad bucket index")? as u32;
+        let n = pair[1].as_u64().ok_or("bad bucket count")?;
+        pairs.push((idx, n));
+    }
+    Ok(LogHistogram::from_buckets(pairs))
+}
+
+/// The latency section of a [`RunSnapshot`]: log-bucketed histograms per
+/// flow (network latency: first dequeue at the source → delivery) and per
+/// hop (enqueue at a node → that hop's successful transmission), all in
+/// microseconds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Per-flow histograms, in flow-id order.
+    pub per_flow: Vec<(u32, LogHistogram)>,
+    /// Per-node hop histograms, indexed by node id.
+    pub per_hop: Vec<LogHistogram>,
+}
+
+impl LatencySnapshot {
+    fn to_json(&self) -> JsonValue {
+        let per_flow = self
+            .per_flow
+            .iter()
+            .map(|(f, h)| {
+                JsonValue::obj(vec![
+                    ("flow", JsonValue::from(*f)),
+                    ("hist", hist_to_json(h)),
+                ])
+            })
+            .collect();
+        let per_hop = self.per_hop.iter().map(hist_to_json).collect();
+        JsonValue::obj(vec![
+            ("per_flow", JsonValue::Array(per_flow)),
+            ("per_hop", JsonValue::Array(per_hop)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<LatencySnapshot, String> {
+        let per_flow = get_obj(v, "per_flow")?
+            .as_array()
+            .ok_or("'per_flow' is not an array")?
+            .iter()
+            .map(|e| {
+                let flow = get_u64(e, "flow")? as u32;
+                let hist = hist_from_json(get_obj(e, "hist")?)?;
+                Ok((flow, hist))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let per_hop = get_obj(v, "per_hop")?
+            .as_array()
+            .ok_or("'per_hop' is not an array")?
+            .iter()
+            .map(hist_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(LatencySnapshot { per_flow, per_hop })
     }
 }
 
@@ -383,6 +480,8 @@ pub struct RunSnapshot {
     pub scheduler: SchedulerSnapshot,
     /// Wall-clock performance.
     pub perf: PerfSnapshot,
+    /// Per-flow and per-hop latency histograms.
+    pub latency: LatencySnapshot,
     /// Trace records ever pushed (including evicted or disabled ones).
     pub trace_records: u64,
 }
@@ -405,6 +504,7 @@ impl RunSnapshot {
             ("channel", channel_to_json(&self.channel)),
             ("scheduler", self.scheduler.to_json()),
             ("perf", self.perf.to_json()),
+            ("latency", self.latency.to_json()),
             ("trace_records", self.trace_records.into()),
         ])
     }
@@ -424,6 +524,7 @@ impl RunSnapshot {
             channel: channel_from_json(get_obj(v, "channel")?)?,
             scheduler: SchedulerSnapshot::from_json(get_obj(v, "scheduler")?)?,
             perf: PerfSnapshot::from_json(get_obj(v, "perf")?)?,
+            latency: LatencySnapshot::from_json(get_obj(v, "latency")?)?,
             trace_records: get_u64(v, "trace_records")?,
         })
     }
@@ -489,6 +590,21 @@ mod tests {
                 sim_rate: 240.0,
                 sched_depth_high_water: 42,
                 stale_epoch_drops: 7,
+                trace_evictions: 3,
+            },
+            latency: LatencySnapshot {
+                per_flow: vec![(0, {
+                    let mut h = LogHistogram::new();
+                    for v in [100, 2_000, 2_000, 55_000] {
+                        h.record(v);
+                    }
+                    h
+                })],
+                per_hop: vec![LogHistogram::new(), {
+                    let mut h = LogHistogram::new();
+                    h.record(640);
+                    h
+                }],
             },
             trace_records: 12345,
         }
@@ -518,6 +634,26 @@ mod tests {
             "fractions must sum to 1, got {sum}"
         );
         assert!((frac("tx_frac") - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_json_carries_derived_quantiles() {
+        let json = sample().to_json();
+        let per_flow = json
+            .get("latency")
+            .unwrap()
+            .get("per_flow")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        let hist = per_flow[0].get("hist").unwrap();
+        assert_eq!(hist.get("total").unwrap().as_u64(), Some(4));
+        let q = |k: &str| hist.get(k).unwrap().as_u64().unwrap();
+        assert!(q("p50_us") <= q("p95_us"));
+        assert!(q("p95_us") <= q("p99_us"));
+        assert!(q("p99_us") <= q("p999_us"));
+        // The p50 bucket midpoint approximates the 2 ms mode.
+        assert!((1_900..=2_100).contains(&q("p50_us")), "{}", q("p50_us"));
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct Frame {
     /// Instant the packet was first handed to the origin's MAC
     /// (set by the network layer; equals `created` until then).
     pub entered_net: Time,
+    /// Instant the packet was enqueued at the node currently holding it
+    /// (rewritten by the network layer at every hop; per-hop latency is
+    /// measured from here to the hop's successful transmission).
+    pub hop_entered: Time,
     /// Retry flag: set on MAC retransmissions.
     pub retry: bool,
     /// NAV duration announced by RTS/CTS frames, microseconds of medium
@@ -90,6 +94,7 @@ impl Frame {
             payload_bytes,
             created,
             entered_net: created,
+            hop_entered: created,
             retry: false,
             nav_micros: 0,
             ack_ref: 0,
@@ -111,6 +116,7 @@ impl Frame {
             payload_bytes: 0,
             created: data.created,
             entered_net: data.entered_net,
+            hop_entered: data.hop_entered,
             retry: false,
             nav_micros: 0,
             ack_ref: 0,

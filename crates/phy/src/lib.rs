@@ -37,6 +37,7 @@ pub use frame::{Frame, FrameKind};
 pub use geom::Position;
 pub use loss::LossModel;
 pub use medium::{
-    Airtime, Channel, ChannelConfig, ChannelStats, Delivery, EndReport, StartReport, TxId,
+    Airtime, Channel, ChannelConfig, ChannelStats, DecodeOutcome, Delivery, EndReport, StartReport,
+    TxId,
 };
 pub use timing::PhyTiming;

@@ -161,6 +161,24 @@ impl Default for TxId {
     }
 }
 
+/// Why (or how) a reception succeeded or failed, per receiver.
+///
+/// `clean == (outcome is Clean or Capture)`; the enum exists so the
+/// flight recorder can attribute a lost hop to the physical cause rather
+/// than just "not clean".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeOutcome {
+    /// Decoded with no overlapping transmission on the air.
+    Clean,
+    /// Decoded despite an overlapping transmission (capture effect).
+    Capture,
+    /// Reception destroyed by interference from an overlapping
+    /// transmission.
+    Collision,
+    /// Reception lost to the stochastic (Bernoulli) link-loss model.
+    Loss,
+}
+
 /// One potential reception at the end of a transmission.
 #[derive(Debug, Clone)]
 pub struct Delivery {
@@ -168,6 +186,8 @@ pub struct Delivery {
     pub node: usize,
     /// True iff the frame survived interference and link loss.
     pub clean: bool,
+    /// Physical attribution of the reception result.
+    pub outcome: DecodeOutcome,
 }
 
 /// What an `end_tx` call changed.
@@ -590,18 +610,28 @@ impl Channel {
                 continue;
             }
             let mut clean = !corrupted[r];
+            let outcome;
             if clean && self.loss.drops(src, r, rng) {
                 clean = false;
+                outcome = DecodeOutcome::Loss;
                 if r == frame.dst {
                     self.stats.bernoulli_losses += 1;
                 }
-            } else if r == frame.dst {
-                if clean {
+            } else if clean {
+                outcome = if overlapped {
+                    DecodeOutcome::Capture
+                } else {
+                    DecodeOutcome::Clean
+                };
+                if r == frame.dst {
                     self.stats.clean_deliveries += 1;
                     if overlapped {
                         self.stats.captures += 1;
                     }
-                } else {
+                }
+            } else {
+                outcome = DecodeOutcome::Collision;
+                if r == frame.dst {
                     self.stats.collisions_at_dst += 1;
                     if hidden_hit {
                         self.stats.hidden_losses += 1;
@@ -611,7 +641,11 @@ impl Channel {
             if !clean {
                 report.sensed_dirty.push(r);
             }
-            report.deliveries.push(Delivery { node: r, clean });
+            report.deliveries.push(Delivery {
+                node: r,
+                clean,
+                outcome,
+            });
         }
 
         report.frame = frame;

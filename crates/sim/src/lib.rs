@@ -36,5 +36,6 @@ pub use rng::SimRng;
 pub use sched::{EventId, Scheduler};
 pub use time::{Duration, Time};
 pub use trace::{
-    DropCause, FrameClass, TraceEvent, TraceFilter, TraceKind, TracePayload, TraceRing,
+    BoeVerdict, DropCause, FrameClass, RxOutcome, TraceEvent, TraceFilter, TraceKind, TracePayload,
+    TraceRing,
 };

@@ -35,6 +35,20 @@ pub enum TraceKind {
     CwChange,
     /// A buffer-occupancy estimate was produced by the BOE.
     BoeSample,
+    /// A packet was admitted at its source (flight-recorder lifecycle).
+    Admit,
+    /// A packet entered a per-hop forwarding queue.
+    Enqueue,
+    /// A packet left a queue and was handed to the MAC.
+    Dequeue,
+    /// The DCF started a transmission attempt for a packet.
+    Attempt,
+    /// The addressed receiver's decode outcome for a transmission.
+    RxOutcome,
+    /// A BOE matched (or failed to match) an overheard frame.
+    BoeOverhear,
+    /// A packet reached its final destination.
+    Deliver,
     /// Anything else.
     Misc,
 }
@@ -50,6 +64,13 @@ impl TraceKind {
             TraceKind::Queue => "Queue",
             TraceKind::CwChange => "CwChange",
             TraceKind::BoeSample => "BoeSample",
+            TraceKind::Admit => "Admit",
+            TraceKind::Enqueue => "Enqueue",
+            TraceKind::Dequeue => "Dequeue",
+            TraceKind::Attempt => "Attempt",
+            TraceKind::RxOutcome => "RxOutcome",
+            TraceKind::BoeOverhear => "BoeOverhear",
+            TraceKind::Deliver => "Deliver",
             TraceKind::Misc => "Misc",
         }
     }
@@ -63,6 +84,13 @@ impl TraceKind {
             "Queue" => TraceKind::Queue,
             "CwChange" => TraceKind::CwChange,
             "BoeSample" => TraceKind::BoeSample,
+            "Admit" => TraceKind::Admit,
+            "Enqueue" => TraceKind::Enqueue,
+            "Dequeue" => TraceKind::Dequeue,
+            "Attempt" => TraceKind::Attempt,
+            "RxOutcome" => TraceKind::RxOutcome,
+            "BoeOverhear" => TraceKind::BoeOverhear,
+            "Deliver" => TraceKind::Deliver,
             "Misc" => TraceKind::Misc,
             _ => return None,
         })
@@ -111,8 +139,15 @@ impl FrameClass {
 pub enum DropCause {
     /// The MAC gave up after the retry limit.
     RetryLimit,
-    /// A forwarding queue was full.
+    /// A relay's forwarding queue was full.
     QueueFull,
+    /// The source's own queue was full at admission time.
+    SourceQueueFull,
+    /// A relay had no route toward the packet's final destination.
+    Unroutable,
+    /// A MAC timer from a superseded transmission epoch was discarded
+    /// (an event drop, not a packet drop; `seq` carries the stale epoch).
+    StaleEpoch,
 }
 
 impl DropCause {
@@ -121,6 +156,9 @@ impl DropCause {
         match self {
             DropCause::RetryLimit => "retry_limit",
             DropCause::QueueFull => "queue_full",
+            DropCause::SourceQueueFull => "source_queue_full",
+            DropCause::Unroutable => "unroutable",
+            DropCause::StaleEpoch => "stale_epoch",
         }
     }
 
@@ -128,6 +166,77 @@ impl DropCause {
         Some(match name {
             "retry_limit" => DropCause::RetryLimit,
             "queue_full" => DropCause::QueueFull,
+            "source_queue_full" => DropCause::SourceQueueFull,
+            "unroutable" => DropCause::Unroutable,
+            "stale_epoch" => DropCause::StaleEpoch,
+            _ => return None,
+        })
+    }
+}
+
+/// What happened to a transmission at its addressed receiver. The sim
+/// kernel owns this enum (like [`FrameClass`]) so tracing stays
+/// dependency-free; the PHY maps its decode result into it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum RxOutcome {
+    /// Decoded cleanly with no overlapping transmission.
+    Clean,
+    /// Decoded cleanly despite an overlapping transmission (capture).
+    Capture,
+    /// Destroyed by an overlapping transmission.
+    Collision,
+    /// Lost to the stochastic (Bernoulli) link-loss model.
+    Loss,
+}
+
+impl RxOutcome {
+    /// Stable name used by the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            RxOutcome::Clean => "clean",
+            RxOutcome::Capture => "capture",
+            RxOutcome::Collision => "collision",
+            RxOutcome::Loss => "loss",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<RxOutcome> {
+        Some(match name {
+            "clean" => RxOutcome::Clean,
+            "capture" => RxOutcome::Capture,
+            "collision" => RxOutcome::Collision,
+            "loss" => RxOutcome::Loss,
+            _ => return None,
+        })
+    }
+}
+
+/// How a BOE classified an overheard frame against its sent window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum BoeVerdict {
+    /// The checksum matched exactly one recently sent frame.
+    Hit,
+    /// The checksum matched nothing in the sent window.
+    Miss,
+    /// The checksum matched more than one sent frame.
+    Ambiguous,
+}
+
+impl BoeVerdict {
+    /// Stable name used by the JSONL schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            BoeVerdict::Hit => "hit",
+            BoeVerdict::Miss => "miss",
+            BoeVerdict::Ambiguous => "ambiguous",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<BoeVerdict> {
+        Some(match name {
+            "hit" => BoeVerdict::Hit,
+            "miss" => BoeVerdict::Miss,
+            "ambiguous" => BoeVerdict::Ambiguous,
             _ => return None,
         })
     }
@@ -190,6 +299,68 @@ pub enum TracePayload {
         /// Estimated backlog (packets).
         estimate: u32,
     },
+    /// A packet admitted at its source (the flight recorder's first
+    /// lifecycle record for a packet id).
+    Admit {
+        /// Packet id (globally unique frame sequence number).
+        seq: u64,
+        /// Flow the packet belongs to.
+        flow: u32,
+    },
+    /// A packet accepted into a per-hop queue; `occupancy` is the queue
+    /// depth after the push.
+    Enqueue {
+        /// Packet id.
+        seq: u64,
+        /// Flow the packet belongs to.
+        flow: u32,
+        /// Queue depth after the push.
+        occupancy: u32,
+        /// Queue capacity.
+        cap: u32,
+    },
+    /// A packet popped from a queue and handed to the node's MAC.
+    Dequeue {
+        /// Packet id.
+        seq: u64,
+        /// Flow the packet belongs to.
+        flow: u32,
+    },
+    /// One DCF transmission attempt, with the contention state the MAC
+    /// held when it drew the backoff for this attempt.
+    Attempt {
+        /// Packet id.
+        seq: u64,
+        /// Zero-based attempt number (0 = first transmission).
+        attempt: u32,
+        /// Contention window the backoff was drawn from.
+        cw: u32,
+        /// Backoff slots drawn for this attempt.
+        slots: u32,
+    },
+    /// The addressed receiver's decode outcome for one transmission.
+    RxOutcome {
+        /// Packet id of the transmitted frame.
+        seq: u64,
+        /// MAC-level class of the transmitted frame.
+        class: FrameClass,
+        /// What happened at the receiver.
+        outcome: RxOutcome,
+    },
+    /// A BOE's verdict on a frame overheard from its successor.
+    BoeOverhear {
+        /// Packet id of the overheard frame.
+        seq: u64,
+        /// Hit, miss, or ambiguous against the sent window.
+        verdict: BoeVerdict,
+    },
+    /// A packet delivered at its final destination.
+    Deliver {
+        /// Packet id.
+        seq: u64,
+        /// Flow the packet belongs to.
+        flow: u32,
+    },
 }
 
 impl fmt::Display for TracePayload {
@@ -217,6 +388,29 @@ impl fmt::Display for TracePayload {
                 successor,
                 estimate,
             } => write!(f, "succ {successor} b={estimate}"),
+            TracePayload::Admit { seq, flow } => write!(f, "seq={seq} flow={flow}"),
+            TracePayload::Enqueue {
+                seq,
+                flow,
+                occupancy,
+                cap,
+            } => write!(f, "seq={seq} flow={flow} q={occupancy}/{cap}"),
+            TracePayload::Dequeue { seq, flow } => write!(f, "seq={seq} flow={flow}"),
+            TracePayload::Attempt {
+                seq,
+                attempt,
+                cw,
+                slots,
+            } => write!(f, "seq={seq} attempt={attempt} cw={cw} slots={slots}"),
+            TracePayload::RxOutcome {
+                seq,
+                class,
+                outcome,
+            } => write!(f, "seq={seq} {} {}", class.name(), outcome.name()),
+            TracePayload::BoeOverhear { seq, verdict } => {
+                write!(f, "seq={seq} {}", verdict.name())
+            }
+            TracePayload::Deliver { seq, flow } => write!(f, "seq={seq} flow={flow}"),
         }
     }
 }
@@ -272,6 +466,60 @@ impl TracePayload {
                 ("type", JsonValue::str("boe_sample")),
                 ("successor", successor.into()),
                 ("estimate", estimate.into()),
+            ]),
+            TracePayload::Admit { seq, flow } => JsonValue::obj(vec![
+                ("type", JsonValue::str("admit")),
+                ("seq", seq.into()),
+                ("flow", flow.into()),
+            ]),
+            TracePayload::Enqueue {
+                seq,
+                flow,
+                occupancy,
+                cap,
+            } => JsonValue::obj(vec![
+                ("type", JsonValue::str("enqueue")),
+                ("seq", seq.into()),
+                ("flow", flow.into()),
+                ("occupancy", occupancy.into()),
+                ("cap", cap.into()),
+            ]),
+            TracePayload::Dequeue { seq, flow } => JsonValue::obj(vec![
+                ("type", JsonValue::str("dequeue")),
+                ("seq", seq.into()),
+                ("flow", flow.into()),
+            ]),
+            TracePayload::Attempt {
+                seq,
+                attempt,
+                cw,
+                slots,
+            } => JsonValue::obj(vec![
+                ("type", JsonValue::str("attempt")),
+                ("seq", seq.into()),
+                ("attempt", attempt.into()),
+                ("cw", cw.into()),
+                ("slots", slots.into()),
+            ]),
+            TracePayload::RxOutcome {
+                seq,
+                class,
+                outcome,
+            } => JsonValue::obj(vec![
+                ("type", JsonValue::str("rx_outcome")),
+                ("seq", seq.into()),
+                ("class", JsonValue::str(class.name())),
+                ("outcome", JsonValue::str(outcome.name())),
+            ]),
+            TracePayload::BoeOverhear { seq, verdict } => JsonValue::obj(vec![
+                ("type", JsonValue::str("boe_overhear")),
+                ("seq", seq.into()),
+                ("verdict", JsonValue::str(verdict.name())),
+            ]),
+            TracePayload::Deliver { seq, flow } => JsonValue::obj(vec![
+                ("type", JsonValue::str("deliver")),
+                ("seq", seq.into()),
+                ("flow", flow.into()),
             ]),
         }
     }
@@ -333,8 +581,83 @@ impl TracePayload {
                 successor: u64_field("successor")? as usize,
                 estimate: u64_field("estimate")? as u32,
             },
+            "admit" => TracePayload::Admit {
+                seq: u64_field("seq")?,
+                flow: u64_field("flow")? as u32,
+            },
+            "enqueue" => TracePayload::Enqueue {
+                seq: u64_field("seq")?,
+                flow: u64_field("flow")? as u32,
+                occupancy: u64_field("occupancy")? as u32,
+                cap: u64_field("cap")? as u32,
+            },
+            "dequeue" => TracePayload::Dequeue {
+                seq: u64_field("seq")?,
+                flow: u64_field("flow")? as u32,
+            },
+            "attempt" => TracePayload::Attempt {
+                seq: u64_field("seq")?,
+                attempt: u64_field("attempt")? as u32,
+                cw: u64_field("cw")? as u32,
+                slots: u64_field("slots")? as u32,
+            },
+            "rx_outcome" => {
+                let class = v
+                    .get("class")
+                    .and_then(JsonValue::as_str)
+                    .and_then(FrameClass::from_name)
+                    .ok_or("bad rx_outcome class")?;
+                let outcome = v
+                    .get("outcome")
+                    .and_then(JsonValue::as_str)
+                    .and_then(RxOutcome::from_name)
+                    .ok_or("bad rx outcome")?;
+                TracePayload::RxOutcome {
+                    seq: u64_field("seq")?,
+                    class,
+                    outcome,
+                }
+            }
+            "boe_overhear" => {
+                let verdict = v
+                    .get("verdict")
+                    .and_then(JsonValue::as_str)
+                    .and_then(BoeVerdict::from_name)
+                    .ok_or("bad boe verdict")?;
+                TracePayload::BoeOverhear {
+                    seq: u64_field("seq")?,
+                    verdict,
+                }
+            }
+            "deliver" => TracePayload::Deliver {
+                seq: u64_field("seq")?,
+                flow: u64_field("flow")? as u32,
+            },
             other => return Err(format!("unknown payload type '{other}'")),
         })
+    }
+
+    /// The packet id (frame sequence number) this payload concerns, if it
+    /// is packet-specific. This is what the flight recorder and the
+    /// `trace` inspector use to group records into per-packet journeys.
+    pub fn packet(&self) -> Option<u64> {
+        match *self {
+            TracePayload::Frame { seq, .. }
+            | TracePayload::Collision { seq, .. }
+            | TracePayload::Drop { seq, .. }
+            | TracePayload::Admit { seq, .. }
+            | TracePayload::Enqueue { seq, .. }
+            | TracePayload::Dequeue { seq, .. }
+            | TracePayload::Attempt { seq, .. }
+            | TracePayload::RxOutcome { seq, .. }
+            | TracePayload::BoeOverhear { seq, .. }
+            | TracePayload::Deliver { seq, .. } => Some(seq),
+            TracePayload::Empty
+            | TracePayload::Text(_)
+            | TracePayload::Queue { .. }
+            | TracePayload::CwChange { .. }
+            | TracePayload::BoeSample { .. } => None,
+        }
     }
 }
 

@@ -1,7 +1,142 @@
 //! Property-based tests for the simulation kernel.
 
-use ezflow_sim::{Scheduler, SimRng, Time};
+use ezflow_sim::{
+    BoeVerdict, DropCause, FrameClass, RxOutcome, Scheduler, SimRng, Time, TraceEvent, TraceKind,
+    TracePayload, TraceRing,
+};
 use proptest::prelude::*;
+
+/// JSON numbers are f64-backed, so ids only round-trip exactly below 2^53.
+const MAX_EXACT: u64 = 1 << 53;
+
+fn class_of(i: u64) -> FrameClass {
+    match i % 4 {
+        0 => FrameClass::Data,
+        1 => FrameClass::Ack,
+        2 => FrameClass::Rts,
+        _ => FrameClass::Cts,
+    }
+}
+
+fn cause_of(i: u64) -> DropCause {
+    match i % 5 {
+        0 => DropCause::RetryLimit,
+        1 => DropCause::QueueFull,
+        2 => DropCause::SourceQueueFull,
+        3 => DropCause::Unroutable,
+        _ => DropCause::StaleEpoch,
+    }
+}
+
+fn outcome_of(i: u64) -> RxOutcome {
+    match i % 4 {
+        0 => RxOutcome::Clean,
+        1 => RxOutcome::Capture,
+        2 => RxOutcome::Collision,
+        _ => RxOutcome::Loss,
+    }
+}
+
+fn verdict_of(i: u64) -> BoeVerdict {
+    match i % 3 {
+        0 => BoeVerdict::Hit,
+        1 => BoeVerdict::Miss,
+        _ => BoeVerdict::Ambiguous,
+    }
+}
+
+/// One arbitrary payload covering every `TracePayload` variant; `pick`
+/// selects the variant, the remaining draws fill its fields. An imported
+/// `Text` payload keeps only its presence (the schema cannot reconstitute
+/// a `&'static str`), so the generator sticks to the empty annotation.
+fn payload_of(pick: u64, a: u64, b: u64, c: u64, d: u64) -> TracePayload {
+    let seq = a % MAX_EXACT;
+    match pick % 15 {
+        0 => TracePayload::Empty,
+        1 => TracePayload::Text(""),
+        2 => TracePayload::Frame {
+            class: class_of(b),
+            seq,
+            flow: c as u32,
+            src: (b % 4096) as usize,
+            dst: (d % 4096) as usize,
+            retry: (c % 16) as u32,
+        },
+        3 => TracePayload::Collision {
+            seq,
+            src: (b % 4096) as usize,
+        },
+        4 => TracePayload::Drop {
+            cause: cause_of(b),
+            seq,
+        },
+        5 => TracePayload::Queue {
+            occupancy: b as u32,
+            cap: c as u32,
+        },
+        6 => TracePayload::CwChange {
+            from: b as u32,
+            to: c as u32,
+        },
+        7 => TracePayload::BoeSample {
+            successor: (b % 4096) as usize,
+            estimate: c as u32,
+        },
+        8 => TracePayload::Admit {
+            seq,
+            flow: b as u32,
+        },
+        9 => TracePayload::Enqueue {
+            seq,
+            flow: b as u32,
+            occupancy: c as u32,
+            cap: d as u32,
+        },
+        10 => TracePayload::Dequeue {
+            seq,
+            flow: b as u32,
+        },
+        11 => TracePayload::Attempt {
+            seq,
+            attempt: (b % 16) as u32,
+            cw: c as u32,
+            slots: d as u32,
+        },
+        12 => TracePayload::RxOutcome {
+            seq,
+            class: class_of(b),
+            outcome: outcome_of(c),
+        },
+        13 => TracePayload::BoeOverhear {
+            seq,
+            verdict: verdict_of(b),
+        },
+        _ => TracePayload::Deliver {
+            seq,
+            flow: b as u32,
+        },
+    }
+}
+
+fn kind_of(i: u64) -> TraceKind {
+    match i % 15 {
+        0 => TraceKind::TxStart,
+        1 => TraceKind::TxEnd,
+        2 => TraceKind::Collision,
+        3 => TraceKind::Drop,
+        4 => TraceKind::Queue,
+        5 => TraceKind::CwChange,
+        6 => TraceKind::BoeSample,
+        7 => TraceKind::Admit,
+        8 => TraceKind::Enqueue,
+        9 => TraceKind::Dequeue,
+        10 => TraceKind::Attempt,
+        11 => TraceKind::RxOutcome,
+        12 => TraceKind::BoeOverhear,
+        13 => TraceKind::Deliver,
+        _ => TraceKind::Misc,
+    }
+}
 
 proptest! {
     /// The scheduler pops events in exactly the order of a stable sort by
@@ -77,6 +212,52 @@ proptest! {
     }
 
     /// pick_weighted only ever picks indices with positive weight.
+    /// Every `TracePayload` variant — including the flight-recorder
+    /// lifecycle ones — survives a JSON round-trip (`to_json`/`from_json`
+    /// at the event level), for arbitrary field values.
+    #[test]
+    fn trace_event_json_round_trips_all_variants(
+        at in 0u64..MAX_EXACT,
+        node in 0u64..4097,
+        kinds in prop::collection::vec(any::<u64>(), 1..40),
+        fields in prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()), 40)
+    ) {
+        for (i, &k) in kinds.iter().enumerate() {
+            let (a, b, c, d) = fields[i];
+            // Variant index tracks position so a single run sweeps the
+            // whole enum; the trailing draws randomise the fields.
+            let ev = TraceEvent {
+                at: Time::from_micros(at),
+                // 4096 stands in for "no node" — the schema omits it.
+                node: if node == 4096 { usize::MAX } else { node as usize },
+                kind: kind_of(k),
+                payload: payload_of(i as u64, a, b, c, d),
+            };
+            let back = TraceEvent::from_json(&ev.to_json());
+            prop_assert_eq!(back.as_ref(), Ok(&ev), "payload {}", i % 15);
+        }
+    }
+
+    /// A ring holding one record of every payload variant exports JSONL
+    /// that parses back to exactly the held records.
+    #[test]
+    fn trace_jsonl_round_trips_all_variants(
+        seeds in prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()), 15)
+    ) {
+        let mut ring = TraceRing::new(64);
+        for (i, &(a, b, c, d)) in seeds.iter().enumerate() {
+            ring.push(
+                Time::from_micros(i as u64),
+                i,
+                kind_of(i as u64),
+                payload_of(i as u64, a, b, c, d),
+            );
+        }
+        let parsed = TraceRing::parse_jsonl(&ring.to_jsonl());
+        let held: Vec<TraceEvent> = ring.iter().copied().collect();
+        prop_assert_eq!(parsed, Ok(held));
+    }
+
     #[test]
     fn pick_weighted_respects_support(
         seed in any::<u64>(),

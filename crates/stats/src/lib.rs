@@ -14,11 +14,13 @@
 pub mod ascii;
 pub mod csv;
 pub mod fairness;
+pub mod hist;
 pub mod series;
 pub mod summary;
 
 pub use ascii::render_series;
 pub use csv::write_csv;
 pub use fairness::jain_index;
+pub use hist::LogHistogram;
 pub use series::{SampleSeries, ThroughputSeries};
 pub use summary::{mean_std, percentile, Summary};

@@ -26,6 +26,28 @@ echo "== hot-path determinism gate (hotpath_bench --check) =="
 # Byte-compares the perf-zeroed run snapshots against the committed
 # golden (event counts, never wall time — non-flaky), and warns if
 # events/s fell >20% below the recorded BENCH_sim_speed.json entry.
+# These runs leave the flight recorder off, so this is also the
+# recorder-off byte-identity gate: disabled-recorder code must not
+# change a single counter.
 cargo run --release -q -p ezflow-bench --bin hotpath_bench -- --check
+
+echo "== flight recorder + trace CLI smoke =="
+# A short traced scenario-1 run exports lifecycle JSONL; the trace
+# inspector must reconstruct journeys and a drop census from it.
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+cargo run --release -q -p ezflow-bench --bin experiments -- \
+  --quick --time=0.02 --trace-dir="$TRACE_TMP" scenario1 >/dev/null 2>&1 || true
+JSONL="$TRACE_TMP/scenario1_80211.jsonl"
+[ -s "$JSONL" ] || { echo "trace smoke: no lifecycle export at $JSONL"; exit 1; }
+cargo run --release -q -p ezflow-bench --bin trace -- drops --by-cause "$JSONL" >/dev/null
+cargo run --release -q -p ezflow-bench --bin trace -- worst --flow=0 --top=3 "$JSONL" >/dev/null
+PKT="$(cargo run --release -q -p ezflow-bench --bin trace -- worst --flow=0 --top=1 "$JSONL" \
+  | awk 'NR==3 {print $1}')"
+# Plain grep (not -q) so the reader drains the whole stream — an early
+# close would hit the writer as a broken pipe.
+cargo run --release -q -p ezflow-bench --bin trace -- journey --packet="$PKT" "$JSONL" \
+  | grep DELIVERED >/dev/null
+echo "trace CLI reconstructed packet $PKT's journey"
 
 echo "all checks passed"
