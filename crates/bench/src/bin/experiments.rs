@@ -13,6 +13,10 @@
 //! `--jobs=1` forces the old serial behaviour). Results are identical
 //! for every N — runs are pure functions of their spec and seed.
 //!
+//! `--sched=heap|wheel` selects the event-scheduler backend (default
+//! `wheel`, the calendar queue). Runs are bit-identical across backends;
+//! the flag exists to prove exactly that and to benchmark the gap.
+//!
 //! `--trace-dir=DIR` arms the per-packet flight recorder and writes each
 //! traced run's lifecycle JSONL as `DIR/<experiment>_<algo>.jsonl` — the
 //! input format of the `trace` inspector binary. The capture is bounded
@@ -53,6 +57,9 @@ fn main() -> ExitCode {
             s if s.starts_with("--jobs=") => {
                 scale.jobs = s["--jobs=".len()..].parse().expect("numeric job count");
             }
+            s if s.starts_with("--sched=") => {
+                scale.sched = s["--sched=".len()..].parse().expect("heap|wheel");
+            }
             s if s.starts_with("--csv=") => {
                 csv_dir = Some(std::path::PathBuf::from(&s["--csv=".len()..]));
             }
@@ -77,7 +84,7 @@ fn main() -> ExitCode {
     if ids.is_empty() {
         eprintln!(
             "usage: experiments [--quick] [--markdown] [--csv=DIR] [--json=FILE] [--trace-dir=DIR]\n\
-             \x20                  [--flight-cap=N] [--seed=N] [--time=F] [--jobs=N] <id>...\n\
+             \x20                  [--flight-cap=N] [--seed=N] [--time=F] [--jobs=N] [--sched=heap|wheel] <id>...\n\
              ids: fig1 table1 fig4 table2 scenario1 scenario2 table4 theorem1 ablations seeds all"
         );
         return ExitCode::from(2);

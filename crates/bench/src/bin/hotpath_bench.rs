@@ -4,6 +4,7 @@
 //! cargo run --release -p ezflow-bench --bin hotpath_bench               # measure + record
 //! cargo run --release -p ezflow-bench --bin hotpath_bench -- --check    # CI gate (non-flaky)
 //! cargo run --release -p ezflow-bench --bin hotpath_bench -- --bless    # refresh the golden
+//! cargo run --release -p ezflow-bench --bin hotpath_bench -- --sched=heap
 //! ```
 //!
 //! Times the two inner-loop workloads the repo optimises for:
@@ -11,21 +12,33 @@
 //! * **scenario1/quick** — the paper's two merging 8-hop flows at the
 //!   `--quick` scale, under both 802.11 and EZ-flow. The committed
 //!   pre-optimisation baseline for exactly this run is ~4.0 M events/s
-//!   ([`BASELINE_EVENTS_PER_SEC`]); the hot-path pass (static neighbor
-//!   tables, allocation-free channel reports, frame-clone elimination,
-//!   O(1) BOE miss filter) is gated on beating it by ≥ 1.5×.
+//!   ([`BASELINE_EVENTS_PER_SEC`]); the PR 4 hot-path pass raised it to
+//!   ~6.2 M ([`PR4_EVENTS_PER_SEC`]), and the calendar-queue scheduler
+//!   with pop-time stale elision is gated on beating *that* by ≥ 1.3×.
 //! * **grid/dense** — a 4×4 grid where every node carrier-senses every
 //!   other (degree ≈ N), the worst case for the neighbor-list path: the
 //!   stressor proves the optimisation never *loses* to the full scan it
 //!   replaced, even when the lists cannot shrink the work.
 //!
-//! The default mode writes a `"hotpath"` entry (before/after events/s,
-//! allocations avoided, machine info) into `BENCH_sim_speed.json`.
+//! Throughput is counted in events **consumed** per wall second —
+//! dispatched plus stale-elided. Elision turns roughly half of all pops
+//! (dead MAC timers) into counter bumps instead of dispatches, so the
+//! dispatched count alone would shrink while the simulation does the
+//! same work; consumed keeps the metric apples-to-apples with the
+//! committed PR 4 number, which was measured when every stale timer was
+//! still dispatched. Each run entry also records the scheduled /
+//! dispatched / elided split and the elision ratio.
 //!
-//! `--check` is the regression gate `scripts/check.sh` runs: it compares
-//! the runs' snapshots — perf block zeroed, so event counts and every
-//! counter but **no wall-clock** — byte-for-byte against the committed
-//! golden (`crates/bench/golden/hotpath.json`), failing on any drift;
+//! The default mode writes a `"hotpath"` entry (before/after events/s,
+//! the per-run elision accounting, machine info) plus a
+//! `"sched_compare"` heap-vs-wheel entry into `BENCH_sim_speed.json`.
+//! `--sched=heap|wheel` picks the backend for the main runs.
+//!
+//! `--check` is the regression gate `scripts/check.sh` runs: it executes
+//! every workload under **both** scheduler backends, requires their
+//! perf-zeroed snapshots to be byte-identical to each other, and
+//! compares them byte-for-byte against the committed golden
+//! (`crates/bench/golden/hotpath.json`), failing on any drift;
 //! determinism makes this non-flaky. It then *warns* (never fails — CI
 //! machines vary) if events/s fell more than 20% below the recorded
 //! `"hotpath"` entry.
@@ -42,7 +55,7 @@ use std::path::PathBuf;
 
 use ezflow_bench::experiments::{scenario1, Algo};
 use ezflow_bench::report::Scale;
-use ezflow_net::{topo, Network, PerfSnapshot};
+use ezflow_net::{topo, Network, PerfSnapshot, SchedKind};
 use ezflow_sim::{JsonValue, Time};
 
 /// Mean events/s of the two committed `scenario1/quick` baseline
@@ -51,40 +64,58 @@ use ezflow_sim::{JsonValue, Time};
 /// `"hotpath"` entry compares against.
 const BASELINE_EVENTS_PER_SEC: f64 = 4_043_575.0;
 
+/// The committed `scenario1/quick` events/s after the PR 4 hot-path pass
+/// (neighbor tables, pooled buffers, BOE miss filter) — measured when
+/// every stale timer was still dispatched, so directly comparable to the
+/// consumed-events rate. The scheduler work is gated on ≥ 1.3× this.
+const PR4_EVENTS_PER_SEC: f64 = 6_202_790.0;
+
 /// Relative drop below the recorded entry that triggers the (non-fatal)
 /// `--check` performance warning.
 const WARN_FRACTION: f64 = 0.20;
 
-/// One timed run: label + the network it left behind.
+/// One timed run: label + the accounting the network left behind.
 struct Timed {
     label: String,
-    events: u64,
+    /// Events ever scheduled.
+    scheduled: u64,
+    /// Events dispatched to handlers.
+    dispatched: u64,
+    /// Stale timers elided inside the scheduler's pop loop.
+    elided: u64,
     wall_secs: f64,
     buffer_reuses: u64,
-    stale_epoch_drops: u64,
     /// Snapshot JSON, perf zeroed: the deterministic digest.
     digest: String,
+}
+
+impl Timed {
+    /// Dispatched + elided: every entry the pop loop consumed.
+    fn consumed(&self) -> u64 {
+        self.dispatched + self.elided
+    }
 }
 
 fn timed(label: &str, mut net: Network, until: Time) -> Timed {
     net.run_until(until);
     let mut snap = net.snapshot(label);
-    let perf = snap.perf;
     snap.perf = PerfSnapshot::zeroed();
     Timed {
         label: label.to_string(),
-        events: net.events_processed(),
+        scheduled: snap.scheduler.scheduled_total,
+        dispatched: net.events_processed(),
+        elided: net.sched_stale_elided(),
         wall_secs: net.wall_time().as_secs_f64(),
         buffer_reuses: net.buffer_reuses(),
-        stale_epoch_drops: perf.stale_epoch_drops,
         digest: snap.to_json().to_compact(),
     }
 }
 
 /// The quick scenario-1 runs — the same topology, timeline, seed and
 /// controllers whose perf the committed baseline snapshots recorded.
-fn scenario1_runs() -> Vec<Timed> {
-    let scale = Scale::quick();
+fn scenario1_runs(sched: SchedKind) -> Vec<Timed> {
+    let mut scale = Scale::quick();
+    scale.sched = sched;
     let tl = scenario1::scale_timeline(scale, &[5, 605, 1805, 2504]);
     let (t0, t1, t2, t3) = (tl[0], tl[1], tl[2], tl[3]);
     let mut t = topo::scenario1();
@@ -95,17 +126,19 @@ fn scenario1_runs() -> Vec<Timed> {
     [Algo::Plain, Algo::EzFlow]
         .into_iter()
         .map(|algo| {
-            let net = Network::from_topology(&t, scale.seed, &*algo.factory());
+            let net = Network::new(scale.spec(&t, scale.seed), &*algo.factory());
             timed(&format!("scenario1/{}", algo.name()), net, t3)
         })
         .collect()
 }
 
 /// The dense-mesh stressor: every node senses every other.
-fn grid_run() -> Timed {
+fn grid_run(sched: SchedKind) -> Timed {
     let until = Time::from_secs(300);
     let t = topo::grid(4, 4, 140.0, Time::ZERO, until);
-    let net = Network::from_topology(&t, 42, &*Algo::Plain.factory());
+    let mut scale = Scale::quick();
+    scale.sched = sched;
+    let net = Network::new(scale.spec(&t, 42), &*Algo::Plain.factory());
     timed("grid/4x4/140m", net, until)
 }
 
@@ -120,7 +153,9 @@ fn bench_json_path() -> PathBuf {
     ))
 }
 
-/// The committed-golden document: label → perf-zeroed snapshot JSON.
+/// The committed-golden document: label → perf-zeroed snapshot JSON,
+/// compact (single line) — the golden is a machine artifact, not for
+/// human diffing, and pretty-printing it costs ~15 k lines of repo.
 fn golden_doc(runs: &[Timed]) -> String {
     let fields = runs
         .iter()
@@ -131,13 +166,14 @@ fn golden_doc(runs: &[Timed]) -> String {
             )
         })
         .collect();
-    let mut text = JsonValue::Object(fields).to_pretty();
+    let mut text = JsonValue::Object(fields).to_compact();
     text.push('\n');
     text
 }
 
+/// Consumed (dispatched + elided) events per wall second over `runs`.
 fn events_per_sec(runs: &[Timed]) -> f64 {
-    let events: u64 = runs.iter().map(|r| r.events).sum();
+    let events: u64 = runs.iter().map(Timed::consumed).sum();
     let wall: f64 = runs.iter().map(|r| r.wall_secs).sum();
     if wall > 0.0 {
         events as f64 / wall
@@ -147,23 +183,30 @@ fn events_per_sec(runs: &[Timed]) -> f64 {
 }
 
 fn run_entry(r: &Timed) -> JsonValue {
+    let ratio = if r.consumed() > 0 {
+        r.elided as f64 / r.consumed() as f64
+    } else {
+        0.0
+    };
     JsonValue::obj(vec![
-        ("events", (r.events as f64).into()),
+        ("events_scheduled", (r.scheduled as f64).into()),
+        ("events_dispatched", (r.dispatched as f64).into()),
+        ("events_elided", (r.elided as f64).into()),
+        ("elision_ratio", ratio.into()),
         ("wall_secs", r.wall_secs.into()),
         (
             "events_per_sec",
             if r.wall_secs > 0.0 {
-                (r.events as f64 / r.wall_secs).into()
+                (r.consumed() as f64 / r.wall_secs).into()
             } else {
                 0.0.into()
             },
         ),
         ("buffer_reuses", (r.buffer_reuses as f64).into()),
-        ("stale_epoch_drops", (r.stale_epoch_drops as f64).into()),
     ])
 }
 
-/// Reads `perf.events_per_sec` recorded in the file's `"hotpath"` entry.
+/// Reads `events_per_sec` recorded in the file's `"hotpath"` entry.
 fn recorded_events_per_sec(doc: &JsonValue) -> Option<f64> {
     let JsonValue::Object(fields) = doc else {
         return None;
@@ -195,21 +238,42 @@ fn best_of<F: Fn() -> Vec<Timed>>(f: F) -> Vec<Timed> {
         .expect("PASSES >= 1")
 }
 
-fn measure(out: &PathBuf) -> std::process::ExitCode {
-    let mut runs = best_of(scenario1_runs);
+fn measure(out: &PathBuf, sched: SchedKind) -> std::process::ExitCode {
+    let mut runs = best_of(|| scenario1_runs(sched));
     let scenario_eps = events_per_sec(&runs);
-    let grid = best_of(|| vec![grid_run()]).remove(0);
+    let grid = best_of(|| vec![grid_run(sched)]).remove(0);
     let grid_eps = events_per_sec(std::slice::from_ref(&grid));
     runs.push(grid);
     let speedup = scenario_eps / BASELINE_EVENTS_PER_SEC;
-    eprintln!("scenario1/quick: {scenario_eps:.0} events/s ({speedup:.2}x over the {BASELINE_EVENTS_PER_SEC:.0} baseline)");
-    eprintln!("grid/dense:      {grid_eps:.0} events/s");
+    let speedup_pr4 = scenario_eps / PR4_EVENTS_PER_SEC;
+    eprintln!(
+        "scenario1/quick [{}]: {scenario_eps:.0} events/s consumed \
+         ({speedup:.2}x over the {BASELINE_EVENTS_PER_SEC:.0} baseline, \
+         {speedup_pr4:.2}x over the {PR4_EVENTS_PER_SEC:.0} PR 4 number)",
+        sched.name()
+    );
+    eprintln!("grid/dense:      {grid_eps:.0} events/s consumed");
     for r in &runs {
         eprintln!(
-            "  {}: {} events in {:.3} s, {} buffer reuses, {} stale epochs",
-            r.label, r.events, r.wall_secs, r.buffer_reuses, r.stale_epoch_drops
+            "  {}: {} dispatched + {} elided of {} scheduled in {:.3} s, {} buffer reuses",
+            r.label, r.dispatched, r.elided, r.scheduled, r.wall_secs, r.buffer_reuses
         );
     }
+
+    // Same workload, both backends, best-of-N each: the committed
+    // apples-to-apples heap-vs-wheel comparison.
+    let heap_eps = events_per_sec(&best_of(|| scenario1_runs(SchedKind::Heap)));
+    let wheel_eps = events_per_sec(&best_of(|| scenario1_runs(SchedKind::Wheel)));
+    eprintln!(
+        "sched compare:   heap {heap_eps:.0} vs wheel {wheel_eps:.0} events/s ({:.2}x)",
+        wheel_eps / heap_eps
+    );
+    let compare = JsonValue::obj(vec![
+        ("workload", JsonValue::Str("scenario1/quick".to_string())),
+        ("heap_events_per_sec", heap_eps.into()),
+        ("wheel_events_per_sec", wheel_eps.into()),
+        ("wheel_speedup", (wheel_eps / heap_eps).into()),
+    ]);
 
     let machine = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -219,8 +283,11 @@ fn measure(out: &PathBuf) -> std::process::ExitCode {
             "baseline_events_per_sec",
             JsonValue::from(BASELINE_EVENTS_PER_SEC),
         ),
+        ("pr4_events_per_sec", PR4_EVENTS_PER_SEC.into()),
         ("events_per_sec", scenario_eps.into()),
         ("speedup_vs_baseline", speedup.into()),
+        ("speedup_vs_pr4", speedup_pr4.into()),
+        ("sched", JsonValue::Str(sched.name().to_string())),
         ("machine_parallelism", (machine as f64).into()),
         ("os", JsonValue::Str(std::env::consts::OS.to_string())),
         ("arch", JsonValue::Str(std::env::consts::ARCH.to_string())),
@@ -228,6 +295,7 @@ fn measure(out: &PathBuf) -> std::process::ExitCode {
     for r in &runs {
         fields.push((r.label.as_str(), run_entry(r)));
     }
+    fields.push(("sched_compare", compare));
     let entry = JsonValue::obj(fields);
 
     let mut doc = match std::fs::read_to_string(out) {
@@ -248,11 +316,33 @@ fn measure(out: &PathBuf) -> std::process::ExitCode {
     std::process::ExitCode::SUCCESS
 }
 
+/// All gated workloads under one backend.
+fn all_runs(sched: SchedKind) -> Vec<Timed> {
+    let mut runs = scenario1_runs(sched);
+    runs.push(grid_run(sched));
+    runs
+}
+
 fn check(out: &PathBuf) -> std::process::ExitCode {
-    let mut runs = scenario1_runs();
-    let scenario_eps = events_per_sec(&runs);
-    runs.push(grid_run());
-    let got = golden_doc(&runs);
+    let wheel_runs = all_runs(SchedKind::Wheel);
+    let heap_runs = all_runs(SchedKind::Heap);
+    // Backend equivalence first: heap and wheel must leave byte-identical
+    // perf-zeroed snapshots behind on every workload.
+    for (w, h) in wheel_runs.iter().zip(&heap_runs) {
+        if w.digest != h.digest {
+            eprintln!(
+                "scheduler backends DIVERGED on {}: the wheel's snapshot does not\n\
+                 match the heap's. The backends must be observationally identical;\n\
+                 see crates/sim/tests/sched_equiv.rs for the reduced property.",
+                w.label
+            );
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    eprintln!("heap and wheel snapshots byte-identical on every workload");
+
+    let scenario_eps = events_per_sec(&wheel_runs[..2]);
+    let got = golden_doc(&wheel_runs);
     let golden = match std::fs::read_to_string(golden_path()) {
         Ok(text) => text,
         Err(e) => {
@@ -299,8 +389,18 @@ fn check(out: &PathBuf) -> std::process::ExitCode {
 }
 
 fn bless() -> std::process::ExitCode {
-    let mut runs = scenario1_runs();
-    runs.push(grid_run());
+    let runs = all_runs(SchedKind::Wheel);
+    // Refuse to bless a golden the heap backend cannot reproduce.
+    let heap_runs = all_runs(SchedKind::Heap);
+    for (w, h) in runs.iter().zip(&heap_runs) {
+        if w.digest != h.digest {
+            eprintln!(
+                "refusing to bless: heap and wheel snapshots differ on {}",
+                w.label
+            );
+            return std::process::ExitCode::FAILURE;
+        }
+    }
     let text = golden_doc(&runs);
     let path = golden_path();
     if let Some(dir) = path.parent() {
@@ -320,13 +420,19 @@ fn bless() -> std::process::ExitCode {
 fn main() -> std::process::ExitCode {
     let mut out = bench_json_path();
     let mut mode = "measure";
+    let mut sched = SchedKind::default();
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--check" => mode = "check",
             "--bless" => mode = "bless",
             s if s.starts_with("--out=") => out = s["--out=".len()..].into(),
+            s if s.starts_with("--sched=") => {
+                sched = s["--sched=".len()..].parse().expect("heap|wheel");
+            }
             _ => {
-                eprintln!("usage: hotpath_bench [--check | --bless] [--out=FILE]");
+                eprintln!(
+                    "usage: hotpath_bench [--check | --bless] [--out=FILE] [--sched=heap|wheel]"
+                );
                 return std::process::ExitCode::from(2);
             }
         }
@@ -334,6 +440,6 @@ fn main() -> std::process::ExitCode {
     match mode {
         "check" => check(&out),
         "bless" => bless(),
-        _ => measure(&out),
+        _ => measure(&out, sched),
     }
 }

@@ -10,7 +10,7 @@
 use ezflow_core::baselines::{static_penalty_factory, DiffQController};
 use ezflow_core::{EzFlowConfig, EzFlowController};
 use ezflow_net::controller::{Controller, ControllerFactory, FixedController};
-use ezflow_net::{topo, Network, NetworkSpec};
+use ezflow_net::{topo, Network};
 use ezflow_sim::Time;
 
 use super::Algo;
@@ -55,14 +55,14 @@ fn chain_job(
     label: impl Into<String>,
     hops: usize,
     secs: u64,
-    seed: u64,
+    scale: Scale,
     loss: f64,
     rts_cts: bool,
     make: ControllerFactory,
 ) -> Job {
     let until = Time::from_secs(secs);
     let t = topo::chain(hops, Time::ZERO, until);
-    let mut spec = NetworkSpec::from_topology(&t, seed);
+    let mut spec = scale.spec(&t, scale.seed);
     if loss > 0.0 {
         spec.loss = ezflow_phy::LossModel::uniform(loss);
     }
@@ -93,7 +93,7 @@ fn thresholds(rep: &mut Report, scale: Scale) {
             format!("ablations/b_max={b_max}"),
             4,
             secs,
-            scale.seed,
+            scale,
             0.0,
             false,
             Box::new(move |_| Box::new(EzFlowController::new(cfg, 32))),
@@ -108,7 +108,7 @@ fn thresholds(rep: &mut Report, scale: Scale) {
             format!("ablations/b_min={b_min}"),
             4,
             secs,
-            scale.seed,
+            scale,
             0.0,
             false,
             Box::new(move |_| Box::new(EzFlowController::new(cfg, 32))),
@@ -152,7 +152,7 @@ fn loss_robustness(rep: &mut Report, scale: Scale) {
                 format!("ablations/loss={loss}"),
                 4,
                 secs,
-                scale.seed,
+                scale,
                 loss,
                 false,
                 Box::new(|_| Box::new(EzFlowController::with_defaults())),
@@ -168,7 +168,7 @@ fn loss_robustness(rep: &mut Report, scale: Scale) {
         .zip([Algo::Plain.factory(), Algo::EzFlow.factory()])
     {
         let t = topo::chain(4, Time::ZERO, until);
-        let mut spec = NetworkSpec::from_topology(&t, scale.seed);
+        let mut spec = scale.spec(&t, scale.seed);
         spec.loss =
             ezflow_phy::LossModel::ideal().with_burst(ezflow_phy::loss::GilbertElliott::classic());
         jobs.push(Job::new(
@@ -221,7 +221,7 @@ fn hop_boundary(rep: &mut Report, scale: Scale) {
             format!("ablations/hops={hops}/802.11"),
             hops,
             secs,
-            scale.seed,
+            scale,
             0.0,
             false,
             Box::new(|_| Box::new(FixedController::standard())),
@@ -230,7 +230,7 @@ fn hop_boundary(rep: &mut Report, scale: Scale) {
             format!("ablations/hops={hops}/EZ-flow"),
             hops,
             secs,
-            scale.seed,
+            scale,
             0.0,
             false,
             Box::new(|_| Box::new(EzFlowController::with_defaults())),
@@ -289,7 +289,7 @@ fn tournament(rep: &mut Report, scale: Scale) {
                 format!("ablations/tournament/{name}"),
                 8,
                 secs,
-                scale.seed,
+                scale,
                 0.0,
                 false,
                 make,
@@ -343,7 +343,7 @@ fn rts_cts(rep: &mut Report, scale: Scale) {
             "ablations/rts/802.11",
             4,
             secs,
-            scale.seed,
+            scale,
             0.0,
             false,
             Box::new(|_| Box::new(FixedController::standard())),
@@ -352,7 +352,7 @@ fn rts_cts(rep: &mut Report, scale: Scale) {
             "ablations/rts/802.11+rts",
             4,
             secs,
-            scale.seed,
+            scale,
             0.0,
             true,
             Box::new(|_| Box::new(FixedController::standard())),
@@ -361,7 +361,7 @@ fn rts_cts(rep: &mut Report, scale: Scale) {
             "ablations/rts/EZ-flow+rts",
             4,
             secs,
-            scale.seed,
+            scale,
             0.0,
             true,
             Box::new(|_| Box::new(EzFlowController::with_defaults())),
@@ -396,7 +396,7 @@ fn eifs(rep: &mut Report, scale: Scale) {
         .iter()
         .map(|&hops| {
             let t = topo::chain(hops, Time::ZERO, until);
-            let mut spec = NetworkSpec::from_topology(&t, scale.seed);
+            let mut spec = scale.spec(&t, scale.seed);
             spec.mac.eifs = true;
             Job::new(
                 format!("ablations/eifs/{hops}-hop"),
@@ -455,7 +455,7 @@ fn bidirectional(rep: &mut Report, scale: Scale) {
         .map(|(name, make)| {
             Job::new(
                 format!("ablations/bidir/{name}"),
-                NetworkSpec::from_topology(&t, scale.seed),
+                scale.spec(&t, scale.seed),
                 until,
                 make,
             )
@@ -527,7 +527,7 @@ fn windowed_transport(rep: &mut Report, scale: Scale) {
         {
             jobs.push(Job::new(
                 format!("ablations/window-{window}/{name}"),
-                NetworkSpec::from_topology(&t, scale.seed),
+                scale.spec(&t, scale.seed),
                 until,
                 make,
             ));
@@ -576,7 +576,7 @@ fn hw_cap(rep: &mut Report, scale: Scale) {
             "ablations/cap/2^10",
             8,
             secs,
-            scale.seed,
+            scale,
             0.0,
             false,
             Box::new(|_| Box::new(EzFlowController::new(EzFlowConfig::testbed(), 32))),
@@ -585,7 +585,7 @@ fn hw_cap(rep: &mut Report, scale: Scale) {
             "ablations/cap/2^15",
             8,
             secs,
-            scale.seed,
+            scale,
             0.0,
             false,
             Box::new(|_| Box::new(EzFlowController::with_defaults())),

@@ -10,7 +10,7 @@
 //! out through the [`crate::runner::SweepRunner`]; the buffer series the
 //! figures need ride back on the returned networks.
 
-use ezflow_net::{topo, NetworkSpec};
+use ezflow_net::topo;
 use ezflow_sim::{Duration, Time};
 use ezflow_stats::render_series;
 
@@ -44,7 +44,7 @@ pub fn run(scale: Scale) -> Report {
         for algo in algos {
             jobs.push(Job::new(
                 format!("fig4/{label}/{}", algo.name()),
-                NetworkSpec::from_topology(&t, scale.seed),
+                scale.spec(&t, scale.seed),
                 until,
                 algo.factory(),
             ));

@@ -15,7 +15,7 @@ pub mod table2;
 
 use ezflow_core::EzFlowController;
 use ezflow_net::controller::{ControllerFactory, FixedController};
-use ezflow_net::{topo::Topology, Network, NetworkSpec};
+use ezflow_net::{topo::Topology, Network};
 use ezflow_sim::Time;
 
 use crate::report::{Report, Scale};
@@ -57,15 +57,15 @@ impl Algo {
     }
 }
 
-/// Builds and runs a topology to `until` under `algo`.
+/// Builds and runs a topology to `until` under `algo`, with the scale's
+/// seed, flight-recorder capacity and scheduler backend.
 ///
-/// `flight_cap` arms the per-packet flight recorder (`0` = off, the
-/// experiments' default). Recording is observation-only — the run's
-/// content is bit-identical either way — so experiments pass
-/// [`Scale::flight_cap`] through unconditionally.
-pub fn run_net(topo: &Topology, algo: Algo, until: Time, seed: u64, flight_cap: usize) -> Network {
-    let mut spec = NetworkSpec::from_topology(topo, seed);
-    spec.flight_cap = flight_cap;
+/// [`Scale::flight_cap`] arms the per-packet flight recorder (`0` = off,
+/// the experiments' default). Neither recording nor the scheduler choice
+/// perturbs a run — the simulation content is bit-identical either way.
+pub fn run_net(topo: &Topology, algo: Algo, until: Time, scale: &Scale) -> Network {
+    let mut spec = scale.spec(topo, scale.seed);
+    spec.flight_cap = scale.flight_cap;
     let mut net = Network::new(spec, &*algo.factory());
     net.run_until(until);
     net

@@ -54,7 +54,7 @@ pub fn run(scale: Scale) -> Report {
 
     let mut per_algo = std::collections::HashMap::new();
     for algo in [Algo::Plain, Algo::EzFlow] {
-        let mut net = run_net(&topo, algo, t3, scale.seed, scale.flight_cap);
+        let mut net = run_net(&topo, algo, t3, &scale);
         rep.snapshots
             .push(net.snapshot(&format!("scenario1/{}", algo.name())));
         if scale.flight_cap > 0 {

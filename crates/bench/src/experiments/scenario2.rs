@@ -42,7 +42,7 @@ pub fn run(scale: Scale) -> Report {
 
     let mut per_algo = std::collections::HashMap::new();
     for algo in [Algo::Plain, Algo::EzFlow] {
-        let net = run_net(&topo, algo, t3, scale.seed, scale.flight_cap);
+        let net = run_net(&topo, algo, t3, &scale);
         if scale.flight_cap > 0 {
             rep.lifecycle(
                 algo.name().replace(['.', ' ', '(', ')'], ""),

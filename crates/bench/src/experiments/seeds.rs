@@ -7,7 +7,7 @@
 
 use ezflow_core::EzFlowController;
 use ezflow_net::controller::{ControllerFactory, FixedController};
-use ezflow_net::{topo, NetworkSpec};
+use ezflow_net::topo;
 use ezflow_sim::Time;
 use ezflow_stats::mean_std;
 
@@ -40,7 +40,7 @@ pub fn run(scale: Scale) -> Report {
             };
             jobs.push(Job::new(
                 format!("seeds/{name}/{seed}"),
-                NetworkSpec::from_topology(&t, seed),
+                scale.spec(&t, seed),
                 until,
                 make,
             ));

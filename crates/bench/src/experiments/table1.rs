@@ -8,7 +8,6 @@
 //! they fan out through the [`crate::runner::SweepRunner`].
 
 use ezflow_net::topo::{self, FlowSpec, Topology, TABLE1_KBPS};
-use ezflow_net::NetworkSpec;
 use ezflow_sim::Time;
 
 use super::Algo;
@@ -37,7 +36,7 @@ pub fn run(scale: Scale) -> Report {
             };
             Job::new(
                 format!("table1/l{i}"),
-                NetworkSpec::from_topology(&t, scale.seed ^ i as u64),
+                scale.spec(&t, scale.seed ^ i as u64),
                 until,
                 Algo::Plain.factory(),
             )

@@ -10,7 +10,7 @@
 //! independent, so they go through the [`crate::runner::SweepRunner`] as
 //! one batch.
 
-use ezflow_net::{topo, NetworkSpec};
+use ezflow_net::topo;
 use ezflow_sim::Time;
 use ezflow_stats::jain_index;
 
@@ -55,7 +55,7 @@ pub fn run(scale: Scale) -> Report {
         for algo in algos {
             jobs.push(Job::new(
                 format!("table2/{label}/{}", algo.name()),
-                NetworkSpec::from_topology(&t, scale.seed),
+                scale.spec(&t, scale.seed),
                 until,
                 algo.factory(),
             ));

@@ -3,7 +3,7 @@
 
 use std::fmt::Write as _;
 
-use ezflow_net::RunSnapshot;
+use ezflow_net::{NetworkSpec, RunSnapshot, SchedKind};
 use ezflow_sim::JsonValue;
 
 /// How much of the paper's experiment duration to simulate.
@@ -23,6 +23,10 @@ pub struct Scale {
     /// on changes only what the scenario experiments *export*: per-packet
     /// lifecycle JSONL attached to their reports as [`Lifecycle`]s.
     pub flight_cap: usize,
+    /// Scheduler backend for every network the experiments build. Both
+    /// kinds give bit-identical results (pinned by the `sched_equiv`
+    /// regression test); `--sched=heap` exists to prove exactly that.
+    pub sched: SchedKind,
 }
 
 impl Scale {
@@ -33,6 +37,7 @@ impl Scale {
             seed: 42,
             jobs: 0,
             flight_cap: 0,
+            sched: SchedKind::default(),
         }
     }
 
@@ -46,6 +51,7 @@ impl Scale {
             seed: 42,
             jobs: 0,
             flight_cap: 0,
+            sched: SchedKind::default(),
         }
     }
 
@@ -57,6 +63,15 @@ impl Scale {
     /// The sweep runner this scale asks for.
     pub fn runner(&self) -> crate::runner::SweepRunner {
         crate::runner::SweepRunner::new(self.jobs)
+    }
+
+    /// A [`NetworkSpec`] for `topo` carrying this scale's scheduler
+    /// choice. The one spot every experiment goes through, so
+    /// `--sched=heap` reaches every network any experiment builds.
+    pub fn spec(&self, topo: &ezflow_net::Topology, seed: u64) -> NetworkSpec {
+        let mut spec = NetworkSpec::from_topology(topo, seed);
+        spec.sched = self.sched;
+        spec
     }
 }
 

@@ -3,8 +3,8 @@
 //! airtime fractions, per-layer counters and scheduler stats.
 
 use ezflow_bench::experiments::{run_net, Algo};
-use ezflow_bench::report::{self, Report};
-use ezflow_net::{topo, RunSnapshot};
+use ezflow_bench::report::{self, Report, Scale};
+use ezflow_net::{topo, PerfSnapshot, RunSnapshot, SchedKind};
 use ezflow_sim::{JsonValue, Time};
 
 /// A short scenario-1-style run (merging chains would take minutes at
@@ -17,7 +17,7 @@ fn json_export_round_trips_with_cross_layer_stats() {
     let until = Time::from_secs(30);
     for algo in [Algo::Plain, Algo::EzFlow] {
         let topo = topo::chain(3, Time::from_secs(1), until);
-        let mut net = run_net(&topo, algo, until, 42, 0);
+        let mut net = run_net(&topo, algo, until, &Scale::quick());
         rep.snapshots
             .push(net.snapshot(&format!("smoke/{}", algo.name())));
     }
@@ -76,4 +76,40 @@ fn json_export_round_trips_with_cross_layer_stats() {
     let sum = |s: &RunSnapshot| s.nodes.iter().map(|n| n.counters.boe_hits).sum::<u64>();
     assert_eq!(sum(&plain), 0, "FixedController has no BOE");
     assert!(sum(&ez) > 0, "EZ-flow relays produced BOE samples");
+}
+
+/// The scheduler-backend contract at the network level: a quick
+/// scenario-1 slice (both algorithms) must produce byte-identical
+/// perf-zeroed snapshot JSON under `--sched=heap` and `--sched=wheel`.
+/// `hotpath_bench --check` pins the same property on the full-length
+/// runs; this is the in-tree regression test for it (shortened so it
+/// stays fast in debug builds).
+#[test]
+fn heap_and_wheel_snapshots_are_byte_identical_on_scenario1() {
+    let until = Time::from_secs(5);
+    let digests = |sched: SchedKind| -> Vec<String> {
+        let mut t = topo::scenario1();
+        for f in &mut t.flows {
+            f.start = Time::from_millis(100);
+            f.stop = until;
+        }
+        let mut scale = Scale::quick();
+        scale.sched = sched;
+        [Algo::Plain, Algo::EzFlow]
+            .into_iter()
+            .map(|algo| {
+                let mut net = run_net(&t, algo, until, &scale);
+                let mut snap = net.snapshot(&format!("s1/{}", algo.name()));
+                snap.perf = PerfSnapshot::zeroed();
+                snap.to_json().to_compact()
+            })
+            .collect()
+    };
+    let heap = digests(SchedKind::Heap);
+    let wheel = digests(SchedKind::Wheel);
+    assert!(
+        heap.iter().all(|d| d.len() > 100),
+        "snapshots are non-trivial"
+    );
+    assert_eq!(heap, wheel, "backends must be observationally identical");
 }

@@ -24,8 +24,6 @@
 //!                              ... until max_attempts -> drop
 //! ```
 
-use std::collections::HashMap;
-
 use ezflow_phy::{Frame, FrameKind};
 use ezflow_sim::{Duration, SimRng, Time};
 
@@ -282,7 +280,10 @@ pub struct Mac {
     ack_epoch: u64,
     ack_job: Option<Frame>,
     /// Per-sender id of the last received frame, for duplicate filtering.
-    last_rx: HashMap<usize, u64>,
+    /// A tiny association list, not a hash map: a node hears at most a
+    /// handful of senders, and the linear probe beats hashing on every
+    /// received frame.
+    last_rx: Vec<(usize, u64)>,
     stats: MacStats,
 }
 
@@ -307,7 +308,7 @@ impl Mac {
             tx_epoch: 0,
             ack_epoch: 0,
             ack_job: None,
-            last_rx: HashMap::new(),
+            last_rx: Vec::new(),
             stats: MacStats::default(),
         }
     }
@@ -332,6 +333,18 @@ impl Mac {
     /// Counters.
     pub fn stats(&self) -> MacStats {
         self.stats
+    }
+
+    /// Current tx-path epoch token. A pending [`MacInput::TimerTxPath`]
+    /// carrying an older epoch is dead: the scheduler's pop-time elision
+    /// hook compares against this to drop it without dispatching.
+    pub fn tx_epoch(&self) -> u64 {
+        self.tx_epoch
+    }
+
+    /// Current ACK-job epoch token (see [`Mac::tx_epoch`]).
+    pub fn ack_epoch(&self) -> u64 {
+        self.ack_epoch
     }
 
     /// Feeds one input, returns the outputs it provoked.
@@ -370,11 +383,7 @@ impl Mac {
             MacInput::RxCts { frame } => self.on_rx_cts(frame, out),
             MacInput::NavSet { until } => self.on_nav_set(now, until, out),
             MacInput::TimerNav => self.on_timer_nav(now, out),
-            MacInput::EifsMark => {
-                if self.cfg.eifs {
-                    self.eifs_pending = true;
-                }
-            }
+            MacInput::EifsMark => self.eifs_mark(),
             MacInput::SetCwMin { cw_min } => {
                 self.cw_min = cw_min.max(1);
             }
@@ -407,10 +416,19 @@ impl Mac {
 
     /// Starts (or restarts) the DIFS + remaining-slots countdown at `now`.
     fn start_countdown(&mut self, now: Time, out: &mut Vec<MacOutput>) {
+        if let Some((after, epoch)) = self.arm_countdown(now) {
+            out.push(MacOutput::SetTimerTxPath { after, epoch });
+        }
+    }
+
+    /// The countdown arm itself, returned as `(after, epoch)` instead of
+    /// pushed as a [`MacOutput`] — the engine's direct dispatch path
+    /// schedules it without an output buffer round trip.
+    fn arm_countdown(&mut self, now: Time) -> Option<(Duration, u64)> {
         debug_assert!(self.counting_phase());
         debug_assert!(self.can_count_down(now));
         if self.countdown_from.is_some() {
-            return; // already counting
+            return None; // already counting
         }
         let slots = self.slots_left();
         self.countdown_from = Some(now);
@@ -422,10 +440,10 @@ impl Mac {
         } else {
             self.cfg.difs
         };
-        out.push(MacOutput::SetTimerTxPath {
-            after: self.current_ifs + self.cfg.slot * slots as u64,
-            epoch: self.tx_epoch,
-        });
+        Some((
+            self.current_ifs + self.cfg.slot * slots as u64,
+            self.tx_epoch,
+        ))
     }
 
     /// Freezes the countdown at `now`, banking fully elapsed slots.
@@ -506,9 +524,37 @@ impl Mac {
     }
 
     fn on_medium_idle(&mut self, now: Time, out: &mut Vec<MacOutput>) {
+        if let Some((after, epoch)) = self.medium_idle(now) {
+            out.push(MacOutput::SetTimerTxPath { after, epoch });
+        }
+    }
+
+    /// Direct-dispatch mirror of [`MacInput::MediumBusy`].
+    ///
+    /// Carrier-sense transitions are the bulk of all MAC inputs (every
+    /// transmission toggles busy/idle at every sensing neighbour) and can
+    /// never produce an output, so the engine calls this directly instead
+    /// of routing a `MacInput` through an output buffer.
+    pub fn medium_busy(&mut self, now: Time) {
+        self.on_medium_busy(now);
+    }
+
+    /// Direct-dispatch mirror of [`MacInput::MediumIdle`]: the only
+    /// possible output is a single tx-path timer arm, returned as
+    /// `(after, epoch)` for the engine to schedule itself.
+    pub fn medium_idle(&mut self, now: Time) -> Option<(Duration, u64)> {
         self.medium_busy = false;
         if self.counting_phase() && self.can_count_down(now) {
-            self.start_countdown(now, out);
+            self.arm_countdown(now)
+        } else {
+            None
+        }
+    }
+
+    /// Direct-dispatch mirror of [`MacInput::EifsMark`] (no outputs).
+    pub fn eifs_mark(&mut self) {
+        if self.cfg.eifs {
+            self.eifs_pending = true;
         }
     }
 
@@ -719,11 +765,14 @@ impl Mac {
         });
         // Duplicate filtering: a retry repeats the most recent id from that
         // sender (per-link FIFO makes equality sufficient).
-        if self.last_rx.get(&frame.src) == Some(&frame.seq) {
-            self.stats.dup_rx += 1;
-            return;
+        match self.last_rx.iter_mut().find(|(src, _)| *src == frame.src) {
+            Some((_, seq)) if *seq == frame.seq => {
+                self.stats.dup_rx += 1;
+                return;
+            }
+            Some((_, seq)) => *seq = frame.seq,
+            None => self.last_rx.push((frame.src, frame.seq)),
         }
-        self.last_rx.insert(frame.src, frame.seq);
         self.stats.delivered += 1;
         out.push(MacOutput::Deliver { frame });
     }

@@ -44,10 +44,10 @@ fn tx_timer(out: &[MacOutput]) -> (Duration, u64) {
         .expect("tx-path timer")
 }
 
-fn started(out: &[MacOutput]) -> &Frame {
+fn started(out: &[MacOutput]) -> Frame {
     out.iter()
         .find_map(|o| match o {
-            MacOutput::StartTx { frame, .. } => Some(frame),
+            MacOutput::StartTx { frame, .. } => Some(frame.clone()),
             _ => None,
         })
         .expect("StartTx")
@@ -70,7 +70,7 @@ fn full_four_way_handshake() {
     let (after, epoch) = tx_timer(&out);
     assert_eq!(after.as_micros(), DIFS);
     let out = snd.input(t(DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
-    let rts = started(&out).clone();
+    let rts = started(&out);
     assert_eq!(rts.kind, FrameKind::Rts);
     assert_eq!(rts.seq, 5);
     assert_eq!(
@@ -104,7 +104,7 @@ fn full_four_way_handshake() {
         MacInput::TimerAckJob { epoch: cts_epoch },
         &mut rng2,
     );
-    let cts = started(&out).clone();
+    let cts = started(&out);
     assert_eq!(cts.kind, FrameKind::Cts);
     assert_eq!(cts.dst, 0);
     assert_eq!(cts.nav_micros, 2 * SIFS + DATA_AIR + ACK_AIR);
@@ -120,7 +120,7 @@ fn full_four_way_handshake() {
     let (sifs_wait, epoch) = tx_timer(&out);
     assert_eq!(sifs_wait.as_micros(), SIFS);
     let out = snd.input(t(cts_end + SIFS), MacInput::TimerTxPath { epoch }, &mut rng);
-    let d = started(&out).clone();
+    let d = started(&out);
     assert_eq!(d.kind, FrameKind::Data);
     let data_end = cts_end + SIFS + DATA_AIR;
     let out = snd.input(

@@ -10,11 +10,11 @@
 //! once and shipped across threads — the sweep runner in `ezflow-bench`
 //! leans on exactly that.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 use ezflow_mac::{Mac, MacConfig, MacInput};
 use ezflow_phy::{Channel, ChannelConfig, LossModel, Position};
-use ezflow_sim::{Duration, Scheduler, SimRng, Time, TraceRing};
+use ezflow_sim::{Duration, SchedKind, Scheduler, SimRng, Time, TraceRing};
 
 use crate::controller::Controller;
 use crate::engine::{Ev, EV_KINDS};
@@ -24,7 +24,7 @@ use crate::node::Node;
 use crate::routing::StaticRouting;
 use crate::topo::{FlowSpec, Topology};
 use crate::traffic::{CbrSource, Transport};
-use crate::transport::build_transport;
+use crate::transport::{build_transport, FlowTransport};
 
 /// Static description of a network to build.
 #[derive(Clone, Debug)]
@@ -52,6 +52,10 @@ pub struct NetworkSpec {
     /// Flight-recorder capacity in packet journeys (0 disables the
     /// recorder; see [`crate::flight::FlightRecorder`]).
     pub flight_cap: usize,
+    /// Scheduler backend. Both produce bit-identical runs (a property
+    /// `ezflow-bench`'s equivalence tests pin); the calendar-queue wheel
+    /// is the fast default, the heap the reference fallback.
+    pub sched: SchedKind,
 }
 
 impl NetworkSpec {
@@ -74,6 +78,7 @@ impl NetworkSpec {
             seed,
             trace_cap: 0,
             flight_cap: 0,
+            sched: SchedKind::default(),
         }
     }
 
@@ -166,6 +171,7 @@ pub(crate) fn build(
             stop: f.stop,
         })
         .collect();
+    let source_intervals: Vec<_> = sources.iter().map(CbrSource::interval).collect();
 
     let successors: Vec<Vec<usize>> = (0..n).map(|id| routing.successors(id)).collect();
     let backlog_every = nodes
@@ -176,18 +182,19 @@ pub(crate) fn build(
     let flow_ids: Vec<u32> = spec.flows.iter().map(|f| f.id).collect();
     let metrics = Metrics::new(n, &flow_ids, spec.metric_bin);
 
-    let transports: BTreeMap<u32, _> = spec
+    let transports: Vec<(u32, Option<Box<dyn FlowTransport>>)> = spec
         .flows
         .iter()
-        .map(|f| (f.id, build_transport(f)))
+        .map(|f| (f.id, Some(build_transport(f))))
         .collect();
 
-    let mut sched = Scheduler::new();
+    let mut sched = Scheduler::with_kind(spec.sched);
     for (i, s) in sources.iter().enumerate() {
         sched.schedule(s.start, Ev::Traffic(i));
     }
-    for f in &spec.flows {
-        if let Some(p) = transports[&f.id].refresh_period() {
+    for (f, (_, t)) in spec.flows.iter().zip(transports.iter()) {
+        let t = t.as_ref().expect("transport slot filled at build time");
+        if let Some(p) = t.refresh_period() {
             sched.schedule(f.start + p, Ev::WindowRefresh(f.id));
         }
     }
@@ -204,6 +211,7 @@ pub(crate) fn build(
         nodes,
         routing,
         sources,
+        source_intervals,
         successors,
         transports,
         queue_cap: spec.queue_cap,
@@ -214,6 +222,7 @@ pub(crate) fn build(
         trace: TraceRing::new(spec.trace_cap),
         flight: crate::flight::FlightRecorder::new(spec.flight_cap),
         worklist: VecDeque::new(),
+        rx_frames: VecDeque::new(),
         next_seq: 0,
         events: 0,
         dispatched: [0; EV_KINDS],

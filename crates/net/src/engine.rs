@@ -85,6 +85,28 @@ fn ev_index(ev: &Ev) -> usize {
     }
 }
 
+/// Compact worklist descriptor — [`MacInput`] minus the frame payload.
+///
+/// Only the transmission fan-out queues here: the busy toggles raised by
+/// a `StartTx` and the per-receiver markers of a `TxEnd` (everything
+/// scheduler-driven goes straight through `mac_event`, and the rest of
+/// the tx-end fan-out is dispatched inline). Queuing full `MacInput`
+/// values would memcpy ~112 bytes per entry twice (push and pop); this
+/// mirror carries 16 bytes and the drain loop rebuilds the real
+/// `MacInput` at the single dispatch point. `Rx*` entries park their
+/// frame in [`Network::rx_frames`](crate::network::Network) — both
+/// queues are FIFOs fed in lockstep, so the frame at the front is always
+/// the one the front `Rx*` marker refers to.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum WorkInput {
+    MediumBusy,
+    NavSet { until: Time },
+    RxData,
+    RxAck,
+    RxRts,
+    RxCts,
+}
+
 fn frame_class(kind: FrameKind) -> FrameClass {
     match kind {
         FrameKind::Data => FrameClass::Data,
@@ -116,14 +138,51 @@ fn rx_outcome(o: DecodeOutcome) -> RxOutcome {
 
 impl Network {
     /// Runs the simulation up to and including instant `until`.
+    ///
+    /// The pop loop delegates stale-timer detection to the scheduler's
+    /// [`ezflow_sim::Cancelable`] hook: a MAC timer whose epoch token no
+    /// longer matches its owner is elided *inside* the pop — never
+    /// dispatched, never worklisted — and counted in
+    /// [`ezflow_sim::Scheduler::stale_drops`]. The elision decision reads
+    /// only the owning MAC's current epoch, so it is a pure function of
+    /// simulation state and identical on either scheduler backend.
     pub fn run_until(&mut self, until: Time) {
         debug_assert!(self.worklist.is_empty());
+        debug_assert!(self.rx_frames.is_empty());
         let t0 = std::time::Instant::now();
-        while let Some(at) = self.sched.peek_time() {
-            if at > until {
-                break;
-            }
-            let (at, ev) = self.sched.pop().expect("peeked");
+        loop {
+            // Disjoint-field borrows: the hook reads `nodes` and writes
+            // `trace` while `sched` is mutably borrowed by the pop.
+            let next = {
+                let nodes = &self.nodes;
+                let trace = &mut self.trace;
+                self.sched.pop_before(until, |at: Time, ev: &Ev| {
+                    let (node, epoch, current) = match *ev {
+                        Ev::MacTxPath { node, epoch } => (node, epoch, nodes[node].mac.tx_epoch()),
+                        Ev::MacAckJob { node, epoch } => (node, epoch, nodes[node].mac.ack_epoch()),
+                        _ => return false,
+                    };
+                    if epoch == current {
+                        return false;
+                    }
+                    // An *event* drop, not a packet drop: the record goes
+                    // to the trace ring only and `seq` carries the dead
+                    // epoch token.
+                    if trace.enabled() {
+                        trace.push(
+                            at,
+                            node,
+                            TraceKind::Drop,
+                            TracePayload::Drop {
+                                cause: DropCause::StaleEpoch,
+                                seq: epoch,
+                            },
+                        );
+                    }
+                    true
+                })
+            };
+            let Some((at, ev)) = next else { break };
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.events += 1;
@@ -139,54 +198,40 @@ impl Network {
             Ev::Traffic(i) => self.on_traffic(i),
             Ev::WindowRefresh(flow) => self.on_window_refresh(flow),
             Ev::MacTxPath { node, epoch } => {
-                let stale0 = self.stale_epochs_if_traced(node);
-                self.worklist
-                    .push_back((node, MacInput::TimerTxPath { epoch }));
-                self.drain();
-                self.trace_stale_epoch(node, epoch, stale0);
+                self.mac_event(node, MacInput::TimerTxPath { epoch }, true)
             }
             Ev::MacAckJob { node, epoch } => {
-                let stale0 = self.stale_epochs_if_traced(node);
-                self.worklist
-                    .push_back((node, MacInput::TimerAckJob { epoch }));
-                self.drain();
-                self.trace_stale_epoch(node, epoch, stale0);
+                self.mac_event(node, MacInput::TimerAckJob { epoch }, true)
             }
-            Ev::MacNav { node } => {
-                self.worklist.push_back((node, MacInput::TimerNav));
-                self.drain();
-            }
+            Ev::MacNav { node } => self.mac_event(node, MacInput::TimerNav, false),
             Ev::TxEnd { tx, node } => self.on_tx_end(tx, node),
             Ev::Sample => self.on_sample(),
             Ev::Backlog => self.on_backlog(),
         }
     }
 
-    /// The node's stale-epoch counter, read only when tracing is on — the
-    /// before-value for [`Network::trace_stale_epoch`]'s delta check.
-    fn stale_epochs_if_traced(&self, node: usize) -> u64 {
-        if self.trace.enabled() {
-            self.nodes[node].mac.stats().stale_epochs
-        } else {
-            0
+    /// Feeds one `MacInput` straight to a node — the direct-dispatch
+    /// counterpart of a one-entry worklist drain, for inputs that arrive
+    /// alone from the scheduler rather than as part of a transmission
+    /// fan-out. Processing order is the drain's exactly: the input's
+    /// outputs, then the feed probe, then whatever those two worklisted
+    /// (a `StartTx` busy fan-out) — minus the deque round trip.
+    fn mac_event(&mut self, id: usize, input: MacInput, feed: bool) {
+        let mut outs = self.mac_out_pool.pop().unwrap_or_default();
+        {
+            let node = &mut self.nodes[id];
+            node.mac
+                .input_into(self.now, input, &mut node.rng, &mut outs);
         }
-    }
-
-    /// Emits a `Drop { StaleEpoch }` trace record if the MAC timer event
-    /// just drained was discarded as stale. An *event* drop, not a packet
-    /// drop: the record goes to the trace ring only (no packet journey is
-    /// touched) and `seq` carries the stale epoch token.
-    fn trace_stale_epoch(&mut self, node: usize, epoch: u64, stale0: u64) {
-        if self.trace.enabled() && self.nodes[node].mac.stats().stale_epochs > stale0 {
-            self.trace.push(
-                self.now,
-                node,
-                TraceKind::Drop,
-                TracePayload::Drop {
-                    cause: DropCause::StaleEpoch,
-                    seq: epoch,
-                },
-            );
+        for o in outs.drain(..) {
+            self.handle_output(id, o);
+        }
+        self.mac_out_pool.push(outs);
+        if feed {
+            self.try_feed(id);
+        }
+        if !self.worklist.is_empty() {
+            self.drain();
         }
     }
 
@@ -210,9 +255,11 @@ impl Network {
         let s = self.sources[i]; // Copy — no per-tick clone
         if s.active_at(self.now) {
             self.with_transport(s.flow, |t, net| t.on_tick(net));
-            self.drain();
+            if !self.worklist.is_empty() {
+                self.drain();
+            }
         }
-        let next = self.now + s.interval();
+        let next = self.now + self.source_intervals[i];
         if next < s.stop {
             self.sched.schedule(next, Ev::Traffic(i));
         }
@@ -226,7 +273,9 @@ impl Network {
                 rearm = t.refresh_period();
             }
         });
-        self.drain();
+        if !self.worklist.is_empty() {
+            self.drain();
+        }
         if let Some(p) = rearm {
             self.sched.schedule(self.now + p, Ev::WindowRefresh(flow));
         }
@@ -245,12 +294,22 @@ impl Network {
     ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let mut frame = Frame::data(seq, flow, src, dst, payload, self.now);
-        frame.ack_ref = ack_ref;
         let nh = self
             .routing
             .next_hop(src, dst)
             .expect("source must be routed");
+        // Saturated-source fast path: when the own queue is already full
+        // and neither recorder is on, the drop's only observable effects
+        // are the consumed seq, the queue and flow drop counters and the
+        // feed probe — all of which happen below in exactly the order the
+        // slow path keeps, so the frame never needs to be built at all.
+        if !self.flight.enabled() && !self.trace.enabled() && self.nodes[src].own_queue_drop(nh) {
+            *self.metrics.source_drops.entry(flow).or_insert(0) += 1;
+            self.try_feed(src);
+            return seq;
+        }
+        let mut frame = Frame::data(seq, flow, src, dst, payload, self.now);
+        frame.ack_ref = ack_ref;
         frame.src = src;
         frame.dst = nh;
         if self.flight.enabled() {
@@ -311,22 +370,6 @@ impl Network {
                 frame_payload(&report.frame),
             );
         }
-        if self.eifs {
-            // EIFS marks must precede the idle transitions so the resumed
-            // deferral uses the extended space.
-            for &r in &report.sensed_dirty {
-                self.worklist.push_back((r, MacInput::EifsMark));
-            }
-        }
-        for &r in &report.became_idle {
-            self.worklist.push_back((r, MacInput::MediumIdle));
-        }
-        self.worklist.push_back((
-            node,
-            MacInput::TxEnded {
-                medium_busy: self.channel.is_busy(node),
-            },
-        ));
         let frame = &report.frame;
         for d in &report.deliveries {
             // Decode-outcome attribution at the addressed receiver: where
@@ -359,22 +402,16 @@ impl Network {
             }
             if d.node == frame.dst {
                 // The fan-out's single frame copy: the addressed receiver
-                // takes ownership, everyone else borrows.
-                let input = match frame.kind {
-                    FrameKind::Data => MacInput::RxData {
-                        frame: frame.clone(),
-                    },
-                    FrameKind::Ack => MacInput::RxAck {
-                        frame: frame.clone(),
-                    },
-                    FrameKind::Rts => MacInput::RxRts {
-                        frame: frame.clone(),
-                    },
-                    FrameKind::Cts => MacInput::RxCts {
-                        frame: frame.clone(),
-                    },
+                // takes ownership, everyone else borrows. The copy goes to
+                // the side FIFO; the worklist carries only the kind marker.
+                let marker = match frame.kind {
+                    FrameKind::Data => WorkInput::RxData,
+                    FrameKind::Ack => WorkInput::RxAck,
+                    FrameKind::Rts => WorkInput::RxRts,
+                    FrameKind::Cts => WorkInput::RxCts,
                 };
-                self.worklist.push_back((d.node, input));
+                self.rx_frames.push_back(frame.clone());
+                self.worklist.push_back((d.node, marker));
             } else {
                 match frame.kind {
                     FrameKind::Data => {
@@ -419,14 +456,34 @@ impl Network {
                     FrameKind::Rts | FrameKind::Cts if frame.nav_micros > 0 => {
                         let until = self.now + ezflow_sim::Duration::from_micros(frame.nav_micros);
                         self.worklist
-                            .push_back((d.node, MacInput::NavSet { until }));
+                            .push_back((d.node, WorkInput::NavSet { until }));
                     }
                     _ => {}
                 }
             }
         }
+        // Direct dispatch of the carrier-sense transitions, in the order
+        // the worklist used to impose: EIFS marks must precede the idle
+        // transitions so the resumed deferral uses the extended space,
+        // and both precede the transmitter's own `TxEnded`. None of the
+        // three can produce anything but a single timer arm (scheduled
+        // inline for `MediumIdle`), so no output buffer is needed; the
+        // receiver markers queued above still drain *after* `TxEnded`,
+        // through `mac_event`'s trailing drain.
+        if self.eifs {
+            for &r in &report.sensed_dirty {
+                self.nodes[r].mac.eifs_mark();
+            }
+        }
+        for &r in &report.became_idle {
+            if let Some((after, epoch)) = self.nodes[r].mac.medium_idle(self.now) {
+                self.sched
+                    .schedule(self.now + after, Ev::MacTxPath { node: r, epoch });
+            }
+        }
+        let medium_busy = self.channel.is_busy(node);
         self.end_report = report;
-        self.drain();
+        self.mac_event(node, MacInput::TxEnded { medium_busy }, true);
     }
 
     fn on_sample(&mut self) {
@@ -468,7 +525,32 @@ impl Network {
     /// Processes queued MAC inputs until quiescence.
     fn drain(&mut self) {
         let mut outs = self.mac_out_pool.pop().unwrap_or_default();
-        while let Some((id, input)) = self.worklist.pop_front() {
+        while let Some((id, work)) = self.worklist.pop_front() {
+            // Carrier-sense busy toggles are the bulk of the worklist
+            // (every transmission raises one at every sensing neighbour),
+            // can never produce an output, and never change `Mac::is_idle`
+            // (a pure function of phase + held frame) — dispatched inline
+            // with no `MacInput` build, no output loop, no feed probe.
+            if let WorkInput::MediumBusy = work {
+                self.nodes[id].mac.medium_busy(self.now);
+                continue;
+            }
+            // NAV reservations pause a countdown but cannot change
+            // `Mac::is_idle` or any queue either, so the feed probe after
+            // them is always a no-op; only received frames need it.
+            let feed = !matches!(work, WorkInput::NavSet { .. });
+            // Rebuild the full `MacInput` only here, at the dispatch
+            // point — a freshly built large enum passed by value costs a
+            // discriminant write plus the payload, not a deque round trip.
+            let mut rx = || self.rx_frames.pop_front().expect("rx marker has a frame");
+            let input = match work {
+                WorkInput::MediumBusy => unreachable!("dispatched inline above"),
+                WorkInput::NavSet { until } => MacInput::NavSet { until },
+                WorkInput::RxData => MacInput::RxData { frame: rx() },
+                WorkInput::RxAck => MacInput::RxAck { frame: rx() },
+                WorkInput::RxRts => MacInput::RxRts { frame: rx() },
+                WorkInput::RxCts => MacInput::RxCts { frame: rx() },
+            };
             {
                 let node = &mut self.nodes[id];
                 node.mac
@@ -477,7 +559,9 @@ impl Network {
             for o in outs.drain(..) {
                 self.handle_output(id, o);
             }
-            self.try_feed(id);
+            if feed {
+                self.try_feed(id);
+            }
         }
         self.mac_out_pool.push(outs);
     }
@@ -520,7 +604,7 @@ impl Network {
                     },
                 );
                 for &r in &self.start_report.became_busy {
-                    self.worklist.push_back((r, MacInput::MediumBusy));
+                    self.worklist.push_back((r, WorkInput::MediumBusy));
                 }
             }
             MacOutput::SetTimerTxPath { after, epoch } => {
@@ -791,6 +875,7 @@ impl Network {
             scheduler: SchedulerSnapshot {
                 scheduled_total: self.sched.scheduled_total(),
                 dispatched_total: self.events,
+                stale_elided: self.sched.stale_drops(),
                 pending: self.sched.len(),
                 depth_high_water: self.sched.depth_high_water(),
                 dispatched_by_kind: EV_NAMES
@@ -799,14 +884,27 @@ impl Network {
                     .map(|(&name, &n)| (name.to_string(), n))
                     .collect(),
             },
-            perf: PerfSnapshot {
-                wall_secs,
-                sim_secs,
-                events_per_sec: per_wall(self.events as f64),
-                sim_rate: per_wall(sim_secs),
-                sched_depth_high_water: self.sched.depth_high_water() as u64,
-                stale_epoch_drops: self.nodes.iter().map(|n| n.mac.stats().stale_epochs).sum(),
-                trace_evictions: self.trace.pushed_total() - self.trace.len() as u64,
+            perf: {
+                let wheel = self.sched.wheel_stats();
+                PerfSnapshot {
+                    wall_secs,
+                    sim_secs,
+                    events_per_sec: per_wall((self.events + self.sched.stale_drops()) as f64),
+                    sim_rate: per_wall(sim_secs),
+                    sched_depth_high_water: self.sched.depth_high_water() as u64,
+                    // Elided timers plus the MAC's own defensive count (the
+                    // latter is zero when elision is doing its job).
+                    stale_epoch_drops: self.sched.stale_drops()
+                        + self
+                            .nodes
+                            .iter()
+                            .map(|n| n.mac.stats().stale_epochs)
+                            .sum::<u64>(),
+                    sched_rotations: wheel.rotations,
+                    sched_overflow_refills: wheel.overflow_refills,
+                    sched_bucket_high_water: wheel.bucket_high_water,
+                    trace_evictions: self.trace.pushed_total() - self.trace.len() as u64,
+                }
             },
             latency: LatencySnapshot {
                 per_flow: self

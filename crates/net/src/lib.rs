@@ -50,7 +50,7 @@ pub use controller::{
 };
 pub use flight::{group_journeys, summarize_journey, FlightRecorder, FlightStats, JourneySummary};
 pub use metrics::Metrics;
-pub use network::{Network, NetworkSpec};
+pub use network::{Network, NetworkSpec, SchedKind};
 pub use node::Node;
 pub use queue::TxQueue;
 pub use routing::StaticRouting;

@@ -30,17 +30,18 @@
 //!        └─▶ Overheard to everyone else in decode range ─▶ controllers
 //! ```
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
-use ezflow_mac::{MacInput, MacStats};
+use ezflow_mac::MacStats;
 use ezflow_phy::{Channel, ChannelStats};
 use ezflow_sim::{Duration, Scheduler, SimRng, Time, TraceRing};
 
 pub use crate::builder::NetworkSpec;
 pub use crate::transport::TRANSPORT_ACK_FLOW;
+pub use ezflow_sim::SchedKind;
 
 use crate::controller::Controller;
-use crate::engine::{Ev, EV_KINDS};
+use crate::engine::{Ev, WorkInput, EV_KINDS};
 use crate::flight::FlightRecorder;
 use crate::metrics::Metrics;
 use crate::node::Node;
@@ -62,11 +63,17 @@ pub struct Network {
     pub(crate) nodes: Vec<Node>,
     pub(crate) routing: StaticRouting,
     pub(crate) sources: Vec<CbrSource>,
+    /// Inter-packet interval per source, precomputed at build time so
+    /// the per-tick path re-arms without redoing the rate division.
+    pub(crate) source_intervals: Vec<Duration>,
     /// Successor sets per node (for backlog reports).
     pub(crate) successors: Vec<Vec<usize>>,
-    /// Per-flow pacing discipline, keyed by flow id (ordered so that any
-    /// whole-table walk is deterministic).
-    pub(crate) transports: BTreeMap<u32, Box<dyn FlowTransport>>,
+    /// Per-flow pacing discipline, keyed by flow id. An assoc list in
+    /// flow-declaration order, not a map: the lookup sits on the
+    /// per-tick path and a linear probe of a handful of entries beats
+    /// tree descent twice per tick (the slot is `take`n while the
+    /// transport runs against the network, hence the `Option`).
+    pub(crate) transports: Vec<(u32, Option<Box<dyn FlowTransport>>)>,
     pub(crate) queue_cap: usize,
     pub(crate) eifs: bool,
     pub(crate) sample_every: Duration,
@@ -78,7 +85,14 @@ pub struct Network {
     /// Per-packet lifecycle recorder (disabled unless the spec sets
     /// `flight_cap > 0`).
     pub flight: FlightRecorder,
-    pub(crate) worklist: VecDeque<(usize, MacInput)>,
+    /// Pending MAC inputs as compact descriptors (see
+    /// [`crate::engine::WorkInput`]); received frames ride in
+    /// [`Self::rx_frames`] so the deque moves 16 bytes per entry, not a
+    /// whole `MacInput`.
+    pub(crate) worklist: VecDeque<(usize, WorkInput)>,
+    /// Frame payloads for the `Rx*` entries of [`Self::worklist`], in the
+    /// same FIFO order — the drain loop pops one per `Rx*` marker.
+    pub(crate) rx_frames: VecDeque<ezflow_phy::Frame>,
     pub(crate) next_seq: u64,
     pub(crate) events: u64,
     /// Dispatch counts per event kind.
@@ -141,6 +155,17 @@ impl Network {
     /// Total events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events
+    }
+
+    /// Which scheduler backend this network runs on.
+    pub fn sched_kind(&self) -> SchedKind {
+        self.sched.kind()
+    }
+
+    /// Stale timer events elided inside the scheduler's pop loop — never
+    /// dispatched, never counted in [`Network::events_processed`].
+    pub fn sched_stale_elided(&self) -> u64 {
+        self.sched.stale_drops()
     }
 
     /// Interface-queue occupancy of `node`.

@@ -74,6 +74,24 @@ impl Node {
         q.push(frame)
     }
 
+    /// If the own-traffic queue toward `successor` exists and is at
+    /// capacity, counts the tail drop against it (exactly as a failed
+    /// [`TxQueue::push`] would) and returns `true` — the engine's
+    /// saturated-source fast path asks this before building a frame.
+    pub fn own_queue_drop(&mut self, successor: usize) -> bool {
+        match self
+            .queues
+            .iter_mut()
+            .find(|q| q.own && q.successor == successor)
+        {
+            Some(q) if q.len() >= q.cap() => {
+                q.drops += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Occupancy and capacity of the queue for (`own`, `successor`) —
     /// what the flight recorder's `Enqueue` record reports. `(0, 0)` if
     /// the queue does not exist.

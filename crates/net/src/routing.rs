@@ -3,13 +3,19 @@
 //! change, isolating the MAC-layer phenomena under study from routing
 //! dynamics.
 
-use std::collections::HashMap;
-
 /// A static next-hop table.
+///
+/// Stored as per-node sorted `(final destination, next hop)` lists rather
+/// than a `HashMap<(node, dst), next>`: lookups sit on the per-packet
+/// forwarding path, nodes have at most a handful of destinations, and a
+/// linear probe of a four-entry slice beats hashing a 16-byte key every
+/// time. The node index itself is a direct array index.
 #[derive(Debug, Default, Clone)]
 pub struct StaticRouting {
-    /// `(node, final destination) -> next hop`.
-    next_hop: HashMap<(usize, usize), usize>,
+    /// `by_node[node]` = sorted `(final destination, next hop)` pairs.
+    by_node: Vec<Vec<(usize, usize)>>,
+    /// Total installed entries across all nodes.
+    entries: usize,
 }
 
 impl StaticRouting {
@@ -27,31 +33,43 @@ impl StaticRouting {
         assert!(path.len() >= 2, "a path needs at least two nodes");
         let dst = *path.last().expect("non-empty");
         for w in path.windows(2) {
-            let prev = self.next_hop.insert((w[0], dst), w[1]);
-            assert!(
-                prev.is_none() || prev == Some(w[1]),
-                "conflicting route at node {} toward {}: {} vs {}",
-                w[0],
-                dst,
-                prev.unwrap(),
-                w[1]
-            );
+            let (node, next) = (w[0], w[1]);
+            if node >= self.by_node.len() {
+                self.by_node.resize(node + 1, Vec::new());
+            }
+            let routes = &mut self.by_node[node];
+            match routes.binary_search_by_key(&dst, |&(d, _)| d) {
+                Ok(i) => assert!(
+                    routes[i].1 == next,
+                    "conflicting route at node {} toward {}: {} vs {}",
+                    node,
+                    dst,
+                    routes[i].1,
+                    next
+                ),
+                Err(i) => {
+                    routes.insert(i, (dst, next));
+                    self.entries += 1;
+                }
+            }
         }
     }
 
     /// Next hop from `node` toward `final_dst`, if routed.
     pub fn next_hop(&self, node: usize, final_dst: usize) -> Option<usize> {
-        self.next_hop.get(&(node, final_dst)).copied()
+        let routes = self.by_node.get(node)?;
+        routes
+            .iter()
+            .find(|&&(d, _)| d == final_dst)
+            .map(|&(_, next)| next)
     }
 
     /// All distinct successors of `node` (over all destinations), sorted.
     pub fn successors(&self, node: usize) -> Vec<usize> {
-        let mut v: Vec<usize> = self
-            .next_hop
-            .iter()
-            .filter(|((n, _), _)| *n == node)
-            .map(|(_, &s)| s)
-            .collect();
+        let mut v: Vec<usize> = match self.by_node.get(node) {
+            Some(routes) => routes.iter().map(|&(_, next)| next).collect(),
+            None => Vec::new(),
+        };
         v.sort_unstable();
         v.dedup();
         v
@@ -59,12 +77,12 @@ impl StaticRouting {
 
     /// Number of installed entries.
     pub fn len(&self) -> usize {
-        self.next_hop.len()
+        self.entries
     }
 
     /// True iff no routes are installed.
     pub fn is_empty(&self) -> bool {
-        self.next_hop.is_empty()
+        self.entries == 0
     }
 }
 
@@ -109,5 +127,14 @@ mod tests {
         r.install_path(&[0, 1, 2]);
         r.install_path(&[0, 1, 3]);
         assert_eq!(r.successors(0), vec![1]);
+    }
+
+    #[test]
+    fn reinstalling_the_same_path_does_not_double_count() {
+        let mut r = StaticRouting::new();
+        r.install_path(&[0, 1, 2]);
+        r.install_path(&[0, 1, 2]);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
     }
 }

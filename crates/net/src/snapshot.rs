@@ -260,6 +260,11 @@ pub struct SchedulerSnapshot {
     pub scheduled_total: u64,
     /// Events dispatched (popped and handled).
     pub dispatched_total: u64,
+    /// Events elided inside the pop loop by the scheduler's stale-timer
+    /// hook — popped and counted, never dispatched. Deterministic and
+    /// identical across scheduler backends (unlike the wheel gauges in
+    /// [`PerfSnapshot`]), so it lives in this comparable block.
+    pub stale_elided: u64,
     /// Events still pending at snapshot time.
     pub pending: usize,
     /// Deepest the pending-event heap ever got.
@@ -278,6 +283,7 @@ impl SchedulerSnapshot {
         JsonValue::obj(vec![
             ("scheduled_total", self.scheduled_total.into()),
             ("dispatched_total", self.dispatched_total.into()),
+            ("stale_elided", self.stale_elided.into()),
             ("pending", self.pending.into()),
             ("depth_high_water", self.depth_high_water.into()),
             ("dispatched_by_kind", JsonValue::obj(by_kind)),
@@ -300,6 +306,7 @@ impl SchedulerSnapshot {
         Ok(SchedulerSnapshot {
             scheduled_total: get_u64(v, "scheduled_total")?,
             dispatched_total: get_u64(v, "dispatched_total")?,
+            stale_elided: get_u64(v, "stale_elided")?,
             pending: get_u64(v, "pending")? as usize,
             depth_high_water: get_u64(v, "depth_high_water")? as usize,
             dispatched_by_kind,
@@ -317,16 +324,28 @@ pub struct PerfSnapshot {
     pub wall_secs: f64,
     /// Simulated seconds covered.
     pub sim_secs: f64,
-    /// Events dispatched per wall-clock second.
+    /// Events *consumed* (dispatched plus stale-elided) per wall-clock
+    /// second — the apples-to-apples throughput metric across scheduler
+    /// generations, since elision turns former dispatches into pops.
     pub events_per_sec: f64,
     /// Simulated seconds per wall-clock second.
     pub sim_rate: f64,
     /// Deepest the scheduler's pending-event heap ever got — the working
     /// set the event loop keeps alive.
     pub sched_depth_high_water: u64,
-    /// Timer events dispatched only to be discarded as stale (epoch-token
-    /// cancellation): heap entries the simulation paid for but never used.
+    /// Timer events discarded as stale (epoch-token cancellation): queue
+    /// entries the simulation paid for but never used. The scheduler's
+    /// pop-time elisions plus the MAC's own defensive count.
     pub stale_epoch_drops: u64,
+    /// Calendar-queue cursor advances, in buckets; zero on the heap
+    /// backend. A backend implementation gauge, not comparable state.
+    pub sched_rotations: u64,
+    /// Entries migrated from the calendar queue's overflow heap into
+    /// buckets on rotation; zero on the heap backend.
+    pub sched_overflow_refills: u64,
+    /// Deepest any single calendar-queue bucket ever got; zero on the
+    /// heap backend.
+    pub sched_bucket_high_water: u64,
     /// Trace-ring records pushed but no longer held (evicted by the
     /// bounded ring, or never stored because tracing was disabled).
     pub trace_evictions: u64,
@@ -346,6 +365,9 @@ impl PerfSnapshot {
             sim_rate: 0.0,
             sched_depth_high_water: 0,
             stale_epoch_drops: 0,
+            sched_rotations: 0,
+            sched_overflow_refills: 0,
+            sched_bucket_high_water: 0,
             trace_evictions: 0,
         }
     }
@@ -358,6 +380,12 @@ impl PerfSnapshot {
             ("sim_rate", self.sim_rate.into()),
             ("sched_depth_high_water", self.sched_depth_high_water.into()),
             ("stale_epoch_drops", self.stale_epoch_drops.into()),
+            ("sched_rotations", self.sched_rotations.into()),
+            ("sched_overflow_refills", self.sched_overflow_refills.into()),
+            (
+                "sched_bucket_high_water",
+                self.sched_bucket_high_water.into(),
+            ),
             ("trace_evictions", self.trace_evictions.into()),
         ])
     }
@@ -370,6 +398,9 @@ impl PerfSnapshot {
             sim_rate: get_f64(v, "sim_rate")?,
             sched_depth_high_water: get_u64(v, "sched_depth_high_water")?,
             stale_epoch_drops: get_u64(v, "stale_epoch_drops")?,
+            sched_rotations: get_u64(v, "sched_rotations")?,
+            sched_overflow_refills: get_u64(v, "sched_overflow_refills")?,
+            sched_bucket_high_water: get_u64(v, "sched_bucket_high_water")?,
             trace_evictions: get_u64(v, "trace_evictions")?,
         })
     }
@@ -578,10 +609,11 @@ mod tests {
             },
             scheduler: SchedulerSnapshot {
                 scheduled_total: 1000,
-                dispatched_total: 990,
+                dispatched_total: 983,
+                stale_elided: 7,
                 pending: 10,
                 depth_high_water: 42,
-                dispatched_by_kind: vec![("traffic".into(), 500), ("tx_end".into(), 490)],
+                dispatched_by_kind: vec![("traffic".into(), 500), ("tx_end".into(), 483)],
             },
             perf: PerfSnapshot {
                 wall_secs: 0.5,
@@ -590,6 +622,9 @@ mod tests {
                 sim_rate: 240.0,
                 sched_depth_high_water: 42,
                 stale_epoch_drops: 7,
+                sched_rotations: 11,
+                sched_overflow_refills: 2,
+                sched_bucket_high_water: 5,
                 trace_evictions: 3,
             },
             latency: LatencySnapshot {

@@ -202,11 +202,14 @@ impl Network {
         flow: u32,
         f: impl FnOnce(&mut dyn FlowTransport, &mut Network),
     ) {
-        let Some(mut t) = self.transports.remove(&flow) else {
+        let Some(idx) = self.transports.iter().position(|&(id, _)| id == flow) else {
+            return;
+        };
+        let Some(mut t) = self.transports[idx].1.take() else {
             return;
         };
         f(t.as_mut(), self);
-        self.transports.insert(flow, t);
+        self.transports[idx].1 = Some(t);
     }
 }
 

@@ -114,6 +114,12 @@ impl LossModel {
 
     /// Samples the loss process: true means the frame is destroyed.
     pub fn drops(&mut self, src: usize, dst: usize, rng: &mut SimRng) -> bool {
+        // Ideal-link fast path: with no per-link overrides, no default PER
+        // and no burst overlay, neither process below can fire or consume
+        // an RNG draw, so the per-reception map lookup is skipped entirely.
+        if self.default_per == 0.0 && self.burst.is_none() && self.per_link.is_empty() {
+            return false;
+        }
         let p = self.loss_prob(src, dst);
         let bernoulli = p > 0.0 && rng.gen_bool(p);
         let bursty = match self.burst {

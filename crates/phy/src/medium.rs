@@ -246,24 +246,73 @@ pub struct Channel {
     corrupted_pool: Vec<Vec<bool>>,
     /// Times a pooled buffer was reused instead of freshly allocated.
     pool_reuses: u64,
-    /// Per node: number of active transmissions it senses.
-    sense_count: Vec<u32>,
-    /// Per node: number of own active transmissions (0 or 1 in practice).
-    tx_count: Vec<u32>,
-    /// Per node: number of active transmissions it could decode.
-    rx_count: Vec<u32>,
-    /// Per node: cumulative time spent transmitting, microseconds.
-    airtime_us: Vec<u64>,
-    /// Per node: tx/rx/busy/idle split, accrued lazily at transitions.
-    air: Vec<Airtime>,
-    /// Per node: instant up to which `air[node]` has been accrued. A
-    /// node's radio-state class (tx > rx > busy > idle) only changes when
-    /// one of its counters does, so each node is settled independently,
-    /// right before such a change ([`Channel::touch_air`]) — events no
-    /// longer pay an O(N) sweep for nodes whose state cannot have moved.
-    air_since: Vec<Time>,
+    /// Per node: live radio state plus its airtime ledger, packed into one
+    /// 64-byte struct so each carrier-sense transition touches a single
+    /// cache line instead of five parallel arrays ([`RadioState`]).
+    radio: Vec<RadioState>,
     next_tx: u64,
     stats: ChannelStats,
+}
+
+/// One node's radio-state counters and airtime ledger, kept together: the
+/// start/end hot loops bump a counter and settle the ledger for the same
+/// node back-to-back, so colocating them turns five scattered array loads
+/// per neighbor into one cache line.
+#[derive(Clone, Copy, Debug)]
+struct RadioState {
+    /// Number of active transmissions this node senses.
+    sense_count: u32,
+    /// Number of own active transmissions (0 or 1 in practice).
+    tx_count: u32,
+    /// Number of active transmissions this node could decode.
+    rx_count: u32,
+    /// Cumulative time spent transmitting, microseconds.
+    airtime_us: u64,
+    /// tx/rx/busy/idle split, accrued lazily at transitions.
+    air: Airtime,
+    /// Instant up to which `air` has been accrued. A node's radio-state
+    /// class (tx > rx > busy > idle) only changes when one of its counters
+    /// does, so each node is settled independently, right before such a
+    /// change ([`RadioState::touch_air`]) — events never pay an O(N)
+    /// sweep for nodes whose state cannot have moved.
+    since: Time,
+}
+
+impl RadioState {
+    fn new() -> Self {
+        RadioState {
+            sense_count: 0,
+            tx_count: 0,
+            rx_count: 0,
+            airtime_us: 0,
+            air: Airtime::default(),
+            since: Time::ZERO,
+        }
+    }
+
+    /// Settles this node's airtime bucket up to `now` under its *current*
+    /// radio-state class. Must be called before any of the node's
+    /// tx/rx/sense counters change; the bucket sums are then identical to
+    /// an every-event full sweep, because the class is piecewise constant
+    /// between counter changes and interval lengths add exactly in
+    /// integer microseconds.
+    #[inline]
+    fn touch_air(&mut self, now: Time) {
+        if now <= self.since {
+            return;
+        }
+        let span = now.since(self.since).as_micros();
+        if self.tx_count > 0 {
+            self.air.tx_us += span;
+        } else if self.rx_count > 0 {
+            self.air.rx_us += span;
+        } else if self.sense_count > 0 {
+            self.air.busy_us += span;
+        } else {
+            self.air.idle_us += span;
+        }
+        self.since = now;
+    }
 }
 
 impl Channel {
@@ -306,12 +355,7 @@ impl Channel {
             active: Vec::new(),
             corrupted_pool: Vec::new(),
             pool_reuses: 0,
-            sense_count: vec![0; n],
-            tx_count: vec![0; n],
-            rx_count: vec![0; n],
-            airtime_us: vec![0; n],
-            air: vec![Airtime::default(); n],
-            air_since: vec![Time::ZERO; n],
+            radio: vec![RadioState::new(); n],
             next_tx: 0,
             stats: ChannelStats::default(),
         }
@@ -323,44 +367,19 @@ impl Channel {
     /// with the final simulation instant before reading
     /// [`Channel::airtime_breakdown`], so the buckets cover the whole run.
     pub fn accrue_airtime(&mut self, now: Time) {
-        for node in 0..self.n {
-            self.touch_air(node, now);
+        for r in &mut self.radio {
+            r.touch_air(now);
         }
-    }
-
-    /// Settles `node`'s airtime bucket up to `now` under its *current*
-    /// radio-state class. Must be called before any of the node's
-    /// tx/rx/sense counters change; the bucket sums are then identical to
-    /// an every-event full sweep, because the class is piecewise constant
-    /// between counter changes and interval lengths add exactly in
-    /// integer microseconds.
-    fn touch_air(&mut self, node: usize, now: Time) {
-        let since = self.air_since[node];
-        if now <= since {
-            return;
-        }
-        let span = now.since(since).as_micros();
-        let air = &mut self.air[node];
-        if self.tx_count[node] > 0 {
-            air.tx_us += span;
-        } else if self.rx_count[node] > 0 {
-            air.rx_us += span;
-        } else if self.sense_count[node] > 0 {
-            air.busy_us += span;
-        } else {
-            air.idle_us += span;
-        }
-        self.air_since[node] = now;
     }
 
     /// The tx/rx/busy/idle time split of `node`, as accrued so far.
     pub fn airtime_breakdown(&self, node: usize) -> Airtime {
-        self.air[node]
+        self.radio[node].air
     }
 
     /// Cumulative transmit airtime of `node` (completed transmissions).
     pub fn airtime(&self, node: usize) -> ezflow_sim::Duration {
-        ezflow_sim::Duration::from_micros(self.airtime_us[node])
+        ezflow_sim::Duration::from_micros(self.radio[node].airtime_us)
     }
 
     /// Fraction of `elapsed` that `node` spent transmitting.
@@ -368,7 +387,7 @@ impl Channel {
         if elapsed.is_zero() {
             0.0
         } else {
-            self.airtime_us[node] as f64 / elapsed.as_micros() as f64
+            self.radio[node].airtime_us as f64 / elapsed.as_micros() as f64
         }
     }
 
@@ -391,7 +410,7 @@ impl Channel {
     /// excluded — a radio cannot carrier-sense while transmitting, and the
     /// MAC does not consult the medium during its own transmission).
     pub fn is_busy(&self, node: usize) -> bool {
-        self.sense_count[node] > 0
+        self.radio[node].sense_count > 0
     }
 
     /// True iff `r` can decode frames from `s`.
@@ -449,12 +468,10 @@ impl Channel {
         let src = frame.src;
         debug_assert!(src < self.n, "unknown transmitter");
         // Only the sender and its sense neighborhood change radio state;
-        // settle exactly those nodes' airtime buckets, not all N.
-        self.touch_air(src, now);
-        for i in 0..self.sense_from[src].len() {
-            let r = self.sense_from[src][i];
-            self.touch_air(r, now);
-        }
+        // settle exactly those nodes' airtime buckets, not all N. The
+        // neighbours are settled in the counter pass below — the
+        // interference loop in between never reads radio state.
+        self.radio[src].touch_air(now);
         self.stats.tx_started += 1;
 
         let mut corrupted = match self.corrupted_pool.pop() {
@@ -480,9 +497,10 @@ impl Channel {
         let sense = &self.sense;
         let dist = &self.dist;
         let ratio = self.cfg.capture_ratio;
-        let corrupts = |i: usize, s: usize, r: usize| -> bool {
-            i == r || (sense[i][r] && dist[i][r] < ratio * dist[s][r])
-        };
+        // Row references are hoisted per overlapping pair — the matrices
+        // are row-major Vec-of-Vec, so indexing `[i][r]` in the inner
+        // loops would re-chase the outer pointer every receiver.
+        let (sense_src, dist_src) = (&sense[src], &dist[src]);
         for a in &mut self.active {
             if a.end <= now {
                 continue;
@@ -490,20 +508,23 @@ impl Channel {
             overlapped = true;
             a.overlapped = true;
             let other = a.frame.src;
-            // New tx destroys `a`'s reception at r?
+            let (sense_other, dist_other) = (&sense[other], &dist[other]);
+            // New tx destroys `a`'s reception at r? (corrupt iff the
+            // interferer is the receiver itself, or is sensed by it and
+            // not far enough away for capture.)
             for &r in &decode_from[other] {
-                if corrupts(src, other, r) {
+                if src == r || (sense_src[r] && dist_src[r] < ratio * dist_other[r]) {
                     a.corrupted[r] = true;
-                    if r == a.frame.dst && src != r && !sense[src][other] {
+                    if r == a.frame.dst && src != r && !sense_src[other] {
                         a.hidden_hit = true;
                     }
                 }
             }
             // `a` destroys the new tx's reception at r?
             for &r in &decode_from[src] {
-                if corrupts(other, src, r) {
+                if other == r || (sense_other[r] && dist_other[r] < ratio * dist_src[r]) {
                     corrupted[r] = true;
-                    if r == dst && other != r && !sense[other][src] {
+                    if r == dst && other != r && !sense_other[src] {
                         hidden_hit = true;
                     }
                 }
@@ -522,16 +543,20 @@ impl Channel {
             hidden_hit,
         });
 
-        self.tx_count[src] += 1;
+        self.radio[src].tx_count += 1;
         report.became_busy.clear();
         // decode range ⊆ sense range, so one pass over the sense list
-        // (ascending, keeping `became_busy` sorted) covers both counters.
+        // (ascending, keeping `became_busy` sorted) covers the airtime
+        // settle and both counters.
+        let decode_src = &self.decode[src];
         for &r in &self.sense_from[src] {
-            if self.decode[src][r] {
-                self.rx_count[r] += 1;
+            let radio = &mut self.radio[r];
+            radio.touch_air(now);
+            if decode_src[r] {
+                radio.rx_count += 1;
             }
-            self.sense_count[r] += 1;
-            if self.sense_count[r] == 1 {
+            radio.sense_count += 1;
+            if radio.sense_count == 1 {
                 report.became_busy.push(r);
             }
         }
@@ -577,35 +602,36 @@ impl Channel {
             ..
         } = self.active.swap_remove(idx);
         let src = frame.src;
-        self.airtime_us[src] += end.since(start).as_micros();
+        self.radio[src].airtime_us += end.since(start).as_micros();
 
         // As in `start_tx_into`: settle the airtime of exactly the nodes
-        // whose counters are about to move.
-        self.touch_air(src, now);
-        for i in 0..self.sense_from[src].len() {
-            let r = self.sense_from[src][i];
-            self.touch_air(r, now);
-        }
-
-        debug_assert!(self.tx_count[src] > 0);
-        self.tx_count[src] -= 1;
+        // whose counters are about to move. One ascending pass over the
+        // sense list does the airtime settle, the busy/idle bookkeeping
+        // and the decode resolution together — the loss-model RNG is
+        // still consulted for decode-range nodes in ascending order,
+        // exactly as the separate passes (and the full scan before them)
+        // did, so the random stream stays bit-identical.
+        self.radio[src].touch_air(now);
+        debug_assert!(self.radio[src].tx_count > 0);
+        self.radio[src].tx_count -= 1;
         report.became_idle.clear();
-        for &r in &self.sense_from[src] {
-            if self.decode[src][r] {
-                debug_assert!(self.rx_count[r] > 0);
-                self.rx_count[r] -= 1;
-            }
-            debug_assert!(self.sense_count[r] > 0);
-            self.sense_count[r] -= 1;
-            if self.sense_count[r] == 0 {
-                report.became_idle.push(r);
-            }
-        }
-
         report.deliveries.clear();
         report.sensed_dirty.clear();
+        let decode_src = &self.decode[src];
         for &r in &self.sense_from[src] {
-            if !self.decode[src][r] {
+            let radio = &mut self.radio[r];
+            radio.touch_air(now);
+            let decodes = decode_src[r];
+            if decodes {
+                debug_assert!(radio.rx_count > 0);
+                radio.rx_count -= 1;
+            }
+            debug_assert!(radio.sense_count > 0);
+            radio.sense_count -= 1;
+            if radio.sense_count == 0 {
+                report.became_idle.push(r);
+            }
+            if !decodes {
                 report.sensed_dirty.push(r);
                 continue;
             }

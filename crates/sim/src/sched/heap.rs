@@ -1,0 +1,59 @@
+//! The reference backend: a plain binary heap.
+//!
+//! O(log n) push/pop with the inverted `Entry` ordering (earliest
+//! `(at, seq)` first). This is the original scheduler implementation,
+//! kept selectable forever: it has no tuning parameters and no geometry,
+//! so it serves as the oracle the calendar-queue backend is
+//! property-tested against (`tests/sched_equiv.rs`) and as the fallback
+//! if a workload ever degenerates the wheel.
+
+use std::collections::BinaryHeap;
+
+use super::{Cancelable, Entry};
+use crate::time::Time;
+
+/// Binary-heap event queue (see the module docs).
+pub(crate) struct HeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+}
+
+impl<E> HeapQueue<E> {
+    pub(crate) fn new() -> Self {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, entry: Entry<E>) {
+        self.heap.push(entry);
+    }
+
+    /// Removes and returns the earliest *live* entry at or before `until`,
+    /// consulting `cancel` on each entry in `(at, seq)` order and counting
+    /// the stale ones it consumes into `skipped` (their `len` and
+    /// `stale_drops` accounting stays with the wrapper). Mirrors the wheel
+    /// backend's method of the same name so the wrapper's pop loop is a
+    /// single backend call either way.
+    pub(crate) fn pop_live_before<C: Cancelable<E>>(
+        &mut self,
+        until: Time,
+        cancel: &mut C,
+        skipped: &mut u64,
+    ) -> Option<Entry<E>> {
+        loop {
+            if self.heap.peek()?.at > until {
+                return None;
+            }
+            let entry = self.heap.pop().expect("peeked");
+            if cancel.is_stale(entry.at, &entry.event) {
+                *skipped += 1;
+                continue;
+            }
+            return Some(entry);
+        }
+    }
+
+    pub(crate) fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+}

@@ -1,0 +1,554 @@
+//! The event scheduler.
+//!
+//! A total-order event queue over `(Time, sequence, event)` triples. The
+//! monotonically increasing sequence number breaks ties between events
+//! scheduled for the same instant, so that event delivery order — and
+//! hence the entire simulation — is a pure function of the inputs and the
+//! RNG seed. This determinism is what makes the EXPERIMENTS.md numbers
+//! regenerable to the last digit.
+//!
+//! Two interchangeable backends implement that order (select one with
+//! [`Scheduler::with_kind`]; the equivalence is property-tested):
+//!
+//! * [`SchedKind::Heap`] — the reference implementation, a plain binary
+//!   heap ([`heap`]). O(log n) push/pop, no tuning knobs, obviously
+//!   correct.
+//! * [`SchedKind::Wheel`] — the default, a hierarchical calendar queue
+//!   ([`wheel`]): an array of fixed-width near-future buckets (width
+//!   tuned to the 802.11 slot time) rotated as time advances, plus an
+//!   overflow min-heap for far-future events that refills buckets on
+//!   rotation. Amortised O(1) push/pop under the short-horizon timer
+//!   churn of the DCF (Brown's calendar queue — the same structure ns-2,
+//!   the paper's own substrate, uses for its event list).
+//!
+//! Both backends also support **pop-time stale elision** through the
+//! [`Cancelable`] hook: events whose owner has moved on (the MAC's
+//! epoch-token pattern) are dropped inside the pop loop, in earliest-first
+//! order, without ever being dispatched. Elisions are counted
+//! ([`Scheduler::stale_drops`]) and, because both backends visit entries
+//! in exactly the same `(at, seq)` order, the elision decisions — and
+//! therefore every observable statistic — are identical across backends.
+
+use crate::time::Time;
+use core::cmp::Ordering;
+
+pub mod heap;
+pub mod wheel;
+
+use heap::HeapQueue;
+use wheel::WheelQueue;
+
+/// Identifier of a scheduled event, unique within one [`Scheduler`].
+///
+/// The scheduler does not support keyed O(log n) cancellation; components
+/// that need to abandon a pending timer (the MAC does, constantly) instead
+/// use *epoch tokens*: the event carries an epoch, the owner bumps its
+/// epoch to invalidate all outstanding timers, and stale events are elided
+/// at pop time through the [`Cancelable`] hook. `EventId` exists so that
+/// callers can correlate trace output.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(pub u64);
+
+/// Which queue backend a [`Scheduler`] uses. Both produce identical pop
+/// sequences and statistics; they differ only in wall-clock cost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedKind {
+    /// Reference binary heap (O(log n), no tuning).
+    Heap,
+    /// Calendar-queue wheel with an overflow heap (amortised O(1)).
+    #[default]
+    Wheel,
+}
+
+impl SchedKind {
+    /// Stable lower-case name (`"heap"` / `"wheel"`), the CLI vocabulary.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedKind::Heap => "heap",
+            SchedKind::Wheel => "wheel",
+        }
+    }
+}
+
+impl core::str::FromStr for SchedKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "heap" => Ok(SchedKind::Heap),
+            "wheel" => Ok(SchedKind::Wheel),
+            other => Err(format!("unknown scheduler kind '{other}' (heap|wheel)")),
+        }
+    }
+}
+
+/// Pop-time cancellation hook: the generalisation of the MAC's
+/// epoch-token pattern to the scheduler itself.
+///
+/// [`Scheduler::pop_before`] asks this hook about each entry it is about
+/// to deliver, earliest first; a `true` answer elides the entry inside
+/// the pop loop — it is never returned to the caller — and increments
+/// [`Scheduler::stale_drops`]. Any `FnMut(Time, &E) -> bool` closure is a
+/// `Cancelable`.
+///
+/// Determinism contract: the answer must depend only on simulation state,
+/// not on which backend is asking — both backends present entries in the
+/// identical `(at, seq)` order, so a well-behaved hook yields identical
+/// elision decisions on either.
+pub trait Cancelable<E> {
+    /// True if the entry scheduled for `at` is dead and must be elided.
+    fn is_stale(&mut self, at: Time, event: &E) -> bool;
+}
+
+impl<E, F: FnMut(Time, &E) -> bool> Cancelable<E> for F {
+    fn is_stale(&mut self, at: Time, event: &E) -> bool {
+        self(at, event)
+    }
+}
+
+/// Wheel-backend accounting (all zero for the heap backend). These are
+/// implementation detail gauges — deterministic for a given backend but
+/// *not* part of the backend-independent observable state, so snapshots
+/// carry them only in the perf block that determinism comparisons zero.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WheelStats {
+    /// Cursor advances, in buckets (an idle jump over an empty wheel
+    /// counts once — the distance carries no information).
+    pub rotations: u64,
+    /// Entries migrated from the overflow heap into buckets on rotation.
+    pub overflow_refills: u64,
+    /// Deepest any single bucket has ever been.
+    pub bucket_high_water: u64,
+}
+
+/// One pending entry. Shared by both backends: the heap (and the wheel's
+/// overflow) order it through the inverted [`Ord`] below, the wheel's
+/// buckets keep ascending `(at, seq)` order directly.
+#[derive(Clone)]
+pub(crate) struct Entry<E> {
+    pub(crate) at: Time,
+    pub(crate) seq: u64,
+    pub(crate) event: E,
+}
+
+impl<E> Entry<E> {
+    /// The total-order key.
+    fn key(&self) -> (Time, u64) {
+        (self.at, self.seq)
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, within one
+        // instant, the first-scheduled) entry is popped first.
+        other.key().cmp(&self.key())
+    }
+}
+
+enum Backend<E> {
+    Heap(HeapQueue<E>),
+    Wheel(Box<WheelQueue<E>>),
+}
+
+/// A deterministic discrete-event queue.
+///
+/// ```
+/// use ezflow_sim::{Scheduler, Time};
+///
+/// let mut s: Scheduler<&str> = Scheduler::new();
+/// s.schedule(Time::from_micros(20), "second");
+/// s.schedule(Time::from_micros(10), "first");
+/// s.schedule(Time::from_micros(20), "third"); // same time: FIFO among ties
+/// assert_eq!(s.pop(), Some((Time::from_micros(10), "first")));
+/// assert_eq!(s.pop(), Some((Time::from_micros(20), "second")));
+/// assert_eq!(s.pop(), Some((Time::from_micros(20), "third")));
+/// assert_eq!(s.pop(), None);
+/// ```
+///
+/// All bookkeeping every caller observes (`len`, `scheduled_total`,
+/// `depth_high_water`, `stale_drops`) lives here in the wrapper, *not* in
+/// the backends, so the two implementations cannot drift in how they
+/// account for it.
+pub struct Scheduler<E> {
+    backend: Backend<E>,
+    next_seq: u64,
+    len: usize,
+    depth_high_water: usize,
+    stale_drops: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the default backend
+    /// ([`SchedKind::Wheel`]).
+    pub fn new() -> Self {
+        Self::with_kind(SchedKind::default())
+    }
+
+    /// Creates an empty scheduler with an explicit backend.
+    pub fn with_kind(kind: SchedKind) -> Self {
+        let backend = match kind {
+            SchedKind::Heap => Backend::Heap(HeapQueue::new()),
+            SchedKind::Wheel => Backend::Wheel(Box::new(WheelQueue::new())),
+        };
+        Scheduler {
+            backend,
+            next_seq: 0,
+            len: 0,
+            depth_high_water: 0,
+            stale_drops: 0,
+        }
+    }
+
+    /// Which backend this scheduler runs on.
+    pub fn kind(&self) -> SchedKind {
+        match self.backend {
+            Backend::Heap(_) => SchedKind::Heap,
+            Backend::Wheel(_) => SchedKind::Wheel,
+        }
+    }
+
+    /// Schedules `event` for instant `at`. Returns an id usable for tracing.
+    ///
+    /// Inlined across the crate boundary: the engine calls this once per
+    /// MAC timer and transmission, and the wheel's common case is a bitmap
+    /// update plus a bucket push.
+    #[inline]
+    pub fn schedule(&mut self, at: Time, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = Entry { at, seq, event };
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(entry),
+            Backend::Wheel(w) => w.push(entry),
+        }
+        // The pending count only grows on push, so sampling the high water
+        // here captures the true peak — and doing it in the wrapper keeps
+        // the accounting identical across backends by construction.
+        self.len += 1;
+        self.depth_high_water = self.depth_high_water.max(self.len);
+        EventId(seq)
+    }
+
+    /// The instant of the earliest pending event, if any (stale entries
+    /// included — staleness is only decided at pop time).
+    pub fn peek_time(&self) -> Option<Time> {
+        match &self.backend {
+            Backend::Heap(h) => h.peek_time(),
+            Backend::Wheel(w) => w.peek_time(),
+        }
+    }
+
+    /// Number of pending events (stale entries included until they are
+    /// elided by a pop).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of events ever scheduled (diagnostic).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The deepest the pending-event queue has ever been — a measure of
+    /// how much simultaneous future the simulation keeps in flight.
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_high_water
+    }
+
+    /// Entries elided at pop time by the [`Cancelable`] hook: heap/bucket
+    /// slots the simulation paid for but never dispatched.
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_drops
+    }
+
+    /// Wheel-backend gauges (bucket rotations, overflow refills, bucket
+    /// high water); all zero on the heap backend.
+    pub fn wheel_stats(&self) -> WheelStats {
+        match &self.backend {
+            Backend::Heap(_) => WheelStats::default(),
+            Backend::Wheel(w) => w.stats(),
+        }
+    }
+}
+
+/// The pop side requires `E: Clone`: the wheel's buckets hand entries out
+/// by clone so the backing `Vec` can keep a cheap dead-prefix cursor
+/// instead of shifting on every pop. Every event type in the workspace is
+/// a small `Clone` enum, so this costs a plain copy.
+impl<E: Clone> Scheduler<E> {
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.pop_before(Time::MAX, |_: Time, _: &E| false)
+    }
+
+    /// Removes and returns the earliest *live* event scheduled at or
+    /// before `until`, eliding stale entries on the way.
+    ///
+    /// Entries are visited earliest-first. Each one at or before `until`
+    /// is either returned (live) or dropped and counted in
+    /// [`Scheduler::stale_drops`] (the hook said stale) — stale entries
+    /// beyond `until` are left untouched, so both backends always make
+    /// the same elision decisions regardless of how a run is sliced into
+    /// `pop_before` horizons. Returns `None` when no event at or before
+    /// `until` remains.
+    pub fn pop_before<C: Cancelable<E>>(
+        &mut self,
+        until: Time,
+        mut cancel: C,
+    ) -> Option<(Time, E)> {
+        // The elision loop runs *inside* the backend (the wheel drains a
+        // stale run in place, one bucket positioning per bucket rather
+        // than per entry); the backends only report how many entries they
+        // consumed as stale, and the `len` / `stale_drops` bookkeeping
+        // every caller observes still happens here, identically for both.
+        let mut skipped = 0u64;
+        let popped = match &mut self.backend {
+            Backend::Heap(h) => h.pop_live_before(until, &mut cancel, &mut skipped),
+            Backend::Wheel(w) => w.pop_live_before(until, &mut cancel, &mut skipped),
+        };
+        self.stale_drops += skipped;
+        self.len -= skipped as usize + popped.is_some() as usize;
+        popped.map(|entry| (entry.at, entry.event))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    /// Every unit test runs against both backends: the scheduler's
+    /// contract is backend-independent by design.
+    fn for_both(test: impl Fn(Scheduler<u64>)) {
+        test(Scheduler::with_kind(SchedKind::Heap));
+        test(Scheduler::with_kind(SchedKind::Wheel));
+    }
+
+    #[test]
+    fn default_kind_is_wheel() {
+        let s: Scheduler<()> = Scheduler::new();
+        assert_eq!(s.kind(), SchedKind::Wheel);
+        assert_eq!(s.wheel_stats(), WheelStats::default());
+    }
+
+    #[test]
+    fn kind_parses_and_names_round_trip() {
+        for kind in [SchedKind::Heap, SchedKind::Wheel] {
+            assert_eq!(kind.name().parse::<SchedKind>().unwrap(), kind);
+        }
+        assert!("calendar".parse::<SchedKind>().is_err());
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        for_both(|mut s| {
+            for us in [50u64, 10, 30, 20, 40] {
+                s.schedule(Time::from_micros(us), us);
+            }
+            let mut out = Vec::new();
+            while let Some((t, e)) = s.pop() {
+                assert_eq!(t.as_micros(), e);
+                out.push(e);
+            }
+            assert_eq!(out, vec![10, 20, 30, 40, 50]);
+        });
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        for_both(|mut s| {
+            let t = Time::from_micros(5);
+            for i in 0..100 {
+                s.schedule(t, i);
+            }
+            for i in 0..100 {
+                assert_eq!(s.pop(), Some((t, i)));
+            }
+        });
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        for_both(|mut s| {
+            s.schedule(Time::from_micros(10), 1);
+            assert_eq!(s.pop(), Some((Time::from_micros(10), 1)));
+            s.schedule(Time::from_micros(30), 3);
+            s.schedule(Time::from_micros(20), 2);
+            assert_eq!(s.peek_time(), Some(Time::from_micros(20)));
+            assert_eq!(s.pop().unwrap().1, 2);
+            assert_eq!(s.pop().unwrap().1, 3);
+            assert!(s.is_empty());
+        });
+    }
+
+    #[test]
+    fn far_future_events_survive_the_overflow_path() {
+        // Beyond the wheel horizon (65.536 ms) by orders of magnitude:
+        // these take the overflow-heap path and come back on rotation.
+        for_both(|mut s| {
+            s.schedule(Time::from_secs(2), 2);
+            s.schedule(Time::from_micros(7), 0);
+            s.schedule(Time::from_secs(1), 1);
+            s.schedule(Time::from_secs(3), 3);
+            for want in 0..4 {
+                assert_eq!(s.pop().unwrap().1, want);
+            }
+            assert_eq!(s.pop(), None);
+        });
+    }
+
+    #[test]
+    fn len_and_counters() {
+        for_both(|mut s| {
+            assert!(s.is_empty());
+            let base = Time::ZERO;
+            for i in 0..10u64 {
+                s.schedule(base + Duration::from_micros(i), i);
+            }
+            assert_eq!(s.len(), 10);
+            assert_eq!(s.scheduled_total(), 10);
+            s.pop();
+            assert_eq!(s.len(), 9);
+            assert_eq!(s.scheduled_total(), 10);
+        });
+    }
+
+    #[test]
+    fn depth_high_water_tracks_peak_not_current() {
+        for_both(|mut s| {
+            assert_eq!(s.depth_high_water(), 0);
+            for i in 0..4 {
+                s.schedule(Time::from_micros(i), i);
+            }
+            s.pop();
+            s.pop();
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.depth_high_water(), 4);
+            // Refilling below the old peak leaves the high-water untouched.
+            s.schedule(Time::from_micros(9), 9);
+            assert_eq!(s.depth_high_water(), 4);
+            // Exceeding it moves it.
+            s.schedule(Time::from_micros(10), 10);
+            s.schedule(Time::from_micros(11), 11);
+            assert_eq!(s.depth_high_water(), 5);
+        });
+    }
+
+    #[test]
+    fn depth_high_water_counts_elided_entries_identically() {
+        // The high water is sampled on push in the wrapper, so entries
+        // later elided as stale still contribute to the peak — on both
+        // backends, identically.
+        let run = |kind| {
+            let mut s: Scheduler<u64> = Scheduler::with_kind(kind);
+            for i in 0..8u64 {
+                s.schedule(Time::from_micros(10 + i), i);
+            }
+            // Everything odd is stale.
+            while s
+                .pop_before(Time::MAX, |_: Time, e: &u64| e % 2 == 1)
+                .is_some()
+            {}
+            (s.depth_high_water(), s.stale_drops(), s.len())
+        };
+        let heap = run(SchedKind::Heap);
+        let wheel = run(SchedKind::Wheel);
+        assert_eq!(heap, wheel);
+        assert_eq!(heap, (8, 4, 0));
+    }
+
+    #[test]
+    fn pop_before_respects_the_horizon() {
+        for_both(|mut s| {
+            s.schedule(Time::from_micros(10), 1);
+            s.schedule(Time::from_micros(30), 3);
+            let none_stale = |_: Time, _: &u64| false;
+            assert_eq!(
+                s.pop_before(Time::from_micros(20), none_stale),
+                Some((Time::from_micros(10), 1))
+            );
+            assert_eq!(s.pop_before(Time::from_micros(20), none_stale), None);
+            assert_eq!(s.len(), 1, "the later event must stay queued");
+            assert_eq!(
+                s.pop_before(Time::from_micros(30), none_stale),
+                Some((Time::from_micros(30), 3))
+            );
+        });
+    }
+
+    #[test]
+    fn stale_entries_beyond_the_horizon_are_left_alone() {
+        for_both(|mut s| {
+            s.schedule(Time::from_micros(50), 5);
+            let all_stale = |_: Time, _: &u64| true;
+            assert_eq!(s.pop_before(Time::from_micros(10), all_stale), None);
+            assert_eq!(s.stale_drops(), 0, "not visited, not elided");
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.pop_before(Time::from_micros(50), all_stale), None);
+            assert_eq!(s.stale_drops(), 1);
+            assert!(s.is_empty());
+        });
+    }
+
+    #[test]
+    fn elision_skips_stale_runs_in_one_pop() {
+        for_both(|mut s| {
+            for i in 0..6u64 {
+                s.schedule(Time::from_micros(i), i);
+            }
+            // Only the last event is live: one pop call elides the rest.
+            let got = s.pop_before(Time::MAX, |_: Time, e: &u64| *e != 5);
+            assert_eq!(got, Some((Time::from_micros(5), 5)));
+            assert_eq!(s.stale_drops(), 5);
+            assert!(s.is_empty());
+        });
+    }
+
+    #[test]
+    fn event_ids_are_unique_and_monotone() {
+        for_both(|mut s| {
+            let a = s.schedule(Time::from_micros(1), 0);
+            let b = s.schedule(Time::from_micros(1), 0);
+            assert!(b > a);
+        });
+    }
+
+    #[test]
+    fn wheel_reports_rotation_stats() {
+        let mut s: Scheduler<u64> = Scheduler::with_kind(SchedKind::Wheel);
+        // One near event, one far (overflow) event.
+        s.schedule(Time::from_micros(100), 0);
+        s.schedule(Time::from_secs(1), 1);
+        assert_eq!(s.pop().unwrap().1, 0);
+        assert_eq!(s.pop().unwrap().1, 1);
+        let stats = s.wheel_stats();
+        assert!(stats.rotations > 0, "cursor must have advanced");
+        assert_eq!(stats.overflow_refills, 1, "the far event came back");
+        assert!(stats.bucket_high_water >= 1);
+    }
+}

@@ -26,6 +26,10 @@ impl Time {
     /// The instant at which every simulation starts.
     pub const ZERO: Time = Time(0);
 
+    /// The farthest representable instant — a "no horizon" sentinel for
+    /// [`crate::Scheduler::pop_before`].
+    pub const MAX: Time = Time(u64::MAX);
+
     /// Builds an instant from whole seconds.
     pub const fn from_secs(secs: u64) -> Self {
         Time(secs * MICROS_PER_SEC)

@@ -1,0 +1,221 @@
+//! Heap vs calendar-queue equivalence.
+//!
+//! The two scheduler backends must be observationally indistinguishable:
+//! identical pop sequences (times, payloads and `EventId`s), identical
+//! stale-elision decisions, and identical bookkeeping (`len`,
+//! `depth_high_water`, `stale_drops`, `peek_time`). This harness drives
+//! both with the same randomized schedule/cancel workload — short
+//! DCF-like timers, same-instant FIFO ties, deep-overflow events past the
+//! wheel horizon, epoch-token cancel storms, and `pop_before` horizons
+//! that slice the run arbitrarily — and asserts lock-step equality after
+//! every operation. `scripts/check.sh` runs this file explicitly so the
+//! heap fallback can never rot.
+
+use ezflow_sim::{SchedKind, Scheduler, SimRng, Time};
+use proptest::prelude::*;
+
+/// Event payload: an owner with the epoch token it was scheduled under
+/// (the MAC's cancellation pattern) plus a unique tag for identity checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ev {
+    owner: usize,
+    epoch: u64,
+    tag: u64,
+}
+
+const OWNERS: usize = 8;
+
+/// `rng.gen_range` with u64 ergonomics for this file's workload mixes.
+fn below(rng: &mut SimRng, bound: u64) -> u64 {
+    rng.gen_range(bound as u32) as u64
+}
+
+struct Pair {
+    heap: Scheduler<Ev>,
+    wheel: Scheduler<Ev>,
+    /// Current epoch per owner; events scheduled under an older epoch are
+    /// stale and must be elided at pop time by both backends.
+    epochs: [u64; OWNERS],
+    now: u64,
+    next_tag: u64,
+}
+
+impl Pair {
+    fn new() -> Self {
+        Pair {
+            heap: Scheduler::with_kind(SchedKind::Heap),
+            wheel: Scheduler::with_kind(SchedKind::Wheel),
+            epochs: [0; OWNERS],
+            now: 0,
+            next_tag: 0,
+        }
+    }
+
+    fn schedule(&mut self, delta_us: u64, owner: usize) {
+        let at = Time::from_micros(self.now + delta_us);
+        let ev = Ev {
+            owner,
+            epoch: self.epochs[owner],
+            tag: self.next_tag,
+        };
+        self.next_tag += 1;
+        let a = self.heap.schedule(at, ev);
+        let b = self.wheel.schedule(at, ev);
+        assert_eq!(a, b, "EventIds must match");
+        self.check();
+    }
+
+    fn bump(&mut self, owner: usize) {
+        self.epochs[owner] += 1;
+    }
+
+    /// Pops one event from each backend up to `until`, asserting both
+    /// return the same thing and elide the same stale entries.
+    fn pop_before(&mut self, until: Time) -> Option<(Time, Ev)> {
+        let epochs = self.epochs;
+        let a = self
+            .heap
+            .pop_before(until, |_: Time, e: &Ev| epochs[e.owner] != e.epoch);
+        let b = self
+            .wheel
+            .pop_before(until, |_: Time, e: &Ev| epochs[e.owner] != e.epoch);
+        assert_eq!(a, b, "pop sequences must match");
+        if let Some((t, _)) = a {
+            assert!(t.as_micros() >= self.now, "time went backwards");
+            self.now = t.as_micros();
+        } else if until != Time::MAX {
+            self.now = until.as_micros();
+        }
+        self.check();
+        a
+    }
+
+    /// Lock-step bookkeeping equality (the `depth_high_water` satellite:
+    /// maintained identically by both backends, elisions included).
+    fn check(&self) {
+        assert_eq!(self.heap.len(), self.wheel.len());
+        assert_eq!(self.heap.is_empty(), self.wheel.is_empty());
+        assert_eq!(self.heap.scheduled_total(), self.wheel.scheduled_total());
+        assert_eq!(
+            self.heap.depth_high_water(),
+            self.wheel.depth_high_water(),
+            "high-water accounting diverged"
+        );
+        assert_eq!(self.heap.stale_drops(), self.wheel.stale_drops());
+        assert_eq!(self.heap.peek_time(), self.wheel.peek_time());
+    }
+
+    /// Drains both queues to empty, comparing every pop.
+    fn drain(&mut self) {
+        while self.pop_before(Time::MAX).is_some() {}
+        assert!(self.heap.is_empty() && self.wheel.is_empty());
+    }
+}
+
+/// One randomized workload: schedule-heavy, with cancel storms and
+/// arbitrary pop horizons.
+fn run_workload(seed: u64, ops: usize) {
+    let mut rng = SimRng::new(seed);
+    let mut pair = Pair::new();
+    for _ in 0..ops {
+        match below(&mut rng, 100) {
+            0..=59 => {
+                // Schedule: mostly short DCF-like horizons, with tie
+                // pressure, around-the-horizon and deep-overflow tails.
+                let delta = match below(&mut rng, 10) {
+                    0..=4 => below(&mut rng, 2_048),  // slots, SIFS/DIFS, ACK timeouts
+                    5..=6 => below(&mut rng, 4) * 20, // same-instant / same-slot ties
+                    7..=8 => 61_000 + below(&mut rng, 9_000), // straddles the 65.536 ms horizon
+                    _ => below(&mut rng, 3_000_000),  // far future (overflow heap)
+                };
+                let owner = below(&mut rng, OWNERS as u64) as usize;
+                pair.schedule(delta, owner);
+            }
+            60..=74 => {
+                // Cancel storm: invalidate one owner's outstanding timers.
+                let owner = below(&mut rng, OWNERS as u64) as usize;
+                pair.bump(owner);
+            }
+            _ => {
+                let until = Time::from_micros(pair.now + below(&mut rng, 100_000));
+                pair.pop_before(until);
+            }
+        }
+    }
+    pair.drain();
+}
+
+proptest! {
+    #[test]
+    fn heap_and_wheel_agree_on_random_workloads(seed in any::<u64>()) {
+        run_workload(seed, 400);
+    }
+}
+
+#[test]
+fn same_instant_fifo_ties_pop_identically() {
+    let mut pair = Pair::new();
+    // A burst of ties at one instant, interleaved with bumps so some of
+    // the tied entries are stale.
+    for i in 0..64 {
+        pair.schedule(100, i % OWNERS);
+        if i % 5 == 0 {
+            pair.bump(i % OWNERS);
+        }
+    }
+    let mut tags = Vec::new();
+    while let Some((at, ev)) = pair.pop_before(Time::from_micros(100)) {
+        assert_eq!(at, Time::from_micros(100));
+        tags.push(ev.tag);
+    }
+    let mut sorted = tags.clone();
+    sorted.sort_unstable();
+    assert_eq!(tags, sorted, "ties must pop in schedule (FIFO) order");
+    assert!(
+        pair.heap.stale_drops() > 0,
+        "the storm must elide something"
+    );
+}
+
+#[test]
+fn cancel_storm_elides_everything_identically() {
+    let mut pair = Pair::new();
+    for i in 0..200u64 {
+        pair.schedule(i * 7, (i % OWNERS as u64) as usize);
+    }
+    for o in 0..OWNERS {
+        pair.bump(o);
+    }
+    pair.drain();
+    assert_eq!(pair.heap.stale_drops(), 200, "every entry was stale");
+    assert_eq!(pair.heap.depth_high_water(), 200);
+}
+
+#[test]
+fn horizon_slicing_never_changes_decisions() {
+    // Slicing the same workload into many tiny pop_before horizons must
+    // give the same final accounting as one big drain (stale entries
+    // beyond the horizon are left alone by contract).
+    let run = |slice_us: u64| {
+        let mut rng = SimRng::new(9);
+        let mut pair = Pair::new();
+        for _ in 0..100 {
+            let delta = below(&mut rng, 50_000);
+            let owner = below(&mut rng, OWNERS as u64) as usize;
+            pair.schedule(delta, owner);
+            if below(&mut rng, 3) == 0 {
+                pair.bump(below(&mut rng, OWNERS as u64) as usize);
+            }
+        }
+        let mut popped = Vec::new();
+        let mut until = 0;
+        while !pair.heap.is_empty() {
+            until += slice_us;
+            while let Some((t, ev)) = pair.pop_before(Time::from_micros(until)) {
+                popped.push((t, ev.tag));
+            }
+        }
+        (popped, pair.heap.stale_drops())
+    };
+    assert_eq!(run(100), run(1_000_000));
+}

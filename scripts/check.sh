@@ -22,6 +22,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet "${DOC_FLAGS[@]}"
 echo "== parallel sweep smoke (seeds, --quick --jobs=2) =="
 cargo run --release -q -p ezflow-bench --bin experiments -- --quick --jobs=2 seeds >/dev/null
 
+echo "== heap-backend fallback smoke (seeds, --sched=heap) =="
+# The wheel is the default everywhere; this keeps the heap fallback
+# path exercised end-to-end so it can never rot.
+cargo run --release -q -p ezflow-bench --bin experiments -- --quick --jobs=2 --sched=heap seeds >/dev/null
+
+echo "== scheduler equivalence proptests (heap vs wheel) =="
+# Randomized schedule/cancel workloads must pop identically from both
+# backends (exact (at, seq) order, same high-water stats).
+cargo test -q -p ezflow-sim --test sched_equiv
+
 echo "== hot-path determinism gate (hotpath_bench --check) =="
 # Byte-compares the perf-zeroed run snapshots against the committed
 # golden (event counts, never wall time — non-flaky), and warns if
