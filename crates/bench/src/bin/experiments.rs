@@ -26,6 +26,14 @@
 //! always labelled, never silent. Recording never changes the simulation:
 //! runs are bit-identical with or without it.
 //!
+//! `--telemetry-dir=DIR` arms the telemetry bus on every network the
+//! experiments build and streams one JSONL record per sample window to
+//! `DIR/<experiment>_<algo>.jsonl` *while each run is in flight* — the
+//! input format of `trace telemetry`. The sampling interval defaults to
+//! 100 ms of simulated time; `--telemetry-ms=N` overrides it, and also
+//! arms the bus on its own (rings + the snapshots' `stability` section,
+//! no streaming). Telemetry never changes the simulation either.
+//!
 //! Ids: fig1, table1, fig4, table2, scenario1 (fig6/fig7/fig8),
 //! scenario2 (fig10/fig11/table3), table4, theorem1, ablations, all.
 
@@ -42,6 +50,8 @@ fn main() -> ExitCode {
     let mut json_path: Option<std::path::PathBuf> = None;
     let mut trace_dir: Option<std::path::PathBuf> = None;
     let mut flight_cap: Option<usize> = None;
+    let mut telemetry_dir: Option<std::path::PathBuf> = None;
+    let mut telemetry_ms: Option<u64> = None;
     let mut ids = Vec::new();
     for a in &args {
         match a.as_str() {
@@ -72,6 +82,16 @@ fn main() -> ExitCode {
             s if s.starts_with("--flight-cap=") => {
                 flight_cap = Some(s["--flight-cap=".len()..].parse().expect("numeric cap"));
             }
+            s if s.starts_with("--telemetry-dir=") => {
+                telemetry_dir = Some(std::path::PathBuf::from(&s["--telemetry-dir=".len()..]));
+            }
+            s if s.starts_with("--telemetry-ms=") => {
+                let ms: u64 = s["--telemetry-ms=".len()..]
+                    .parse()
+                    .expect("numeric interval");
+                assert!(ms > 0, "telemetry interval must be nonzero");
+                telemetry_ms = Some(ms);
+            }
             other => ids.push(other.to_string()),
         }
     }
@@ -81,10 +101,21 @@ fn main() -> ExitCode {
     } else if flight_cap.is_some() {
         eprintln!("--flight-cap has no effect without --trace-dir=DIR");
     }
+    // Either telemetry flag arms the bus; the dir adds live streaming.
+    if telemetry_dir.is_some() || telemetry_ms.is_some() {
+        scale.telemetry_every = Some(match telemetry_ms {
+            Some(ms) => ezflow_sim::Duration::from_millis(ms),
+            None => ezflow_net::NetworkSpec::TELEMETRY_EVERY,
+        });
+    }
+    if let Some(dir) = &telemetry_dir {
+        ezflow_bench::telemetry_out::set_dir(dir);
+    }
     if ids.is_empty() {
         eprintln!(
             "usage: experiments [--quick] [--markdown] [--csv=DIR] [--json=FILE] [--trace-dir=DIR]\n\
-             \x20                  [--flight-cap=N] [--seed=N] [--time=F] [--jobs=N] [--sched=heap|wheel] <id>...\n\
+             \x20                  [--flight-cap=N] [--telemetry-dir=DIR] [--telemetry-ms=N]\n\
+             \x20                  [--seed=N] [--time=F] [--jobs=N] [--sched=heap|wheel] <id>...\n\
              ids: fig1 table1 fig4 table2 scenario1 scenario2 table4 theorem1 ablations seeds all"
         );
         return ExitCode::from(2);

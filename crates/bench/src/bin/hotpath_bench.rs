@@ -49,7 +49,12 @@
 //! consuming RNG draws, perturbing scheduling — shows up as snapshot
 //! drift, and any residual overhead shows up in the events/s warning.
 //! (`crates/net/tests/flight.rs` proves the complementary half: the
-//! simulation is bit-identical with the recorder *on*.)
+//! simulation is bit-identical with the recorder *on*.) The telemetry
+//! bus gets the same treatment: the main runs keep it off (golden =
+//! zero-cost gate), `--check` re-runs scenario1 with the bus armed and
+//! requires the stability-stripped snapshots to match the off-run byte
+//! for byte, and measure mode records the telemetry-on events/s as the
+//! `"telemetry_overhead"` sub-entry, warning past 10%.
 
 use std::path::PathBuf;
 
@@ -100,6 +105,9 @@ fn timed(label: &str, mut net: Network, until: Time) -> Timed {
     net.run_until(until);
     let mut snap = net.snapshot(label);
     snap.perf = PerfSnapshot::zeroed();
+    // Strip the sections telemetry is allowed to add (a no-op on the
+    // telemetry-off runs), so on- and off-digests are comparable.
+    snap.stability = None;
     Timed {
         label: label.to_string(),
         scheduled: snap.scheduler.scheduled_total,
@@ -114,8 +122,18 @@ fn timed(label: &str, mut net: Network, until: Time) -> Timed {
 /// The quick scenario-1 runs — the same topology, timeline, seed and
 /// controllers whose perf the committed baseline snapshots recorded.
 fn scenario1_runs(sched: SchedKind) -> Vec<Timed> {
+    scenario1_runs_with(sched, None)
+}
+
+/// Same runs with an explicit telemetry interval (`Some` arms the bus:
+/// the overhead workload and the on/off equivalence gate).
+fn scenario1_runs_with(
+    sched: SchedKind,
+    telemetry_every: Option<ezflow_sim::Duration>,
+) -> Vec<Timed> {
     let mut scale = Scale::quick();
     scale.sched = sched;
+    scale.telemetry_every = telemetry_every;
     let tl = scenario1::scale_timeline(scale, &[5, 605, 1805, 2504]);
     let (t0, t1, t2, t3) = (tl[0], tl[1], tl[2], tl[3]);
     let mut t = topo::scenario1();
@@ -275,6 +293,33 @@ fn measure(out: &PathBuf, sched: SchedKind) -> std::process::ExitCode {
         ("wheel_speedup", (wheel_eps / heap_eps).into()),
     ]);
 
+    // Same workload with the telemetry bus armed at its default 100 ms:
+    // the recorded telemetry-on cost, gated advisorily at 10%.
+    let tel_eps = events_per_sec(&best_of(|| {
+        scenario1_runs_with(sched, Some(ezflow_net::NetworkSpec::TELEMETRY_EVERY))
+    }));
+    let tel_overhead = 1.0 - tel_eps / scenario_eps;
+    eprintln!(
+        "telemetry on:    {tel_eps:.0} events/s consumed ({:+.1}% vs off)",
+        -tel_overhead * 100.0
+    );
+    if tel_overhead > 0.10 {
+        eprintln!(
+            "WARNING: telemetry overhead {:.1}% exceeds the 10% budget",
+            tel_overhead * 100.0
+        );
+    }
+    let telemetry = JsonValue::obj(vec![
+        ("workload", JsonValue::Str("scenario1/quick".to_string())),
+        (
+            "interval_ms",
+            (ezflow_net::NetworkSpec::TELEMETRY_EVERY.as_micros() as f64 / 1000.0).into(),
+        ),
+        ("events_per_sec_off", scenario_eps.into()),
+        ("events_per_sec_on", tel_eps.into()),
+        ("overhead_fraction", tel_overhead.into()),
+    ]);
+
     let machine = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -296,6 +341,7 @@ fn measure(out: &PathBuf, sched: SchedKind) -> std::process::ExitCode {
         fields.push((r.label.as_str(), run_entry(r)));
     }
     fields.push(("sched_compare", compare));
+    fields.push(("telemetry_overhead", telemetry));
     let entry = JsonValue::obj(fields);
 
     let mut doc = match std::fs::read_to_string(out) {
@@ -340,6 +386,24 @@ fn check(out: &PathBuf) -> std::process::ExitCode {
         }
     }
     eprintln!("heap and wheel snapshots byte-identical on every workload");
+
+    // Telemetry-on equivalence: arming the bus must leave the same
+    // simulation behind (perf zeroed, stability stripped by `timed`).
+    let tel_runs = scenario1_runs_with(
+        SchedKind::Wheel,
+        Some(ezflow_net::NetworkSpec::TELEMETRY_EVERY),
+    );
+    for (t, w) in tel_runs.iter().zip(&wheel_runs) {
+        if t.digest != w.digest {
+            eprintln!(
+                "telemetry-on snapshot DIVERGED from telemetry-off on {}: the\n\
+                 sampler must never perturb the simulation; see crates/net/src/telemetry.rs.",
+                t.label
+            );
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    eprintln!("telemetry-on snapshots byte-identical to telemetry-off");
 
     let scenario_eps = events_per_sec(&wheel_runs[..2]);
     let got = golden_doc(&wheel_runs);

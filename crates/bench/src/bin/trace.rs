@@ -10,19 +10,27 @@
 //! ```text
 //! trace journey --packet=ID FILE   # one packet's full hop-by-hop story
 //! trace worst [--flow=F] [--top=K] FILE   # slowest delivered journeys
-//! trace drops [--by-cause] FILE    # drop census (per journey, or grouped)
+//! trace drops [--by-cause] [--by-node] FILE   # drop census, grouped
+//! trace telemetry [--top=K] FILE   # worst oscillators, episodes, sparklines
 //! ```
 //!
 //! Flow ids are the simulator's: the paper's F1 is flow 0, F2 is flow 1.
 //! A capture produced under budget pressure is a *sample* of the traffic
 //! (the harness says so when writing it); every journey in the file is
 //! still complete from admission to its terminal delivery or drop.
+//!
+//! `telemetry` reads the *other* JSONL format: the telemetry bus's
+//! one-record-per-sample-window stream (`experiments --telemetry-dir`).
+//! It rebuilds the per-node queue-depth series, runs the stability
+//! analyzer over them, and prints the worst oscillators, the sustained
+//! oscillation episodes, and one sparkline per ranked node and flow.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use ezflow_net::{group_journeys, summarize_journey, JourneySummary};
-use ezflow_sim::{TraceEvent, TraceRing};
+use ezflow_sim::{Duration, JsonValue, TraceEvent, TraceRing};
+use ezflow_stats::{analyze, Stability, StabilityConfig, TimeSeries};
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -30,8 +38,10 @@ fn usage() -> ExitCode {
          commands:\n\
          \x20 journey --packet=ID   print one packet's full lifecycle\n\
          \x20 worst [--flow=F] [--top=K]   slowest delivered journeys (default top 10)\n\
-         \x20 drops [--by-cause]    drop census, grouped by cause with --by-cause\n\
-         FILE is a lifecycle JSONL export (experiments --trace-dir=DIR)"
+         \x20 drops [--by-cause] [--by-node]   drop census, grouped by cause or node\n\
+         \x20 telemetry [--top=K]   stability digest of a telemetry stream\n\
+         FILE is a lifecycle JSONL export (experiments --trace-dir=DIR),\n\
+         or for `telemetry` a sample-window stream (--telemetry-dir=DIR)"
     );
     ExitCode::from(2)
 }
@@ -138,7 +148,7 @@ fn cmd_worst(events: &[TraceEvent], flow: Option<u32>, top: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_drops(events: &[TraceEvent], by_cause: bool) -> ExitCode {
+fn cmd_drops(events: &[TraceEvent], by_cause: bool, by_node: bool) -> ExitCode {
     let journeys = group_journeys(events);
     let dropped: Vec<JourneySummary> = journeys
         .iter()
@@ -150,7 +160,25 @@ fn cmd_drops(events: &[TraceEvent], by_cause: bool) -> ExitCode {
         journeys.len(),
         dropped.len()
     );
-    if by_cause {
+    if by_node {
+        // node -> cause -> count: where packets die, then why there.
+        let mut census: BTreeMap<usize, BTreeMap<&'static str, u64>> = BTreeMap::new();
+        for s in &dropped {
+            let (_, node, cause) = s.dropped.expect("filtered on dropped");
+            *census
+                .entry(node)
+                .or_default()
+                .entry(cause.name())
+                .or_insert(0) += 1;
+        }
+        for (node, causes) in &census {
+            let total: u64 = causes.values().sum();
+            println!("  N{node}: {total}");
+            for (cause, n) in causes {
+                println!("    {cause}: {n}");
+            }
+        }
+    } else if by_cause {
         // cause -> node -> count, rendered as one line per (cause, node).
         let mut census: BTreeMap<&'static str, BTreeMap<usize, u64>> = BTreeMap::new();
         for s in &dropped {
@@ -183,6 +211,169 @@ fn cmd_drops(events: &[TraceEvent], by_cause: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One-line sparkline of `values`, downsampled to at most `width`
+/// buckets (bucket value = max, so oscillation peaks survive).
+fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let per = values.len().div_ceil(width).max(1);
+    let buckets: Vec<f64> = values
+        .chunks(per)
+        .map(|c| c.iter().fold(f64::MIN, |a, &b| a.max(b)))
+        .collect();
+    let max = buckets.iter().fold(0.0f64, |a, &b| a.max(b));
+    buckets
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 {
+                BARS[0]
+            } else {
+                BARS[(((v / max) * 7.0).round() as usize).min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Per-entity series rebuilt from a telemetry stream.
+struct TelemetryDump {
+    interval: Duration,
+    windows: u64,
+    /// Node id -> queue-depth samples, one per window.
+    node_queue: BTreeMap<usize, Vec<f64>>,
+    /// Flow id -> windowed kb/s.
+    flow_kbps: BTreeMap<u32, Vec<f64>>,
+}
+
+fn load_telemetry(path: &str) -> Result<TelemetryDump, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut dump = TelemetryDump {
+        interval: Duration::from_micros(1),
+        windows: 0,
+        node_queue: BTreeMap::new(),
+        flow_kbps: BTreeMap::new(),
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = JsonValue::parse(line)
+            .map_err(|e| format!("{path}:{}: not a telemetry record: {e}", lineno + 1))?;
+        let bad = || format!("{path}:{}: not a telemetry record", lineno + 1);
+        let us = rec
+            .get("interval_us")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(bad)?;
+        dump.interval = Duration::from_micros(us);
+        for nd in rec
+            .get("nodes")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(bad)?
+        {
+            let id = nd.get("id").and_then(JsonValue::as_u64).ok_or_else(bad)? as usize;
+            let q = nd
+                .get("queue")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(bad)?;
+            dump.node_queue.entry(id).or_default().push(q);
+        }
+        for fl in rec
+            .get("flows")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(bad)?
+        {
+            let id = fl.get("flow").and_then(JsonValue::as_u64).ok_or_else(bad)? as u32;
+            let k = fl.get("kbps").and_then(JsonValue::as_f64).ok_or_else(bad)?;
+            dump.flow_kbps.entry(id).or_default().push(k);
+        }
+        dump.windows += 1;
+    }
+    if dump.windows == 0 {
+        return Err(format!("{path}: no telemetry windows"));
+    }
+    Ok(dump)
+}
+
+fn cmd_telemetry(dump: &TelemetryDump, top: usize) -> ExitCode {
+    let cfg = StabilityConfig::default();
+    println!(
+        "{} sample windows of {} µs ({} nodes, {} flows); stability over \
+         {}-window chunks, episode = amplitude ≥ {} for ≥ {} chunks",
+        dump.windows,
+        dump.interval.as_micros(),
+        dump.node_queue.len(),
+        dump.flow_kbps.len(),
+        cfg.window,
+        cfg.amp_threshold,
+        cfg.min_windows,
+    );
+
+    // Rebuild each node's queue ring and score it.
+    let mut scored: Vec<(usize, Stability, &Vec<f64>)> = dump
+        .node_queue
+        .iter()
+        .map(|(&id, values)| {
+            let mut series = TimeSeries::new(dump.interval, values.len().max(1));
+            for &v in values {
+                series.push(v);
+            }
+            (id, analyze(&series, &cfg), values)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.amplitude
+            .mean
+            .total_cmp(&a.1.amplitude.mean)
+            .then(a.0.cmp(&b.0))
+    });
+
+    println!("\nworst oscillators (queue depth, by mean chunk amplitude):");
+    println!(
+        "  {:>5} | {:>8} | {:>8} | {:>6} | {:>8} | queue sparkline",
+        "node", "amp_mean", "amp_max", "cv", "episodes"
+    );
+    for (id, st, values) in scored.iter().take(top) {
+        println!(
+            "  {:>5} | {:>8.2} | {:>8.2} | {:>6.3} | {:>8} | {}",
+            format!("N{id}"),
+            st.amplitude.mean,
+            st.amplitude.max,
+            st.cv.mean,
+            st.episodes.len(),
+            sparkline(values, 48)
+        );
+    }
+
+    let mut episodes: Vec<(usize, &ezflow_stats::Episode)> = scored
+        .iter()
+        .flat_map(|(id, st, _)| st.episodes.iter().map(move |e| (*id, e)))
+        .collect();
+    episodes.sort_by(|a, b| a.1.start.cmp(&b.1.start).then(a.0.cmp(&b.0)));
+    if episodes.is_empty() {
+        println!("\nno sustained oscillation episodes");
+    } else {
+        println!("\nsustained oscillation episodes:");
+        for (id, e) in &episodes {
+            println!(
+                "  N{id}: {} .. {} (peak amplitude {:.1})",
+                e.start, e.end, e.peak_amplitude
+            );
+        }
+    }
+
+    println!("\nper-flow windowed throughput:");
+    for (flow, values) in &dump.flow_kbps {
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        println!(
+            "  flow {flow}: mean {:>7.1} kb/s | {}",
+            mean,
+            sparkline(values, 48)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -192,10 +383,12 @@ fn main() -> ExitCode {
     let mut flow: Option<u32> = None;
     let mut top = 10usize;
     let mut by_cause = false;
+    let mut by_node = false;
     let mut file: Option<String> = None;
     for a in &args[1..] {
         match a.as_str() {
             "--by-cause" => by_cause = true,
+            "--by-node" => by_node = true,
             s if s.starts_with("--packet=") => {
                 packet = Some(match s["--packet=".len()..].parse() {
                     Ok(v) => v,
@@ -225,6 +418,16 @@ fn main() -> ExitCode {
     let Some(file) = file else {
         return usage();
     };
+    // `telemetry` reads the sample-window stream, not lifecycle events.
+    if cmd == "telemetry" {
+        return match load_telemetry(&file) {
+            Ok(dump) => cmd_telemetry(&dump, top),
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let events = match load(&file) {
         Ok(evs) => evs,
         Err(e) => {
@@ -241,7 +444,7 @@ fn main() -> ExitCode {
             cmd_journey(&events, packet)
         }
         "worst" => cmd_worst(&events, flow, top),
-        "drops" => cmd_drops(&events, by_cause),
+        "drops" => cmd_drops(&events, by_cause, by_node),
         _ => usage(),
     }
 }

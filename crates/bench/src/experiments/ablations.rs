@@ -467,15 +467,19 @@ fn bidirectional(rep: &mut Report, scale: Scale) {
         let d: f64 = (net.metrics.delay_net[&0].window(half, until).mean
             + net.metrics.delay_net[&1].window(half, until).mean)
             / 2.0;
-        (k0, k1, d)
+        let fw = super::fairness_windows(&net, &[0, 1], half, until);
+        (k0, k1, d, fw)
     });
 
     let mut results = Vec::new();
-    for (name, (k0, k1, d)) in names.iter().zip(per_run) {
+    for (name, (k0, k1, d, (f_min, f_mean))) in names.iter().zip(per_run) {
         rep.row(
             format!("5-hop bidirectional [{name}]"),
             "EZ-flow handles flows without end-to-end feedback (§2.3)",
-            format!("{k0:.0} + {k1:.0} kb/s, mean delay {d:.2} s"),
+            format!(
+                "{k0:.0} + {k1:.0} kb/s, mean delay {d:.2} s, \
+                 fairness_min_window {f_min:.2} (mean {f_mean:.2})"
+            ),
         );
         results.push((k0 + k1, d));
     }

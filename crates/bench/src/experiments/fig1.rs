@@ -22,7 +22,13 @@ pub fn run(scale: Scale) -> Report {
     let mut means = Vec::new();
     for hops in [3usize, 4] {
         let topo = ezflow_net::topo::chain(hops, Time::ZERO, until);
-        let net = run_net(&topo, Algo::Plain, until, &scale);
+        let net = run_net(
+            &topo,
+            Algo::Plain,
+            until,
+            &scale,
+            &format!("fig1_{hops}hop"),
+        );
         for node in 1..hops.min(3) {
             let series = net.metrics.buffer[node].binned_mean(Duration::from_secs(30));
             rep.figures.push(render_series(

@@ -55,20 +55,59 @@ impl Algo {
             Algo::EzFlowTestbed => "EZ-flow (2^10 cap)",
         }
     }
+
+    /// File-friendly name (the display name minus path-hostile
+    /// characters), used for lifecycle and telemetry export filenames.
+    pub fn slug(self) -> String {
+        self.name().replace(['.', ' ', '(', ')'], "")
+    }
 }
 
 /// Builds and runs a topology to `until` under `algo`, with the scale's
-/// seed, flight-recorder capacity and scheduler backend.
+/// seed, flight-recorder capacity, telemetry interval and scheduler
+/// backend. `label` names the run for live exports: when the harness
+/// registered a telemetry directory (see [`crate::telemetry_out`]), the
+/// run streams one JSONL record per sample window to `<label>.jsonl`.
 ///
-/// [`Scale::flight_cap`] arms the per-packet flight recorder (`0` = off,
-/// the experiments' default). Neither recording nor the scheduler choice
-/// perturbs a run — the simulation content is bit-identical either way.
-pub fn run_net(topo: &Topology, algo: Algo, until: Time, scale: &Scale) -> Network {
+/// [`Scale::flight_cap`] arms the per-packet flight recorder and
+/// [`Scale::telemetry_every`] the telemetry bus (both off by default).
+/// Neither recorder, telemetry nor the scheduler choice perturbs a run —
+/// the simulation content is bit-identical either way.
+pub fn run_net(topo: &Topology, algo: Algo, until: Time, scale: &Scale, label: &str) -> Network {
     let mut spec = scale.spec(topo, scale.seed);
     spec.flight_cap = scale.flight_cap;
     let mut net = Network::new(spec, &*algo.factory());
+    crate::telemetry_out::attach(&mut net, label);
     net.run_until(until);
     net
+}
+
+/// Windowed Jain fairness of `flows` over `[from, to)`: each metric bin
+/// yields the flows' per-bin throughputs and a Jain index; the returned
+/// pair is the *minimum* (the fairness floor a mean would hide) and the
+/// mean across bins. Bins in which no listed flow moved a bit are
+/// skipped; with no scored bins both values degenerate to 1.0.
+pub fn fairness_windows(net: &Network, flows: &[u32], from: Time, to: Time) -> (f64, f64) {
+    let bin = net.metrics.bin;
+    let (mut t, mut min, mut sum, mut n) = (from, f64::INFINITY, 0.0f64, 0u32);
+    while t + bin <= to {
+        let kb: Vec<f64> = flows
+            .iter()
+            .map(|f| net.metrics.mean_kbps(*f, t, t + bin))
+            .collect();
+        if kb.iter().any(|&k| k > 0.0) {
+            let fi = ezflow_stats::jain_index(&kb);
+            min = min.min(fi);
+            sum += fi;
+            n += 1;
+        }
+        t += bin;
+    }
+    if n == 0 {
+        (1.0, 1.0)
+    } else {
+        (min, sum / n as f64)
+    }
 }
 
 /// Runs every experiment at `scale`, in index order.

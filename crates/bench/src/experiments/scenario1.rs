@@ -54,15 +54,17 @@ pub fn run(scale: Scale) -> Report {
 
     let mut per_algo = std::collections::HashMap::new();
     for algo in [Algo::Plain, Algo::EzFlow] {
-        let mut net = run_net(&topo, algo, t3, &scale);
+        let mut net = run_net(
+            &topo,
+            algo,
+            t3,
+            &scale,
+            &format!("scenario1_{}", algo.slug()),
+        );
         rep.snapshots
             .push(net.snapshot(&format!("scenario1/{}", algo.name())));
         if scale.flight_cap > 0 {
-            rep.lifecycle(
-                algo.name().replace(['.', ' ', '(', ')'], ""),
-                net.flight.to_jsonl(),
-                net.flight.stats(),
-            );
+            rep.lifecycle(algo.slug(), net.flight.to_jsonl(), net.flight.stats());
         }
         let net = net;
         // Fig. 6: throughput series.
@@ -175,6 +177,14 @@ pub fn run(scale: Scale) -> Report {
             );
             stats.insert((label, algo.name()), (tput, delay));
         }
+        // Windowed fairness over the two-flow period: the per-bin floor
+        // exposes starvation stretches that the period mean smooths over.
+        let (f_min, f_mean) = super::fairness_windows(net, &[0, 1], t1, t2);
+        rep.row(
+            format!("P2 [{}]: fairness_min_window (Jain)", algo.name()),
+            "-",
+            format!("{f_min:.2} (mean {f_mean:.2})"),
+        );
     }
 
     // Adapted windows at the end of P1 and P2 (EZ-flow).

@@ -42,13 +42,15 @@ pub fn run(scale: Scale) -> Report {
 
     let mut per_algo = std::collections::HashMap::new();
     for algo in [Algo::Plain, Algo::EzFlow] {
-        let net = run_net(&topo, algo, t3, &scale);
+        let net = run_net(
+            &topo,
+            algo,
+            t3,
+            &scale,
+            &format!("scenario2_{}", algo.slug()),
+        );
         if scale.flight_cap > 0 {
-            rep.lifecycle(
-                algo.name().replace(['.', ' ', '(', ')'], ""),
-                net.flight.to_jsonl(),
-                net.flight.stats(),
-            );
+            rep.lifecycle(algo.slug(), net.flight.to_jsonl(), net.flight.stats());
         }
         for f in [0u32, 1, 2] {
             rep.figures.push(render_series(
@@ -119,6 +121,14 @@ pub fn run(scale: Scale) -> Report {
                 format!("{kb_text}, FI {fi:.2} (mean delay {delay:.2} s)"),
             );
             stats.insert((*label, algo.name()), (kb.clone(), fi, delay));
+            if flows.len() > 1 {
+                let (f_min, f_mean) = super::fairness_windows(net, flows, *from, *to);
+                rep.row(
+                    format!("{label} [{}]: fairness_min_window (Jain)", algo.name()),
+                    "-",
+                    format!("{f_min:.2} (mean {f_mean:.2})"),
+                );
+            }
         }
     }
 

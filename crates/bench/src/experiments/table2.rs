@@ -62,18 +62,20 @@ pub fn run(scale: Scale) -> Report {
             keys.push((*label, algo));
         }
     }
-    let outcomes = scale.runner().run_map(jobs, |_, net| {
+    let outcomes = scale.runner().run_map(jobs, move |_, net| {
         let mut kb = Vec::new();
         for (&f, ts) in net.metrics.throughput.iter() {
             let sm = ts.window_kbps(warm, until);
             kb.push((f, sm.mean, sm.std));
         }
         let fi = jain_index(&kb.iter().map(|&(_, m, _)| m).collect::<Vec<_>>());
-        (kb, fi)
+        let flows: Vec<u32> = kb.iter().map(|&(f, _, _)| f).collect();
+        let fw = super::fairness_windows(&net, &flows, warm, until);
+        (kb, fi, fw)
     });
 
     let mut results = std::collections::HashMap::new();
-    for ((label, algo), (kb, fi)) in keys.iter().zip(outcomes) {
+    for ((label, algo), (kb, fi, (f_min, f_mean))) in keys.iter().zip(outcomes) {
         let p = paper
             .iter()
             .find(|(l, a, _)| l == label && *a == algo.name())
@@ -95,6 +97,11 @@ pub fn run(scale: Scale) -> Report {
                 format!("{label} F2 [{}]", algo.name()),
                 p[1].to_string(),
                 format!("{} (FI {fi:.2})", kbps(kb[1].1, kb[1].2)),
+            );
+            rep.row(
+                format!("{label} [{}]: fairness_min_window (Jain)", algo.name()),
+                "-",
+                format!("{f_min:.2} (mean {f_mean:.2})"),
             );
         }
         results.insert((*label, algo.name()), (kb, fi));

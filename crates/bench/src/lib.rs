@@ -18,6 +18,7 @@
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod telemetry_out;
 
 pub use report::{Report, Row, Scale};
 pub use runner::{Job, SweepRunner};

@@ -4,7 +4,7 @@
 use std::fmt::Write as _;
 
 use ezflow_net::{NetworkSpec, RunSnapshot, SchedKind};
-use ezflow_sim::JsonValue;
+use ezflow_sim::{Duration, JsonValue};
 
 /// How much of the paper's experiment duration to simulate.
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +27,12 @@ pub struct Scale {
     /// kinds give bit-identical results (pinned by the `sched_equiv`
     /// regression test); `--sched=heap` exists to prove exactly that.
     pub sched: SchedKind,
+    /// Telemetry sampling interval (`None`, the default, leaves the
+    /// telemetry bus off). Arming it never perturbs a run — snapshots
+    /// gain a `stability` section and, when a streaming directory is set
+    /// via [`crate::telemetry_out`], each network streams one JSONL
+    /// record per sample window while it runs.
+    pub telemetry_every: Option<Duration>,
 }
 
 impl Scale {
@@ -38,6 +44,7 @@ impl Scale {
             jobs: 0,
             flight_cap: 0,
             sched: SchedKind::default(),
+            telemetry_every: None,
         }
     }
 
@@ -52,6 +59,7 @@ impl Scale {
             jobs: 0,
             flight_cap: 0,
             sched: SchedKind::default(),
+            telemetry_every: None,
         }
     }
 
@@ -71,6 +79,7 @@ impl Scale {
     pub fn spec(&self, topo: &ezflow_net::Topology, seed: u64) -> NetworkSpec {
         let mut spec = NetworkSpec::from_topology(topo, seed);
         spec.sched = self.sched;
+        spec.telemetry_every = self.telemetry_every;
         spec
     }
 }

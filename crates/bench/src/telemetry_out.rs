@@ -1,0 +1,53 @@
+//! Live telemetry streaming destination for the experiment harness.
+//!
+//! `experiments --telemetry-dir=DIR` arms the telemetry bus on every
+//! network the experiments build and registers `DIR` here; [`attach`]
+//! then gives each labelled run its own `DIR/<label>.jsonl` sink, so one
+//! record per sample window streams out *while the simulation runs* —
+//! the `trace telemetry` inspector's input format.
+//!
+//! A process-wide `OnceLock` rather than a `Scale` field keeps `Scale`
+//! `Copy` (it is passed by value through every experiment) while the
+//! destination, set once at CLI parse time, never varies within a
+//! process.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use ezflow_net::Network;
+
+static DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Registers the streaming directory. First call wins; later calls are
+/// ignored (the CLI parses the flag once).
+pub fn set_dir(dir: impl Into<PathBuf>) {
+    let _ = DIR.set(dir.into());
+}
+
+/// The registered streaming directory, if any.
+pub fn dir() -> Option<&'static Path> {
+    DIR.get().map(PathBuf::as_path)
+}
+
+/// Attaches `DIR/<label>.jsonl` as `net`'s telemetry sink. A no-op
+/// unless both the network's telemetry bus is armed and a directory was
+/// registered; creation failures are reported and skipped — telemetry
+/// must never fail an experiment.
+pub fn attach(net: &mut Network, label: &str) {
+    let Some(dir) = dir() else { return };
+    if !net.telemetry.enabled() {
+        return;
+    }
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("telemetry dir {} unavailable: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{label}.jsonl"));
+    match std::fs::File::create(&path) {
+        Ok(f) => {
+            net.telemetry.set_sink(Box::new(std::io::BufWriter::new(f)));
+            eprintln!("streaming telemetry to {}", path.display());
+        }
+        Err(e) => eprintln!("telemetry sink {} failed: {e}", path.display()),
+    }
+}

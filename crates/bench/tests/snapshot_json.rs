@@ -17,7 +17,7 @@ fn json_export_round_trips_with_cross_layer_stats() {
     let until = Time::from_secs(30);
     for algo in [Algo::Plain, Algo::EzFlow] {
         let topo = topo::chain(3, Time::from_secs(1), until);
-        let mut net = run_net(&topo, algo, until, &Scale::quick());
+        let mut net = run_net(&topo, algo, until, &Scale::quick(), "snapshot_smoke");
         rep.snapshots
             .push(net.snapshot(&format!("smoke/{}", algo.name())));
     }
@@ -98,7 +98,7 @@ fn heap_and_wheel_snapshots_are_byte_identical_on_scenario1() {
         [Algo::Plain, Algo::EzFlow]
             .into_iter()
             .map(|algo| {
-                let mut net = run_net(&t, algo, until, &scale);
+                let mut net = run_net(&t, algo, until, &scale, "sched_equiv");
                 let mut snap = net.snapshot(&format!("s1/{}", algo.name()));
                 snap.perf = PerfSnapshot::zeroed();
                 snap.to_json().to_compact()

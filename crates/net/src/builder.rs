@@ -17,11 +17,12 @@ use ezflow_phy::{Channel, ChannelConfig, LossModel, Position};
 use ezflow_sim::{Duration, SchedKind, Scheduler, SimRng, Time, TraceRing};
 
 use crate::controller::Controller;
-use crate::engine::{Ev, EV_KINDS};
+use crate::engine::{Ev, EV_KINDS, PROFILE_KINDS};
 use crate::metrics::Metrics;
 use crate::network::Network;
 use crate::node::Node;
 use crate::routing::StaticRouting;
+use crate::telemetry::Telemetry;
 use crate::topo::{FlowSpec, Topology};
 use crate::traffic::{CbrSource, Transport};
 use crate::transport::{build_transport, FlowTransport};
@@ -52,6 +53,17 @@ pub struct NetworkSpec {
     /// Flight-recorder capacity in packet journeys (0 disables the
     /// recorder; see [`crate::flight::FlightRecorder`]).
     pub flight_cap: usize,
+    /// Telemetry sampling interval (`None` disables the telemetry bus —
+    /// zero events, zero cost; see [`crate::telemetry`]). The paper-ish
+    /// default when armed is 100 ms of simulated time.
+    pub telemetry_every: Option<Duration>,
+    /// Ring capacity of each telemetry time series, in sample windows.
+    pub telemetry_cap: usize,
+    /// Engine self-profiler: when set, `run_until` wall-clocks every
+    /// handler dispatch per event kind into the perf snapshot's
+    /// `handler_ns_by_kind`. Perf-only — never observable in the
+    /// deterministic part of a snapshot.
+    pub profile: bool,
     /// Scheduler backend. Both produce bit-identical runs (a property
     /// `ezflow-bench`'s equivalence tests pin); the calendar-queue wheel
     /// is the fast default, the heap the reference fallback.
@@ -78,9 +90,16 @@ impl NetworkSpec {
             seed,
             trace_cap: 0,
             flight_cap: 0,
+            telemetry_every: None,
+            telemetry_cap: 1 << 16,
+            profile: false,
             sched: SchedKind::default(),
         }
     }
+
+    /// The default telemetry sampling interval (100 ms of simulated
+    /// time) — what `--telemetry-dir` arms unless overridden.
+    pub const TELEMETRY_EVERY: Duration = Duration::from_millis(100);
 
     /// Builds the runnable network this spec describes;
     /// `make_controller` is called once per node. Equivalent to
@@ -202,6 +221,15 @@ pub(crate) fn build(
     if let Some(p) = backlog_every {
         sched.schedule(Time::ZERO + p, Ev::Backlog);
     }
+    // The telemetry sampler is armed *last*: with its entry resident at
+    // every subsequent push, the scheduler's depth high-water mark runs
+    // exactly one above the telemetry-off run's, which is what the
+    // snapshot compensation subtracts (see `Network::snapshot`).
+    let mut telemetry = Telemetry::new(n, &flow_ids, spec.telemetry_every, spec.telemetry_cap);
+    if telemetry.enabled() {
+        sched.schedule(Time::ZERO + telemetry.every(), Ev::Telemetry);
+        telemetry.note_push();
+    }
 
     Network {
         now: Time::ZERO,
@@ -221,6 +249,9 @@ pub(crate) fn build(
         metrics,
         trace: TraceRing::new(spec.trace_cap),
         flight: crate::flight::FlightRecorder::new(spec.flight_cap),
+        telemetry,
+        profile: spec.profile,
+        handler_ns: [0; PROFILE_KINDS],
         worklist: VecDeque::new(),
         rx_frames: VecDeque::new(),
         next_seq: 0,

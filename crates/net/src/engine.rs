@@ -54,9 +54,16 @@ pub(crate) enum Ev {
     },
     Sample,
     Backlog,
+    /// Telemetry sampler tick (only scheduled when the spec sets
+    /// `telemetry_every`). Dispatched *outside* the event accounting so
+    /// telemetry-on runs snapshot byte-identically to telemetry-off ones
+    /// — see [`crate::telemetry`].
+    Telemetry,
 }
 
-/// Number of [`Ev`] kinds, for the per-kind dispatch counters.
+/// Number of *counted* [`Ev`] kinds, for the per-kind dispatch counters.
+/// `Ev::Telemetry` is deliberately not one of them: the sampler is
+/// intercepted before kind accounting (zero interference).
 pub(crate) const EV_KINDS: usize = 8;
 
 /// Stable names of the [`Ev`] kinds, in [`ev_index`] order — the keys of
@@ -72,6 +79,24 @@ const EV_NAMES: [&str; EV_KINDS] = [
     "backlog",
 ];
 
+/// Number of self-profiler slots: every counted event kind plus one for
+/// the telemetry sampler.
+pub const PROFILE_KINDS: usize = EV_KINDS + 1;
+
+/// Names of the self-profiler slots, in slot order — the keys of the
+/// perf snapshot's `handler_ns_by_kind` object.
+pub const PROFILE_NAMES: [&str; PROFILE_KINDS] = [
+    "traffic",
+    "window_refresh",
+    "mac_tx_path",
+    "mac_ack_job",
+    "mac_nav",
+    "tx_end",
+    "sample",
+    "backlog",
+    "telemetry",
+];
+
 fn ev_index(ev: &Ev) -> usize {
     match ev {
         Ev::Traffic(_) => 0,
@@ -82,6 +107,7 @@ fn ev_index(ev: &Ev) -> usize {
         Ev::TxEnd { .. } => 5,
         Ev::Sample => 6,
         Ev::Backlog => 7,
+        Ev::Telemetry => unreachable!("telemetry bypasses kind accounting"),
     }
 }
 
@@ -160,6 +186,11 @@ impl Network {
                     let (node, epoch, current) = match *ev {
                         Ev::MacTxPath { node, epoch } => (node, epoch, nodes[node].mac.tx_epoch()),
                         Ev::MacAckJob { node, epoch } => (node, epoch, nodes[node].mac.ack_epoch()),
+                        // The periodic sampler re-arms itself on every
+                        // dispatch, so it is never stale — listed
+                        // explicitly so the hook stays audited against
+                        // the full event vocabulary.
+                        Ev::Telemetry => return false,
                         _ => return false,
                     };
                     if epoch == current {
@@ -185,9 +216,30 @@ impl Network {
             let Some((at, ev)) = next else { break };
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
+            // Zero-interference dispatch: the telemetry sampler never
+            // touches `events` or the per-kind counters, so a
+            // telemetry-on run's accounting equals the telemetry-off
+            // run's (its scheduler traffic is compensated in `snapshot`).
+            if matches!(ev, Ev::Telemetry) {
+                if self.profile {
+                    let h0 = std::time::Instant::now();
+                    self.on_telemetry();
+                    self.handler_ns[EV_KINDS] += h0.elapsed().as_nanos() as u64;
+                } else {
+                    self.on_telemetry();
+                }
+                continue;
+            }
             self.events += 1;
-            self.dispatched[ev_index(&ev)] += 1;
-            self.handle(ev);
+            let kind = ev_index(&ev);
+            self.dispatched[kind] += 1;
+            if self.profile {
+                let h0 = std::time::Instant::now();
+                self.handle(ev);
+                self.handler_ns[kind] += h0.elapsed().as_nanos() as u64;
+            } else {
+                self.handle(ev);
+            }
         }
         self.now = until;
         self.wall += t0.elapsed();
@@ -207,6 +259,9 @@ impl Network {
             Ev::TxEnd { tx, node } => self.on_tx_end(tx, node),
             Ev::Sample => self.on_sample(),
             Ev::Backlog => self.on_backlog(),
+            // Intercepted in `run_until` before kind accounting; kept
+            // here so the dispatcher stays total over the vocabulary.
+            Ev::Telemetry => self.on_telemetry(),
         }
     }
 
@@ -520,6 +575,31 @@ impl Network {
         if let Some(p) = self.backlog_every {
             self.sched.schedule(self.now + p, Ev::Backlog);
         }
+    }
+
+    /// One telemetry sample window closing at `self.now` — reads queue
+    /// depths, airtime deltas, MAC counter deltas and per-flow delivered
+    /// bits into the telemetry rings, then re-arms the sampler.
+    ///
+    /// Interference-free by construction: the airtime settle splits the
+    /// lazy integer-microsecond accrual exactly (totals every later
+    /// reader sees are unchanged), every other access is a pure read,
+    /// and the one push this makes is compensated in [`Network::snapshot`].
+    fn on_telemetry(&mut self) {
+        self.channel.accrue_airtime(self.now);
+        for id in 0..self.nodes.len() {
+            let occ = self.nodes[id].occupancy() as f64;
+            let air = self.channel.airtime_breakdown(id);
+            let mac = self.nodes[id].mac.stats();
+            self.telemetry.node_sample(id, occ, air, mac);
+        }
+        for (i, series) in self.metrics.throughput.values().enumerate() {
+            self.telemetry.flow_sample(i, series.total_bits());
+        }
+        self.telemetry.finish_window(self.now);
+        let next = self.now + self.telemetry.every();
+        self.telemetry.note_push();
+        self.sched.schedule(next, Ev::Telemetry);
     }
 
     /// Processes queued MAC inputs until quiescence.
@@ -867,17 +947,25 @@ impl Network {
         let wall_secs = self.wall.as_secs_f64();
         let sim_secs = self.now.as_micros() as f64 / 1e6;
         let per_wall = |x: f64| if wall_secs > 0.0 { x / wall_secs } else { 0.0 };
+        // Telemetry compensation: with the sampler armed there is always
+        // exactly one resident sampler entry (popped, then re-armed
+        // before anything else is pushed), every push candidate for the
+        // depth high-water mark is therefore exactly one higher than in
+        // the telemetry-off run, and `pushes` counts the sampler's
+        // schedule() calls. Subtracting all three makes the scheduler
+        // block *equal* to a telemetry-off run's, not just close.
+        let tel_resident = self.telemetry.enabled() as usize;
         RunSnapshot {
             label: label.to_string(),
             at_us: self.now.as_micros(),
             nodes,
             channel: self.channel.stats(),
             scheduler: SchedulerSnapshot {
-                scheduled_total: self.sched.scheduled_total(),
+                scheduled_total: self.sched.scheduled_total() - self.telemetry.pushes(),
                 dispatched_total: self.events,
                 stale_elided: self.sched.stale_drops(),
-                pending: self.sched.len(),
-                depth_high_water: self.sched.depth_high_water(),
+                pending: self.sched.len() - tel_resident,
+                depth_high_water: self.sched.depth_high_water() - tel_resident,
                 dispatched_by_kind: EV_NAMES
                     .iter()
                     .zip(self.dispatched.iter())
@@ -891,7 +979,7 @@ impl Network {
                     sim_secs,
                     events_per_sec: per_wall((self.events + self.sched.stale_drops()) as f64),
                     sim_rate: per_wall(sim_secs),
-                    sched_depth_high_water: self.sched.depth_high_water() as u64,
+                    sched_depth_high_water: (self.sched.depth_high_water() - tel_resident) as u64,
                     // Elided timers plus the MAC's own defensive count (the
                     // latter is zero when elision is doing its job).
                     stale_epoch_drops: self.sched.stale_drops()
@@ -904,6 +992,9 @@ impl Network {
                     sched_overflow_refills: wheel.overflow_refills,
                     sched_bucket_high_water: wheel.bucket_high_water,
                     trace_evictions: self.trace.pushed_total() - self.trace.len() as u64,
+                    handler_ns: self.handler_ns,
+                    telemetry_windows: self.telemetry.windows(),
+                    telemetry_windows_per_sec: per_wall(self.telemetry.windows() as f64),
                 }
             },
             latency: LatencySnapshot {
@@ -916,6 +1007,7 @@ impl Network {
                 per_hop: self.metrics.hop_latency.clone(),
             },
             trace_records: self.trace.pushed_total(),
+            stability: self.telemetry.stability_snapshot(),
         }
     }
 }

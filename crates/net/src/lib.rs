@@ -41,6 +41,7 @@ pub mod node;
 pub mod queue;
 pub mod routing;
 pub mod snapshot;
+pub mod telemetry;
 pub mod topo;
 pub mod traffic;
 pub mod transport;
@@ -55,8 +56,10 @@ pub use node::Node;
 pub use queue::TxQueue;
 pub use routing::StaticRouting;
 pub use snapshot::{
-    LatencySnapshot, NodeSnapshot, PerfSnapshot, QueueSnapshot, RunSnapshot, SchedulerSnapshot,
+    EpisodeSnapshot, LatencySnapshot, NodeSnapshot, NodeStabilitySnapshot, PerfSnapshot,
+    QueueSnapshot, RunSnapshot, SchedulerSnapshot, StabilitySnapshot,
 };
+pub use telemetry::Telemetry;
 pub use topo::{FlowSpec, Topology};
 pub use traffic::{CbrSource, Transport};
 pub use transport::{FlowTransport, TransportCtx, TRANSPORT_ACK_FLOW};

@@ -41,11 +41,12 @@ pub use crate::transport::TRANSPORT_ACK_FLOW;
 pub use ezflow_sim::SchedKind;
 
 use crate::controller::Controller;
-use crate::engine::{Ev, WorkInput, EV_KINDS};
+use crate::engine::{Ev, WorkInput, EV_KINDS, PROFILE_KINDS};
 use crate::flight::FlightRecorder;
 use crate::metrics::Metrics;
 use crate::node::Node;
 use crate::routing::StaticRouting;
+use crate::telemetry::Telemetry;
 use crate::topo::Topology;
 use crate::traffic::CbrSource;
 use crate::transport::FlowTransport;
@@ -85,6 +86,14 @@ pub struct Network {
     /// Per-packet lifecycle recorder (disabled unless the spec sets
     /// `flight_cap > 0`).
     pub flight: FlightRecorder,
+    /// Telemetry bus (disabled unless the spec sets `telemetry_every`);
+    /// see [`crate::telemetry`].
+    pub telemetry: Telemetry,
+    /// Engine self-profiler switch (the spec's `profile`).
+    pub(crate) profile: bool,
+    /// Wall-clock nanoseconds per handler kind (self-profiler; all zero
+    /// when `profile` is off).
+    pub(crate) handler_ns: [u64; PROFILE_KINDS],
     /// Pending MAC inputs as compact descriptors (see
     /// [`crate::engine::WorkInput`]); received frames ride in
     /// [`Self::rx_frames`] so the deque moves 16 bytes per entry, not a

@@ -349,6 +349,16 @@ pub struct PerfSnapshot {
     /// Trace-ring records pushed but no longer held (evicted by the
     /// bounded ring, or never stored because tracing was disabled).
     pub trace_evictions: u64,
+    /// Self-profiler: wall-clock nanoseconds spent inside each event
+    /// kind's handler, in [`crate::engine::PROFILE_NAMES`] order (the
+    /// last slot is the telemetry sampler). All zero — and the JSON key
+    /// omitted — unless the spec set `profile`.
+    pub handler_ns: [u64; crate::engine::PROFILE_KINDS],
+    /// Telemetry sample windows completed; zero (key omitted) with
+    /// telemetry off.
+    pub telemetry_windows: u64,
+    /// Telemetry sample windows per wall-clock second.
+    pub telemetry_windows_per_sec: f64,
 }
 
 impl PerfSnapshot {
@@ -369,11 +379,14 @@ impl PerfSnapshot {
             sched_overflow_refills: 0,
             sched_bucket_high_water: 0,
             trace_evictions: 0,
+            handler_ns: [0; crate::engine::PROFILE_KINDS],
+            telemetry_windows: 0,
+            telemetry_windows_per_sec: 0.0,
         }
     }
 
     fn to_json(self) -> JsonValue {
-        JsonValue::obj(vec![
+        let mut fields = vec![
             ("wall_secs", self.wall_secs.into()),
             ("sim_secs", self.sim_secs.into()),
             ("events_per_sec", self.events_per_sec.into()),
@@ -387,10 +400,39 @@ impl PerfSnapshot {
                 self.sched_bucket_high_water.into(),
             ),
             ("trace_evictions", self.trace_evictions.into()),
-        ])
+        ];
+        // Profiler and telemetry keys appear only when those features ran:
+        // a feature-off (or zeroed) perf block keeps the pre-telemetry
+        // schema byte for byte.
+        if self.handler_ns.iter().any(|&n| n != 0) {
+            fields.push((
+                "handler_ns_by_kind",
+                JsonValue::obj(
+                    crate::engine::PROFILE_NAMES
+                        .iter()
+                        .zip(self.handler_ns.iter())
+                        .map(|(&k, &n)| (k, JsonValue::from(n)))
+                        .collect(),
+                ),
+            ));
+        }
+        if self.telemetry_windows > 0 {
+            fields.push(("telemetry_windows", self.telemetry_windows.into()));
+            fields.push((
+                "telemetry_windows_per_sec",
+                self.telemetry_windows_per_sec.into(),
+            ));
+        }
+        JsonValue::obj(fields)
     }
 
     fn from_json(v: &JsonValue) -> Result<PerfSnapshot, String> {
+        let mut handler_ns = [0u64; crate::engine::PROFILE_KINDS];
+        if let Some(by_kind) = v.get("handler_ns_by_kind") {
+            for (slot, name) in handler_ns.iter_mut().zip(crate::engine::PROFILE_NAMES) {
+                *slot = get_u64(by_kind, name)?;
+            }
+        }
         Ok(PerfSnapshot {
             wall_secs: get_f64(v, "wall_secs")?,
             sim_secs: get_f64(v, "sim_secs")?,
@@ -402,6 +444,163 @@ impl PerfSnapshot {
             sched_overflow_refills: get_u64(v, "sched_overflow_refills")?,
             sched_bucket_high_water: get_u64(v, "sched_bucket_high_water")?,
             trace_evictions: get_u64(v, "trace_evictions")?,
+            handler_ns,
+            telemetry_windows: v
+                .get("telemetry_windows")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            telemetry_windows_per_sec: v
+                .get("telemetry_windows_per_sec")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
+        })
+    }
+}
+
+/// One sustained queue-oscillation episode, as detected by
+/// `ezflow_stats::stability` over the telemetry queue-depth ring.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpisodeSnapshot {
+    /// Episode start, microseconds of simulated time.
+    pub start_us: u64,
+    /// Episode end (exclusive), microseconds.
+    pub end_us: u64,
+    /// Largest analysis-window amplitude inside the episode, packets.
+    pub peak_amplitude: f64,
+}
+
+impl EpisodeSnapshot {
+    fn to_json(self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("start_us", self.start_us.into()),
+            ("end_us", self.end_us.into()),
+            ("peak_amplitude", self.peak_amplitude.into()),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<EpisodeSnapshot, String> {
+        Ok(EpisodeSnapshot {
+            start_us: get_u64(v, "start_us")?,
+            end_us: get_u64(v, "end_us")?,
+            peak_amplitude: get_f64(v, "peak_amplitude")?,
+        })
+    }
+}
+
+/// One node's stability verdict: oscillation scores over its telemetry
+/// queue-depth ring plus the sustained episodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeStabilitySnapshot {
+    /// Node id.
+    pub node: usize,
+    /// Mean per-analysis-window oscillation amplitude (max − min),
+    /// packets.
+    pub amplitude_mean: f64,
+    /// Largest window amplitude seen.
+    pub amplitude_max: f64,
+    /// Mean windowed coefficient of variation (std / mean).
+    pub cv_mean: f64,
+    /// Sustained oscillation episodes, in time order.
+    pub episodes: Vec<EpisodeSnapshot>,
+}
+
+impl NodeStabilitySnapshot {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("node", self.node.into()),
+            ("amplitude_mean", self.amplitude_mean.into()),
+            ("amplitude_max", self.amplitude_max.into()),
+            ("cv_mean", self.cv_mean.into()),
+            (
+                "episodes",
+                JsonValue::Array(
+                    self.episodes
+                        .iter()
+                        .map(|e| EpisodeSnapshot::to_json(*e))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<NodeStabilitySnapshot, String> {
+        let episodes = get_obj(v, "episodes")?
+            .as_array()
+            .ok_or("'episodes' is not an array")?
+            .iter()
+            .map(EpisodeSnapshot::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(NodeStabilitySnapshot {
+            node: get_u64(v, "node")? as usize,
+            amplitude_mean: get_f64(v, "amplitude_mean")?,
+            amplitude_max: get_f64(v, "amplitude_max")?,
+            cv_mean: get_f64(v, "cv_mean")?,
+            episodes,
+        })
+    }
+}
+
+/// The `stability` section of a [`RunSnapshot`]: the turbulence verdict
+/// computed from the telemetry rings. Present only when the run had
+/// telemetry armed (`telemetry_every` set) — absent, the snapshot JSON is
+/// byte-identical to a telemetry-off run's.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StabilitySnapshot {
+    /// Telemetry sampling interval, microseconds.
+    pub interval_us: u64,
+    /// Completed sample windows.
+    pub windows: u64,
+    /// Sustained oscillation episodes across all nodes.
+    pub episodes_total: u64,
+    /// Largest per-node mean oscillation amplitude — the "how turbulent
+    /// is the worst queue" headline number.
+    pub worst_amplitude_mean: f64,
+    /// Minimum windowed Jain fairness index across sample windows.
+    pub fairness_min_window: f64,
+    /// Mean windowed Jain fairness index.
+    pub fairness_mean_window: f64,
+    /// Per-node verdicts, in node-id order.
+    pub nodes: Vec<NodeStabilitySnapshot>,
+}
+
+impl StabilitySnapshot {
+    /// The JSON representation.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("interval_us", self.interval_us.into()),
+            ("windows", self.windows.into()),
+            ("episodes_total", self.episodes_total.into()),
+            ("worst_amplitude_mean", self.worst_amplitude_mean.into()),
+            ("fairness_min_window", self.fairness_min_window.into()),
+            ("fairness_mean_window", self.fairness_mean_window.into()),
+            (
+                "nodes",
+                JsonValue::Array(
+                    self.nodes
+                        .iter()
+                        .map(NodeStabilitySnapshot::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reconstructs the section from its JSON representation.
+    pub fn from_json(v: &JsonValue) -> Result<StabilitySnapshot, String> {
+        let nodes = get_obj(v, "nodes")?
+            .as_array()
+            .ok_or("'nodes' is not an array")?
+            .iter()
+            .map(NodeStabilitySnapshot::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(StabilitySnapshot {
+            interval_us: get_u64(v, "interval_us")?,
+            windows: get_u64(v, "windows")?,
+            episodes_total: get_u64(v, "episodes_total")?,
+            worst_amplitude_mean: get_f64(v, "worst_amplitude_mean")?,
+            fairness_min_window: get_f64(v, "fairness_min_window")?,
+            fairness_mean_window: get_f64(v, "fairness_mean_window")?,
+            nodes,
         })
     }
 }
@@ -515,6 +714,11 @@ pub struct RunSnapshot {
     pub latency: LatencySnapshot,
     /// Trace records ever pushed (including evicted or disabled ones).
     pub trace_records: u64,
+    /// Turbulence/stability verdict from the telemetry rings. `None` —
+    /// and the JSON key absent — when the run had telemetry off, keeping
+    /// telemetry-off snapshots byte-identical to the pre-telemetry
+    /// schema.
+    pub stability: Option<StabilitySnapshot>,
 }
 
 impl RunSnapshot {
@@ -525,7 +729,7 @@ impl RunSnapshot {
 
     /// The JSON representation.
     pub fn to_json(&self) -> JsonValue {
-        JsonValue::obj(vec![
+        let mut fields = vec![
             ("label", JsonValue::str(&self.label)),
             ("at_us", self.at_us.into()),
             (
@@ -537,7 +741,11 @@ impl RunSnapshot {
             ("perf", self.perf.to_json()),
             ("latency", self.latency.to_json()),
             ("trace_records", self.trace_records.into()),
-        ])
+        ];
+        if let Some(st) = &self.stability {
+            fields.push(("stability", st.to_json()));
+        }
+        JsonValue::obj(fields)
     }
 
     /// Reconstructs a snapshot from its JSON representation.
@@ -557,6 +765,10 @@ impl RunSnapshot {
             perf: PerfSnapshot::from_json(get_obj(v, "perf")?)?,
             latency: LatencySnapshot::from_json(get_obj(v, "latency")?)?,
             trace_records: get_u64(v, "trace_records")?,
+            stability: v
+                .get("stability")
+                .map(StabilitySnapshot::from_json)
+                .transpose()?,
         })
     }
 }
@@ -626,6 +838,9 @@ mod tests {
                 sched_overflow_refills: 2,
                 sched_bucket_high_water: 5,
                 trace_evictions: 3,
+                handler_ns: [0; crate::engine::PROFILE_KINDS],
+                telemetry_windows: 0,
+                telemetry_windows_per_sec: 0.0,
             },
             latency: LatencySnapshot {
                 per_flow: vec![(0, {
@@ -642,6 +857,7 @@ mod tests {
                 }],
             },
             trace_records: 12345,
+            stability: None,
         }
     }
 
@@ -650,6 +866,48 @@ mod tests {
         let snap = sample();
         let json = snap.to_json();
         let text = json.to_pretty();
+        let parsed = JsonValue::parse(&text).unwrap();
+        let back = RunSnapshot::from_json(&parsed).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn optional_sections_round_trip_and_stay_out_of_plain_json() {
+        // Telemetry off: no "stability" key, no profiler/telemetry perf
+        // keys — the pre-telemetry schema byte for byte.
+        let plain = sample();
+        let text = plain.to_json().to_pretty();
+        assert!(!text.contains("stability"));
+        assert!(!text.contains("handler_ns_by_kind"));
+        assert!(!text.contains("telemetry_windows"));
+
+        // Telemetry + profiler on: everything round-trips.
+        let mut snap = sample();
+        snap.perf.handler_ns[0] = 123;
+        snap.perf.handler_ns[crate::engine::PROFILE_KINDS - 1] = 456;
+        snap.perf.telemetry_windows = 10;
+        snap.perf.telemetry_windows_per_sec = 20.0;
+        snap.stability = Some(StabilitySnapshot {
+            interval_us: 100_000,
+            windows: 10,
+            episodes_total: 1,
+            worst_amplitude_mean: 31.5,
+            fairness_min_window: 0.5,
+            fairness_mean_window: 0.9,
+            nodes: vec![NodeStabilitySnapshot {
+                node: 1,
+                amplitude_mean: 31.5,
+                amplitude_max: 44.0,
+                cv_mean: 0.8,
+                episodes: vec![EpisodeSnapshot {
+                    start_us: 5_000_000,
+                    end_us: 11_000_000,
+                    peak_amplitude: 44.0,
+                }],
+            }],
+        });
+        let text = snap.to_json().to_pretty();
+        assert!(text.contains("fairness_min_window"));
         let parsed = JsonValue::parse(&text).unwrap();
         let back = RunSnapshot::from_json(&parsed).unwrap();
         assert_eq!(back, snap);

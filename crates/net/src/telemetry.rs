@@ -1,0 +1,286 @@
+//! The telemetry bus — deterministic periodic sampling of live state.
+//!
+//! When a spec sets `telemetry_every`, the engine schedules a dedicated
+//! periodic sampler event (default 100 ms of simulated time) that
+//! snapshots per-node queue depths, airtime fractions and MAC counter
+//! deltas plus per-flow windowed throughput into ring-buffered
+//! [`TimeSeries`], and optionally streams one JSONL record per window to
+//! a sink while the run is still in flight.
+//!
+//! ## Zero interference
+//!
+//! Telemetry must never change what a run computes:
+//!
+//! * the sampler only *reads* simulation state — queue occupancies, MAC
+//!   counters and throughput totals are pure reads, and the airtime
+//!   settle it forces ([`ezflow_phy::Channel::accrue_airtime`]) splits
+//!   the lazy integer-microsecond accrual exactly, so every later
+//!   observation is unchanged;
+//! * the engine dispatches the sampler *outside* its event accounting
+//!   (`events`, per-kind counts), and [`Network::snapshot`] subtracts
+//!   the sampler's own scheduler traffic — `Telemetry::pushes` events
+//!   scheduled, exactly one resident entry, exactly one unit of queue
+//!   depth — so a telemetry-on snapshot serialises byte-identically to
+//!   the telemetry-off one (perf zeroed, stability section aside);
+//! * with `telemetry_every` unset, no event is ever scheduled and the
+//!   only cost is one branch per pop.
+//!
+//! [`Network::snapshot`]: crate::network::Network::snapshot
+//! [`Network`]: crate::network::Network
+
+use std::io::Write;
+
+use ezflow_mac::MacStats;
+use ezflow_phy::Airtime;
+use ezflow_sim::{Duration, JsonValue, Time};
+use ezflow_stats::{stability, TimeSeries};
+
+use crate::snapshot::{EpisodeSnapshot, NodeStabilitySnapshot, StabilitySnapshot};
+
+/// Per-flow telemetry state: id, previous cumulative delivered bits, and
+/// the windowed-throughput ring.
+struct FlowTelemetry {
+    id: u32,
+    prev_bits: f64,
+    kbps: TimeSeries<f64>,
+}
+
+/// The telemetry sampler's state: rings, previous-counter baselines for
+/// the deltas, and the optional JSONL sink. Owned by
+/// [`crate::network::Network`] as the public `telemetry` field.
+pub struct Telemetry {
+    every: Option<Duration>,
+    /// Scheduler pushes made for the sampler event (for the snapshot's
+    /// exact scheduler-counter compensation).
+    pushes: u64,
+    /// Completed sample windows.
+    windows: u64,
+    /// Per-node queue-depth ring (total interface-queue occupancy at
+    /// each window boundary).
+    queue_depth: Vec<TimeSeries<f64>>,
+    /// Per-node non-idle airtime fraction of each window.
+    active_frac: Vec<TimeSeries<f64>>,
+    flows: Vec<FlowTelemetry>,
+    prev_mac: Vec<MacStats>,
+    prev_air: Vec<Airtime>,
+    /// Scratch: the current window's per-node JSON records (only built
+    /// when a sink is attached).
+    scratch: Vec<JsonValue>,
+    sink: Option<Box<dyn Write + Send>>,
+}
+
+impl Telemetry {
+    /// Creates the sampler state for `n` nodes and the given flows.
+    /// `every: None` disables telemetry entirely; `cap` bounds each ring
+    /// (oldest windows are evicted first).
+    pub(crate) fn new(n: usize, flow_ids: &[u32], every: Option<Duration>, cap: usize) -> Self {
+        let (queue_depth, active_frac, flows) = match every {
+            Some(p) => {
+                assert!(!p.is_zero(), "telemetry interval must be nonzero");
+                let mut ids: Vec<u32> = flow_ids.to_vec();
+                ids.sort_unstable();
+                (
+                    (0..n).map(|_| TimeSeries::new(p, cap)).collect(),
+                    (0..n).map(|_| TimeSeries::new(p, cap)).collect(),
+                    ids.into_iter()
+                        .map(|id| FlowTelemetry {
+                            id,
+                            prev_bits: 0.0,
+                            kbps: TimeSeries::new(p, cap),
+                        })
+                        .collect(),
+                )
+            }
+            None => (Vec::new(), Vec::new(), Vec::new()),
+        };
+        Telemetry {
+            every,
+            pushes: 0,
+            windows: 0,
+            queue_depth,
+            active_frac,
+            flows,
+            prev_mac: vec![MacStats::default(); if every.is_some() { n } else { 0 }],
+            prev_air: vec![Airtime::default(); if every.is_some() { n } else { 0 }],
+            scratch: Vec::new(),
+            sink: None,
+        }
+    }
+
+    /// True iff the sampler is armed (the spec set `telemetry_every`).
+    pub fn enabled(&self) -> bool {
+        self.every.is_some()
+    }
+
+    /// The sampling interval. Panics when telemetry is disabled.
+    pub fn every(&self) -> Duration {
+        self.every.expect("telemetry is enabled")
+    }
+
+    /// Sampler events scheduled so far (the snapshot compensation).
+    pub(crate) fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Records one sampler-event push.
+    pub(crate) fn note_push(&mut self) {
+        self.pushes += 1;
+    }
+
+    /// Completed sample windows.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Per-node queue-depth ring (one value per completed window).
+    pub fn queue_depth(&self, node: usize) -> &TimeSeries<f64> {
+        &self.queue_depth[node]
+    }
+
+    /// Per-node non-idle airtime fraction ring.
+    pub fn active_frac(&self, node: usize) -> &TimeSeries<f64> {
+        &self.active_frac[node]
+    }
+
+    /// Per-flow windowed throughput rings, `(flow id, kb/s series)`, in
+    /// flow-id order.
+    pub fn flow_kbps(&self) -> impl Iterator<Item = (u32, &TimeSeries<f64>)> {
+        self.flows.iter().map(|f| (f.id, &f.kbps))
+    }
+
+    /// Attaches a JSONL sink: one compact record per completed sample
+    /// window, written while the run is in flight. Write errors are
+    /// ignored (telemetry must never fail a run).
+    pub fn set_sink(&mut self, sink: Box<dyn Write + Send>) {
+        self.sink = Some(sink);
+    }
+
+    /// Feeds one node's readings for the closing window.
+    pub(crate) fn node_sample(&mut self, node: usize, queue: f64, air: Airtime, mac: MacStats) {
+        self.queue_depth[node].push(queue);
+        let d_total = air.total_us() - self.prev_air[node].total_us();
+        let d_idle = air.idle_us - self.prev_air[node].idle_us;
+        let d_tx = air.tx_us - self.prev_air[node].tx_us;
+        let active = if d_total > 0 {
+            (d_total - d_idle) as f64 / d_total as f64
+        } else {
+            0.0
+        };
+        self.active_frac[node].push(active);
+        if self.sink.is_some() {
+            let prev = &self.prev_mac[node];
+            self.scratch.push(JsonValue::obj(vec![
+                ("id", node.into()),
+                ("queue", queue.into()),
+                ("active_frac", active.into()),
+                (
+                    "tx_frac",
+                    if d_total > 0 {
+                        d_tx as f64 / d_total as f64
+                    } else {
+                        0.0
+                    }
+                    .into(),
+                ),
+                ("mac_tx", (mac.tx_attempts - prev.tx_attempts).into()),
+                ("mac_success", (mac.tx_success - prev.tx_success).into()),
+                ("mac_retries", (mac.retries - prev.retries).into()),
+            ]));
+        }
+        self.prev_air[node] = air;
+        self.prev_mac[node] = mac;
+    }
+
+    /// Feeds one flow's cumulative delivered bits for the closing window
+    /// (`i` indexes flows in flow-id order).
+    pub(crate) fn flow_sample(&mut self, i: usize, total_bits: f64) {
+        let f = &mut self.flows[i];
+        let secs = self.every.expect("telemetry is enabled").as_secs_f64();
+        f.kbps.push((total_bits - f.prev_bits) / secs / 1000.0);
+        f.prev_bits = total_bits;
+    }
+
+    /// Closes the window ending at `now`: bumps the window count and
+    /// streams the JSONL record if a sink is attached.
+    pub(crate) fn finish_window(&mut self, now: Time) {
+        self.windows += 1;
+        let Some(sink) = self.sink.as_mut() else {
+            self.scratch.clear();
+            return;
+        };
+        let flows = self
+            .flows
+            .iter()
+            .map(|f| {
+                JsonValue::obj(vec![
+                    ("flow", f.id.into()),
+                    ("kbps", (*f.kbps.latest().unwrap_or(&0.0)).into()),
+                ])
+            })
+            .collect();
+        let rec = JsonValue::obj(vec![
+            ("at_us", now.as_micros().into()),
+            ("window", (self.windows - 1).into()),
+            (
+                "interval_us",
+                self.every.expect("telemetry is enabled").as_micros().into(),
+            ),
+            ("nodes", JsonValue::Array(std::mem::take(&mut self.scratch))),
+            ("flows", JsonValue::Array(flows)),
+        ]);
+        let _ = writeln!(sink, "{}", rec.to_compact());
+    }
+
+    /// The stability section of a [`crate::snapshot::RunSnapshot`]:
+    /// per-node oscillation scores and episodes over the retained queue
+    /// rings, plus the windowed Jain fairness over the flow rings.
+    /// `None` while telemetry is disabled — the snapshot key is omitted
+    /// so telemetry-off JSON stays byte-identical.
+    pub fn stability_snapshot(&self) -> Option<StabilitySnapshot> {
+        let every = self.every?;
+        let cfg = stability::StabilityConfig::default();
+        let nodes: Vec<NodeStabilitySnapshot> = self
+            .queue_depth
+            .iter()
+            .enumerate()
+            .map(|(node, series)| {
+                let st = stability::analyze(series, &cfg);
+                NodeStabilitySnapshot {
+                    node,
+                    amplitude_mean: st.amplitude.mean,
+                    amplitude_max: st.amplitude.max,
+                    cv_mean: st.cv.mean,
+                    episodes: st
+                        .episodes
+                        .iter()
+                        .map(|e| EpisodeSnapshot {
+                            start_us: e.start.as_micros(),
+                            end_us: e.end.as_micros(),
+                            peak_amplitude: e.peak_amplitude,
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let flow_series: Vec<&TimeSeries<f64>> = self.flows.iter().map(|f| &f.kbps).collect();
+        let fairness = stability::windowed_jain(&flow_series);
+        let (mut f_min, mut f_sum) = (1.0f64, 0.0f64);
+        for &(_, fi) in &fairness {
+            f_min = f_min.min(fi);
+            f_sum += fi;
+        }
+        Some(StabilitySnapshot {
+            interval_us: every.as_micros(),
+            windows: self.windows,
+            episodes_total: nodes.iter().map(|n| n.episodes.len() as u64).sum(),
+            worst_amplitude_mean: nodes.iter().map(|n| n.amplitude_mean).fold(0.0, f64::max),
+            fairness_min_window: f_min,
+            fairness_mean_window: if fairness.is_empty() {
+                1.0
+            } else {
+                f_sum / fairness.len() as f64
+            },
+            nodes,
+        })
+    }
+}

@@ -16,11 +16,13 @@ pub mod csv;
 pub mod fairness;
 pub mod hist;
 pub mod series;
+pub mod stability;
 pub mod summary;
 
 pub use ascii::render_series;
 pub use csv::write_csv;
 pub use fairness::jain_index;
 pub use hist::LogHistogram;
-pub use series::{SampleSeries, ThroughputSeries};
+pub use series::{SampleSeries, ThroughputSeries, TimeSeries};
+pub use stability::{analyze, windowed_jain, Episode, Stability, StabilityConfig};
 pub use summary::{mean_std, percentile, Summary};

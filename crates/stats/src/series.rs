@@ -1,8 +1,169 @@
 //! Time-binned series.
 
+use std::collections::VecDeque;
+
 use ezflow_sim::{Duration, Time};
 
 use crate::summary::{mean_std, Summary};
+
+/// A ring-buffered, fixed-interval time series — the storage behind the
+/// telemetry bus.
+///
+/// Window `i` covers simulated time `[i·interval, (i+1)·interval)` and
+/// windows are pushed in order, one value per window. At most `cap`
+/// windows are retained; pushing into a full ring evicts the oldest, so
+/// the series always holds the most recent `cap` windows and
+/// [`TimeSeries::dropped`] reports how many fell off the front. Indexing
+/// is always by *absolute* window number, so a series that has wrapped
+/// still addresses its windows by the same indices it was filled with.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimeSeries<T> {
+    interval: Duration,
+    cap: usize,
+    dropped: u64,
+    values: VecDeque<T>,
+}
+
+impl<T> TimeSeries<T> {
+    /// Creates an empty series of `interval`-wide windows retaining at
+    /// most `cap` of them (`cap` must be nonzero).
+    pub fn new(interval: Duration, cap: usize) -> Self {
+        assert!(!interval.is_zero(), "window width must be nonzero");
+        assert!(cap > 0, "ring capacity must be nonzero");
+        TimeSeries {
+            interval,
+            cap,
+            dropped: 0,
+            values: VecDeque::new(),
+        }
+    }
+
+    /// Window width.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+
+    /// Maximum number of retained windows.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Windows evicted off the front of the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained windows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff no windows are retained.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Absolute index of the oldest retained window.
+    pub fn first_index(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Absolute index of the next window to be pushed.
+    pub fn next_index(&self) -> u64 {
+        self.dropped + self.values.len() as u64
+    }
+
+    /// Start instant of absolute window `index`.
+    pub fn window_start(&self, index: u64) -> Time {
+        Time::ZERO + Duration::from_micros(index * self.interval.as_micros())
+    }
+
+    /// End instant (exclusive) of absolute window `index`.
+    pub fn window_end(&self, index: u64) -> Time {
+        self.window_start(index + 1)
+    }
+
+    /// Appends the next window's value, evicting the oldest when full.
+    pub fn push(&mut self, value: T) {
+        if self.values.len() == self.cap {
+            self.values.pop_front();
+            self.dropped += 1;
+        }
+        self.values.push_back(value);
+    }
+
+    /// The value of absolute window `index`, if retained.
+    pub fn get(&self, index: u64) -> Option<&T> {
+        index
+            .checked_sub(self.dropped)
+            .and_then(|i| self.values.get(i as usize))
+    }
+
+    /// The most recently pushed value.
+    pub fn latest(&self) -> Option<&T> {
+        self.values.back()
+    }
+
+    /// Retained `(absolute index, value)` pairs, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (self.dropped + i as u64, v))
+    }
+
+    /// Merges two aligned series (same `interval`) element-wise over the
+    /// overlap of their retained index ranges. The result is anchored at
+    /// the first overlapping window and capped at the smaller of the two
+    /// capacities — deterministic for any push history.
+    pub fn merge_with<U, V>(
+        &self,
+        other: &TimeSeries<U>,
+        mut f: impl FnMut(&T, &U) -> V,
+    ) -> TimeSeries<V> {
+        assert_eq!(
+            self.interval, other.interval,
+            "merged series must share a window width"
+        );
+        let first = self.first_index().max(other.first_index());
+        let next = self.next_index().min(other.next_index());
+        let mut out = TimeSeries {
+            interval: self.interval,
+            cap: self.cap.min(other.cap),
+            dropped: first.min(next),
+            values: VecDeque::new(),
+        };
+        for i in first..next {
+            let (Some(a), Some(b)) = (self.get(i), other.get(i)) else {
+                continue;
+            };
+            out.push(f(a, b));
+        }
+        out
+    }
+}
+
+impl TimeSeries<f64> {
+    /// The `p`-quantile (`0.0..=1.0`) of the retained values.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        let vals: Vec<f64> = self.values.iter().copied().collect();
+        crate::summary::percentile(&vals, p)
+    }
+
+    /// Mean ± std of the retained values.
+    pub fn summary(&self) -> Summary {
+        let vals: Vec<f64> = self.values.iter().copied().collect();
+        mean_std(&vals)
+    }
+
+    /// Retained windows as `(window end seconds, value)` points, for the
+    /// ASCII renderer and CSV export.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.iter()
+            .map(|(i, &v)| (self.window_end(i).as_secs_f64(), v))
+            .collect()
+    }
+}
 
 /// Accumulates delivered bits into fixed-width time bins; reads back as a
 /// throughput (kb/s) series — the paper's Figs. 6 and the throughput
@@ -271,6 +432,74 @@ mod tests {
         let p50 = ss.percentile_in(s(10), s(20), 0.5).unwrap();
         assert!((p50 - 14.5).abs() < 1e-12);
         assert_eq!(ss.percentile_in(s(200), s(300), 0.5), None);
+    }
+
+    #[test]
+    fn time_series_ring_evicts_and_keeps_absolute_indices() {
+        let mut ts = TimeSeries::new(Duration::from_millis(100), 4);
+        for v in 0..10 {
+            ts.push(v as f64);
+        }
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.dropped(), 6);
+        assert_eq!(ts.first_index(), 6);
+        assert_eq!(ts.next_index(), 10);
+        assert_eq!(ts.get(5), None, "evicted window");
+        assert_eq!(ts.get(6), Some(&6.0));
+        assert_eq!(ts.latest(), Some(&9.0));
+        // Absolute window 6 covers [600 ms, 700 ms).
+        assert_eq!(ts.window_start(6), Time::from_millis(600));
+        assert_eq!(ts.window_end(6), Time::from_millis(700));
+        let idx: Vec<u64> = ts.iter().map(|(i, _)| i).collect();
+        assert_eq!(idx, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn time_series_percentile_and_summary() {
+        let mut ts = TimeSeries::new(Duration::from_secs(1), 64);
+        for v in 1..=5 {
+            ts.push(v as f64);
+        }
+        assert_eq!(ts.percentile(0.0), Some(1.0));
+        assert_eq!(ts.percentile(1.0), Some(5.0));
+        assert_eq!(ts.percentile(0.5), Some(3.0));
+        let sm = ts.summary();
+        assert_eq!(sm.count, 5);
+        assert!((sm.mean - 3.0).abs() < 1e-12);
+        let pts = ts.points();
+        assert_eq!(pts.len(), 5);
+        assert!((pts[0].0 - 1.0).abs() < 1e-12, "window end, seconds");
+    }
+
+    #[test]
+    fn time_series_merge_is_deterministic_over_the_overlap() {
+        // a retains windows 6..10, b retains 0..8: overlap is 6..8, and the
+        // merged values are a pure function of the two inputs regardless of
+        // push history.
+        let mut a = TimeSeries::new(Duration::from_millis(100), 4);
+        for v in 0..10 {
+            a.push(v as f64);
+        }
+        let mut b = TimeSeries::new(Duration::from_millis(100), 16);
+        for v in 0..8 {
+            b.push(10.0 * v as f64);
+        }
+        let m = a.merge_with(&b, |x, y| x + y);
+        assert_eq!(m.first_index(), 6);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get(6), Some(&66.0));
+        assert_eq!(m.get(7), Some(&77.0));
+        // Merging in either order pairs the same windows.
+        let m2 = b.merge_with(&a, |y, x| x + y);
+        assert_eq!(m2.get(6), Some(&66.0));
+        assert_eq!(m2.get(7), Some(&77.0));
+        // Disjoint ranges produce an empty series, not a panic.
+        let mut c = TimeSeries::new(Duration::from_millis(100), 2);
+        for v in 0..20 {
+            c.push(v as f64);
+        }
+        let empty = b.merge_with(&c, |x, y| x + y);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! Turbulence / stability analysis over telemetry time series.
+//!
+//! The paper's central claim is qualitative — EZ-Flow "removes
+//! turbulence", the large sustained queue-occupancy oscillations of
+//! multihop 802.11 — and this module makes it measurable. A telemetry
+//! series of per-window queue depths is chopped into consecutive
+//! analysis windows of `window` samples; each analysis window gets an
+//! **oscillation amplitude** (max − min) and a **coefficient of
+//! variation** (std / mean), and maximal runs of high-amplitude windows
+//! become **episodes** with start/end timestamps. The same windowing,
+//! applied to per-flow throughput series, yields a windowed Jain index
+//! via [`crate::fairness::jain_index`].
+//!
+//! Everything here is a pure function of its inputs — analysis of a
+//! deterministic simulation run is itself deterministic.
+
+use ezflow_sim::Time;
+
+use crate::fairness::jain_index;
+use crate::series::TimeSeries;
+use crate::summary::{mean_std, Summary};
+
+/// Parameters of the episode detector.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StabilityConfig {
+    /// Samples per analysis window (only complete windows are scored).
+    pub window: usize,
+    /// Minimum amplitude (max − min within an analysis window) for the
+    /// window to count as oscillating. The default of 3.0 is tuned to
+    /// the paper's 50-packet interface queues: in steady state the
+    /// turbulent 802.11 regime swings relay queues by 3–9 packets every
+    /// couple of seconds where EZ-flow holds them within a packet or
+    /// two, so three packets of within-window swing separates the two.
+    pub amp_threshold: f64,
+    /// Minimum run of consecutive oscillating windows that counts as a
+    /// *sustained* episode.
+    pub min_windows: usize,
+}
+
+impl Default for StabilityConfig {
+    fn default() -> Self {
+        StabilityConfig {
+            window: 20,
+            amp_threshold: 3.0,
+            min_windows: 3,
+        }
+    }
+}
+
+/// One scored analysis window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowScore {
+    /// Start of the analysis window.
+    pub start: Time,
+    /// End (exclusive) of the analysis window.
+    pub end: Time,
+    /// Oscillation amplitude: max − min of the samples inside.
+    pub amplitude: f64,
+    /// Coefficient of variation: std / mean (0 when the mean is 0).
+    pub cv: f64,
+}
+
+/// A maximal run of consecutive high-amplitude analysis windows at least
+/// [`StabilityConfig::min_windows`] long.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Episode {
+    /// Start of the first window of the run.
+    pub start: Time,
+    /// End (exclusive) of the last window of the run.
+    pub end: Time,
+    /// Largest window amplitude inside the run.
+    pub peak_amplitude: f64,
+}
+
+/// Stability verdict for one series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stability {
+    /// Mean ± std of the per-window amplitudes.
+    pub amplitude: Summary,
+    /// Mean ± std of the per-window coefficients of variation.
+    pub cv: Summary,
+    /// Sustained oscillation episodes, in time order.
+    pub episodes: Vec<Episode>,
+}
+
+/// Scores `series` in consecutive non-overlapping chunks of
+/// `cfg.window` samples (incomplete trailing chunks are not scored).
+pub fn window_scores(series: &TimeSeries<f64>, cfg: &StabilityConfig) -> Vec<WindowScore> {
+    assert!(cfg.window > 0, "analysis window must be nonzero");
+    let samples: Vec<(u64, f64)> = series.iter().map(|(i, &v)| (i, v)).collect();
+    samples
+        .chunks_exact(cfg.window)
+        .map(|chunk| {
+            let vals: Vec<f64> = chunk.iter().map(|&(_, v)| v).collect();
+            let min = vals.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let sm = mean_std(&vals);
+            WindowScore {
+                start: series.window_start(chunk[0].0),
+                end: series.window_end(chunk[chunk.len() - 1].0),
+                amplitude: max - min,
+                cv: if sm.mean > 0.0 { sm.std / sm.mean } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// Finds the sustained oscillation episodes in a sequence of scored
+/// windows: maximal runs of consecutive windows with `amplitude >=
+/// cfg.amp_threshold` lasting at least `cfg.min_windows` windows.
+pub fn detect_episodes(scores: &[WindowScore], cfg: &StabilityConfig) -> Vec<Episode> {
+    let mut out = Vec::new();
+    let mut run: Option<(usize, usize)> = None; // [first, last] hot windows
+    let flush = |run: &mut Option<(usize, usize)>, out: &mut Vec<Episode>| {
+        if let Some((first, last)) = run.take() {
+            if last - first + 1 >= cfg.min_windows {
+                let peak = scores[first..=last]
+                    .iter()
+                    .map(|w| w.amplitude)
+                    .fold(f64::NEG_INFINITY, f64::max);
+                out.push(Episode {
+                    start: scores[first].start,
+                    end: scores[last].end,
+                    peak_amplitude: peak,
+                });
+            }
+        }
+    };
+    for (i, w) in scores.iter().enumerate() {
+        if w.amplitude >= cfg.amp_threshold {
+            match &mut run {
+                Some((_, last)) => *last = i,
+                None => run = Some((i, i)),
+            }
+        } else {
+            flush(&mut run, &mut out);
+        }
+    }
+    flush(&mut run, &mut out);
+    out
+}
+
+/// Full stability verdict for one series: window scores summarised plus
+/// the sustained episodes.
+pub fn analyze(series: &TimeSeries<f64>, cfg: &StabilityConfig) -> Stability {
+    let scores = window_scores(series, cfg);
+    let amps: Vec<f64> = scores.iter().map(|w| w.amplitude).collect();
+    let cvs: Vec<f64> = scores.iter().map(|w| w.cv).collect();
+    Stability {
+        amplitude: mean_std(&amps),
+        cv: mean_std(&cvs),
+        episodes: detect_episodes(&scores, cfg),
+    }
+}
+
+/// Jain's fairness index computed per telemetry window across flows:
+/// for every window index retained by *all* series, the index over the
+/// flows' values in that window. Returns `(absolute window index,
+/// fairness)` pairs in time order — the min over them is the
+/// `fairness_min_window` the reports carry.
+pub fn windowed_jain(flows: &[&TimeSeries<f64>]) -> Vec<(u64, f64)> {
+    let Some(first) = flows.first() else {
+        return Vec::new();
+    };
+    let lo = flows.iter().map(|s| s.first_index()).max().unwrap();
+    let hi = flows.iter().map(|s| s.next_index()).min().unwrap();
+    debug_assert!(
+        flows.iter().all(|s| s.interval() == first.interval()),
+        "windowed fairness needs aligned series"
+    );
+    (lo..hi)
+        .map(|i| {
+            let vals: Vec<f64> = flows.iter().map(|s| *s.get(i).expect("in range")).collect();
+            (i, jain_index(&vals))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezflow_sim::Duration;
+
+    fn series(vals: &[f64]) -> TimeSeries<f64> {
+        let mut ts = TimeSeries::new(Duration::from_millis(100), 1 << 16);
+        for &v in vals {
+            ts.push(v);
+        }
+        ts
+    }
+
+    #[test]
+    fn window_scores_measure_amplitude_and_cv() {
+        // Two complete windows of 4 samples plus an ignored partial one.
+        let ts = series(&[0.0, 10.0, 0.0, 10.0, 5.0, 5.0, 5.0, 5.0, 99.0]);
+        let cfg = StabilityConfig {
+            window: 4,
+            ..StabilityConfig::default()
+        };
+        let scores = window_scores(&ts, &cfg);
+        assert_eq!(scores.len(), 2);
+        assert_eq!(scores[0].amplitude, 10.0);
+        assert!(scores[0].cv > 0.9, "half-amplitude square wave, cv = 1");
+        assert_eq!(scores[1].amplitude, 0.0);
+        assert_eq!(scores[1].cv, 0.0);
+        assert_eq!(scores[0].start, Time::ZERO);
+        assert_eq!(scores[0].end, Time::from_millis(400));
+        assert_eq!(scores[1].start, Time::from_millis(400));
+    }
+
+    #[test]
+    fn episodes_require_sustained_oscillation() {
+        let w = |amp: f64, i: u64| WindowScore {
+            start: Time::from_millis(i * 100),
+            end: Time::from_millis((i + 1) * 100),
+            amplitude: amp,
+            cv: 0.0,
+        };
+        let cfg = StabilityConfig {
+            window: 1,
+            amp_threshold: 10.0,
+            min_windows: 3,
+        };
+        // hot, hot — too short; then hot×3 — an episode; trailing hot×4
+        // closed by end-of-series — another.
+        let scores = vec![
+            w(15.0, 0),
+            w(12.0, 1),
+            w(1.0, 2),
+            w(11.0, 3),
+            w(30.0, 4),
+            w(10.0, 5),
+            w(0.0, 6),
+            w(20.0, 7),
+            w(21.0, 8),
+            w(22.0, 9),
+            w(23.0, 10),
+        ];
+        let eps = detect_episodes(&scores, &cfg);
+        assert_eq!(eps.len(), 2);
+        assert_eq!(eps[0].start, Time::from_millis(300));
+        assert_eq!(eps[0].end, Time::from_millis(600));
+        assert_eq!(eps[0].peak_amplitude, 30.0);
+        assert_eq!(eps[1].start, Time::from_millis(700));
+        assert_eq!(eps[1].end, Time::from_millis(1100));
+        assert_eq!(eps[1].peak_amplitude, 23.0);
+    }
+
+    #[test]
+    fn analyze_separates_square_wave_from_flat() {
+        let turbulent: Vec<f64> = (0..200)
+            .map(|i| if i % 2 == 0 { 2.0 } else { 48.0 })
+            .collect();
+        let flat: Vec<f64> = (0..200).map(|i| 5.0 + (i % 3) as f64).collect();
+        let cfg = StabilityConfig::default();
+        let t = analyze(&series(&turbulent), &cfg);
+        let f = analyze(&series(&flat), &cfg);
+        assert!(!t.episodes.is_empty(), "square wave must form an episode");
+        assert!(f.episodes.is_empty(), "±1 jitter must not");
+        assert!(t.amplitude.mean > f.amplitude.mean);
+        assert!(t.cv.mean > f.cv.mean);
+        // One maximal run covering the whole scored span.
+        assert_eq!(t.episodes.len(), 1);
+        assert_eq!(t.episodes[0].start, Time::ZERO);
+        assert_eq!(t.episodes[0].end, Time::from_millis(100 * 200));
+    }
+
+    #[test]
+    fn analyze_is_deterministic() {
+        let vals: Vec<f64> = (0..500).map(|i| ((i * 7919) % 50) as f64).collect();
+        let cfg = StabilityConfig::default();
+        assert_eq!(analyze(&series(&vals), &cfg), analyze(&series(&vals), &cfg));
+    }
+
+    #[test]
+    fn windowed_jain_runs_over_the_common_range() {
+        let a = series(&[10.0, 10.0, 10.0, 10.0]);
+        let b = series(&[10.0, 0.0, 10.0]); // one window shorter
+        let fi = windowed_jain(&[&a, &b]);
+        assert_eq!(fi.len(), 3);
+        assert!((fi[0].1 - 1.0).abs() < 1e-12);
+        assert!((fi[1].1 - 0.5).abs() < 1e-12, "one starved flow → 1/n");
+        let min = fi.iter().map(|&(_, f)| f).fold(f64::INFINITY, f64::min);
+        assert!((min - 0.5).abs() < 1e-12);
+        assert!(windowed_jain(&[]).is_empty());
+    }
+}

@@ -1,7 +1,7 @@
 //! Scalar summaries.
 
 /// Mean, standard deviation and extrema of a set of samples.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
     /// Arithmetic mean (0 for an empty set).
     pub mean: f64,

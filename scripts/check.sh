@@ -51,6 +51,7 @@ cargo run --release -q -p ezflow-bench --bin experiments -- \
 JSONL="$TRACE_TMP/scenario1_80211.jsonl"
 [ -s "$JSONL" ] || { echo "trace smoke: no lifecycle export at $JSONL"; exit 1; }
 cargo run --release -q -p ezflow-bench --bin trace -- drops --by-cause "$JSONL" >/dev/null
+cargo run --release -q -p ezflow-bench --bin trace -- drops --by-node "$JSONL" >/dev/null
 cargo run --release -q -p ezflow-bench --bin trace -- worst --flow=0 --top=3 "$JSONL" >/dev/null
 PKT="$(cargo run --release -q -p ezflow-bench --bin trace -- worst --flow=0 --top=1 "$JSONL" \
   | awk 'NR==3 {print $1}')"
@@ -59,5 +60,26 @@ PKT="$(cargo run --release -q -p ezflow-bench --bin trace -- worst --flow=0 --to
 cargo run --release -q -p ezflow-bench --bin trace -- journey --packet="$PKT" "$JSONL" \
   | grep DELIVERED >/dev/null
 echo "trace CLI reconstructed packet $PKT's journey"
+
+echo "== telemetry bus + trace telemetry smoke =="
+# A short telemetry-armed scenario-1 run must stream at least one
+# sample-window JSONL record, surface a stability section in its JSON
+# snapshots, and render through the telemetry inspector. (Shares
+# TRACE_TMP and its EXIT trap; the subdir keeps the telemetry stream
+# apart from the same-named lifecycle export above.)
+TEL_DIR="$TRACE_TMP/telemetry"
+cargo run --release -q -p ezflow-bench --bin experiments -- \
+  --quick --time=0.02 --telemetry-dir="$TEL_DIR" --json="$TRACE_TMP/snap.json" \
+  scenario1 >/dev/null 2>&1 || true
+TEL_JSONL="$TEL_DIR/scenario1_80211.jsonl"
+[ -s "$TEL_JSONL" ] || { echo "telemetry smoke: no stream at $TEL_JSONL"; exit 1; }
+WINDOWS="$(wc -l < "$TEL_JSONL")"
+[ "$WINDOWS" -ge 1 ] || { echo "telemetry smoke: zero sample windows"; exit 1; }
+grep -q '"stability"' "$TRACE_TMP/snap.json" \
+  || { echo "telemetry smoke: snapshots lack a stability section"; exit 1; }
+grep -q '"worst_amplitude_mean"' "$TRACE_TMP/snap.json" \
+  || { echo "telemetry smoke: stability section malformed"; exit 1; }
+cargo run --release -q -p ezflow-bench --bin trace -- telemetry --top=3 "$TEL_JSONL" >/dev/null
+echo "telemetry stream captured $WINDOWS sample windows"
 
 echo "all checks passed"
