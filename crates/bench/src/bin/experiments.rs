@@ -34,6 +34,15 @@
 //! arms the bus on its own (rings + the snapshots' `stability` section,
 //! no streaming). Telemetry never changes the simulation either.
 //!
+//! `--spec=FILE` runs a declarative scenario document (see DESIGN.md §9
+//! and the committed examples under `scenarios/`) through the same
+//! reporting pipeline: every sweep point in the file becomes one run, and
+//! `--csv` / `--json` / `--trace-dir` / `--telemetry-dir` all apply.
+//! `--list` prints the named experiment ids plus every spec discovered
+//! under `scenarios/`, one line each. `--emit-spec=NAME` prints the named
+//! built-in topology re-expressed as a spec document (the generator of
+//! the committed `scenarios/scenario1.json` etc.).
+//!
 //! Ids: fig1, table1, fig4, table2, scenario1 (fig6/fig7/fig8),
 //! scenario2 (fig10/fig11/table3), table4, theorem1, ablations, all.
 
@@ -41,6 +50,30 @@ use std::process::ExitCode;
 
 use ezflow_bench::experiments;
 use ezflow_bench::report::Scale;
+
+/// The named experiment ids with one-line blurbs, for `--list`.
+const NAMED: &[(&str, &str)] = &[
+    (
+        "fig1",
+        "K-hop chain turbulence: buffer oscillation under 802.11",
+    ),
+    ("table1", "9-node testbed calibration (Table 1 link rates)"),
+    ("fig4", "3-hop chain: EZ-flow stabilizes the relay buffers"),
+    ("table2", "chain throughput/delay, 802.11 vs EZ-flow"),
+    (
+        "scenario1",
+        "Figs. 6-8: two merging 8-hop flows (also: fig6 fig7 fig8)",
+    ),
+    (
+        "scenario2",
+        "Figs. 10-11, Table 3: 25-node mesh (also: fig10 fig11 table3)",
+    ),
+    ("table4", "per-hop buffer/delay decomposition"),
+    ("theorem1", "stability region check"),
+    ("ablations", "EZ-flow component knock-outs"),
+    ("seeds", "seed sensitivity sweep"),
+    ("all", "every experiment above, in order"),
+];
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,9 +86,19 @@ fn main() -> ExitCode {
     let mut telemetry_dir: Option<std::path::PathBuf> = None;
     let mut telemetry_ms: Option<u64> = None;
     let mut ids = Vec::new();
+    let mut specs: Vec<std::path::PathBuf> = Vec::new();
+    let mut list = false;
+    let mut emit: Option<String> = None;
     for a in &args {
         match a.as_str() {
             "--quick" => scale = Scale::quick(),
+            "--list" => list = true,
+            s if s.starts_with("--spec=") => {
+                specs.push(std::path::PathBuf::from(&s["--spec=".len()..]));
+            }
+            s if s.starts_with("--emit-spec=") => {
+                emit = Some(s["--emit-spec=".len()..].to_string());
+            }
             "--markdown" => markdown = true,
             "--seed" => {}
             s if s.starts_with("--seed=") => {
@@ -111,11 +154,38 @@ fn main() -> ExitCode {
     if let Some(dir) = &telemetry_dir {
         ezflow_bench::telemetry_out::set_dir(dir);
     }
-    if ids.is_empty() {
+    if list {
+        println!("named experiments:");
+        for (id, blurb) in NAMED {
+            println!("  {id:<10} {blurb}");
+        }
+        println!("scenario specs (scenarios/*.json, run with --spec=FILE):");
+        let found = experiments::spec::discover(std::path::Path::new("scenarios"));
+        if found.is_empty() {
+            println!("  (none found under ./scenarios)");
+        }
+        for (path, line) in found {
+            println!("  {:<28} {line}", path.display().to_string());
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some(name) = &emit {
+        let Some(spec) = experiments::spec::emit(name) else {
+            eprintln!(
+                "unknown --emit-spec name: {name} (known: {})",
+                experiments::spec::EMITTABLE.join(", ")
+            );
+            return ExitCode::from(2);
+        };
+        println!("{}", spec.to_json().to_pretty());
+        return ExitCode::SUCCESS;
+    }
+    if ids.is_empty() && specs.is_empty() {
         eprintln!(
             "usage: experiments [--quick] [--markdown] [--csv=DIR] [--json=FILE] [--trace-dir=DIR]\n\
              \x20                  [--flight-cap=N] [--telemetry-dir=DIR] [--telemetry-ms=N]\n\
-             \x20                  [--seed=N] [--time=F] [--jobs=N] [--sched=heap|wheel] <id>...\n\
+             \x20                  [--seed=N] [--time=F] [--jobs=N] [--sched=heap|wheel]\n\
+             \x20                  [--list] [--spec=FILE] [--emit-spec=NAME] <id>...\n\
              ids: fig1 table1 fig4 table2 scenario1 scenario2 table4 theorem1 ablations seeds all"
         );
         return ExitCode::from(2);
@@ -123,11 +193,31 @@ fn main() -> ExitCode {
 
     let mut all_ok = true;
     let mut with_snapshots = Vec::new();
+    let mut reports_by_id: Vec<(String, Vec<ezflow_bench::report::Report>)> = Vec::new();
     for id in &ids {
         let Some(reports) = experiments::by_id(id, scale) else {
             eprintln!("unknown experiment id: {id}");
             return ExitCode::from(2);
         };
+        reports_by_id.push((id.clone(), reports));
+    }
+    for path in &specs {
+        let spec = match experiments::spec::load(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("spec error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match experiments::spec::run_spec(&spec, &scale) {
+            Ok(rep) => reports_by_id.push((format!("spec:{}", spec.name), vec![rep])),
+            Err(e) => {
+                eprintln!("spec error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for (_, reports) in reports_by_id {
         for rep in reports {
             if markdown {
                 print!("{}", rep.render_markdown());

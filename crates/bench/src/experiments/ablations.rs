@@ -443,7 +443,7 @@ fn bidirectional(rep: &mut Report, scale: Scale) {
         until,
     ));
     let t = Topology {
-        name: "bidir-chain",
+        name: "bidir-chain".into(),
         positions: base.positions.clone(),
         loss: base.loss.clone(),
         flows,
@@ -514,7 +514,7 @@ fn windowed_transport(rep: &mut Report, scale: Scale) {
     let mut keys = Vec::new();
     for &window in &windows {
         let t = Topology {
-            name: "windowed-chain",
+            name: "windowed-chain".into(),
             positions: base.positions.clone(),
             loss: base.loss.clone(),
             flows: vec![FlowSpec::windowed(

@@ -10,6 +10,7 @@ pub mod fig4;
 pub mod scenario1;
 pub mod scenario2;
 pub mod seeds;
+pub mod spec;
 pub mod table1;
 pub mod table2;
 
@@ -60,6 +61,18 @@ impl Algo {
     /// characters), used for lifecycle and telemetry export filenames.
     pub fn slug(self) -> String {
         self.name().replace(['.', ' ', '(', ')'], "")
+    }
+
+    /// Resolves a controller name from a scenario spec's `sweep.controllers`
+    /// list. Accepts the display name, its slug, and the obvious aliases;
+    /// `None` means the spec names a controller this harness doesn't have.
+    pub fn from_name(name: &str) -> Option<Algo> {
+        match name {
+            "802.11" | "80211" | "plain" | "dcf" => Some(Algo::Plain),
+            "EZ-flow" | "ez-flow" | "ezflow" => Some(Algo::EzFlow),
+            "EZ-flow (2^10 cap)" | "EZ-flow2^10cap" | "ezflow-testbed" => Some(Algo::EzFlowTestbed),
+            _ => None,
+        }
     }
 }
 

@@ -29,7 +29,7 @@ pub fn run(scale: Scale) -> Report {
         .map(|i| {
             let flow = FlowSpec::saturating(0, vec![i, i + 1], Time::ZERO, until);
             let t = Topology {
-                name: "testbed-link",
+                name: "testbed-link".into(),
                 positions: base.positions.clone(),
                 loss: base.loss.clone(),
                 flows: vec![flow],

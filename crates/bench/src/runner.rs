@@ -27,6 +27,9 @@ use std::sync::Mutex;
 use ezflow_net::{ControllerFactory, Network, NetworkSpec};
 use ezflow_sim::Time;
 
+/// A pre-run observer hook (see [`Job::setup`]).
+pub type SetupHook = Box<dyn Fn(&mut Network) + Send + Sync>;
+
 /// One independent simulation run, fully described: everything a worker
 /// thread needs to build, run, and hand back a [`Network`].
 pub struct Job {
@@ -39,6 +42,11 @@ pub struct Job {
     pub until: Time,
     /// Per-node controller factory.
     pub make: ControllerFactory,
+    /// Optional hook run on the freshly-built network before the event
+    /// loop starts — the place to attach observers (telemetry streaming,
+    /// extra probes). Observers never perturb a run, so the hook cannot
+    /// change results, only what the run exports.
+    pub setup: Option<SetupHook>,
 }
 
 impl Job {
@@ -54,12 +62,22 @@ impl Job {
             spec,
             until,
             make,
+            setup: None,
         }
+    }
+
+    /// Attaches a pre-run hook (see [`Job::setup`]).
+    pub fn with_setup(mut self, setup: impl Fn(&mut Network) + Send + Sync + 'static) -> Self {
+        self.setup = Some(Box::new(setup));
+        self
     }
 
     /// Builds and runs the network to completion (what a worker executes).
     pub fn run(self) -> Network {
         let mut net = Network::new(self.spec, &*self.make);
+        if let Some(setup) = &self.setup {
+            setup(&mut net);
+        }
         net.run_until(self.until);
         net
     }

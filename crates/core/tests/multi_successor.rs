@@ -45,7 +45,7 @@ fn fork_topology(until: Time) -> Topology {
     loss.set_link(2, 3, 0.35);
     loss.set_link(3, 2, 0.35);
     Topology {
-        name: "fork",
+        name: "fork".into(),
         positions,
         loss,
         flows: vec![fa, fb],

@@ -27,6 +27,127 @@ use crate::topo::{FlowSpec, Topology};
 use crate::traffic::{CbrSource, Transport};
 use crate::transport::{build_transport, FlowTransport};
 
+/// Why a [`NetworkSpec`] (or the [`Topology`] it came from) cannot be
+/// built — typed instead of an index panic deep inside construction, so
+/// both the scenario loader and hand-built constructors surface the
+/// same early, pointed diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// No nodes at all.
+    EmptyTopology,
+    /// A node position is NaN or infinite.
+    NonFinitePosition {
+        /// The offending node.
+        node: usize,
+    },
+    /// The interface queue capacity is zero (nothing could ever send).
+    ZeroQueueCap,
+    /// A flow path has fewer than two nodes.
+    ShortPath {
+        /// The offending flow.
+        flow: u32,
+    },
+    /// A flow path names a node the topology does not have.
+    NodeOutOfBounds {
+        /// The offending flow.
+        flow: u32,
+        /// The out-of-range node id.
+        node: usize,
+    },
+    /// A flow path visits the same node twice (a routing loop).
+    RepeatedNode {
+        /// The offending flow.
+        flow: u32,
+        /// The repeated node id.
+        node: usize,
+    },
+    /// Two consecutive hops are farther apart than the decode range.
+    UndecodableHop {
+        /// The offending flow.
+        flow: u32,
+        /// Transmitting hop.
+        a: usize,
+        /// Receiving hop.
+        b: usize,
+        /// Their distance in meters.
+        dist: f64,
+    },
+    /// Two flows share an id (metrics are keyed by flow id).
+    DuplicateFlowId {
+        /// The duplicated id.
+        id: u32,
+    },
+    /// A flow id collides with the internal transport-ACK id space.
+    ReservedFlowId {
+        /// The offending id (≥ [`TRANSPORT_ACK_FLOW`](crate::transport::TRANSPORT_ACK_FLOW)).
+        id: u32,
+    },
+    /// A flow's rate is zero (the tick interval would be undefined).
+    ZeroRate {
+        /// The offending flow.
+        flow: u32,
+    },
+    /// A flow's payload is zero bytes.
+    ZeroPayload {
+        /// The offending flow.
+        flow: u32,
+    },
+    /// A windowed transport with a zero window can never send.
+    ZeroWindow {
+        /// The offending flow.
+        flow: u32,
+    },
+    /// An on-off transport with a non-heavy-tail-able shape or a zero
+    /// mean period.
+    BadOnOff {
+        /// The offending flow.
+        flow: u32,
+        /// What exactly is wrong.
+        why: &'static str,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::EmptyTopology => write!(f, "topology has no nodes"),
+            SpecError::NonFinitePosition { node } => {
+                write!(f, "node {node} has a non-finite position")
+            }
+            SpecError::ZeroQueueCap => write!(f, "queue_cap must be nonzero"),
+            SpecError::ShortPath { flow } => {
+                write!(f, "flow {flow}: path needs at least two nodes")
+            }
+            SpecError::NodeOutOfBounds { flow, node } => {
+                write!(f, "flow {flow}: path node {node} is out of bounds")
+            }
+            SpecError::RepeatedNode { flow, node } => {
+                write!(f, "flow {flow}: path visits node {node} twice")
+            }
+            SpecError::UndecodableHop { flow, a, b, dist } => write!(
+                f,
+                "flow {flow}: hop {a}->{b} is undecodable ({dist:.0} m apart)"
+            ),
+            SpecError::DuplicateFlowId { id } => write!(f, "duplicate flow id {id}"),
+            SpecError::ReservedFlowId { id } => write!(
+                f,
+                "flow id {id} collides with the transport-ACK id space (>= {})",
+                crate::transport::TRANSPORT_ACK_FLOW
+            ),
+            SpecError::ZeroRate { flow } => write!(f, "flow {flow}: rate_bps must be nonzero"),
+            SpecError::ZeroPayload { flow } => {
+                write!(f, "flow {flow}: payload_bytes must be nonzero")
+            }
+            SpecError::ZeroWindow { flow } => {
+                write!(f, "flow {flow}: window must be nonzero")
+            }
+            SpecError::BadOnOff { flow, why } => write!(f, "flow {flow}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// Static description of a network to build.
 #[derive(Clone, Debug)]
 pub struct NetworkSpec {
@@ -101,6 +222,92 @@ impl NetworkSpec {
     /// time) — what `--telemetry-dir` arms unless overridden.
     pub const TELEMETRY_EVERY: Duration = Duration::from_millis(100);
 
+    /// Checks that the spec can actually be built and run: positions
+    /// finite, queue capacity nonzero, every flow path in bounds,
+    /// loop-free and decodable hop by hop, flow ids unique and outside
+    /// the reserved ACK space, and transport parameters sane. Returns
+    /// the first problem found (fields in declaration order, flows in
+    /// flow order), so the message always points at one concrete field.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let n = self.positions.len();
+        if n == 0 {
+            return Err(SpecError::EmptyTopology);
+        }
+        for (node, p) in self.positions.iter().enumerate() {
+            if !(p.x.is_finite() && p.y.is_finite()) {
+                return Err(SpecError::NonFinitePosition { node });
+            }
+        }
+        if self.queue_cap == 0 {
+            return Err(SpecError::ZeroQueueCap);
+        }
+        let mut seen_ids = std::collections::BTreeSet::new();
+        for f in &self.flows {
+            if f.id >= crate::transport::TRANSPORT_ACK_FLOW {
+                return Err(SpecError::ReservedFlowId { id: f.id });
+            }
+            if !seen_ids.insert(f.id) {
+                return Err(SpecError::DuplicateFlowId { id: f.id });
+            }
+            if f.path.len() < 2 {
+                return Err(SpecError::ShortPath { flow: f.id });
+            }
+            let mut visited = std::collections::BTreeSet::new();
+            for &node in &f.path {
+                if node >= n {
+                    return Err(SpecError::NodeOutOfBounds { flow: f.id, node });
+                }
+                if !visited.insert(node) {
+                    return Err(SpecError::RepeatedNode { flow: f.id, node });
+                }
+            }
+            for w in f.path.windows(2) {
+                let dist = self.positions[w[0]].distance(&self.positions[w[1]]);
+                if dist > self.channel.tx_range {
+                    return Err(SpecError::UndecodableHop {
+                        flow: f.id,
+                        a: w[0],
+                        b: w[1],
+                        dist,
+                    });
+                }
+            }
+            if f.rate_bps == 0 {
+                return Err(SpecError::ZeroRate { flow: f.id });
+            }
+            if f.payload_bytes == 0 {
+                return Err(SpecError::ZeroPayload { flow: f.id });
+            }
+            match f.transport {
+                Transport::Cbr => {}
+                Transport::Windowed { window, .. } => {
+                    if window == 0 {
+                        return Err(SpecError::ZeroWindow { flow: f.id });
+                    }
+                }
+                Transport::OnOff {
+                    mean_on,
+                    mean_off,
+                    alpha,
+                } => {
+                    if !(alpha.is_finite() && alpha > 1.0) {
+                        return Err(SpecError::BadOnOff {
+                            flow: f.id,
+                            why: "on-off alpha must be finite and > 1 (mean must exist)",
+                        });
+                    }
+                    if mean_on.as_micros() == 0 || mean_off.as_micros() == 0 {
+                        return Err(SpecError::BadOnOff {
+                            flow: f.id,
+                            why: "on-off mean periods must be nonzero",
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Builds the runnable network this spec describes;
     /// `make_controller` is called once per node. Equivalent to
     /// [`Network::new`].
@@ -114,6 +321,9 @@ pub(crate) fn build(
     spec: NetworkSpec,
     make_controller: &dyn Fn(usize) -> Box<dyn Controller>,
 ) -> Network {
+    if let Err(e) = spec.validate() {
+        panic!("invalid network spec: {e}");
+    }
     let n = spec.positions.len();
     let master = SimRng::new(spec.seed);
     let channel = Channel::new(&spec.positions, spec.channel, spec.loss.clone());
@@ -201,10 +411,16 @@ pub(crate) fn build(
     let flow_ids: Vec<u32> = spec.flows.iter().map(|f| f.id).collect();
     let metrics = Metrics::new(n, &flow_ids, spec.metric_bin);
 
+    // Transport RNG streams live above the per-node id space (`1 << 32`
+    // + flow id): `derive` is pure, so handing a stream to a stochastic
+    // transport perturbs neither the per-node streams nor the channel's.
     let transports: Vec<(u32, Option<Box<dyn FlowTransport>>)> = spec
         .flows
         .iter()
-        .map(|f| (f.id, Some(build_transport(f))))
+        .map(|f| {
+            let rng = master.derive((1u64 << 32) + f.id as u64);
+            (f.id, Some(build_transport(f, rng)))
+        })
         .collect();
 
     let mut sched = Scheduler::with_kind(spec.sched);

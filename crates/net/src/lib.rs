@@ -24,6 +24,10 @@
 //! * [`topo`] — the paper's topologies: K-hop chains (Fig. 1), the 9-node
 //!   campus testbed (Fig. 3, calibrated to Table 1), scenario 1 (Fig. 5)
 //!   and scenario 2 (Fig. 9).
+//! * [`scenario`] — declarative scenario specs: JSON documents describing
+//!   a topology (explicit or generative), traffic mix, loss schedule and
+//!   sweep axes, compiled to the same [`topo::Topology`] /
+//!   [`builder::NetworkSpec`] the hand-built constructors produce.
 //! * [`metrics`] — per-flow throughput/delay series, per-node buffer and
 //!   `CWmin` traces: everything needed to regenerate the paper's figures.
 
@@ -40,12 +44,14 @@ pub mod network;
 pub mod node;
 pub mod queue;
 pub mod routing;
+pub mod scenario;
 pub mod snapshot;
 pub mod telemetry;
 pub mod topo;
 pub mod traffic;
 pub mod transport;
 
+pub use builder::SpecError;
 pub use controller::{
     Controller, ControllerCounters, ControllerEvent, ControllerFactory, FixedController,
 };
@@ -54,7 +60,8 @@ pub use metrics::Metrics;
 pub use network::{Network, NetworkSpec, SchedKind};
 pub use node::Node;
 pub use queue::TxQueue;
-pub use routing::StaticRouting;
+pub use routing::{GatewayRoutes, StaticRouting};
+pub use scenario::{CompiledScenario, ScenarioError, ScenarioSpec, SweepPoint};
 pub use snapshot::{
     EpisodeSnapshot, LatencySnapshot, NodeSnapshot, NodeStabilitySnapshot, PerfSnapshot,
     QueueSnapshot, RunSnapshot, SchedulerSnapshot, StabilitySnapshot,

@@ -86,6 +86,106 @@ impl StaticRouting {
     }
 }
 
+/// Shortest-path trees toward the nearest gateway, computed over the
+/// decode graph by multi-source BFS.
+///
+/// The scenario compiler (see [`crate::scenario`]) uses this to route
+/// generated topologies: every node gets the gateway closest in hop
+/// count, ties broken toward the lowest gateway id and then the lowest
+/// parent id. Each node has exactly *one* parent, so every produced path
+/// toward a gateway shares its suffix with every other path through the
+/// same node — precisely the no-conflict invariant
+/// [`StaticRouting::install_path`] asserts.
+#[derive(Debug, Clone)]
+pub struct GatewayRoutes {
+    /// `parent[v]` = next hop toward `gateway[v]` (`usize::MAX` at
+    /// gateways and unreachable nodes).
+    parent: Vec<usize>,
+    /// Hop distance to the assigned gateway (`usize::MAX` if unreachable).
+    dist: Vec<usize>,
+    /// The gateway each node drains to (`usize::MAX` if unreachable).
+    gateway: Vec<usize>,
+}
+
+impl GatewayRoutes {
+    /// Runs the multi-source BFS. `adj` is the (symmetric) decode
+    /// adjacency, `gateways` the drain set. Determinism: gateways are
+    /// seeded in ascending id order and each adjacency list is scanned
+    /// in ascending order, so first-come-wins tie-breaking is a pure
+    /// function of the graph.
+    pub fn compute(adj: &[Vec<usize>], gateways: &[usize]) -> Self {
+        let n = adj.len();
+        let mut parent = vec![usize::MAX; n];
+        let mut dist = vec![usize::MAX; n];
+        let mut gateway = vec![usize::MAX; n];
+        let mut sorted: Vec<usize> = gateways.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut frontier: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        for &g in &sorted {
+            assert!(g < n, "gateway {g} out of bounds for {n} nodes");
+            dist[g] = 0;
+            gateway[g] = g;
+            frontier.push_back(g);
+        }
+        while let Some(v) = frontier.pop_front() {
+            let mut next: Vec<usize> = adj[v].clone();
+            next.sort_unstable();
+            for w in next {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[v] + 1;
+                    parent[w] = v;
+                    gateway[w] = gateway[v];
+                    frontier.push_back(w);
+                }
+            }
+        }
+        GatewayRoutes {
+            parent,
+            dist,
+            gateway,
+        }
+    }
+
+    /// The path from `src` to its assigned gateway (inclusive), or
+    /// `None` if `src` cannot reach any gateway.
+    pub fn path_from(&self, src: usize) -> Option<Vec<usize>> {
+        if self.dist.get(src).copied().unwrap_or(usize::MAX) == usize::MAX {
+            return None;
+        }
+        let mut path = vec![src];
+        let mut v = src;
+        while self.parent[v] != usize::MAX {
+            v = self.parent[v];
+            path.push(v);
+        }
+        Some(path)
+    }
+
+    /// Hop distance from `v` to its gateway (`None` if unreachable).
+    pub fn dist(&self, v: usize) -> Option<usize> {
+        match self.dist[v] {
+            usize::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// The gateway `v` drains to (`None` if unreachable).
+    pub fn gateway_of(&self, v: usize) -> Option<usize> {
+        match self.gateway[v] {
+            usize::MAX => None,
+            g => Some(g),
+        }
+    }
+
+    /// Nodes that cannot reach any gateway, ascending.
+    pub fn unreachable(&self) -> Vec<usize> {
+        (0..self.dist.len())
+            .filter(|&v| self.dist[v] == usize::MAX)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +236,73 @@ mod tests {
         r.install_path(&[0, 1, 2]);
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
+    }
+
+    /// Chain 0-1-2-3-4 plus a spur 5 hanging off node 2, node 6 isolated.
+    fn spur_adj() -> Vec<Vec<usize>> {
+        vec![
+            vec![1],
+            vec![0, 2],
+            vec![1, 3, 5],
+            vec![2, 4],
+            vec![3],
+            vec![2],
+            vec![],
+        ]
+    }
+
+    #[test]
+    fn gateway_routes_pick_nearest_gateway() {
+        let g = GatewayRoutes::compute(&spur_adj(), &[0, 4]);
+        assert_eq!(g.path_from(1), Some(vec![1, 0]));
+        assert_eq!(g.path_from(3), Some(vec![3, 4]));
+        assert_eq!(g.gateway_of(1), Some(0));
+        assert_eq!(g.gateway_of(3), Some(4));
+        assert_eq!(g.dist(0), Some(0));
+        assert_eq!(
+            g.path_from(0),
+            Some(vec![0]),
+            "gateways route to themselves"
+        );
+        assert_eq!(g.unreachable(), vec![6]);
+        assert_eq!(g.path_from(6), None);
+    }
+
+    #[test]
+    fn gateway_ties_break_to_lowest_gateway_id() {
+        // Node 2 is 2 hops from both gateways; the BFS seeds gateways
+        // ascending, so gateway 0's wavefront claims it first.
+        let g = GatewayRoutes::compute(&spur_adj(), &[0, 4]);
+        assert_eq!(g.gateway_of(2), Some(0));
+        assert_eq!(g.path_from(2), Some(vec![2, 1, 0]));
+        assert_eq!(g.path_from(5), Some(vec![5, 2, 1, 0]));
+    }
+
+    #[test]
+    fn gateway_trees_install_without_conflicts() {
+        // Unique parents ⇒ all root-ward paths share suffixes, so
+        // installing every path into one StaticRouting must not panic.
+        let g = GatewayRoutes::compute(&spur_adj(), &[0, 4]);
+        let mut r = StaticRouting::new();
+        for v in 0..6 {
+            let path = g.path_from(v).unwrap();
+            if path.len() >= 2 {
+                r.install_path(&path);
+            }
+        }
+        assert_eq!(r.next_hop(5, 0), Some(2));
+    }
+
+    #[test]
+    fn gateway_routes_are_deterministic() {
+        let a = GatewayRoutes::compute(&spur_adj(), &[4, 0]);
+        let b = GatewayRoutes::compute(&spur_adj(), &[0, 4]);
+        for v in 0..7 {
+            assert_eq!(
+                a.path_from(v),
+                b.path_from(v),
+                "gateway order is irrelevant"
+            );
+        }
     }
 }

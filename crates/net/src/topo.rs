@@ -27,7 +27,7 @@ use crate::calibrate::per_for_capacity;
 use crate::traffic::Transport;
 
 /// One unidirectional flow over a fixed multi-hop path.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FlowSpec {
     /// Flow id (dense, 0-based).
     pub id: u32,
@@ -81,13 +81,24 @@ impl FlowSpec {
 #[derive(Clone, Debug)]
 pub struct Topology {
     /// Human-readable name.
-    pub name: &'static str,
+    pub name: String,
     /// Node positions (meters).
     pub positions: Vec<Position>,
     /// Link loss process.
     pub loss: LossModel,
     /// The flows.
     pub flows: Vec<FlowSpec>,
+}
+
+impl Topology {
+    /// Checks the layout can actually be built and run — the same typed
+    /// diagnostics the spec loader uses (paths in bounds and decodable,
+    /// positions finite, ids sane); see
+    /// [`crate::builder::NetworkSpec::validate`]. The seed plays no role
+    /// in validity.
+    pub fn validate(&self) -> Result<(), crate::builder::SpecError> {
+        crate::builder::NetworkSpec::from_topology(self, 0).validate()
+    }
 }
 
 /// Standard inter-node spacing (meters).
@@ -113,7 +124,7 @@ pub fn chain(hops: usize, start: Time, stop: Time) -> Topology {
     let positions = ezflow_phy::geom::line_positions(hops + 1, SPACING);
     let flow = FlowSpec::saturating(0, (0..=hops).collect(), start, stop);
     Topology {
-        name: "chain",
+        name: "chain".into(),
         positions,
         loss: LossModel::ideal(),
         flows: vec![flow],
@@ -168,7 +179,7 @@ pub fn testbed(f1: bool, f2: bool, start: Time, stop: Time) -> Topology {
         ));
     }
     Topology {
-        name: "testbed",
+        name: "testbed".into(),
         positions,
         loss,
         flows,
@@ -206,7 +217,7 @@ pub fn scenario1() -> Topology {
         Time::from_secs(1804),
     );
     Topology {
-        name: "scenario1",
+        name: "scenario1".into(),
         positions,
         loss: LossModel::ideal(),
         flows: vec![f1, f2],
@@ -241,7 +252,7 @@ pub fn grid(rows: usize, cols: usize, spacing: f64, start: Time, stop: Time) -> 
         })
         .collect();
     Topology {
-        name: "grid",
+        name: "grid".into(),
         positions,
         loss: LossModel::ideal(),
         flows,
@@ -307,7 +318,7 @@ pub fn scenario2() -> Topology {
         Time::from_secs(3605),
     );
     Topology {
-        name: "scenario2",
+        name: "scenario2".into(),
         positions,
         loss: LossModel::ideal(),
         flows: vec![f1, f2, f3],

@@ -27,6 +27,22 @@ pub enum Transport {
         /// Transport-ACK payload bytes (a real TCP ACK is ~40).
         ack_payload: u32,
     },
+    /// Open-loop bursty on-off source: CBR at `rate_bps` during ON
+    /// periods, silent during OFF periods. ON durations are drawn from a
+    /// bounded Pareto (heavy-tailed, shape `alpha`) with mean `mean_on`,
+    /// OFF durations from an exponential with mean `mean_off` — the
+    /// classic self-similar-traffic generator. All draws come from a
+    /// per-flow `SimRng` stream derived at build time, so runs stay a
+    /// pure function of `(spec, seed)`.
+    OnOff {
+        /// Mean ON-period duration.
+        mean_on: Duration,
+        /// Mean OFF-period duration.
+        mean_off: Duration,
+        /// Pareto shape for ON durations; must exceed 1 so the mean
+        /// exists. Smaller ⇒ heavier tail (longer rare bursts).
+        alpha: f64,
+    },
 }
 
 /// A CBR source description. `Copy` (5 words) so the per-tick hot path

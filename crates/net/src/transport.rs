@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use ezflow_sim::{Duration, Time};
+use ezflow_sim::{Duration, SimRng, Time};
 
 use crate::network::Network;
 use crate::topo::FlowSpec;
@@ -159,8 +159,86 @@ impl FlowTransport for WindowedFlow {
     }
 }
 
-/// Builds the transport implementation a flow spec asks for.
-pub(crate) fn build_transport(f: &FlowSpec) -> Box<dyn FlowTransport> {
+/// Open-loop bursty on-off source: behaves like [`CbrFlow`] during ON
+/// periods and stays silent during OFF periods. ON durations come from a
+/// bounded Pareto (heavy-tailed, shape `alpha`, mean `mean_on`), OFF
+/// durations from an exponential with mean `mean_off` — the classic
+/// self-similar traffic generator. All draws come from the flow's own
+/// `SimRng` stream, derived (not consumed) from the master seed at build
+/// time, so adding an on-off flow never perturbs other flows' draws.
+pub struct OnOffFlow {
+    flow: u32,
+    src: usize,
+    dst: usize,
+    payload: u32,
+    mean_on: Duration,
+    mean_off: Duration,
+    alpha: f64,
+    rng: SimRng,
+    /// The phase timeline starts lazily at the first tick (= flow
+    /// start), not at build time, so phase draws happen in event order.
+    started: bool,
+    on: bool,
+    /// When the current ON/OFF period ends.
+    boundary: Time,
+}
+
+/// ON periods are capped at this multiple of the mean: a bounded Pareto,
+/// so a single astronomically rare draw cannot freeze a flow ON for the
+/// entire run. At `alpha = 1.5` the cap trims the mean by about 5%.
+const ON_CAP_FACTOR: f64 = 50.0;
+
+impl OnOffFlow {
+    /// Bounded-Pareto ON duration with mean `mean_on`.
+    fn draw_on(&mut self) -> Duration {
+        // For Pareto(x_m, alpha) the mean is x_m * alpha / (alpha - 1);
+        // pick x_m so the (unbounded) mean lands on mean_on.
+        let mean = self.mean_on.as_micros() as f64;
+        let x_m = mean * (self.alpha - 1.0) / self.alpha;
+        let u = self.rng.gen_f64();
+        let x = x_m / (1.0 - u).powf(1.0 / self.alpha);
+        Duration::from_micros((x.min(mean * ON_CAP_FACTOR)).max(1.0) as u64)
+    }
+
+    /// Exponential OFF duration with mean `mean_off`.
+    fn draw_off(&mut self) -> Duration {
+        let mean = self.mean_off.as_micros() as f64;
+        let u = self.rng.gen_f64();
+        Duration::from_micros(((-(1.0 - u).ln()) * mean).max(1.0) as u64)
+    }
+
+    /// Advances the ON/OFF phase timeline up to `now`.
+    fn advance_to(&mut self, now: Time) {
+        if !self.started {
+            self.started = true;
+            self.on = true;
+            self.boundary = now + self.draw_on();
+        }
+        while now >= self.boundary {
+            self.on = !self.on;
+            let d = if self.on {
+                self.draw_on()
+            } else {
+                self.draw_off()
+            };
+            self.boundary += d;
+        }
+    }
+}
+
+impl FlowTransport for OnOffFlow {
+    fn on_tick(&mut self, ctx: &mut dyn TransportCtx) {
+        self.advance_to(ctx.now());
+        if self.on {
+            ctx.send(self.flow, self.src, self.dst, self.payload, 0);
+        }
+    }
+}
+
+/// Builds the transport implementation a flow spec asks for. `rng` is
+/// the flow's private stream; only stochastic transports (on-off) retain
+/// it.
+pub(crate) fn build_transport(f: &FlowSpec, rng: SimRng) -> Box<dyn FlowTransport> {
     let src = f.path[0];
     let dst = *f.path.last().expect("non-empty path");
     match f.transport {
@@ -183,6 +261,23 @@ pub(crate) fn build_transport(f: &FlowSpec) -> Box<dyn FlowTransport> {
             stop: f.stop,
             outstanding: BTreeMap::new(),
             rto: Duration::from_secs(3),
+        }),
+        Transport::OnOff {
+            mean_on,
+            mean_off,
+            alpha,
+        } => Box::new(OnOffFlow {
+            flow: f.id,
+            src,
+            dst,
+            payload: f.payload_bytes,
+            mean_on,
+            mean_off,
+            alpha,
+            rng,
+            started: false,
+            on: false,
+            boundary: Time::ZERO,
         }),
     }
 }
@@ -325,5 +420,71 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         assert_eq!(keys, sorted);
+    }
+
+    fn onoff(seed: u64) -> OnOffFlow {
+        OnOffFlow {
+            flow: 0,
+            src: 0,
+            dst: 3,
+            payload: 1000,
+            mean_on: Duration::from_secs(1),
+            mean_off: Duration::from_secs(1),
+            alpha: 1.5,
+            rng: SimRng::new(seed),
+            started: false,
+            on: false,
+            boundary: Time::ZERO,
+        }
+    }
+
+    /// Drives `t` at the 4 ms CBR tick for `secs` of simulated time and
+    /// returns the fraction of ticks that produced a packet.
+    fn duty_cycle(t: &mut OnOffFlow, secs: u64) -> f64 {
+        let mut ctx = Recorder {
+            now: Time::ZERO,
+            next_seq: 0,
+            sent: Vec::new(),
+        };
+        let tick = Duration::from_millis(4);
+        let ticks = secs * 250;
+        for _ in 0..ticks {
+            t.on_tick(&mut ctx);
+            ctx.now += tick;
+        }
+        ctx.sent.len() as f64 / ticks as f64
+    }
+
+    #[test]
+    fn onoff_mean_offered_load_tracks_duty_cycle() {
+        // mean_on = mean_off ⇒ nominal duty cycle 1/2, i.e. offered load
+        // = rate/2. The Pareto bound trims the ON mean by ~5% at
+        // alpha = 1.5; ±15% comfortably covers trim plus sampling noise
+        // over 4000 s while still catching a broken generator (which
+        // lands near 0 or 1).
+        let duty = duty_cycle(&mut onoff(11), 4000);
+        assert!(
+            (duty - 0.5).abs() < 0.075,
+            "duty cycle {duty:.3} strayed from nominal 0.5"
+        );
+    }
+
+    #[test]
+    fn onoff_alternates_on_and_off_periods() {
+        let mut t = onoff(3);
+        let duty = duty_cycle(&mut t, 100);
+        assert!(duty > 0.0 && duty < 1.0, "must both send and pause");
+        assert!(t.started);
+    }
+
+    #[test]
+    fn onoff_is_deterministic_per_seed() {
+        let (a, b) = (
+            duty_cycle(&mut onoff(7), 200),
+            duty_cycle(&mut onoff(7), 200),
+        );
+        assert_eq!(a, b, "same seed ⇒ identical phase timeline");
+        let c = duty_cycle(&mut onoff(8), 200);
+        assert_ne!(a, c, "different seed ⇒ different timeline");
     }
 }

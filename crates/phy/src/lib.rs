@@ -35,7 +35,7 @@ pub mod timing;
 
 pub use frame::{Frame, FrameKind};
 pub use geom::Position;
-pub use loss::LossModel;
+pub use loss::{ChurnWindow, GilbertElliott, LossModel};
 pub use medium::{
     Airtime, Channel, ChannelConfig, ChannelStats, DecodeOutcome, Delivery, EndReport, StartReport,
     TxId,

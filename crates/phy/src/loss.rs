@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use ezflow_sim::SimRng;
+use ezflow_sim::{Duration, SimRng, Time};
 
 /// A two-state Gilbert-Elliott burst-loss process: the channel alternates
 /// between a Good state (loss `p_good`, usually ~0) and a Bad state (loss
@@ -22,7 +22,7 @@ use ezflow_sim::SimRng;
 /// *bursty* — consecutive frames die together — which stresses the BOE
 /// much harder than independent (Bernoulli) loss: whole runs of
 /// overhearings disappear at once.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GilbertElliott {
     /// P(Good -> Bad) per frame.
     pub p_g2b: f64,
@@ -58,8 +58,47 @@ impl GilbertElliott {
     }
 }
 
+/// A deterministic link up/down schedule: the link repeats `up` of
+/// service then `down` of outage, the first up period starting at
+/// `phase`. While down, every frame on the link is destroyed — an
+/// interface reset, a duty-cycled radio, a periodic deep fade. Purely a
+/// function of simulated time, so it consumes no RNG draws and cannot
+/// perturb the random stream of any coexisting loss process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnWindow {
+    /// Length of each up (serving) interval.
+    pub up: Duration,
+    /// Length of each down (outage) interval.
+    pub down: Duration,
+    /// Offset of the first up interval's start within the cycle.
+    pub phase: Duration,
+}
+
+impl ChurnWindow {
+    /// An alternating schedule starting up at `phase`.
+    pub fn new(up: Duration, down: Duration, phase: Duration) -> Self {
+        assert!(
+            up.as_micros() + down.as_micros() > 0,
+            "churn cycle must be nonzero"
+        );
+        ChurnWindow { up, down, phase }
+    }
+
+    /// Whether the link is in an outage at `now`.
+    pub fn is_down(&self, now: Time) -> bool {
+        let cycle = self.up.as_micros() + self.down.as_micros();
+        if cycle == 0 {
+            return false;
+        }
+        // Position within the cycle, shifted so the cycle starts at
+        // `phase` (modular, so instants before the phase wrap correctly).
+        let pos = (now.as_micros() + cycle - (self.phase.as_micros() % cycle)) % cycle;
+        pos >= self.up.as_micros()
+    }
+}
+
 /// Packet-error process applied to otherwise-successful receptions.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct LossModel {
     /// Loss probability applied to every (src, dst) pair not listed in
     /// `per_link`.
@@ -69,6 +108,12 @@ pub struct LossModel {
     /// Optional burst-loss overlay applied to every link on top of the
     /// Bernoulli process. State is tracked per directed link.
     pub burst: Option<GilbertElliott>,
+    /// Per-directed-link Gilbert-Elliott overrides: links listed here run
+    /// their own burst parameters instead of the global `burst` overlay.
+    pub burst_link: HashMap<(usize, usize), GilbertElliott>,
+    /// Per-directed-link deterministic up/down schedules; a frame sent
+    /// while its link is down is destroyed outright (no RNG consumed).
+    pub churn: HashMap<(usize, usize), ChurnWindow>,
     /// Per-directed-link Gilbert-Elliott state (true = Bad). Interior
     /// bookkeeping; serialized runs re-derive it deterministically.
     burst_state: HashMap<(usize, usize), bool>,
@@ -112,17 +157,63 @@ impl LossModel {
         self
     }
 
-    /// Samples the loss process: true means the frame is destroyed.
-    pub fn drops(&mut self, src: usize, dst: usize, rng: &mut SimRng) -> bool {
-        // Ideal-link fast path: with no per-link overrides, no default PER
-        // and no burst overlay, neither process below can fire or consume
-        // an RNG draw, so the per-reception map lookup is skipped entirely.
-        if self.default_per == 0.0 && self.burst.is_none() && self.per_link.is_empty() {
+    /// Gives the directed link `src -> dst` its own Gilbert-Elliott burst
+    /// process, overriding the global `burst` overlay on that link.
+    pub fn set_link_burst(&mut self, src: usize, dst: usize, ge: GilbertElliott) {
+        self.burst_link.insert((src, dst), ge);
+    }
+
+    /// Gives both directions of a link their own burst process.
+    pub fn set_link_burst_symmetric(&mut self, a: usize, b: usize, ge: GilbertElliott) {
+        self.set_link_burst(a, b, ge);
+        self.set_link_burst(b, a, ge);
+    }
+
+    /// Puts the directed link `src -> dst` on an up/down schedule.
+    pub fn set_link_churn(&mut self, src: usize, dst: usize, w: ChurnWindow) {
+        self.churn.insert((src, dst), w);
+    }
+
+    /// Puts both directions of a link on the same up/down schedule.
+    pub fn set_link_churn_symmetric(&mut self, a: usize, b: usize, w: ChurnWindow) {
+        self.set_link_churn(a, b, w);
+        self.set_link_churn(b, a, w);
+    }
+
+    /// Samples the loss process at `now`: true means the frame is
+    /// destroyed.
+    pub fn drops(&mut self, now: Time, src: usize, dst: usize, rng: &mut SimRng) -> bool {
+        // Ideal-link fast path: with no per-link overrides, no default PER,
+        // no burst overlay and no churn schedule, none of the processes
+        // below can fire or consume an RNG draw, so the per-reception map
+        // lookups are skipped entirely.
+        if self.default_per == 0.0
+            && self.burst.is_none()
+            && self.per_link.is_empty()
+            && self.burst_link.is_empty()
+            && self.churn.is_empty()
+        {
             return false;
+        }
+        // A down link kills the frame before any stochastic process runs;
+        // the schedule is time-driven, so no RNG draw is consumed and the
+        // streams of the processes below stay aligned with a churn-free
+        // model.
+        if !self.churn.is_empty() {
+            if let Some(w) = self.churn.get(&(src, dst)) {
+                if w.is_down(now) {
+                    return true;
+                }
+            }
         }
         let p = self.loss_prob(src, dst);
         let bernoulli = p > 0.0 && rng.gen_bool(p);
-        let bursty = match self.burst {
+        let ge = if self.burst_link.is_empty() {
+            self.burst
+        } else {
+            self.burst_link.get(&(src, dst)).copied().or(self.burst)
+        };
+        let bursty = match ge {
             None => false,
             Some(ge) => {
                 let state = self.burst_state.entry((src, dst)).or_insert(false);
@@ -147,7 +238,7 @@ mod tests {
     fn ideal_never_drops() {
         let mut m = LossModel::ideal();
         let mut rng = SimRng::new(1);
-        assert!((0..1000).all(|_| !m.drops(0, 1, &mut rng)));
+        assert!((0..1000).all(|_| !m.drops(Time::ZERO, 0, 1, &mut rng)));
     }
 
     #[test]
@@ -156,7 +247,9 @@ mod tests {
         let mut m = LossModel::ideal().with_burst(ge);
         let mut rng = SimRng::new(9);
         let n = 200_000;
-        let outcomes: Vec<bool> = (0..n).map(|_| m.drops(0, 1, &mut rng)).collect();
+        let outcomes: Vec<bool> = (0..n)
+            .map(|_| m.drops(Time::ZERO, 0, 1, &mut rng))
+            .collect();
         let losses = outcomes.iter().filter(|&&d| d).count() as f64;
         let expect = ge.mean_loss();
         assert!(
@@ -194,18 +287,20 @@ mod tests {
         let mut m = LossModel::ideal().with_burst(ge);
         let mut rng = SimRng::new(2);
         // Link (0,1) enters Bad immediately and stays there.
-        assert!(m.drops(0, 1, &mut rng));
+        assert!(m.drops(Time::ZERO, 0, 1, &mut rng));
         // A different link has its own chain (also enters Bad, but
         // independently -- just verify it tracks separate state).
-        assert!(m.drops(2, 3, &mut rng));
-        assert!(m.drops(0, 1, &mut rng));
+        assert!(m.drops(Time::ZERO, 2, 3, &mut rng));
+        assert!(m.drops(Time::ZERO, 0, 1, &mut rng));
     }
 
     #[test]
     fn uniform_rate_is_respected() {
         let mut m = LossModel::uniform(0.25);
         let mut rng = SimRng::new(2);
-        let drops = (0..100_000).filter(|_| m.drops(3, 4, &mut rng)).count();
+        let drops = (0..100_000)
+            .filter(|_| m.drops(Time::ZERO, 3, 4, &mut rng))
+            .count();
         assert!((24_000..26_000).contains(&drops), "drops {drops}");
     }
 
@@ -224,5 +319,76 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_invalid_probability() {
         LossModel::uniform(1.5);
+    }
+
+    #[test]
+    fn churn_window_schedule() {
+        let w = ChurnWindow::new(
+            Duration::from_secs(5),
+            Duration::from_secs(2),
+            Duration::from_secs(1),
+        );
+        // Cycle: up over [1, 6), down over [6, 8), repeating.
+        assert!(!w.is_down(Time::from_secs(1)));
+        assert!(!w.is_down(Time::from_micros(5_999_999)));
+        assert!(w.is_down(Time::from_secs(6)));
+        assert!(w.is_down(Time::from_micros(7_999_999)));
+        assert!(!w.is_down(Time::from_secs(8)));
+        assert!(w.is_down(Time::from_secs(13)), "repeats every 7 s");
+        // Before the first phase instant the schedule wraps: t = 0 sits
+        // 1 s before the up start, i.e. at the tail (down) end of a cycle.
+        assert!(w.is_down(Time::ZERO));
+    }
+
+    #[test]
+    fn churned_link_drops_exactly_while_down_without_rng() {
+        let mut m = LossModel::ideal();
+        m.set_link_churn(
+            0,
+            1,
+            ChurnWindow::new(
+                Duration::from_secs(1),
+                Duration::from_secs(1),
+                Duration::ZERO,
+            ),
+        );
+        let mut rng = SimRng::new(4);
+        let before = rng.clone().next_u64();
+        assert!(!m.drops(Time::from_millis(500), 0, 1, &mut rng));
+        assert!(m.drops(Time::from_millis(1500), 0, 1, &mut rng));
+        // Other links are untouched by the schedule.
+        assert!(!m.drops(Time::from_millis(1500), 1, 2, &mut rng));
+        assert_eq!(
+            rng.next_u64(),
+            before,
+            "churn-only model must not consume RNG draws"
+        );
+    }
+
+    #[test]
+    fn per_link_burst_overrides_global() {
+        let always_bad = GilbertElliott {
+            p_g2b: 1.0,
+            p_b2g: 0.0,
+            p_good: 0.0,
+            p_bad: 1.0,
+        };
+        // No global overlay: only the listed link fades.
+        let mut m = LossModel::ideal();
+        m.set_link_burst(0, 1, always_bad);
+        let mut rng = SimRng::new(6);
+        assert!(m.drops(Time::ZERO, 0, 1, &mut rng));
+        assert!(!m.drops(Time::ZERO, 1, 2, &mut rng));
+        // With a global overlay, the per-link entry still wins on its link.
+        let never_bad = GilbertElliott {
+            p_g2b: 0.0,
+            p_b2g: 1.0,
+            p_good: 0.0,
+            p_bad: 1.0,
+        };
+        let mut m = LossModel::ideal().with_burst(never_bad);
+        m.set_link_burst(0, 1, always_bad);
+        assert!(m.drops(Time::ZERO, 0, 1, &mut rng));
+        assert!(!m.drops(Time::ZERO, 1, 2, &mut rng));
     }
 }

@@ -637,7 +637,7 @@ impl Channel {
             }
             let mut clean = !corrupted[r];
             let outcome;
-            if clean && self.loss.drops(src, r, rng) {
+            if clean && self.loss.drops(now, src, r, rng) {
                 clean = false;
                 outcome = DecodeOutcome::Loss;
                 if r == frame.dst {
@@ -1120,7 +1120,7 @@ mod tests {
             rng: &mut SimRng,
         ) -> (Vec<(usize, bool)>, Vec<usize>, Vec<usize>) {
             let idx = self.active.iter().position(|a| a.0 == id).unwrap();
-            let (_, frame, _, corrupted, _, _) = self.active.swap_remove(idx);
+            let (_, frame, end, corrupted, _, _) = self.active.swap_remove(idx);
             let src = frame.src;
             let mut became_idle = Vec::new();
             for r in 0..self.n {
@@ -1144,7 +1144,7 @@ mod tests {
                     continue;
                 }
                 let mut clean = !corrupted[r];
-                if clean && self.loss.drops(src, r, rng) {
+                if clean && self.loss.drops(end, src, r, rng) {
                     clean = false;
                 }
                 if !clean {

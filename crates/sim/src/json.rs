@@ -241,6 +241,24 @@ pub struct JsonError {
     pub message: String,
 }
 
+impl JsonError {
+    /// 1-based `(line, column)` of the failure inside `text` (the same
+    /// document that was parsed). Columns count bytes, which matches
+    /// what an editor shows for the ASCII config files this crate
+    /// reads.
+    pub fn line_col(&self, text: &str) -> (usize, usize) {
+        let at = self.at.min(text.len());
+        let prefix = &text.as_bytes()[..at];
+        let line = 1 + prefix.iter().filter(|&&b| b == b'\n').count();
+        let col = 1 + at
+            - prefix
+                .iter()
+                .rposition(|&b| b == b'\n')
+                .map_or(0, |p| p + 1);
+        (line, col)
+    }
+}
+
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
@@ -487,6 +505,16 @@ mod tests {
         }
         let err = JsonValue::parse("[1, @]").unwrap_err();
         assert_eq!(err.at, 4);
+    }
+
+    #[test]
+    fn errors_locate_line_and_column() {
+        let text = "{\n  \"a\": 1,\n  \"b\": @\n}";
+        let err = JsonValue::parse(text).unwrap_err();
+        assert_eq!(err.line_col(text), (3, 8));
+        let flat = "[1, @]";
+        let err = JsonValue::parse(flat).unwrap_err();
+        assert_eq!(err.line_col(flat), (1, 5));
     }
 
     #[test]

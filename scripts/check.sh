@@ -82,4 +82,26 @@ grep -q '"worst_amplitude_mean"' "$TRACE_TMP/snap.json" \
 cargo run --release -q -p ezflow-bench --bin trace -- telemetry --top=3 "$TEL_JSONL" >/dev/null
 echo "telemetry stream captured $WINDOWS sample windows"
 
+echo "== scenario spec smoke (--spec=scenarios/scenario1.json) =="
+# A committed spec must drive the full parse -> compile -> sweep -> report
+# pipeline and exit 0. time=0.01 simulates ~25 s — past scenario 1's t=5 s
+# flow starts, so the "traffic flowed" check is real, not vacuous.
+# (Shares TRACE_TMP and its EXIT trap.)
+cargo run --release -q -p ezflow-bench --bin experiments -- \
+  --quick --time=0.01 --spec=scenarios/scenario1.json >/dev/null
+echo "scenario1.json ran end-to-end"
+
+echo "== scenario spec schema-error smoke =="
+# A malformed spec must fail loudly: nonzero exit plus a message that
+# points at the offending field, not a panic or a silent zero.
+BAD_SPEC="$TRACE_TMP/bad_spec.json"
+printf '{"name": "bad", "duration_secs": 1, "topology": {"kind": "donut"}}\n' >"$BAD_SPEC"
+if ERR="$(cargo run --release -q -p ezflow-bench --bin experiments -- \
+    --quick --spec="$BAD_SPEC" 2>&1 >/dev/null)"; then
+  echo "schema smoke: malformed spec exited 0"; exit 1
+fi
+echo "$ERR" | grep -q 'topology.kind' \
+  || { echo "schema smoke: error did not name the bad field: $ERR"; exit 1; }
+echo "malformed spec rejected with a pointed message"
+
 echo "all checks passed"

@@ -8,7 +8,7 @@ fn windowed_chain(hops: usize, window: usize, secs: u64) -> Topology {
     let until = Time::from_secs(secs);
     let base = topo::chain(hops, Time::ZERO, until);
     Topology {
-        name: "windowed-chain",
+        name: "windowed-chain".into(),
         positions: base.positions.clone(),
         loss: base.loss.clone(),
         flows: vec![FlowSpec::windowed(
