@@ -21,13 +21,17 @@
 //!   replaced, even when the lists cannot shrink the work.
 //!
 //! Throughput is counted in events **consumed** per wall second —
-//! dispatched plus stale-elided. Elision turns roughly half of all pops
-//! (dead MAC timers) into counter bumps instead of dispatches, so the
-//! dispatched count alone would shrink while the simulation does the
-//! same work; consumed keeps the metric apples-to-apples with the
+//! dispatched plus stale-elided plus keyed-rescheduled. Each term is a
+//! scheduler entry the simulation paid for that earlier generations
+//! dispatched: elision turned dead MAC timers into pop-time counter
+//! bumps, and keyed rescheduling (eager parking) then turned almost all
+//! of *those* into in-place moves that never reach the pop loop at all.
+//! Counting all three keeps the metric apples-to-apples with the
 //! committed PR 4 number, which was measured when every stale timer was
 //! still dispatched. Each run entry also records the scheduled /
-//! dispatched / elided split and the elision ratio.
+//! dispatched / elided / rescheduled split and the stale fraction
+//! (elided over consumed — near zero now that parking removes stale
+//! entries before they ever surface).
 //!
 //! The default mode writes a `"hotpath"` entry (before/after events/s,
 //! the per-run elision accounting, machine info) plus a
@@ -88,6 +92,9 @@ struct Timed {
     dispatched: u64,
     /// Stale timers elided inside the scheduler's pop loop.
     elided: u64,
+    /// Timer entries moved in place by keyed rescheduling — consumed
+    /// without ever reaching the pop loop.
+    rescheduled: u64,
     wall_secs: f64,
     buffer_reuses: u64,
     /// Snapshot JSON, perf zeroed: the deterministic digest.
@@ -95,27 +102,53 @@ struct Timed {
 }
 
 impl Timed {
-    /// Dispatched + elided: every entry the pop loop consumed.
+    /// Dispatched + elided + rescheduled: every scheduler entry the
+    /// simulation consumed, wherever it died.
     fn consumed(&self) -> u64 {
-        self.dispatched + self.elided
+        self.dispatched + self.elided + self.rescheduled
+    }
+
+    /// Fraction of consumed entries that went stale before their instant
+    /// (the turbulence the eager-parking scheduler is built to remove).
+    fn stale_fraction(&self) -> f64 {
+        if self.consumed() > 0 {
+            self.elided as f64 / self.consumed() as f64
+        } else {
+            0.0
+        }
     }
 }
 
 fn timed(label: &str, mut net: Network, until: Time) -> Timed {
     net.run_until(until);
-    let mut snap = net.snapshot(label);
-    snap.perf = PerfSnapshot::zeroed();
-    // Strip the sections telemetry is allowed to add (a no-op on the
-    // telemetry-off runs), so on- and off-digests are comparable.
-    snap.stability = None;
+    // `snapshot_json` serialises the latency histograms from borrows —
+    // the digest epilogue charges the run no per-flow/per-hop clones.
+    let mut doc = net.snapshot_json(label);
+    let scheduled = doc
+        .get("scheduler")
+        .and_then(|s| s.get("scheduled_total"))
+        .and_then(JsonValue::as_u64)
+        .expect("snapshot document has scheduler.scheduled_total");
+    if let JsonValue::Object(fields) = &mut doc {
+        // Zero the perf block (wall-clock noise) and strip the sections
+        // telemetry is allowed to add (a no-op on the telemetry-off
+        // runs), so on- and off-digests are comparable.
+        for (k, v) in fields.iter_mut() {
+            if k == "perf" {
+                *v = PerfSnapshot::zeroed().to_json();
+            }
+        }
+        fields.retain(|(k, _)| k != "stability");
+    }
     Timed {
         label: label.to_string(),
-        scheduled: snap.scheduler.scheduled_total,
+        scheduled,
         dispatched: net.events_processed(),
         elided: net.sched_stale_elided(),
+        rescheduled: net.sched_rescheduled(),
         wall_secs: net.wall_time().as_secs_f64(),
         buffer_reuses: net.buffer_reuses(),
-        digest: snap.to_json().to_compact(),
+        digest: doc.to_compact(),
     }
 }
 
@@ -201,16 +234,12 @@ fn events_per_sec(runs: &[Timed]) -> f64 {
 }
 
 fn run_entry(r: &Timed) -> JsonValue {
-    let ratio = if r.consumed() > 0 {
-        r.elided as f64 / r.consumed() as f64
-    } else {
-        0.0
-    };
     JsonValue::obj(vec![
         ("events_scheduled", (r.scheduled as f64).into()),
         ("events_dispatched", (r.dispatched as f64).into()),
         ("events_elided", (r.elided as f64).into()),
-        ("elision_ratio", ratio.into()),
+        ("events_rescheduled", (r.rescheduled as f64).into()),
+        ("stale_fraction", r.stale_fraction().into()),
         ("wall_secs", r.wall_secs.into()),
         (
             "events_per_sec",
@@ -273,8 +302,16 @@ fn measure(out: &PathBuf, sched: SchedKind) -> std::process::ExitCode {
     eprintln!("grid/dense:      {grid_eps:.0} events/s consumed");
     for r in &runs {
         eprintln!(
-            "  {}: {} dispatched + {} elided of {} scheduled in {:.3} s, {} buffer reuses",
-            r.label, r.dispatched, r.elided, r.scheduled, r.wall_secs, r.buffer_reuses
+            "  {}: {} dispatched + {} elided + {} rescheduled of {} scheduled \
+             in {:.3} s, {} buffer reuses, stale fraction {:.7}",
+            r.label,
+            r.dispatched,
+            r.elided,
+            r.rescheduled,
+            r.scheduled,
+            r.wall_secs,
+            r.buffer_reuses,
+            r.stale_fraction()
         );
     }
 

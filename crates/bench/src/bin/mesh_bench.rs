@@ -125,7 +125,15 @@ fn main() -> std::process::ExitCode {
 
     let mut net = Network::new(ns, &*algo.factory());
     net.run_until(compiled.until);
-    let consumed = net.events_processed() + net.sched_stale_elided();
+    // Consumed = dispatched + stale-elided + keyed-rescheduled: every
+    // scheduler entry paid for, wherever it died (see hotpath_bench).
+    let elided = net.sched_stale_elided();
+    let consumed = net.events_processed() + elided + net.sched_rescheduled();
+    let stale_fraction = if consumed > 0 {
+        elided as f64 / consumed as f64
+    } else {
+        0.0
+    };
     let wall = net.wall_time().as_secs_f64();
     let eps = if wall > 0.0 {
         consumed as f64 / wall
@@ -135,7 +143,11 @@ fn main() -> std::process::ExitCode {
     let (tput, p99, jain) = spec::summarize(&net, &flows, Time::ZERO, compiled.until);
     let rss = peak_rss_bytes();
 
-    eprintln!("  {consumed} events consumed in {wall:.3} s = {eps:.0} events/s");
+    eprintln!(
+        "  {consumed} events consumed in {wall:.3} s = {eps:.0} events/s \
+         (stale fraction {stale_fraction:.7}, arena high water {})",
+        net.arena_high_water()
+    );
     eprintln!(
         "  aggregate throughput {tput:.1} kb/s, e2e p99 {p99:.3} s, Jain min {:.2} (mean {:.2})",
         jain.0, jain.1
@@ -178,6 +190,8 @@ fn main() -> std::process::ExitCode {
             ("flows", (flows.len() as f64).into()),
             ("sim_secs", (compiled.until.as_micros() as f64 / 1e6).into()),
             ("events_consumed", (consumed as f64).into()),
+            ("stale_fraction", stale_fraction.into()),
+            ("arena_high_water", (net.arena_high_water() as f64).into()),
             ("wall_secs", wall.into()),
             ("events_per_sec", eps.into()),
             ("min_events_per_sec_budget", MIN_EVENTS_PER_SEC.into()),

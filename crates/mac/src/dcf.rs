@@ -24,7 +24,7 @@
 //!                              ... until max_attempts -> drop
 //! ```
 
-use ezflow_phy::{Frame, FrameKind};
+use ezflow_phy::{Frame, FrameArena, FrameId, FrameKind};
 use ezflow_sim::{Duration, SimRng, Time};
 
 use crate::config::MacConfig;
@@ -36,8 +36,9 @@ pub enum MacInput {
     /// [`Mac::is_idle`] is true. `queue` identifies which transmit queue it
     /// came from so completions can be attributed.
     Enqueue {
-        /// The frame to send (hop addressing already set).
-        frame: Frame,
+        /// Arena handle of the frame to send (hop addressing already set).
+        /// Ownership moves to the MAC until a terminal completion.
+        frame: FrameId,
         /// Opaque queue tag echoed back in completions.
         queue: usize,
     },
@@ -60,25 +61,27 @@ pub enum MacInput {
         /// Whether the carrier is busy now that our own energy is gone.
         medium_busy: bool,
     },
-    /// A clean data frame addressed to this node arrived.
+    /// A clean data frame addressed to this node arrived. The MAC takes
+    /// ownership of the handle: it either re-emits it as
+    /// [`MacOutput::Deliver`] or releases it (duplicate).
     RxData {
-        /// The received frame.
-        frame: Frame,
+        /// Arena handle of the received frame.
+        frame: FrameId,
     },
-    /// A clean ACK addressed to this node arrived.
+    /// A clean ACK addressed to this node arrived (released by the MAC).
     RxAck {
-        /// The received ACK.
-        frame: Frame,
+        /// Arena handle of the received ACK.
+        frame: FrameId,
     },
-    /// A clean RTS addressed to this node arrived.
+    /// A clean RTS addressed to this node arrived (released by the MAC).
     RxRts {
-        /// The received RTS.
-        frame: Frame,
+        /// Arena handle of the received RTS.
+        frame: FrameId,
     },
-    /// A clean CTS addressed to this node arrived.
+    /// A clean CTS addressed to this node arrived (released by the MAC).
     RxCts {
-        /// The received CTS.
-        frame: Frame,
+        /// Arena handle of the received CTS.
+        frame: FrameId,
     },
     /// An overheard RTS/CTS reserved the medium (virtual carrier sense):
     /// treat it as busy until `until`.
@@ -118,9 +121,11 @@ pub struct TxAttempt {
 #[derive(Clone, Debug)]
 pub enum MacOutput {
     /// Put `frame` on the air for `air` time, then report `TxEnded`.
+    /// The handle is a fresh per-attempt copy owned by the caller; the
+    /// engine releases it when the transmission's fan-out completes.
     StartTx {
-        /// Frame to transmit.
-        frame: Frame,
+        /// Arena handle of the frame to transmit.
+        frame: FrameId,
         /// Air time (PLCP + serialization).
         air: Duration,
         /// Attempt metadata for contended (data/RTS) transmissions;
@@ -150,8 +155,9 @@ pub enum MacOutput {
     /// The frame was acknowledged. The moment the packet verifiably sits in
     /// the successor's queue — the BOE's "transmission of packet p" hook.
     TxSuccess {
-        /// The acknowledged frame.
-        frame: Frame,
+        /// Arena handle of the acknowledged frame; ownership returns to
+        /// the caller, which releases it after its bookkeeping.
+        frame: FrameId,
         /// Queue tag from `Enqueue`.
         queue: usize,
         /// Attempts used (1 = first try).
@@ -159,8 +165,9 @@ pub enum MacOutput {
     },
     /// The frame exhausted its retries and was dropped.
     TxDropped {
-        /// The dropped frame.
-        frame: Frame,
+        /// Arena handle of the dropped frame; ownership returns to the
+        /// caller, which releases it after its bookkeeping.
+        frame: FrameId,
         /// Queue tag from `Enqueue`.
         queue: usize,
         /// Attempts used.
@@ -169,8 +176,9 @@ pub enum MacOutput {
     /// A new (non-duplicate) data frame addressed to this node arrived;
     /// forward or consume it.
     Deliver {
-        /// The received frame.
-        frame: Frame,
+        /// Arena handle of the received frame; ownership moves to the
+        /// caller (forward, consume at the sink, or release).
+        frame: FrameId,
     },
     /// The MAC just became idle; the network layer may enqueue the next
     /// frame.
@@ -241,9 +249,11 @@ enum Phase {
     WaitAck,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 struct Current {
-    frame: Frame,
+    /// Arena handle of the frame being worked; the MAC owns it from
+    /// `Enqueue` until `TxSuccess`/`TxDropped` hands it back.
+    frame: FrameId,
     queue: usize,
     /// 0-based attempt counter.
     attempt: u32,
@@ -278,7 +288,7 @@ pub struct Mac {
     current_ifs: Duration,
     tx_epoch: u64,
     ack_epoch: u64,
-    ack_job: Option<Frame>,
+    ack_job: Option<FrameId>,
     /// Per-sender id of the last received frame, for duplicate filtering.
     /// A tiny association list, not a hash map: a node hears at most a
     /// handful of senders, and the linear probe beats hashing on every
@@ -335,6 +345,13 @@ impl Mac {
         self.stats
     }
 
+    /// Number of arena frames this MAC currently owns (the in-flight data
+    /// frame and any pending ACK/CTS job) — the MAC's contribution to the
+    /// engine's arena leak audit.
+    pub fn held_frames(&self) -> usize {
+        usize::from(self.cur.is_some()) + usize::from(self.ack_job.is_some())
+    }
+
     /// Current tx-path epoch token. A pending [`MacInput::TimerTxPath`]
     /// carrying an older epoch is dead: the scheduler's pop-time elision
     /// hook compares against this to drop it without dispatching.
@@ -351,9 +368,15 @@ impl Mac {
     ///
     /// Allocating convenience wrapper around [`Mac::input_into`]. (An input
     /// with no outputs still costs nothing: `Vec::new` does not allocate.)
-    pub fn input(&mut self, now: Time, input: MacInput, rng: &mut SimRng) -> Vec<MacOutput> {
+    pub fn input(
+        &mut self,
+        now: Time,
+        input: MacInput,
+        rng: &mut SimRng,
+        arena: &mut FrameArena,
+    ) -> Vec<MacOutput> {
         let mut out = Vec::new();
-        self.input_into(now, input, rng, &mut out);
+        self.input_into(now, input, rng, arena, &mut out);
         out
     }
 
@@ -368,19 +391,20 @@ impl Mac {
         now: Time,
         input: MacInput,
         rng: &mut SimRng,
+        arena: &mut FrameArena,
         out: &mut Vec<MacOutput>,
     ) {
         match input {
             MacInput::Enqueue { frame, queue } => self.on_enqueue(now, frame, queue, rng, out),
             MacInput::MediumBusy => self.on_medium_busy(now),
             MacInput::MediumIdle => self.on_medium_idle(now, out),
-            MacInput::TimerTxPath { epoch } => self.on_timer_tx(now, epoch, rng, out),
-            MacInput::TimerAckJob { epoch } => self.on_timer_ack(now, epoch, out),
+            MacInput::TimerTxPath { epoch } => self.on_timer_tx(now, epoch, rng, arena, out),
+            MacInput::TimerAckJob { epoch } => self.on_timer_ack(now, epoch, arena, out),
             MacInput::TxEnded { medium_busy } => self.on_tx_ended(now, medium_busy, out),
-            MacInput::RxData { frame } => self.on_rx_data(now, frame, out),
-            MacInput::RxAck { frame } => self.on_rx_ack(now, frame, rng, out),
-            MacInput::RxRts { frame } => self.on_rx_rts(frame, out),
-            MacInput::RxCts { frame } => self.on_rx_cts(frame, out),
+            MacInput::RxData { frame } => self.on_rx_data(now, frame, arena, out),
+            MacInput::RxAck { frame } => self.on_rx_ack(now, frame, rng, arena, out),
+            MacInput::RxRts { frame } => self.on_rx_rts(frame, arena, out),
+            MacInput::RxCts { frame } => self.on_rx_cts(frame, arena, out),
             MacInput::NavSet { until } => self.on_nav_set(now, until, out),
             MacInput::TimerNav => self.on_timer_nav(now, out),
             MacInput::EifsMark => self.eifs_mark(),
@@ -483,7 +507,7 @@ impl Mac {
     fn on_enqueue(
         &mut self,
         now: Time,
-        frame: Frame,
+        frame: FrameId,
         queue: usize,
         rng: &mut SimRng,
         out: &mut Vec<MacOutput>,
@@ -558,7 +582,14 @@ impl Mac {
         }
     }
 
-    fn on_timer_tx(&mut self, now: Time, epoch: u64, rng: &mut SimRng, out: &mut Vec<MacOutput>) {
+    fn on_timer_tx(
+        &mut self,
+        now: Time,
+        epoch: u64,
+        rng: &mut SimRng,
+        arena: &mut FrameArena,
+        out: &mut Vec<MacOutput>,
+    ) {
         if epoch != self.tx_epoch {
             self.stats.stale_epochs += 1;
             return; // stale
@@ -572,7 +603,10 @@ impl Mac {
                 self.countdown_from = None;
                 let cur = self.cur.as_mut().expect("contend without frame");
                 cur.slots_left = 0;
-                let mut frame = cur.frame.clone();
+                // The MAC keeps its handle for further retries; what goes
+                // on the air is a per-attempt arena copy with the retry
+                // bit stamped.
+                let mut frame = *arena.get(cur.frame);
                 frame.retry = cur.attempt > 0;
                 let info = Some(TxAttempt {
                     attempt: cur.attempt,
@@ -590,7 +624,7 @@ impl Mac {
                     self.stats.rts_sent += 1;
                     let air = self.cfg.rts_air();
                     out.push(MacOutput::StartTx {
-                        frame: rts,
+                        frame: arena.alloc(rts),
                         air,
                         info,
                     });
@@ -600,7 +634,11 @@ impl Mac {
                     self.txing_kind = Some(FrameKind::Data);
                     self.stats.tx_attempts += 1;
                     let air = self.cfg.data_air(frame.payload_bytes);
-                    out.push(MacOutput::StartTx { frame, air, info });
+                    out.push(MacOutput::StartTx {
+                        frame: arena.alloc(frame),
+                        air,
+                        info,
+                    });
                 }
             }
             Phase::PostBackoff => {
@@ -627,7 +665,7 @@ impl Mac {
                 // SIFS elapsed after the CTS: send the data frame
                 // unconditionally (SIFS-priority, no carrier sense).
                 let cur = self.cur.as_mut().expect("sifsdata without frame");
-                let mut frame = cur.frame.clone();
+                let mut frame = *arena.get(cur.frame);
                 frame.retry = cur.attempt > 0;
                 let info = Some(TxAttempt {
                     attempt: cur.attempt,
@@ -639,7 +677,11 @@ impl Mac {
                 self.txing_kind = Some(FrameKind::Data);
                 self.stats.tx_attempts += 1;
                 let air = self.cfg.data_air(frame.payload_bytes);
-                out.push(MacOutput::StartTx { frame, air, info });
+                out.push(MacOutput::StartTx {
+                    frame: arena.alloc(frame),
+                    air,
+                    info,
+                });
             }
             _ => {}
         }
@@ -680,7 +722,13 @@ impl Mac {
         }
     }
 
-    fn on_timer_ack(&mut self, now: Time, epoch: u64, out: &mut Vec<MacOutput>) {
+    fn on_timer_ack(
+        &mut self,
+        now: Time,
+        epoch: u64,
+        arena: &mut FrameArena,
+        out: &mut Vec<MacOutput>,
+    ) {
         if epoch != self.ack_epoch {
             self.stats.stale_epochs += 1;
             return;
@@ -691,15 +739,17 @@ impl Mac {
         if self.radio_busy {
             // Cannot happen under DCF timing (SIFS < DIFS); tolerate it.
             self.stats.acks_suppressed += 1;
+            arena.release(ack);
             return;
         }
         // Our own transmission freezes the data-path countdown.
         if self.counting_phase() {
             self.freeze_countdown(now);
         }
+        let kind = arena.get(ack).kind;
         self.radio_busy = true;
-        self.txing_kind = Some(ack.kind);
-        let air = match ack.kind {
+        self.txing_kind = Some(kind);
+        let air = match kind {
             FrameKind::Cts => {
                 self.stats.cts_sent += 1;
                 self.cfg.cts_air()
@@ -748,16 +798,24 @@ impl Mac {
         }
     }
 
-    fn on_rx_data(&mut self, _now: Time, frame: Frame, out: &mut Vec<MacOutput>) {
-        debug_assert_eq!(frame.dst, self.node);
-        debug_assert!(frame.is_data());
+    fn on_rx_data(
+        &mut self,
+        _now: Time,
+        frame: FrameId,
+        arena: &mut FrameArena,
+        out: &mut Vec<MacOutput>,
+    ) {
+        let f = *arena.get(frame);
+        debug_assert_eq!(f.dst, self.node);
+        debug_assert!(f.is_data());
         // Always (re-)acknowledge after SIFS, even for duplicates.
-        if self.ack_job.is_some() {
+        if let Some(old) = self.ack_job.take() {
             // Two clean overlapping receptions are impossible; if the
             // network layer ever produces this, prefer the newest.
             self.stats.acks_suppressed += 1;
+            arena.release(old);
         }
-        self.ack_job = Some(Frame::ack_for(&frame));
+        self.ack_job = Some(arena.alloc(Frame::ack_for(&f)));
         self.ack_epoch += 1;
         out.push(MacOutput::SetTimerAckJob {
             after: self.cfg.sifs,
@@ -765,24 +823,34 @@ impl Mac {
         });
         // Duplicate filtering: a retry repeats the most recent id from that
         // sender (per-link FIFO makes equality sufficient).
-        match self.last_rx.iter_mut().find(|(src, _)| *src == frame.src) {
-            Some((_, seq)) if *seq == frame.seq => {
+        match self.last_rx.iter_mut().find(|(src, _)| *src == f.src) {
+            Some((_, seq)) if *seq == f.seq => {
                 self.stats.dup_rx += 1;
+                arena.release(frame);
                 return;
             }
-            Some((_, seq)) => *seq = frame.seq,
-            None => self.last_rx.push((frame.src, frame.seq)),
+            Some((_, seq)) => *seq = f.seq,
+            None => self.last_rx.push((f.src, f.seq)),
         }
         self.stats.delivered += 1;
         out.push(MacOutput::Deliver { frame });
     }
 
-    fn on_rx_ack(&mut self, now: Time, frame: Frame, rng: &mut SimRng, out: &mut Vec<MacOutput>) {
+    fn on_rx_ack(
+        &mut self,
+        now: Time,
+        frame: FrameId,
+        rng: &mut SimRng,
+        arena: &mut FrameArena,
+        out: &mut Vec<MacOutput>,
+    ) {
+        // An ACK terminates at its receiver either way: copy, release.
+        let ack = arena.release(frame);
         let matches = self.phase == Phase::WaitAck
-            && self
-                .cur
-                .as_ref()
-                .is_some_and(|c| c.frame.seq == frame.seq && frame.src == c.frame.dst);
+            && self.cur.as_ref().is_some_and(|c| {
+                let cf = arena.get(c.frame);
+                cf.seq == ack.seq && ack.src == cf.dst
+            });
         if !matches {
             self.stats.spurious_ack += 1;
             return;
@@ -799,7 +867,8 @@ impl Mac {
         out.push(MacOutput::NeedFrame);
     }
 
-    fn on_rx_rts(&mut self, frame: Frame, out: &mut Vec<MacOutput>) {
+    fn on_rx_rts(&mut self, frame: FrameId, arena: &mut FrameArena, out: &mut Vec<MacOutput>) {
+        let frame = arena.release(frame);
         debug_assert_eq!(frame.dst, self.node);
         // Answer with a CTS after SIFS, reserving the rest of the
         // handshake. As in the standard, the CTS duration is derived from
@@ -813,10 +882,11 @@ impl Mac {
                 .nav_micros
                 .saturating_sub((self.cfg.sifs + self.cfg.cts_air()).as_micros()),
         );
-        if self.ack_job.is_some() {
+        if let Some(old) = self.ack_job.take() {
             self.stats.acks_suppressed += 1;
+            arena.release(old);
         }
-        self.ack_job = Some(Frame::cts_for(&frame, nav.as_micros()));
+        self.ack_job = Some(arena.alloc(Frame::cts_for(&frame, nav.as_micros())));
         self.ack_epoch += 1;
         out.push(MacOutput::SetTimerAckJob {
             after: self.cfg.sifs,
@@ -824,12 +894,14 @@ impl Mac {
         });
     }
 
-    fn on_rx_cts(&mut self, frame: Frame, out: &mut Vec<MacOutput>) {
+    fn on_rx_cts(&mut self, frame: FrameId, arena: &mut FrameArena, out: &mut Vec<MacOutput>) {
+        // A CTS terminates at its receiver either way: copy, release.
+        let cts = arena.release(frame);
         let matches = self.phase == Phase::WaitCts
-            && self
-                .cur
-                .as_ref()
-                .is_some_and(|c| c.frame.seq == frame.seq && frame.src == c.frame.dst);
+            && self.cur.as_ref().is_some_and(|c| {
+                let cf = arena.get(c.frame);
+                cf.seq == cts.seq && cts.src == cf.dst
+            });
         if !matches {
             self.stats.spurious_ack += 1;
             return;
@@ -885,11 +957,17 @@ mod tests {
 
     /// A MAC with cw_min = 1 always draws 0 backoff slots, making timer
     /// delays exact and tests deterministic.
-    fn det_mac(node: usize) -> (Mac, SimRng) {
+    fn det_mac(node: usize) -> (Mac, SimRng, FrameArena) {
         let mut mac = Mac::new(node, MacConfig::default());
         let mut rng = SimRng::new(99);
-        mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 1 }, &mut rng);
-        (mac, rng)
+        let mut arena = FrameArena::new();
+        mac.input(
+            Time::ZERO,
+            MacInput::SetCwMin { cw_min: 1 },
+            &mut rng,
+            &mut arena,
+        );
+        (mac, rng, arena)
     }
 
     fn timer_delay(out: &[MacOutput]) -> (Duration, u64) {
@@ -903,28 +981,34 @@ mod tests {
 
     #[test]
     fn happy_path_tx_cycle() {
-        let (mut mac, mut rng) = det_mac(0);
+        let (mut mac, mut rng, mut arena) = det_mac(0);
         assert!(mac.is_idle());
 
         // Enqueue on an idle medium: DIFS + 0 slots.
         let out = mac.input(
             t(0),
             MacInput::Enqueue {
-                frame: data(1, 0, 1),
+                frame: arena.alloc(data(1, 0, 1)),
                 queue: 0,
             },
             &mut rng,
+            &mut arena,
         );
         let (after, epoch) = timer_delay(&out);
         assert_eq!(after, Duration::from_micros(DIFS));
         assert!(!mac.is_idle());
 
         // Backoff completes: frame goes on the air.
-        let out = mac.input(t(DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+        let out = mac.input(
+            t(DIFS),
+            MacInput::TimerTxPath { epoch },
+            &mut rng,
+            &mut arena,
+        );
         let air = match &out[0] {
             MacOutput::StartTx { frame, air, .. } => {
-                assert_eq!(frame.seq, 1);
-                assert!(!frame.retry);
+                assert_eq!(arena.get(*frame).seq, 1);
+                assert!(!arena.get(*frame).retry);
                 *air
             }
             o => panic!("expected StartTx, got {o:?}"),
@@ -937,16 +1021,18 @@ mod tests {
             t(end.as_micros()),
             MacInput::TxEnded { medium_busy: false },
             &mut rng,
+            &mut arena,
         );
         let (after, _epoch2) = timer_delay(&out);
         assert_eq!(after, Duration::from_micros(SIFS + 304 + SLOT));
 
         // ACK arrives in time.
-        let ack = Frame::ack_for(&data(1, 0, 1));
+        let ack = arena.alloc(Frame::ack_for(&data(1, 0, 1)));
         let out = mac.input(
             end + Duration::from_micros(SIFS + 304),
             MacInput::RxAck { frame: ack },
             &mut rng,
+            &mut arena,
         );
         assert!(out
             .iter()
@@ -964,20 +1050,27 @@ mod tests {
     fn backoff_freezes_and_resumes_with_remaining_slots() {
         let mut mac = Mac::new(0, MacConfig::default());
         let mut rng = SimRng::new(7);
-        mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 16 }, &mut rng);
+        let mut arena = FrameArena::new();
+        mac.input(
+            Time::ZERO,
+            MacInput::SetCwMin { cw_min: 16 },
+            &mut rng,
+            &mut arena,
+        );
         // Enqueue while the medium is busy: a random backoff is drawn
         // (immediate access does not apply).
-        mac.input(t(0), MacInput::MediumBusy, &mut rng);
+        mac.input(t(0), MacInput::MediumBusy, &mut rng, &mut arena);
         let out = mac.input(
             t(0),
             MacInput::Enqueue {
-                frame: data(1, 0, 1),
+                frame: arena.alloc(data(1, 0, 1)),
                 queue: 0,
             },
             &mut rng,
+            &mut arena,
         );
         assert!(out.is_empty());
-        let out = mac.input(t(0), MacInput::MediumIdle, &mut rng);
+        let out = mac.input(t(0), MacInput::MediumIdle, &mut rng, &mut arena);
         let (after, _) = timer_delay(&out);
         let total_slots = (after.as_micros() - DIFS) / SLOT;
 
@@ -987,9 +1080,9 @@ mod tests {
             total_slots >= 3,
             "need >= 3 slots for this test, redraw seed"
         );
-        mac.input(t(busy_at), MacInput::MediumBusy, &mut rng);
+        mac.input(t(busy_at), MacInput::MediumBusy, &mut rng, &mut arena);
         // Idle again later: remaining = total - 2 (the half slot is lost).
-        let out = mac.input(t(1000), MacInput::MediumIdle, &mut rng);
+        let out = mac.input(t(1000), MacInput::MediumIdle, &mut rng, &mut arena);
         let (after2, _) = timer_delay(&out);
         let remaining = (after2.as_micros() - DIFS) / SLOT;
         assert_eq!(remaining, total_slots - 2);
@@ -997,59 +1090,72 @@ mod tests {
 
     #[test]
     fn busy_during_difs_consumes_nothing() {
-        let (mut mac, mut rng) = det_mac(0);
+        let (mut mac, mut rng, mut arena) = det_mac(0);
         let out = mac.input(
             t(0),
             MacInput::Enqueue {
-                frame: data(1, 0, 1),
+                frame: arena.alloc(data(1, 0, 1)),
                 queue: 0,
             },
             &mut rng,
+            &mut arena,
         );
         let (after, _) = timer_delay(&out);
         assert_eq!(after.as_micros(), DIFS);
-        mac.input(t(20), MacInput::MediumBusy, &mut rng); // mid-DIFS
-        let out = mac.input(t(500), MacInput::MediumIdle, &mut rng);
+        mac.input(t(20), MacInput::MediumBusy, &mut rng, &mut arena); // mid-DIFS
+        let out = mac.input(t(500), MacInput::MediumIdle, &mut rng, &mut arena);
         let (after2, _) = timer_delay(&out);
         assert_eq!(after2.as_micros(), DIFS, "DIFS restarts in full");
     }
 
     #[test]
     fn stale_timer_is_ignored() {
-        let (mut mac, mut rng) = det_mac(0);
+        let (mut mac, mut rng, mut arena) = det_mac(0);
         let out = mac.input(
             t(0),
             MacInput::Enqueue {
-                frame: data(1, 0, 1),
+                frame: arena.alloc(data(1, 0, 1)),
                 queue: 0,
             },
             &mut rng,
+            &mut arena,
         );
         let (_, epoch) = timer_delay(&out);
-        mac.input(t(10), MacInput::MediumBusy, &mut rng); // invalidates
-        let out = mac.input(t(DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+        mac.input(t(10), MacInput::MediumBusy, &mut rng, &mut arena); // invalidates
+        let out = mac.input(
+            t(DIFS),
+            MacInput::TimerTxPath { epoch },
+            &mut rng,
+            &mut arena,
+        );
         assert!(out.is_empty(), "stale timer must do nothing, got {out:?}");
         assert_eq!(mac.stats().tx_attempts, 0);
     }
 
     #[test]
     fn ack_timeout_retries_then_drops() {
-        let (mut mac, mut rng) = det_mac(0);
+        let (mut mac, mut rng, mut arena) = det_mac(0);
         let max = MacConfig::default().max_attempts;
         let mut now = 0u64;
         let out = mac.input(
             t(now),
             MacInput::Enqueue {
-                frame: data(5, 0, 1),
+                frame: arena.alloc(data(5, 0, 1)),
                 queue: 3,
             },
             &mut rng,
+            &mut arena,
         );
         let (mut after, mut epoch) = timer_delay(&out);
         let mut attempts_seen = 0;
         let dropped = loop {
             now += after.as_micros();
-            let out = mac.input(t(now), MacInput::TimerTxPath { epoch }, &mut rng);
+            let out = mac.input(
+                t(now),
+                MacInput::TimerTxPath { epoch },
+                &mut rng,
+                &mut arena,
+            );
             if let Some((queue, attempts)) = out.iter().find_map(|o| match o {
                 MacOutput::TxDropped {
                     queue, attempts, ..
@@ -1064,7 +1170,7 @@ mod tests {
             if let Some(air) = out.iter().find_map(|o| match o {
                 MacOutput::StartTx { frame, air, .. } => {
                     if attempts_seen > 0 {
-                        assert!(frame.retry, "retries must set the retry flag");
+                        assert!(arena.get(*frame).retry, "retries must set the retry flag");
                     }
                     Some(*air)
                 }
@@ -1072,7 +1178,12 @@ mod tests {
             }) {
                 attempts_seen += 1;
                 now += air.as_micros();
-                let out = mac.input(t(now), MacInput::TxEnded { medium_busy: false }, &mut rng);
+                let out = mac.input(
+                    t(now),
+                    MacInput::TxEnded { medium_busy: false },
+                    &mut rng,
+                    &mut arena,
+                );
                 let (a, e) = timer_delay(&out);
                 after = a;
                 epoch = e;
@@ -1095,9 +1206,16 @@ mod tests {
 
     #[test]
     fn receiver_acks_and_delivers_then_filters_duplicate() {
-        let (mut mac, mut rng) = det_mac(1);
+        let (mut mac, mut rng, mut arena) = det_mac(1);
         let f = data(9, 0, 1);
-        let out = mac.input(t(100), MacInput::RxData { frame: f.clone() }, &mut rng);
+        let out = mac.input(
+            t(100),
+            MacInput::RxData {
+                frame: arena.alloc(f),
+            },
+            &mut rng,
+            &mut arena,
+        );
         // ACK armed at SIFS, frame delivered.
         let ack_epoch = out
             .iter()
@@ -1111,18 +1229,20 @@ mod tests {
             .expect("ack timer");
         assert!(out
             .iter()
-            .any(|o| matches!(o, MacOutput::Deliver { frame } if frame.seq == 9)));
+            .any(|o| matches!(o, MacOutput::Deliver { frame } if arena.get(*frame).seq == 9)));
 
         let out = mac.input(
             t(100 + SIFS),
             MacInput::TimerAckJob { epoch: ack_epoch },
             &mut rng,
+            &mut arena,
         );
         match &out[0] {
             MacOutput::StartTx { frame, air, .. } => {
-                assert_eq!(frame.kind, FrameKind::Ack);
-                assert_eq!(frame.dst, 0);
-                assert_eq!(frame.seq, 9);
+                let ack = arena.get(*frame);
+                assert_eq!(ack.kind, FrameKind::Ack);
+                assert_eq!(ack.dst, 0);
+                assert_eq!(ack.seq, 9);
                 assert_eq!(*air, Duration::from_micros(304));
             }
             o => panic!("expected ack StartTx, got {o:?}"),
@@ -1131,12 +1251,20 @@ mod tests {
             t(100 + SIFS + 304),
             MacInput::TxEnded { medium_busy: false },
             &mut rng,
+            &mut arena,
         );
 
         // Duplicate (retry) arrives: re-ACK, no second Deliver.
         let mut dup = f;
         dup.retry = true;
-        let out = mac.input(t(10_000), MacInput::RxData { frame: dup }, &mut rng);
+        let out = mac.input(
+            t(10_000),
+            MacInput::RxData {
+                frame: arena.alloc(dup),
+            },
+            &mut rng,
+            &mut arena,
+        );
         assert!(
             !out.iter().any(|o| matches!(o, MacOutput::Deliver { .. })),
             "duplicate must not be delivered"
@@ -1152,35 +1280,43 @@ mod tests {
     fn own_ack_transmission_freezes_data_countdown() {
         let mut mac = Mac::new(1, MacConfig::default());
         let mut rng = SimRng::new(3);
-        mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 64 }, &mut rng);
+        let mut arena = FrameArena::new();
+        mac.input(
+            Time::ZERO,
+            MacInput::SetCwMin { cw_min: 64 },
+            &mut rng,
+            &mut arena,
+        );
         // Contending with a data frame (enqueued under a busy medium so a
         // random backoff is drawn)...
-        mac.input(t(0), MacInput::MediumBusy, &mut rng);
+        mac.input(t(0), MacInput::MediumBusy, &mut rng, &mut arena);
         let out = mac.input(
             t(0),
             MacInput::Enqueue {
-                frame: data(2, 1, 2),
+                frame: arena.alloc(data(2, 1, 2)),
                 queue: 0,
             },
             &mut rng,
+            &mut arena,
         );
         assert!(out.is_empty());
-        let out = mac.input(t(0), MacInput::MediumIdle, &mut rng);
+        let out = mac.input(t(0), MacInput::MediumIdle, &mut rng, &mut arena);
         let (after, _) = timer_delay(&out);
         let total_slots = (after.as_micros() - DIFS) / SLOT;
         assert!(total_slots >= 2, "redraw seed: need >= 2 slots");
 
         // ...the medium goes busy (incoming frame), which freezes us mid-run.
         let busy_at = DIFS + SLOT + 5; // one full slot elapsed
-        mac.input(t(busy_at), MacInput::MediumBusy, &mut rng);
+        mac.input(t(busy_at), MacInput::MediumBusy, &mut rng, &mut arena);
         // The incoming frame is for us; it ends and the medium goes idle.
         let rx_end = busy_at + 8416;
         let out = mac.input(
             t(rx_end),
             MacInput::RxData {
-                frame: data(7, 0, 1),
+                frame: arena.alloc(data(7, 0, 1)),
             },
             &mut rng,
+            &mut arena,
         );
         let ack_epoch = out
             .iter()
@@ -1189,7 +1325,7 @@ mod tests {
                 _ => None,
             })
             .unwrap();
-        let out = mac.input(t(rx_end), MacInput::MediumIdle, &mut rng);
+        let out = mac.input(t(rx_end), MacInput::MediumIdle, &mut rng, &mut arena);
         let (resume_after, _) = timer_delay(&out);
         assert_eq!(
             (resume_after.as_micros() - DIFS) / SLOT,
@@ -1203,10 +1339,16 @@ mod tests {
             t(rx_end + SIFS),
             MacInput::TimerAckJob { epoch: ack_epoch },
             &mut rng,
+            &mut arena,
         );
         assert!(matches!(out[0], MacOutput::StartTx { .. }));
         // While radio-busy a medium-idle input must not start a countdown.
-        let out = mac.input(t(rx_end + SIFS + 1), MacInput::MediumIdle, &mut rng);
+        let out = mac.input(
+            t(rx_end + SIFS + 1),
+            MacInput::MediumIdle,
+            &mut rng,
+            &mut arena,
+        );
         assert!(out.is_empty());
         // ACK done: countdown resumes with the same remaining slots.
         let ack_done = rx_end + SIFS + 304;
@@ -1214,6 +1356,7 @@ mod tests {
             t(ack_done),
             MacInput::TxEnded { medium_busy: false },
             &mut rng,
+            &mut arena,
         );
         let (resume2, _) = timer_delay(&out);
         assert_eq!((resume2.as_micros() - DIFS) / SLOT, total_slots - 1);
@@ -1221,26 +1364,32 @@ mod tests {
 
     #[test]
     fn spurious_ack_is_counted_not_acted_on() {
-        let (mut mac, mut rng) = det_mac(0);
-        let ack = Frame::ack_for(&data(77, 0, 1));
-        let out = mac.input(t(5), MacInput::RxAck { frame: ack }, &mut rng);
+        let (mut mac, mut rng, mut arena) = det_mac(0);
+        let ack = arena.alloc(Frame::ack_for(&data(77, 0, 1)));
+        let out = mac.input(t(5), MacInput::RxAck { frame: ack }, &mut rng, &mut arena);
         assert!(out.is_empty());
         assert_eq!(mac.stats().spurious_ack, 1);
     }
 
     #[test]
     fn ack_for_wrong_seq_does_not_complete() {
-        let (mut mac, mut rng) = det_mac(0);
+        let (mut mac, mut rng, mut arena) = det_mac(0);
         let out = mac.input(
             t(0),
             MacInput::Enqueue {
-                frame: data(1, 0, 1),
+                frame: arena.alloc(data(1, 0, 1)),
                 queue: 0,
             },
             &mut rng,
+            &mut arena,
         );
         let (_, epoch) = timer_delay(&out);
-        let out = mac.input(t(DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+        let out = mac.input(
+            t(DIFS),
+            MacInput::TimerTxPath { epoch },
+            &mut rng,
+            &mut arena,
+        );
         let air = match &out[0] {
             MacOutput::StartTx { air, .. } => *air,
             _ => panic!(),
@@ -1249,12 +1398,14 @@ mod tests {
             t(DIFS) + air,
             MacInput::TxEnded { medium_busy: false },
             &mut rng,
+            &mut arena,
         );
-        let wrong = Frame::ack_for(&data(2, 0, 1));
+        let wrong = arena.alloc(Frame::ack_for(&data(2, 0, 1)));
         let out = mac.input(
             t(DIFS) + air + Duration::from_micros(100),
             MacInput::RxAck { frame: wrong },
             &mut rng,
+            &mut arena,
         );
         assert!(out.is_empty());
         assert!(!mac.is_idle(), "still waiting for the right ACK");
@@ -1262,18 +1413,19 @@ mod tests {
 
     #[test]
     fn enqueue_while_medium_busy_defers() {
-        let (mut mac, mut rng) = det_mac(0);
-        mac.input(t(0), MacInput::MediumBusy, &mut rng);
+        let (mut mac, mut rng, mut arena) = det_mac(0);
+        mac.input(t(0), MacInput::MediumBusy, &mut rng, &mut arena);
         let out = mac.input(
             t(5),
             MacInput::Enqueue {
-                frame: data(1, 0, 1),
+                frame: arena.alloc(data(1, 0, 1)),
                 queue: 0,
             },
             &mut rng,
+            &mut arena,
         );
         assert!(out.is_empty(), "no timer while busy");
-        let out = mac.input(t(500), MacInput::MediumIdle, &mut rng);
+        let out = mac.input(t(500), MacInput::MediumIdle, &mut rng, &mut arena);
         let (after, _) = timer_delay(&out);
         assert_eq!(after.as_micros(), DIFS);
     }
@@ -1282,30 +1434,42 @@ mod tests {
     fn cw_min_change_applies_to_next_draw() {
         let mut mac = Mac::new(0, MacConfig::default());
         let mut rng = SimRng::new(11);
+        let mut arena = FrameArena::new();
         // Pin to a huge window: delays must exceed DIFS + 100 slots with
         // overwhelming probability over a few draws.
-        mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 32768 }, &mut rng);
+        mac.input(
+            Time::ZERO,
+            MacInput::SetCwMin { cw_min: 32768 },
+            &mut rng,
+            &mut arena,
+        );
         let mut big = 0;
         for i in 0..5 {
             // Enqueue under a busy medium so a random backoff is drawn.
-            mac.input(t(i * 1_000_000), MacInput::MediumBusy, &mut rng);
+            mac.input(t(i * 1_000_000), MacInput::MediumBusy, &mut rng, &mut arena);
             let out = mac.input(
                 t(i * 1_000_000),
                 MacInput::Enqueue {
-                    frame: data(i, 0, 1),
+                    frame: arena.alloc(data(i, 0, 1)),
                     queue: 0,
                 },
                 &mut rng,
+                &mut arena,
             );
             assert!(out.is_empty());
-            let out = mac.input(t(i * 1_000_000), MacInput::MediumIdle, &mut rng);
+            let out = mac.input(t(i * 1_000_000), MacInput::MediumIdle, &mut rng, &mut arena);
             let (after, _epoch) = timer_delay(&out);
             if after.as_micros() > DIFS + 100 * SLOT {
                 big += 1;
             }
             // Rebuild the MAC each round to abort the attempt cleanly.
             mac = Mac::new(0, MacConfig::default());
-            mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 32768 }, &mut rng);
+            mac.input(
+                Time::ZERO,
+                MacInput::SetCwMin { cw_min: 32768 },
+                &mut rng,
+                &mut arena,
+            );
         }
         assert!(big >= 4, "32768-slot windows should draw large backoffs");
     }

@@ -2,7 +2,7 @@
 //! extended inter-frame space instead of DIFS.
 
 use ezflow_mac::{Mac, MacConfig, MacInput, MacOutput};
-use ezflow_phy::Frame;
+use ezflow_phy::{Frame, FrameArena};
 use ezflow_sim::{SimRng, Time};
 
 const DIFS: u64 = 50;
@@ -12,15 +12,21 @@ fn t(us: u64) -> Time {
     Time::from_micros(us)
 }
 
-fn mac_with_eifs(enabled: bool) -> (Mac, SimRng) {
+fn mac_with_eifs(enabled: bool) -> (Mac, SimRng, FrameArena) {
     let cfg = MacConfig {
         eifs: enabled,
         ..MacConfig::default()
     };
     let mut mac = Mac::new(0, cfg);
     let mut rng = SimRng::new(7);
-    mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 1 }, &mut rng);
-    (mac, rng)
+    let mut arena = FrameArena::new();
+    mac.input(
+        Time::ZERO,
+        MacInput::SetCwMin { cw_min: 1 },
+        &mut rng,
+        &mut arena,
+    );
+    (mac, rng, arena)
 }
 
 fn timer_delay(out: &[MacOutput]) -> u64 {
@@ -41,43 +47,45 @@ fn data(seq: u64) -> Frame {
 
 #[test]
 fn eifs_extends_the_next_deferral_only() {
-    let (mut mac, mut rng) = mac_with_eifs(true);
+    let (mut mac, mut rng, mut arena) = mac_with_eifs(true);
     // Contend while busy (an undecodable frame is on the air).
-    mac.input(t(0), MacInput::MediumBusy, &mut rng);
+    mac.input(t(0), MacInput::MediumBusy, &mut rng, &mut arena);
     let out = mac.input(
         t(0),
         MacInput::Enqueue {
-            frame: data(1),
+            frame: arena.alloc(data(1)),
             queue: 0,
         },
         &mut rng,
+        &mut arena,
     );
     assert!(out.is_empty());
     // The frame ends dirty: EIFS mark, then idle.
-    mac.input(t(1000), MacInput::EifsMark, &mut rng);
-    let out = mac.input(t(1000), MacInput::MediumIdle, &mut rng);
+    mac.input(t(1000), MacInput::EifsMark, &mut rng, &mut arena);
+    let out = mac.input(t(1000), MacInput::MediumIdle, &mut rng, &mut arena);
     assert_eq!(timer_delay(&out), EIFS, "first resume uses EIFS");
 
     // Interrupt and resume again without a new mark: back to DIFS.
-    mac.input(t(1100), MacInput::MediumBusy, &mut rng);
-    let out = mac.input(t(2000), MacInput::MediumIdle, &mut rng);
+    mac.input(t(1100), MacInput::MediumBusy, &mut rng, &mut arena);
+    let out = mac.input(t(2000), MacInput::MediumIdle, &mut rng, &mut arena);
     assert_eq!(timer_delay(&out), DIFS, "EIFS is one-shot");
 }
 
 #[test]
 fn eifs_mark_is_ignored_when_disabled() {
-    let (mut mac, mut rng) = mac_with_eifs(false);
-    mac.input(t(0), MacInput::MediumBusy, &mut rng);
+    let (mut mac, mut rng, mut arena) = mac_with_eifs(false);
+    mac.input(t(0), MacInput::MediumBusy, &mut rng, &mut arena);
     mac.input(
         t(0),
         MacInput::Enqueue {
-            frame: data(1),
+            frame: arena.alloc(data(1)),
             queue: 0,
         },
         &mut rng,
+        &mut arena,
     );
-    mac.input(t(1000), MacInput::EifsMark, &mut rng);
-    let out = mac.input(t(1000), MacInput::MediumIdle, &mut rng);
+    mac.input(t(1000), MacInput::EifsMark, &mut rng, &mut arena);
+    let out = mac.input(t(1000), MacInput::MediumIdle, &mut rng, &mut arena);
     assert_eq!(timer_delay(&out), DIFS);
 }
 
@@ -93,24 +101,36 @@ fn eifs_slot_consumption_uses_the_extended_space() {
         },
     );
     let mut rng = SimRng::new(3);
-    mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 16 }, &mut rng);
-    mac.input(t(0), MacInput::MediumBusy, &mut rng);
+    let mut arena = FrameArena::new();
+    mac.input(
+        Time::ZERO,
+        MacInput::SetCwMin { cw_min: 16 },
+        &mut rng,
+        &mut arena,
+    );
+    mac.input(t(0), MacInput::MediumBusy, &mut rng, &mut arena);
     mac.input(
         t(0),
         MacInput::Enqueue {
-            frame: data(1),
+            frame: arena.alloc(data(1)),
             queue: 0,
         },
         &mut rng,
+        &mut arena,
     );
-    mac.input(t(500), MacInput::EifsMark, &mut rng);
-    let out = mac.input(t(500), MacInput::MediumIdle, &mut rng);
+    mac.input(t(500), MacInput::EifsMark, &mut rng, &mut arena);
+    let out = mac.input(t(500), MacInput::MediumIdle, &mut rng, &mut arena);
     let total = timer_delay(&out);
     let slots = (total - EIFS) / 20;
     // Freeze inside the EIFS window (after DIFS would already have
     // elapsed): nothing may be consumed.
-    mac.input(t(500 + DIFS + 40), MacInput::MediumBusy, &mut rng);
-    let out = mac.input(t(5_000), MacInput::MediumIdle, &mut rng);
+    mac.input(
+        t(500 + DIFS + 40),
+        MacInput::MediumBusy,
+        &mut rng,
+        &mut arena,
+    );
+    let out = mac.input(t(5_000), MacInput::MediumIdle, &mut rng, &mut arena);
     let resumed = timer_delay(&out);
     assert_eq!(
         (resumed - DIFS) / 20,

@@ -17,7 +17,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use ezflow_mac::{Mac, MacConfig, MacInput, MacOutput};
-use ezflow_phy::{Frame, FrameKind};
+use ezflow_phy::{Frame, FrameArena, FrameKind};
 use ezflow_sim::{SimRng, Time};
 use proptest::prelude::*;
 
@@ -26,6 +26,8 @@ const RCV: usize = 1;
 
 struct Harness {
     now: u64,
+    /// Shared frame store, exactly as the network layer owns one.
+    arena: FrameArena,
     queue: BinaryHeap<Reverse<(u64, u64, usize, EvKind)>>,
     seqno: u64,
     loss: f64,
@@ -95,6 +97,7 @@ impl Harness {
     fn new(loss: f64, seed: u64) -> Self {
         Harness {
             now: 0,
+            arena: FrameArena::new(),
             queue: BinaryHeap::new(),
             seqno: 0,
             loss,
@@ -122,8 +125,12 @@ impl Harness {
                     let survives = !self.rng.gen_bool(p);
                     if survives {
                         let peer = 1 - who;
-                        self.schedule(end, peer, EvKind::Rx(Box::new(pack(&frame))));
+                        let bits = pack(self.arena.get(frame));
+                        self.schedule(end, peer, EvKind::Rx(Box::new(bits)));
                     }
+                    // The on-air copy terminates here: its bits are on the
+                    // wire (or lost) either way.
+                    self.arena.release(frame);
                 }
                 MacOutput::SetTimerTxPath { after, epoch } => {
                     self.schedule(self.now + after.as_micros(), who, EvKind::TimerTx(epoch));
@@ -134,9 +141,18 @@ impl Harness {
                 MacOutput::SetTimerNav { after } => {
                     self.schedule(self.now + after.as_micros(), who, EvKind::TimerNav);
                 }
-                MacOutput::TxSuccess { frame, .. } => self.success.push(frame.seq),
-                MacOutput::TxDropped { frame, .. } => self.dropped.push(frame.seq),
-                MacOutput::Deliver { frame } => self.delivered.push(frame.seq),
+                MacOutput::TxSuccess { frame, .. } => {
+                    let seq = self.arena.release(frame).seq;
+                    self.success.push(seq);
+                }
+                MacOutput::TxDropped { frame, .. } => {
+                    let seq = self.arena.release(frame).seq;
+                    self.dropped.push(seq);
+                }
+                MacOutput::Deliver { frame } => {
+                    let seq = self.arena.release(frame).seq;
+                    self.delivered.push(seq);
+                }
                 MacOutput::NeedFrame => {}
             }
         }
@@ -161,10 +177,15 @@ impl Harness {
                 let mut f = Frame::data(offered, 0, SND, RCV, 500, Time::ZERO);
                 f.src = SND;
                 f.dst = RCV;
+                let id = self.arena.alloc(f);
                 let outs = snd.input(
                     Time::from_micros(self.now),
-                    MacInput::Enqueue { frame: f, queue: 0 },
+                    MacInput::Enqueue {
+                        frame: id,
+                        queue: 0,
+                    },
                     &mut snd_rng,
+                    &mut self.arena,
                 );
                 offered += 1;
                 self.handle_outputs(SND, outs);
@@ -181,19 +202,32 @@ impl Harness {
                 EvKind::TxEnded => MacInput::TxEnded { medium_busy: false },
                 EvKind::Rx(bits) => {
                     let f = unpack(&bits);
-                    match (f.kind, f.dst == who) {
-                        (FrameKind::Data, true) => MacInput::RxData { frame: f },
-                        (FrameKind::Ack, true) => MacInput::RxAck { frame: f },
-                        (FrameKind::Rts, true) => MacInput::RxRts { frame: f },
-                        (FrameKind::Cts, true) => MacInput::RxCts { frame: f },
-                        _ => continue,
+                    if f.dst != who {
+                        continue;
+                    }
+                    let id = self.arena.alloc(f);
+                    match f.kind {
+                        FrameKind::Data => MacInput::RxData { frame: id },
+                        FrameKind::Ack => MacInput::RxAck { frame: id },
+                        FrameKind::Rts => MacInput::RxRts { frame: id },
+                        FrameKind::Cts => MacInput::RxCts { frame: id },
                     }
                 }
             };
             let outs = if who == SND {
-                snd.input(Time::from_micros(self.now), input, &mut snd_rng)
+                snd.input(
+                    Time::from_micros(self.now),
+                    input,
+                    &mut snd_rng,
+                    &mut self.arena,
+                )
             } else {
-                rcv.input(Time::from_micros(self.now), input, &mut rcv_rng)
+                rcv.input(
+                    Time::from_micros(self.now),
+                    input,
+                    &mut rcv_rng,
+                    &mut self.arena,
+                )
             };
             self.handle_outputs(who, outs);
             if self.now > 120_000_000_000 {
@@ -201,6 +235,13 @@ impl Harness {
             }
         }
         assert_eq!(offered, packets);
+        // Ownership audit: once the event queue drains, every allocated
+        // frame has been released except what the MACs admit to holding.
+        assert_eq!(
+            self.arena.live(),
+            snd.held_frames() + rcv.held_frames(),
+            "arena leak: live frames unaccounted for"
+        );
         (self, snd, rcv)
     }
 }

@@ -2,7 +2,7 @@
 //! NAV (virtual carrier sense) deference.
 
 use ezflow_mac::{Mac, MacConfig, MacInput, MacOutput};
-use ezflow_phy::{Frame, FrameKind};
+use ezflow_phy::{Frame, FrameArena, FrameId, FrameKind};
 use ezflow_sim::{Duration, SimRng, Time};
 
 const SIFS: u64 = 10;
@@ -17,14 +17,19 @@ fn t(us: u64) -> Time {
     Time::from_micros(us)
 }
 
-fn rts_mac(node: usize) -> (Mac, SimRng) {
+fn rts_mac(node: usize, arena: &mut FrameArena) -> (Mac, SimRng) {
     let cfg = MacConfig {
         rts_cts: true,
         ..MacConfig::default()
     };
     let mut mac = Mac::new(node, cfg);
     let mut rng = SimRng::new(7);
-    mac.input(Time::ZERO, MacInput::SetCwMin { cw_min: 1 }, &mut rng);
+    mac.input(
+        Time::ZERO,
+        MacInput::SetCwMin { cw_min: 1 },
+        &mut rng,
+        arena,
+    );
     (mac, rng)
 }
 
@@ -44,10 +49,10 @@ fn tx_timer(out: &[MacOutput]) -> (Duration, u64) {
         .expect("tx-path timer")
 }
 
-fn started(out: &[MacOutput]) -> Frame {
+fn started(out: &[MacOutput]) -> FrameId {
     out.iter()
         .find_map(|o| match o {
-            MacOutput::StartTx { frame, .. } => Some(frame.clone()),
+            MacOutput::StartTx { frame, .. } => Some(*frame),
             _ => None,
         })
         .expect("StartTx")
@@ -55,26 +60,34 @@ fn started(out: &[MacOutput]) -> Frame {
 
 #[test]
 fn full_four_way_handshake() {
-    let (mut snd, mut rng) = rts_mac(0);
-    let (mut rcv, mut rng2) = rts_mac(1);
+    let mut arena = FrameArena::new();
+    let (mut snd, mut rng) = rts_mac(0, &mut arena);
+    let (mut rcv, mut rng2) = rts_mac(1, &mut arena);
 
     // Sender contends, then emits an RTS instead of data.
     let out = snd.input(
         t(0),
         MacInput::Enqueue {
-            frame: data(5, 0, 1),
+            frame: arena.alloc(data(5, 0, 1)),
             queue: 0,
         },
         &mut rng,
+        &mut arena,
     );
     let (after, epoch) = tx_timer(&out);
     assert_eq!(after.as_micros(), DIFS);
-    let out = snd.input(t(DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+    let out = snd.input(
+        t(DIFS),
+        MacInput::TimerTxPath { epoch },
+        &mut rng,
+        &mut arena,
+    );
     let rts = started(&out);
-    assert_eq!(rts.kind, FrameKind::Rts);
-    assert_eq!(rts.seq, 5);
+    let rtsf = *arena.get(rts);
+    assert_eq!(rtsf.kind, FrameKind::Rts);
+    assert_eq!(rtsf.seq, 5);
     assert_eq!(
-        rts.nav_micros,
+        rtsf.nav_micros,
         3 * SIFS + CTS_AIR + DATA_AIR + ACK_AIR,
         "RTS reserves CTS+DATA+ACK"
     );
@@ -83,12 +96,18 @@ fn full_four_way_handshake() {
         t(rts_end),
         MacInput::TxEnded { medium_busy: false },
         &mut rng,
+        &mut arena,
     );
     let (cts_to, _) = tx_timer(&out);
     assert_eq!(cts_to.as_micros(), SIFS + CTS_AIR + SLOT);
 
     // Receiver answers with a CTS after SIFS.
-    let out = rcv.input(t(rts_end), MacInput::RxRts { frame: rts }, &mut rng2);
+    let out = rcv.input(
+        t(rts_end),
+        MacInput::RxRts { frame: rts },
+        &mut rng2,
+        &mut arena,
+    );
     let cts_epoch = out
         .iter()
         .find_map(|o| match o {
@@ -103,30 +122,45 @@ fn full_four_way_handshake() {
         t(rts_end + SIFS),
         MacInput::TimerAckJob { epoch: cts_epoch },
         &mut rng2,
+        &mut arena,
     );
     let cts = started(&out);
-    assert_eq!(cts.kind, FrameKind::Cts);
-    assert_eq!(cts.dst, 0);
-    assert_eq!(cts.nav_micros, 2 * SIFS + DATA_AIR + ACK_AIR);
+    let ctsf = *arena.get(cts);
+    assert_eq!(ctsf.kind, FrameKind::Cts);
+    assert_eq!(ctsf.dst, 0);
+    assert_eq!(ctsf.nav_micros, 2 * SIFS + DATA_AIR + ACK_AIR);
     let cts_end = rts_end + SIFS + CTS_AIR;
     rcv.input(
         t(cts_end),
         MacInput::TxEnded { medium_busy: false },
         &mut rng2,
+        &mut arena,
     );
 
     // Sender gets the CTS, waits SIFS, sends the data.
-    let out = snd.input(t(cts_end), MacInput::RxCts { frame: cts }, &mut rng);
+    let out = snd.input(
+        t(cts_end),
+        MacInput::RxCts { frame: cts },
+        &mut rng,
+        &mut arena,
+    );
     let (sifs_wait, epoch) = tx_timer(&out);
     assert_eq!(sifs_wait.as_micros(), SIFS);
-    let out = snd.input(t(cts_end + SIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+    let out = snd.input(
+        t(cts_end + SIFS),
+        MacInput::TimerTxPath { epoch },
+        &mut rng,
+        &mut arena,
+    );
     let d = started(&out);
-    assert_eq!(d.kind, FrameKind::Data);
+    let df = *arena.get(d);
+    assert_eq!(df.kind, FrameKind::Data);
     let data_end = cts_end + SIFS + DATA_AIR;
     let out = snd.input(
         t(data_end),
         MacInput::TxEnded { medium_busy: false },
         &mut rng,
+        &mut arena,
     );
     let (ack_to, _) = tx_timer(&out);
     assert_eq!(ack_to.as_micros(), SIFS + ACK_AIR + SLOT);
@@ -134,15 +168,17 @@ fn full_four_way_handshake() {
     // Receiver delivers and ACKs; sender completes.
     let out = rcv.input(
         t(data_end),
-        MacInput::RxData { frame: d.clone() },
+        MacInput::RxData { frame: d },
         &mut rng2,
+        &mut arena,
     );
     assert!(out.iter().any(|o| matches!(o, MacOutput::Deliver { .. })));
-    let ack = Frame::ack_for(&d);
+    let ack = arena.alloc(Frame::ack_for(&df));
     let out = snd.input(
         t(data_end + SIFS + ACK_AIR),
         MacInput::RxAck { frame: ack },
         &mut rng,
+        &mut arena,
     );
     assert!(out
         .iter()
@@ -154,31 +190,53 @@ fn full_four_way_handshake() {
 
 #[test]
 fn cts_timeout_retries_the_rts() {
-    let (mut snd, mut rng) = rts_mac(0);
+    let mut arena = FrameArena::new();
+    let (mut snd, mut rng) = rts_mac(0, &mut arena);
     let out = snd.input(
         t(0),
         MacInput::Enqueue {
-            frame: data(5, 0, 1),
+            frame: arena.alloc(data(5, 0, 1)),
             queue: 0,
         },
         &mut rng,
+        &mut arena,
     );
     let (after, epoch) = tx_timer(&out);
     let mut now = after.as_micros();
-    let out = snd.input(t(now), MacInput::TimerTxPath { epoch }, &mut rng);
-    assert_eq!(started(&out).kind, FrameKind::Rts);
+    let out = snd.input(
+        t(now),
+        MacInput::TimerTxPath { epoch },
+        &mut rng,
+        &mut arena,
+    );
+    assert_eq!(arena.get(started(&out)).kind, FrameKind::Rts);
     now += RTS_AIR;
-    let out = snd.input(t(now), MacInput::TxEnded { medium_busy: false }, &mut rng);
+    let out = snd.input(
+        t(now),
+        MacInput::TxEnded { medium_busy: false },
+        &mut rng,
+        &mut arena,
+    );
     let (to, epoch) = tx_timer(&out);
     now += to.as_micros();
     // No CTS arrives: timeout -> back to contention with attempt 2.
-    let out = snd.input(t(now), MacInput::TimerTxPath { epoch }, &mut rng);
+    let out = snd.input(
+        t(now),
+        MacInput::TimerTxPath { epoch },
+        &mut rng,
+        &mut arena,
+    );
     let (re, epoch) = tx_timer(&out);
     assert_eq!(snd.stats().cts_timeouts, 1);
     assert_eq!(snd.stats().retries, 1);
     now += re.as_micros();
-    let out = snd.input(t(now), MacInput::TimerTxPath { epoch }, &mut rng);
-    let rts = started(&out);
+    let out = snd.input(
+        t(now),
+        MacInput::TimerTxPath { epoch },
+        &mut rng,
+        &mut arena,
+    );
+    let rts = *arena.get(started(&out));
     assert_eq!(rts.kind, FrameKind::Rts, "the retry re-issues an RTS");
     assert!(rts.retry);
 }
@@ -187,58 +245,82 @@ fn cts_timeout_retries_the_rts() {
 fn nav_defers_bystanders() {
     // A bystander in contention overhears a CTS and must stay silent for
     // the announced reservation even though the medium is physically idle.
-    let (mut by, mut rng) = rts_mac(2);
+    let mut arena = FrameArena::new();
+    let (mut by, mut rng) = rts_mac(2, &mut arena);
     let out = by.input(
         t(0),
         MacInput::Enqueue {
-            frame: data(9, 2, 3),
+            frame: arena.alloc(data(9, 2, 3)),
             queue: 0,
         },
         &mut rng,
+        &mut arena,
     );
     let (_, epoch) = tx_timer(&out);
 
     // NAV lands mid-DIFS.
     let until = t(20 + 5_000);
-    let out = by.input(t(20), MacInput::NavSet { until }, &mut rng);
+    let out = by.input(t(20), MacInput::NavSet { until }, &mut rng, &mut arena);
     assert!(
         out.iter()
             .any(|o| matches!(o, MacOutput::SetTimerNav { after } if after.as_micros() == 5_000)),
         "a NAV wakeup must be armed"
     );
     // The old countdown timer is now stale.
-    let out = by.input(t(DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
+    let out = by.input(
+        t(DIFS),
+        MacInput::TimerTxPath { epoch },
+        &mut rng,
+        &mut arena,
+    );
     assert!(out.is_empty(), "must not transmit during NAV");
     // Medium-idle reports during NAV do not restart the countdown.
-    let out = by.input(t(100), MacInput::MediumIdle, &mut rng);
+    let out = by.input(t(100), MacInput::MediumIdle, &mut rng, &mut arena);
     assert!(out.is_empty());
     // NAV expiry resumes: fresh DIFS + remaining slots.
-    let out = by.input(t(5_020), MacInput::TimerNav, &mut rng);
+    let out = by.input(t(5_020), MacInput::TimerNav, &mut rng, &mut arena);
     let (after, epoch) = tx_timer(&out);
     assert_eq!(after.as_micros(), DIFS);
-    let out = by.input(t(5_020 + DIFS), MacInput::TimerTxPath { epoch }, &mut rng);
-    assert_eq!(started(&out).kind, FrameKind::Rts);
+    let out = by.input(
+        t(5_020 + DIFS),
+        MacInput::TimerTxPath { epoch },
+        &mut rng,
+        &mut arena,
+    );
+    assert_eq!(arena.get(started(&out)).kind, FrameKind::Rts);
 }
 
 #[test]
 fn nav_extension_wins_over_stale_wakeup() {
-    let (mut by, mut rng) = rts_mac(2);
+    let mut arena = FrameArena::new();
+    let (mut by, mut rng) = rts_mac(2, &mut arena);
     by.input(
         t(0),
         MacInput::Enqueue {
-            frame: data(9, 2, 3),
+            frame: arena.alloc(data(9, 2, 3)),
             queue: 0,
         },
         &mut rng,
+        &mut arena,
     );
-    by.input(t(10), MacInput::NavSet { until: t(1_000) }, &mut rng);
+    by.input(
+        t(10),
+        MacInput::NavSet { until: t(1_000) },
+        &mut rng,
+        &mut arena,
+    );
     // Extended before expiry.
-    by.input(t(500), MacInput::NavSet { until: t(8_000) }, &mut rng);
+    by.input(
+        t(500),
+        MacInput::NavSet { until: t(8_000) },
+        &mut rng,
+        &mut arena,
+    );
     // The first wakeup fires but the NAV is still set: nothing happens.
-    let out = by.input(t(1_000), MacInput::TimerNav, &mut rng);
+    let out = by.input(t(1_000), MacInput::TimerNav, &mut rng, &mut arena);
     assert!(out.is_empty(), "stale NAV wakeup must re-check");
     // The second wakeup resumes.
-    let out = by.input(t(8_000), MacInput::TimerNav, &mut rng);
+    let out = by.input(t(8_000), MacInput::TimerNav, &mut rng, &mut arena);
     let (after, _) = tx_timer(&out);
     assert_eq!(after.as_micros(), DIFS);
 }
@@ -247,21 +329,28 @@ fn nav_extension_wins_over_stale_wakeup() {
 fn nav_blocks_immediate_access_on_enqueue() {
     // A NAV set while idle must deny the immediate-access shortcut: the
     // enqueue draws a random backoff and waits for the NAV wakeup.
-    let (mut mac, mut rng) = rts_mac(2);
-    mac.input(t(0), MacInput::NavSet { until: t(5_000) }, &mut rng);
+    let mut arena = FrameArena::new();
+    let (mut mac, mut rng) = rts_mac(2, &mut arena);
+    mac.input(
+        t(0),
+        MacInput::NavSet { until: t(5_000) },
+        &mut rng,
+        &mut arena,
+    );
     let out = mac.input(
         t(100),
         MacInput::Enqueue {
-            frame: data(3, 2, 3),
+            frame: arena.alloc(data(3, 2, 3)),
             queue: 0,
         },
         &mut rng,
+        &mut arena,
     );
     assert!(
         out.is_empty(),
         "no countdown may start during a NAV reservation: {out:?}"
     );
-    let out = mac.input(t(5_000), MacInput::TimerNav, &mut rng);
+    let out = mac.input(t(5_000), MacInput::TimerNav, &mut rng, &mut arena);
     let (after, _) = tx_timer(&out);
     assert!(after.as_micros() >= DIFS);
 }
@@ -270,27 +359,40 @@ fn nav_blocks_immediate_access_on_enqueue() {
 fn rx_data_while_waiting_for_cts_is_served() {
     // A relay mid-handshake as a *sender* can still receive data and must
     // schedule the ACK for it.
-    let (mut snd, mut rng) = rts_mac(1);
+    let mut arena = FrameArena::new();
+    let (mut snd, mut rng) = rts_mac(1, &mut arena);
     let out = snd.input(
         t(0),
         MacInput::Enqueue {
-            frame: data(5, 1, 2),
+            frame: arena.alloc(data(5, 1, 2)),
             queue: 0,
         },
         &mut rng,
+        &mut arena,
     );
     let (after, epoch) = tx_timer(&out);
     let mut now = after.as_micros();
-    snd.input(t(now), MacInput::TimerTxPath { epoch }, &mut rng);
+    snd.input(
+        t(now),
+        MacInput::TimerTxPath { epoch },
+        &mut rng,
+        &mut arena,
+    );
     now += RTS_AIR;
-    snd.input(t(now), MacInput::TxEnded { medium_busy: false }, &mut rng);
+    snd.input(
+        t(now),
+        MacInput::TxEnded { medium_busy: false },
+        &mut rng,
+        &mut arena,
+    );
     // While waiting for the CTS, a data frame from node 0 arrives.
     let out = snd.input(
         t(now + 2),
         MacInput::RxData {
-            frame: data(9, 0, 1),
+            frame: arena.alloc(data(9, 0, 1)),
         },
         &mut rng,
+        &mut arena,
     );
     assert!(out.iter().any(|o| matches!(o, MacOutput::Deliver { .. })));
     assert!(out
@@ -300,18 +402,30 @@ fn rx_data_while_waiting_for_cts_is_served() {
 
 #[test]
 fn shorter_nav_does_not_shrink_reservation() {
-    let (mut by, mut rng) = rts_mac(2);
+    let mut arena = FrameArena::new();
+    let (mut by, mut rng) = rts_mac(2, &mut arena);
     by.input(
         t(0),
         MacInput::Enqueue {
-            frame: data(9, 2, 3),
+            frame: arena.alloc(data(9, 2, 3)),
             queue: 0,
         },
         &mut rng,
+        &mut arena,
     );
-    by.input(t(0), MacInput::NavSet { until: t(9_000) }, &mut rng);
-    let out = by.input(t(100), MacInput::NavSet { until: t(500) }, &mut rng);
+    by.input(
+        t(0),
+        MacInput::NavSet { until: t(9_000) },
+        &mut rng,
+        &mut arena,
+    );
+    let out = by.input(
+        t(100),
+        MacInput::NavSet { until: t(500) },
+        &mut rng,
+        &mut arena,
+    );
     assert!(out.is_empty(), "shorter overlapping NAV is absorbed");
-    let out = by.input(t(500), MacInput::TimerNav, &mut rng);
+    let out = by.input(t(500), MacInput::TimerNav, &mut rng, &mut arena);
     assert!(out.is_empty(), "still reserved until 9ms");
 }

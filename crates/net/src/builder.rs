@@ -377,12 +377,19 @@ pub(crate) fn build(
         }
     }
 
+    // The frame store every layer will trade handles into; born here so
+    // the pre-run MAC programming below can already use the real thing.
+    let mut arena = ezflow_phy::FrameArena::new();
+
     // Program initial contention windows.
     for node in nodes.iter_mut() {
         if let Some(cw) = node.controller.initial_cw_min() {
-            let outs = node
-                .mac
-                .input(Time::ZERO, MacInput::SetCwMin { cw_min: cw }, &mut node.rng);
+            let outs = node.mac.input(
+                Time::ZERO,
+                MacInput::SetCwMin { cw_min: cw },
+                &mut node.rng,
+                &mut arena,
+            );
             debug_assert!(outs.is_empty());
         }
     }
@@ -451,7 +458,9 @@ pub(crate) fn build(
         now: Time::ZERO,
         sched,
         channel,
+        arena,
         chan_rng,
+        hot: crate::hot::HotState::new(nodes.len()),
         nodes,
         routing,
         sources,

@@ -39,6 +39,7 @@ pub mod calibrate;
 pub mod controller;
 pub mod engine;
 pub mod flight;
+mod hot;
 pub mod metrics;
 pub mod network;
 pub mod node;

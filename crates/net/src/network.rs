@@ -33,7 +33,7 @@
 use std::collections::VecDeque;
 
 use ezflow_mac::MacStats;
-use ezflow_phy::{Channel, ChannelStats};
+use ezflow_phy::{Channel, ChannelStats, FrameArena};
 use ezflow_sim::{Duration, Scheduler, SimRng, Time, TraceRing};
 
 pub use crate::builder::NetworkSpec;
@@ -43,6 +43,7 @@ pub use ezflow_sim::SchedKind;
 use crate::controller::Controller;
 use crate::engine::{Ev, WorkInput, EV_KINDS, PROFILE_KINDS};
 use crate::flight::FlightRecorder;
+use crate::hot::HotState;
 use crate::metrics::Metrics;
 use crate::node::Node;
 use crate::routing::StaticRouting;
@@ -60,8 +61,17 @@ pub struct Network {
     pub(crate) now: Time,
     pub(crate) sched: Scheduler<Ev>,
     pub(crate) channel: Channel,
+    /// The single store of every live frame: queues, MACs and the
+    /// channel trade 8-byte [`ezflow_phy::FrameId`] handles into this
+    /// slab instead of passing ~100-byte `Frame` values around (see
+    /// [`ezflow_phy::FrameArena`]). Ownership protocol: an id is
+    /// released exactly once, at the packet's terminal event.
+    pub(crate) arena: FrameArena,
     pub(crate) chan_rng: SimRng,
     pub(crate) nodes: Vec<Node>,
+    /// Struct-of-arrays per-node hot state: pending MAC timer slots and
+    /// the queue-occupancy mirror (see [`crate::hot`]).
+    pub(crate) hot: HotState,
     pub(crate) routing: StaticRouting,
     pub(crate) sources: Vec<CbrSource>,
     /// Inter-packet interval per source, precomputed at build time so
@@ -99,9 +109,9 @@ pub struct Network {
     /// [`Self::rx_frames`] so the deque moves 16 bytes per entry, not a
     /// whole `MacInput`.
     pub(crate) worklist: VecDeque<(usize, WorkInput)>,
-    /// Frame payloads for the `Rx*` entries of [`Self::worklist`], in the
+    /// Frame handles for the `Rx*` entries of [`Self::worklist`], in the
     /// same FIFO order — the drain loop pops one per `Rx*` marker.
-    pub(crate) rx_frames: VecDeque<ezflow_phy::Frame>,
+    pub(crate) rx_frames: VecDeque<ezflow_phy::FrameId>,
     pub(crate) next_seq: u64,
     pub(crate) events: u64,
     /// Dispatch counts per event kind.
@@ -175,6 +185,48 @@ impl Network {
     /// dispatched, never counted in [`Network::events_processed`].
     pub fn sched_stale_elided(&self) -> u64 {
         self.sched.stale_drops()
+    }
+
+    /// Timer entries moved in place by keyed rescheduling — each one is a
+    /// scheduler entry consumed without a dispatch, exactly as a pop-time
+    /// elision used to be (see [`ezflow_sim::Scheduler::reschedule`]).
+    pub fn sched_rescheduled(&self) -> u64 {
+        self.sched.rescheduled_total()
+    }
+
+    /// Timer entries physically removed (parked frozen countdowns).
+    pub fn sched_removed(&self) -> u64 {
+        self.sched.removed_total()
+    }
+
+    /// Frames currently live in the arena (queued + held by MACs + on
+    /// the air).
+    pub fn arena_live(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// Peak live-frame population — the arena's memory footprint in
+    /// frames (its slab never shrinks).
+    pub fn arena_high_water(&self) -> usize {
+        self.arena.high_water()
+    }
+
+    /// Arena allocations served by recycling a released slot; in steady
+    /// state this tracks [`ezflow_phy::FrameArena::allocated_total`]
+    /// one-for-one.
+    pub fn arena_slot_reuses(&self) -> u64 {
+        self.arena.slot_reuses()
+    }
+
+    /// Total frame allocations ever made in the arena.
+    pub fn arena_allocated_total(&self) -> u64 {
+        self.arena.allocated_total()
+    }
+
+    /// Arena slab capacity in slots (live + free); growth stops once the
+    /// run's peak frame population has been seen.
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.capacity()
     }
 
     /// Interface-queue occupancy of `node`.

@@ -1,7 +1,7 @@
 //! One mesh node: interface queues + DCF MAC + flow controller.
 
 use ezflow_mac::Mac;
-use ezflow_phy::Frame;
+use ezflow_phy::{FrameArena, FrameId};
 use ezflow_sim::SimRng;
 
 use crate::controller::Controller;
@@ -57,17 +57,19 @@ impl Node {
 
     /// Enqueues `frame` into the queue for (`own`, `frame.dst`); the queue
     /// must already exist (queues are created at network build time).
-    /// Returns `false` on drop-tail overflow.
-    pub fn enqueue(&mut self, own: bool, frame: Frame) -> bool {
-        let successor = frame.dst;
+    /// Returns `false` on drop-tail overflow — the caller keeps ownership
+    /// of the id (and must release it) on rejection.
+    pub fn enqueue(&mut self, own: bool, frame: FrameId, arena: &FrameArena) -> bool {
+        let f = arena.get(frame);
+        let successor = f.dst;
+        let src = f.src;
         let q = self
             .queues
             .iter_mut()
             .find(|q| q.own == own && q.successor == successor)
             .unwrap_or_else(|| {
                 panic!(
-                    "node {} has no {} queue toward {successor}",
-                    frame.src,
+                    "node {src} has no {} queue toward {successor}",
                     if own { "own" } else { "forward" }
                 )
             });
@@ -104,9 +106,9 @@ impl Node {
     }
 
     /// Pops the next frame to transmit, serving nonempty queues
-    /// round-robin. Returns the frame and the index of the queue it came
-    /// from.
-    pub fn pop_round_robin(&mut self) -> Option<(Frame, usize)> {
+    /// round-robin. Returns the frame handle and the index of the queue
+    /// it came from.
+    pub fn pop_round_robin(&mut self) -> Option<(FrameId, usize)> {
         let n = self.queues.len();
         for k in 0..n {
             let i = (self.rr + k) % n;
@@ -124,6 +126,7 @@ mod tests {
     use super::*;
     use crate::controller::FixedController;
     use ezflow_mac::MacConfig;
+    use ezflow_phy::Frame;
     use ezflow_sim::Time;
 
     fn node() -> Node {
@@ -135,11 +138,11 @@ mod tests {
         )
     }
 
-    fn frame(seq: u64, dst: usize) -> Frame {
+    fn frame(arena: &mut FrameArena, seq: u64, dst: usize) -> FrameId {
         let mut f = Frame::data(seq, 0, 0, 9, 1000, Time::ZERO);
         f.src = 1;
         f.dst = dst;
-        f
+        arena.alloc(f)
     }
 
     #[test]
@@ -155,16 +158,20 @@ mod tests {
 
     #[test]
     fn round_robin_interleaves_queues() {
+        let mut arena = FrameArena::new();
         let mut n = node();
         n.queue_index(true, 2, 50);
         n.queue_index(false, 2, 50);
         for i in 0..3 {
-            let mut f = frame(i, 2);
-            f.origin = 1; // own traffic
-            assert!(n.enqueue(true, f));
-            assert!(n.enqueue(false, frame(100 + i, 2)));
+            let own = frame(&mut arena, i, 2);
+            arena.get_mut(own).origin = 1; // own traffic
+            assert!(n.enqueue(true, own, &arena));
+            let fwd = frame(&mut arena, 100 + i, 2);
+            assert!(n.enqueue(false, fwd, &arena));
         }
-        let seqs: Vec<u64> = (0..6).map(|_| n.pop_round_robin().unwrap().0.seq).collect();
+        let seqs: Vec<u64> = (0..6)
+            .map(|_| arena.get(n.pop_round_robin().unwrap().0).seq)
+            .collect();
         // Alternation between own (0..) and forwarded (100..).
         assert_eq!(seqs, vec![0, 100, 1, 101, 2, 102]);
         assert!(n.pop_round_robin().is_none());
@@ -172,19 +179,25 @@ mod tests {
 
     #[test]
     fn occupancy_sums_queues() {
+        let mut arena = FrameArena::new();
         let mut n = node();
         n.queue_index(true, 2, 50);
         n.queue_index(false, 3, 50);
-        n.enqueue(true, frame(1, 2));
-        n.enqueue(false, frame(2, 3));
-        n.enqueue(false, frame(3, 3));
+        let a = frame(&mut arena, 1, 2);
+        let b = frame(&mut arena, 2, 3);
+        let c = frame(&mut arena, 3, 3);
+        n.enqueue(true, a, &arena);
+        n.enqueue(false, b, &arena);
+        n.enqueue(false, c, &arena);
         assert_eq!(n.occupancy(), 3);
     }
 
     #[test]
     #[should_panic(expected = "has no")]
     fn enqueue_without_queue_panics() {
+        let mut arena = FrameArena::new();
         let mut n = node();
-        n.enqueue(false, frame(1, 7));
+        let f = frame(&mut arena, 1, 7);
+        n.enqueue(false, f, &arena);
     }
 }

@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use ezflow_phy::Frame;
+use ezflow_phy::FrameId;
 
 /// One FIFO transmit queue, bound to a successor node.
 #[derive(Debug)]
@@ -19,7 +19,7 @@ pub struct TxQueue {
     /// The next-hop this queue feeds.
     pub successor: usize,
     cap: usize,
-    fifo: VecDeque<Frame>,
+    fifo: VecDeque<FrameId>,
     /// Frames rejected because the queue was full.
     pub drops: u64,
     /// Frames ever accepted.
@@ -59,8 +59,10 @@ impl TxQueue {
         self.cap
     }
 
-    /// Enqueues a frame; returns `false` (and counts a drop) when full.
-    pub fn push(&mut self, frame: Frame) -> bool {
+    /// Enqueues a frame handle; returns `false` (and counts a drop) when
+    /// full. The queue never dereferences the id — ownership of the slot
+    /// stays with whoever pushed until a matching [`TxQueue::pop`].
+    pub fn push(&mut self, frame: FrameId) -> bool {
         if self.fifo.len() >= self.cap {
             self.drops += 1;
             false
@@ -72,8 +74,8 @@ impl TxQueue {
         }
     }
 
-    /// Dequeues the head frame.
-    pub fn pop(&mut self) -> Option<Frame> {
+    /// Dequeues the head frame handle.
+    pub fn pop(&mut self) -> Option<FrameId> {
         self.fifo.pop_front()
     }
 }
@@ -81,38 +83,44 @@ impl TxQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ezflow_phy::{Frame, FrameArena};
     use ezflow_sim::Time;
 
-    fn frame(seq: u64) -> Frame {
-        Frame::data(seq, 0, 0, 4, 1000, Time::ZERO)
+    fn frame(arena: &mut FrameArena, seq: u64) -> FrameId {
+        arena.alloc(Frame::data(seq, 0, 0, 4, 1000, Time::ZERO))
     }
 
     #[test]
     fn fifo_order() {
+        let mut arena = FrameArena::new();
         let mut q = TxQueue::new(false, 1, 10);
         for i in 0..5 {
-            assert!(q.push(frame(i)));
+            assert!(q.push(frame(&mut arena, i)));
         }
         for i in 0..5 {
-            assert_eq!(q.pop().unwrap().seq, i);
+            assert_eq!(arena.get(q.pop().unwrap()).seq, i);
         }
         assert!(q.pop().is_none());
     }
 
     #[test]
     fn drop_tail_at_capacity() {
+        let mut arena = FrameArena::new();
         let mut q = TxQueue::new(true, 2, 3);
-        assert!(q.push(frame(0)));
-        assert!(q.push(frame(1)));
-        assert!(q.push(frame(2)));
-        assert!(!q.push(frame(3)), "fourth push must be rejected");
+        assert!(q.push(frame(&mut arena, 0)));
+        assert!(q.push(frame(&mut arena, 1)));
+        assert!(q.push(frame(&mut arena, 2)));
+        assert!(
+            !q.push(frame(&mut arena, 3)),
+            "fourth push must be rejected"
+        );
         assert_eq!(q.len(), 3);
         assert_eq!(q.drops, 1);
         assert_eq!(q.accepted, 3);
         // The dropped frame is the *new* arrival: head is still seq 0.
-        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(arena.get(q.pop().unwrap()).seq, 0);
         // Space freed: accepts again.
-        assert!(q.push(frame(4)));
+        assert!(q.push(frame(&mut arena, 4)));
     }
 
     #[test]
@@ -123,19 +131,20 @@ mod tests {
 
     #[test]
     fn high_water_tracks_peak_occupancy() {
+        let mut arena = FrameArena::new();
         let mut q = TxQueue::new(false, 1, 10);
         assert_eq!(q.high_water, 0);
         for i in 0..4 {
-            q.push(frame(i));
+            q.push(frame(&mut arena, i));
         }
         q.pop();
         q.pop();
         assert_eq!(q.len(), 2);
         assert_eq!(q.high_water, 4, "peak, not current");
-        q.push(frame(9));
+        q.push(frame(&mut arena, 9));
         assert_eq!(q.high_water, 4, "refill below the peak");
-        q.push(frame(10));
-        q.push(frame(11));
+        q.push(frame(&mut arena, 10));
+        q.push(frame(&mut arena, 11));
         assert_eq!(q.high_water, 5);
     }
 }

@@ -265,6 +265,14 @@ pub struct SchedulerSnapshot {
     /// identical across scheduler backends (unlike the wheel gauges in
     /// [`PerfSnapshot`]), so it lives in this comparable block.
     pub stale_elided: u64,
+    /// Timer entries moved in place by keyed rescheduling — the successor
+    /// of the schedule-new-then-elide pattern: each re-arm consumes the
+    /// old entry exactly as a pop-time elision did, without the entry
+    /// ever sitting in the queue as churn. Deterministic across backends.
+    pub rescheduled_total: u64,
+    /// Timer entries physically removed (parked frozen countdowns
+    /// awaiting a later re-arm). Deterministic across backends.
+    pub removed_total: u64,
     /// Events still pending at snapshot time.
     pub pending: usize,
     /// Deepest the pending-event heap ever got.
@@ -284,6 +292,8 @@ impl SchedulerSnapshot {
             ("scheduled_total", self.scheduled_total.into()),
             ("dispatched_total", self.dispatched_total.into()),
             ("stale_elided", self.stale_elided.into()),
+            ("rescheduled_total", self.rescheduled_total.into()),
+            ("removed_total", self.removed_total.into()),
             ("pending", self.pending.into()),
             ("depth_high_water", self.depth_high_water.into()),
             ("dispatched_by_kind", JsonValue::obj(by_kind)),
@@ -307,6 +317,8 @@ impl SchedulerSnapshot {
             scheduled_total: get_u64(v, "scheduled_total")?,
             dispatched_total: get_u64(v, "dispatched_total")?,
             stale_elided: get_u64(v, "stale_elided")?,
+            rescheduled_total: get_u64(v, "rescheduled_total")?,
+            removed_total: get_u64(v, "removed_total")?,
             pending: get_u64(v, "pending")? as usize,
             depth_high_water: get_u64(v, "depth_high_water")? as usize,
             dispatched_by_kind,
@@ -349,6 +361,9 @@ pub struct PerfSnapshot {
     /// Trace-ring records pushed but no longer held (evicted by the
     /// bounded ring, or never stored because tracing was disabled).
     pub trace_evictions: u64,
+    /// Peak live-frame population of the frame arena — the run's frame
+    /// memory footprint in ~100-byte slots (the slab never shrinks).
+    pub arena_high_water: u64,
     /// Self-profiler: wall-clock nanoseconds spent inside each event
     /// kind's handler, in [`crate::engine::PROFILE_NAMES`] order (the
     /// last slot is the telemetry sampler). All zero — and the JSON key
@@ -379,13 +394,19 @@ impl PerfSnapshot {
             sched_overflow_refills: 0,
             sched_bucket_high_water: 0,
             trace_evictions: 0,
+            arena_high_water: 0,
             handler_ns: [0; crate::engine::PROFILE_KINDS],
             telemetry_windows: 0,
             telemetry_windows_per_sec: 0.0,
         }
     }
 
-    fn to_json(self) -> JsonValue {
+    /// The JSON representation of the perf block. Public so the perf
+    /// harness can splice a zeroed block into a [`Network::snapshot_json`]
+    /// document when building its deterministic digest.
+    ///
+    /// [`Network::snapshot_json`]: crate::Network::snapshot_json
+    pub fn to_json(self) -> JsonValue {
         let mut fields = vec![
             ("wall_secs", self.wall_secs.into()),
             ("sim_secs", self.sim_secs.into()),
@@ -400,6 +421,7 @@ impl PerfSnapshot {
                 self.sched_bucket_high_water.into(),
             ),
             ("trace_evictions", self.trace_evictions.into()),
+            ("arena_high_water", self.arena_high_water.into()),
         ];
         // Profiler and telemetry keys appear only when those features ran:
         // a feature-off (or zeroed) perf block keeps the pre-telemetry
@@ -444,6 +466,12 @@ impl PerfSnapshot {
             sched_overflow_refills: get_u64(v, "sched_overflow_refills")?,
             sched_bucket_high_water: get_u64(v, "sched_bucket_high_water")?,
             trace_evictions: get_u64(v, "trace_evictions")?,
+            // Absent in pre-arena snapshots; read leniently so archived
+            // run artifacts still parse.
+            arena_high_water: v
+                .get("arena_high_water")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
             handler_ns,
             telemetry_windows: v
                 .get("telemetry_windows")
@@ -655,23 +683,36 @@ pub struct LatencySnapshot {
     pub per_hop: Vec<LogHistogram>,
 }
 
+/// Serialises a latency section straight from borrowed histograms — the
+/// same bytes [`LatencySnapshot::to_json`] produces, without first cloning
+/// every bucket vector into an owned [`LatencySnapshot`]. The engine's
+/// [`snapshot_json`](crate::Network::snapshot_json) fast path feeds this
+/// directly from its metrics store.
+pub(crate) fn latency_json<'a>(
+    per_flow: impl Iterator<Item = (u32, &'a LogHistogram)>,
+    per_hop: impl Iterator<Item = &'a LogHistogram>,
+) -> JsonValue {
+    let per_flow = per_flow
+        .map(|(f, h)| {
+            JsonValue::obj(vec![
+                ("flow", JsonValue::from(f)),
+                ("hist", hist_to_json(h)),
+            ])
+        })
+        .collect();
+    let per_hop = per_hop.map(hist_to_json).collect();
+    JsonValue::obj(vec![
+        ("per_flow", JsonValue::Array(per_flow)),
+        ("per_hop", JsonValue::Array(per_hop)),
+    ])
+}
+
 impl LatencySnapshot {
     fn to_json(&self) -> JsonValue {
-        let per_flow = self
-            .per_flow
-            .iter()
-            .map(|(f, h)| {
-                JsonValue::obj(vec![
-                    ("flow", JsonValue::from(*f)),
-                    ("hist", hist_to_json(h)),
-                ])
-            })
-            .collect();
-        let per_hop = self.per_hop.iter().map(hist_to_json).collect();
-        JsonValue::obj(vec![
-            ("per_flow", JsonValue::Array(per_flow)),
-            ("per_hop", JsonValue::Array(per_hop)),
-        ])
+        latency_json(
+            self.per_flow.iter().map(|(f, h)| (*f, h)),
+            self.per_hop.iter(),
+        )
     }
 
     fn from_json(v: &JsonValue) -> Result<LatencySnapshot, String> {
@@ -729,6 +770,14 @@ impl RunSnapshot {
 
     /// The JSON representation.
     pub fn to_json(&self) -> JsonValue {
+        self.to_json_with_latency(self.latency.to_json())
+    }
+
+    /// The JSON representation with a caller-supplied latency section.
+    /// Lets [`Network::snapshot_json`](crate::Network::snapshot_json)
+    /// serialise the histograms from borrows and splice the result in,
+    /// instead of cloning them into `self.latency` first.
+    pub(crate) fn to_json_with_latency(&self, latency: JsonValue) -> JsonValue {
         let mut fields = vec![
             ("label", JsonValue::str(&self.label)),
             ("at_us", self.at_us.into()),
@@ -739,7 +788,7 @@ impl RunSnapshot {
             ("channel", channel_to_json(&self.channel)),
             ("scheduler", self.scheduler.to_json()),
             ("perf", self.perf.to_json()),
-            ("latency", self.latency.to_json()),
+            ("latency", latency),
             ("trace_records", self.trace_records.into()),
         ];
         if let Some(st) = &self.stability {
@@ -823,6 +872,8 @@ mod tests {
                 scheduled_total: 1000,
                 dispatched_total: 983,
                 stale_elided: 7,
+                rescheduled_total: 3,
+                removed_total: 2,
                 pending: 10,
                 depth_high_water: 42,
                 dispatched_by_kind: vec![("traffic".into(), 500), ("tx_end".into(), 483)],
@@ -838,6 +889,7 @@ mod tests {
                 sched_overflow_refills: 2,
                 sched_bucket_high_water: 5,
                 trace_evictions: 3,
+                arena_high_water: 120,
                 handler_ns: [0; crate::engine::PROFILE_KINDS],
                 telemetry_windows: 0,
                 telemetry_windows_per_sec: 0.0,

@@ -1,0 +1,324 @@
+//! Generation-tagged frame slab.
+//!
+//! Every live [`Frame`] in a simulation is owned by one [`FrameArena`]
+//! (the network owns it); everything else — transmit queues, the MAC's
+//! held frame, the channel's on-air set, the receive fan-out — carries a
+//! copyable 8-byte [`FrameId`] handle instead of a ~100-byte `Frame`
+//! value. Handing a frame across a layer is then a register move, not a
+//! struct memcpy, and "who owns this frame" becomes an explicit protocol:
+//! an id is allocated once, moved along the packet's lifecycle, and
+//! released exactly once at a terminal event (delivered at the sink,
+//! dropped, consumed by the receiving MAC).
+//!
+//! ## Generations
+//!
+//! Slots are recycled through a free list. Each slot carries a generation
+//! counter, bumped on release; an id is only valid while its generation
+//! matches the slot's. A stale id (use-after-release, double release)
+//! trips a `debug_assert` — release builds skip the check, keeping
+//! [`FrameArena::get`] a bare indexed load on the hot path. The leak
+//! check is the dual: [`FrameArena::live`] must equal the sum of frames
+//! the layers admit to holding, which the engine asserts (debug builds)
+//! every time its event loop goes quiescent.
+
+use crate::frame::Frame;
+
+/// Handle to a frame stored in a [`FrameArena`].
+///
+/// 8 bytes, `Copy`; the cheap currency the queues, the MAC and the
+/// channel trade in. A default-built id is dangling and trips the debug
+/// generation check on first use.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FrameId {
+    index: u32,
+    gen: u32,
+}
+
+impl Default for FrameId {
+    fn default() -> Self {
+        // No live slot ever carries this generation pairing, so a
+        // default id dereferenced by mistake fails loudly in debug.
+        FrameId {
+            index: u32::MAX,
+            gen: u32::MAX,
+        }
+    }
+}
+
+struct Slot {
+    gen: u32,
+    frame: Frame,
+}
+
+/// Slab of frames with generation-tagged handles.
+pub struct FrameArena {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    high_water: usize,
+    allocated: u64,
+    reused: u64,
+}
+
+impl Default for FrameArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        FrameArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            high_water: 0,
+            allocated: 0,
+            reused: 0,
+        }
+    }
+
+    /// Stores `frame`, returning its handle. Reuses a released slot when
+    /// one is free; the slab only grows when every slot is live.
+    pub fn alloc(&mut self, frame: Frame) -> FrameId {
+        self.allocated += 1;
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        match self.free.pop() {
+            Some(index) => {
+                self.reused += 1;
+                let slot = &mut self.slots[index as usize];
+                slot.frame = frame;
+                FrameId {
+                    index,
+                    gen: slot.gen,
+                }
+            }
+            None => {
+                let index = u32::try_from(self.slots.len()).expect("arena overflow");
+                self.slots.push(Slot { gen: 0, frame });
+                FrameId { index, gen: 0 }
+            }
+        }
+    }
+
+    /// Stores a copy of the frame behind `id` — the arena-native form of
+    /// `frame.clone()` (the MAC uses it to put a retryable copy on the
+    /// air while keeping the original for the next attempt).
+    pub fn dup(&mut self, id: FrameId) -> FrameId {
+        let frame = *self.get(id);
+        self.alloc(frame)
+    }
+
+    /// Reads the frame behind `id`.
+    #[inline]
+    pub fn get(&self, id: FrameId) -> &Frame {
+        let slot = &self.slots[id.index as usize];
+        debug_assert_eq!(slot.gen, id.gen, "stale FrameId dereferenced");
+        &slot.frame
+    }
+
+    /// Mutates the frame behind `id` (hop rewrites, retry stamping).
+    #[inline]
+    pub fn get_mut(&mut self, id: FrameId) -> &mut Frame {
+        let slot = &mut self.slots[id.index as usize];
+        debug_assert_eq!(slot.gen, id.gen, "stale FrameId dereferenced");
+        &mut slot.frame
+    }
+
+    /// Frees `id`'s slot, returning a copy of the frame for any terminal
+    /// bookkeeping (delivery metrics, drop attribution). The slot's
+    /// generation advances, invalidating every copy of the id.
+    pub fn release(&mut self, id: FrameId) -> Frame {
+        let slot = &mut self.slots[id.index as usize];
+        debug_assert_eq!(slot.gen, id.gen, "double release or stale FrameId");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(id.index);
+        debug_assert!(self.live > 0, "release with no live frames");
+        self.live -= 1;
+        slot.frame
+    }
+
+    /// True iff `id` currently addresses a live frame (its generation
+    /// matches). Test and leak-audit helper — the hot path never asks.
+    pub fn contains(&self, id: FrameId) -> bool {
+        self.slots
+            .get(id.index as usize)
+            .is_some_and(|s| s.gen == id.gen)
+    }
+
+    /// Number of live frames.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Deepest live population ever reached — the arena's memory
+    /// footprint in frames (the slab never shrinks).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total allocations ever made.
+    pub fn allocated_total(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Allocations served by recycling a released slot rather than
+    /// growing the slab — the steady state should be all of them.
+    pub fn slot_reuses(&self) -> u64 {
+        self.reused
+    }
+
+    /// Slab capacity in slots (live + free).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezflow_sim::Time;
+
+    fn frame(seq: u64) -> Frame {
+        Frame::data(seq, 0, 0, 4, 1000, Time::ZERO)
+    }
+
+    #[test]
+    fn alloc_get_release_round_trip() {
+        let mut a = FrameArena::new();
+        let id = a.alloc(frame(7));
+        assert_eq!(a.get(id).seq, 7);
+        assert_eq!(a.live(), 1);
+        a.get_mut(id).dst = 3;
+        assert_eq!(a.get(id).dst, 3);
+        let f = a.release(id);
+        assert_eq!(f.seq, 7);
+        assert_eq!(f.dst, 3);
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    fn released_slot_is_reused_with_a_new_generation() {
+        let mut a = FrameArena::new();
+        let first = a.alloc(frame(1));
+        a.release(first);
+        let second = a.alloc(frame(2));
+        // Same slot, different generation: the slab did not grow.
+        assert_eq!(a.capacity(), 1);
+        assert_ne!(first, second);
+        assert!(!a.contains(first), "old id must be invalidated");
+        assert!(a.contains(second));
+        assert_eq!(a.get(second).seq, 2);
+        assert_eq!(a.slot_reuses(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale FrameId")]
+    fn stale_id_deref_panics_in_debug() {
+        let mut a = FrameArena::new();
+        let id = a.alloc(frame(1));
+        a.release(id);
+        a.alloc(frame(2));
+        let _ = a.get(id);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics_in_debug() {
+        let mut a = FrameArena::new();
+        let id = a.alloc(frame(1));
+        a.release(id);
+        a.release(id);
+    }
+
+    #[test]
+    fn dup_copies_and_stays_independent() {
+        let mut a = FrameArena::new();
+        let id = a.alloc(frame(9));
+        let copy = a.dup(id);
+        a.get_mut(copy).retry = true;
+        assert!(!a.get(id).retry, "dup must not alias the original");
+        assert_eq!(a.get(copy).seq, 9);
+        assert_eq!(a.live(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_population() {
+        let mut a = FrameArena::new();
+        let ids: Vec<_> = (0..5).map(|i| a.alloc(frame(i))).collect();
+        for id in &ids {
+            a.release(*id);
+        }
+        assert_eq!(a.live(), 0);
+        assert_eq!(a.high_water(), 5, "peak, not current");
+        a.alloc(frame(9));
+        assert_eq!(a.high_water(), 5);
+        assert_eq!(a.capacity(), 5, "slab never shrinks");
+    }
+
+    proptest::proptest! {
+        /// Oracle equivalence: against a plain clone-based store (a map of
+        /// owned `Frame` values), a random script of alloc / mutate /
+        /// release / dup operations reads back identical frames, and the
+        /// live population matches at every step. This is the contract
+        /// that lets the MAC/engine swap owned frames for handles without
+        /// changing a single observable byte.
+        #[test]
+        fn arena_matches_clone_based_oracle(
+            ops in proptest::collection::vec((0u8..4, proptest::prelude::any::<u64>()), 1..200)
+        ) {
+            use proptest::prelude::prop_assert_eq;
+            let mut arena = FrameArena::new();
+            let mut oracle: Vec<(FrameId, Frame)> = Vec::new();
+            for (op, x) in ops {
+                match op {
+                    // Alloc a fresh frame.
+                    0 => {
+                        let f = frame(x);
+                        let id = arena.alloc(f);
+                        oracle.push((id, f));
+                    }
+                    // Mutate one live frame the same way on both sides.
+                    1 if !oracle.is_empty() => {
+                        let i = (x as usize) % oracle.len();
+                        let (id, f) = &mut oracle[i];
+                        f.hop_entered = Time::from_micros(x);
+                        f.retry = x % 2 == 0;
+                        let g = arena.get_mut(*id);
+                        g.hop_entered = Time::from_micros(x);
+                        g.retry = x % 2 == 0;
+                    }
+                    // Release one live frame; the returned copy must match.
+                    2 if !oracle.is_empty() => {
+                        let i = (x as usize) % oracle.len();
+                        let (id, f) = oracle.swap_remove(i);
+                        let got = arena.release(id);
+                        prop_assert_eq!(got.seq, f.seq);
+                        prop_assert_eq!(got.hop_entered, f.hop_entered);
+                        prop_assert_eq!(got.retry, f.retry);
+                    }
+                    // Dup one live frame (the MAC's per-attempt copy).
+                    3 if !oracle.is_empty() => {
+                        let i = (x as usize) % oracle.len();
+                        let (id, f) = oracle[i];
+                        let copy = arena.dup(id);
+                        oracle.push((copy, f));
+                    }
+                    _ => {}
+                }
+                prop_assert_eq!(arena.live(), oracle.len());
+                for (id, f) in &oracle {
+                    let got = arena.get(*id);
+                    prop_assert_eq!(got.seq, f.seq);
+                    prop_assert_eq!(got.hop_entered, f.hop_entered);
+                    prop_assert_eq!(got.retry, f.retry);
+                }
+            }
+            prop_assert_eq!(arena.allocated_total() as usize >= arena.high_water(), true);
+        }
+    }
+}

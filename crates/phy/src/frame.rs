@@ -32,7 +32,12 @@ pub enum FrameKind {
 }
 
 /// One frame, either queued, on the air, or delivered.
-#[derive(Clone, Debug)]
+///
+/// Every field is plain-old-data, so `Frame` is `Copy`: reading one out
+/// of the [`crate::FrameArena`] is a ~100-byte memcpy into a local, which
+/// is what the hot path does at terminal events instead of cloning
+/// through every intermediate hand-off.
+#[derive(Clone, Copy, Debug)]
 pub struct Frame {
     /// Frame type.
     pub kind: FrameKind,
@@ -131,7 +136,7 @@ impl Frame {
             nav_micros,
             payload_bytes: 0,
             retry: false,
-            ..data.clone()
+            ..*data
         }
     }
 
@@ -145,7 +150,7 @@ impl Frame {
             nav_micros,
             payload_bytes: 0,
             retry: false,
-            ..rts.clone()
+            ..*rts
         }
     }
 

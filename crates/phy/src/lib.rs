@@ -27,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod frame;
 pub mod geom;
 pub mod loss;
 pub mod medium;
 pub mod timing;
 
+pub use arena::{FrameArena, FrameId};
 pub use frame::{Frame, FrameKind};
 pub use geom::Position;
 pub use loss::{ChurnWindow, GilbertElliott, LossModel};

@@ -31,7 +31,7 @@
 
 use ezflow_sim::{SimRng, Time};
 
-use crate::frame::Frame;
+use crate::arena::FrameId;
 use crate::geom::Position;
 use crate::loss::LossModel;
 
@@ -128,7 +128,14 @@ impl Airtime {
 
 struct ActiveTx {
     id: TxId,
-    frame: Frame,
+    /// Arena handle of the on-air frame. The channel never dereferences
+    /// it — interference is pure geometry over `src`/`dst`, cached below —
+    /// it only hands the id back in the [`EndReport`].
+    frame: FrameId,
+    /// Transmitter of this hop (the frame's `src`, cached).
+    src: usize,
+    /// Intended receiver of this hop (the frame's `dst`, cached).
+    dst: usize,
     start: Time,
     end: Time,
     /// Per node: reception already destroyed by interference.
@@ -194,10 +201,12 @@ pub struct Delivery {
 ///
 /// Reusable like [`StartReport`]: [`Channel::end_tx_into`] clears and
 /// refills the vectors in place.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct EndReport {
-    /// The frame that was on the air.
-    pub frame: Frame,
+    /// Arena handle of the frame that was on the air; resolve it through
+    /// the owning [`crate::FrameArena`]. A default-built report carries
+    /// the dangling placeholder id, overwritten by `end_tx_into`.
+    pub frame: FrameId,
     /// All nodes in decode range, with their reception outcome.
     /// The intended receiver, if in range, appears here too.
     pub deliveries: Vec<Delivery>,
@@ -207,18 +216,6 @@ pub struct EndReport {
     /// either out of decode range, or the reception was corrupted/lost.
     /// These are the stations the standard's EIFS rule applies to.
     pub sensed_dirty: Vec<usize>,
-}
-
-impl Default for EndReport {
-    fn default() -> Self {
-        EndReport {
-            // Placeholder overwritten by `end_tx_into`.
-            frame: Frame::data(0, 0, 0, 0, 0, Time::ZERO),
-            deliveries: Vec::new(),
-            became_idle: Vec::new(),
-            sensed_dirty: Vec::new(),
-        }
-    }
 }
 
 /// The shared broadcast medium.
@@ -446,26 +443,43 @@ impl Channel {
         self.pool_reuses
     }
 
-    /// Puts `frame` on the air from `frame.src` until `end`.
+    /// Puts the frame behind `frame` on the air from `src` until `end`.
     ///
     /// Allocating convenience wrapper around [`Channel::start_tx_into`].
-    pub fn start_tx(&mut self, now: Time, frame: Frame, end: Time) -> StartReport {
+    pub fn start_tx(
+        &mut self,
+        now: Time,
+        frame: FrameId,
+        src: usize,
+        dst: usize,
+        end: Time,
+    ) -> StartReport {
         let mut report = StartReport::default();
-        self.start_tx_into(now, frame, end, &mut report);
+        self.start_tx_into(now, frame, src, dst, end, &mut report);
         report
     }
 
-    /// Puts `frame` on the air from `frame.src` until `end`, writing the
-    /// outcome into `report` (cleared first).
+    /// Puts the frame behind `frame` on the air from `src` until `end`,
+    /// writing the outcome into `report` (cleared first). `src`/`dst` are
+    /// the frame's hop addressing, passed explicitly so the channel never
+    /// touches the arena — `frame` is an opaque token it returns in the
+    /// matching [`EndReport`].
     ///
     /// Marks interference both ways against every already-active
     /// transmission and reports which nodes newly sense a busy medium.
     /// Only the sender's static neighbor lists are visited, so the cost is
     /// O(degree), not O(N), and a reused `report` allocates nothing once
     /// its vector has grown to the densest neighborhood.
-    pub fn start_tx_into(&mut self, now: Time, frame: Frame, end: Time, report: &mut StartReport) {
+    pub fn start_tx_into(
+        &mut self,
+        now: Time,
+        frame: FrameId,
+        src: usize,
+        dst: usize,
+        end: Time,
+        report: &mut StartReport,
+    ) {
         debug_assert!(end > now, "zero-length transmission");
-        let src = frame.src;
         debug_assert!(src < self.n, "unknown transmitter");
         // Only the sender and its sense neighborhood change radio state;
         // settle exactly those nodes' airtime buckets, not all N. The
@@ -486,7 +500,6 @@ impl Channel {
         corrupted[src] = true;
         let mut overlapped = false;
         let mut hidden_hit = false;
-        let dst = frame.dst;
 
         // Interference with every overlapping active transmission, in both
         // directions. A transmission whose end is exactly `now` no longer
@@ -507,7 +520,7 @@ impl Channel {
             }
             overlapped = true;
             a.overlapped = true;
-            let other = a.frame.src;
+            let other = a.src;
             let (sense_other, dist_other) = (&sense[other], &dist[other]);
             // New tx destroys `a`'s reception at r? (corrupt iff the
             // interferer is the receiver itself, or is sensed by it and
@@ -515,7 +528,7 @@ impl Channel {
             for &r in &decode_from[other] {
                 if src == r || (sense_src[r] && dist_src[r] < ratio * dist_other[r]) {
                     a.corrupted[r] = true;
-                    if r == a.frame.dst && src != r && !sense_src[other] {
+                    if r == a.dst && src != r && !sense_src[other] {
                         a.hidden_hit = true;
                     }
                 }
@@ -536,6 +549,8 @@ impl Channel {
         self.active.push(ActiveTx {
             id,
             frame,
+            src,
+            dst,
             start: now,
             end,
             corrupted,
@@ -594,6 +609,8 @@ impl Channel {
             .expect("end_tx for unknown transmission");
         let ActiveTx {
             frame,
+            src,
+            dst,
             corrupted,
             start,
             end,
@@ -601,7 +618,6 @@ impl Channel {
             hidden_hit,
             ..
         } = self.active.swap_remove(idx);
-        let src = frame.src;
         self.radio[src].airtime_us += end.since(start).as_micros();
 
         // As in `start_tx_into`: settle the airtime of exactly the nodes
@@ -640,7 +656,7 @@ impl Channel {
             if clean && self.loss.drops(now, src, r, rng) {
                 clean = false;
                 outcome = DecodeOutcome::Loss;
-                if r == frame.dst {
+                if r == dst {
                     self.stats.bernoulli_losses += 1;
                 }
             } else if clean {
@@ -649,7 +665,7 @@ impl Channel {
                 } else {
                     DecodeOutcome::Clean
                 };
-                if r == frame.dst {
+                if r == dst {
                     self.stats.clean_deliveries += 1;
                     if overlapped {
                         self.stats.captures += 1;
@@ -657,7 +673,7 @@ impl Channel {
                 }
             } else {
                 outcome = DecodeOutcome::Collision;
-                if r == frame.dst {
+                if r == dst {
                     self.stats.collisions_at_dst += 1;
                     if hidden_hit {
                         self.stats.hidden_losses += 1;
@@ -685,13 +701,6 @@ mod tests {
     use crate::frame::Frame;
     use crate::geom::line_positions;
 
-    fn data(src: usize, dst: usize) -> Frame {
-        let mut f = Frame::data(1, 0, src, dst, 1000, Time::ZERO);
-        f.src = src;
-        f.dst = dst;
-        f
-    }
-
     fn chan(n: usize) -> Channel {
         Channel::new(
             &line_positions(n, 200.0),
@@ -708,7 +717,7 @@ mod tests {
     fn clean_delivery_on_idle_medium() {
         let mut ch = chan(5);
         let mut rng = SimRng::new(1);
-        let rep = ch.start_tx(t(0), data(0, 1), t(100));
+        let rep = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
         // 200 m spacing: nodes 1 and 2 sense node 0; node 3 (600 m) does not.
         assert_eq!(rep.became_busy, vec![1, 2]);
         assert!(ch.is_busy(1));
@@ -733,8 +742,8 @@ mod tests {
         // is what lets a greedy source overrun its first relay.
         let mut ch = chan(5);
         let mut rng = SimRng::new(2);
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
-        let b = ch.start_tx(t(10), data(3, 4), t(110));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
+        let b = ch.start_tx(t(10), FrameId::default(), 3, 4, t(110));
         let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
         assert!(end_a.deliveries[0].clean, "0->1 captures over hidden 3");
         let end_b = ch.end_tx(t(110), b.tx_id, &mut rng);
@@ -752,8 +761,8 @@ mod tests {
         // defer, but equal backoff draws make this possible).
         let mut ch = chan(5);
         let mut rng = SimRng::new(12);
-        let a = ch.start_tx(t(0), data(1, 2), t(100));
-        let _b = ch.start_tx(t(5), data(3, 4), t(105));
+        let a = ch.start_tx(t(0), FrameId::default(), 1, 2, t(100));
+        let _b = ch.start_tx(t(5), FrameId::default(), 3, 4, t(105));
         let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
         let to2 = end_a.deliveries.iter().find(|d| d.node == 2).unwrap();
         assert!(!to2.clean, "interferer 3 is 200 m from receiver 2");
@@ -768,8 +777,8 @@ mod tests {
         };
         let mut ch = Channel::new(&line_positions(5, 200.0), cfg, LossModel::ideal());
         let mut rng = SimRng::new(13);
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
-        let _b = ch.start_tx(t(10), data(3, 4), t(110));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
+        let _b = ch.start_tx(t(10), FrameId::default(), 3, 4, t(110));
         let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
         assert!(
             !end_a.deliveries[0].clean,
@@ -784,8 +793,8 @@ mod tests {
         // (half-duplex) but node 2 captures 1's frame over the farther 0.
         let mut ch = chan(4);
         let mut rng = SimRng::new(3);
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
-        let b = ch.start_tx(t(0), data(1, 2), t(100));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
+        let b = ch.start_tx(t(0), FrameId::default(), 1, 2, t(100));
         let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
         // Node 1 is transmitting: cannot receive.
         assert!(end_a.deliveries.iter().all(|d| !d.clean || d.node != 1));
@@ -804,8 +813,8 @@ mod tests {
         // r starts its own transmission halfway through an incoming frame.
         let mut ch = chan(4);
         let mut rng = SimRng::new(4);
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
-        let _b = ch.start_tx(t(50), data(1, 2), t(150));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
+        let _b = ch.start_tx(t(50), FrameId::default(), 1, 2, t(150));
         let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
         let d = end_a.deliveries.iter().find(|d| d.node == 1).unwrap();
         assert!(!d.clean, "half-duplex: node 1 was transmitting");
@@ -817,10 +826,10 @@ mod tests {
         // overlap it.
         let mut ch = chan(5);
         let mut rng = SimRng::new(5);
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
         // Deliver the end at t=100 *after* starting the next — the network
         // layer can produce either ordering within one instant.
-        let b = ch.start_tx(t(100), data(3, 4), t(200));
+        let b = ch.start_tx(t(100), FrameId::default(), 3, 4, t(200));
         let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
         assert!(end_a.deliveries[0].clean, "no temporal overlap");
         let end_b = ch.end_tx(t(200), b.tx_id, &mut rng);
@@ -832,8 +841,8 @@ mod tests {
         let mut ch = chan(6);
         let mut rng = SimRng::new(6);
         // Node 2 senses both node 0 (400 m) and node 4 (400 m).
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
-        let b = ch.start_tx(t(10), data(4, 5), t(110));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
+        let b = ch.start_tx(t(10), FrameId::default(), 4, 5, t(110));
         assert!(ch.is_busy(2));
         let end_a = ch.end_tx(t(100), a.tx_id, &mut rng);
         assert!(
@@ -852,7 +861,7 @@ mod tests {
         loss.set_link(0, 1, 1.0);
         let mut ch = Channel::new(&line_positions(3, 200.0), ChannelConfig::default(), loss);
         let mut rng = SimRng::new(7);
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
         let end = ch.end_tx(t(100), a.tx_id, &mut rng);
         assert!(!end.deliveries[0].clean);
         assert_eq!(ch.stats().bernoulli_losses, 1);
@@ -864,7 +873,7 @@ mod tests {
         // overhears — this is the BOE's information source.
         let mut ch = chan(4);
         let mut rng = SimRng::new(8);
-        let a = ch.start_tx(t(0), data(1, 2), t(100));
+        let a = ch.start_tx(t(0), FrameId::default(), 1, 2, t(100));
         let end = ch.end_tx(t(100), a.tx_id, &mut rng);
         let nodes: Vec<usize> = end.deliveries.iter().map(|d| d.node).collect();
         assert!(nodes.contains(&0), "node 0 must overhear 1->2");
@@ -877,7 +886,7 @@ mod tests {
         // Node 2 senses node 0's frame (400 m) but cannot decode it.
         let mut ch = chan(5);
         let mut rng = SimRng::new(30);
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
         let end = ch.end_tx(t(100), a.tx_id, &mut rng);
         assert!(end.sensed_dirty.contains(&2), "{:?}", end.sensed_dirty);
         assert!(
@@ -890,8 +899,8 @@ mod tests {
         );
         // A corrupted in-range reception is also an EIFS candidate.
         let mut ch = chan(5);
-        let a = ch.start_tx(t(0), data(1, 2), t(100));
-        let _b = ch.start_tx(t(5), data(3, 4), t(105));
+        let a = ch.start_tx(t(0), FrameId::default(), 1, 2, t(100));
+        let _b = ch.start_tx(t(5), FrameId::default(), 3, 4, t(105));
         let end = ch.end_tx(t(100), a.tx_id, &mut rng);
         assert!(end.sensed_dirty.contains(&2), "corrupted rx -> EIFS");
     }
@@ -900,11 +909,11 @@ mod tests {
     fn airtime_accumulates_per_transmitter() {
         let mut ch = chan(4);
         let mut rng = SimRng::new(20);
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
         ch.end_tx(t(100), a.tx_id, &mut rng);
-        let b = ch.start_tx(t(200), data(0, 1), t(450));
+        let b = ch.start_tx(t(200), FrameId::default(), 0, 1, t(450));
         ch.end_tx(t(450), b.tx_id, &mut rng);
-        let c = ch.start_tx(t(500), data(1, 2), t(600));
+        let c = ch.start_tx(t(500), FrameId::default(), 1, 2, t(600));
         ch.end_tx(t(600), c.tx_id, &mut rng);
         assert_eq!(ch.airtime(0), ezflow_sim::Duration::from_micros(350));
         assert_eq!(ch.airtime(1), ezflow_sim::Duration::from_micros(100));
@@ -919,7 +928,7 @@ mod tests {
         let mut ch = chan(5);
         let mut rng = SimRng::new(21);
         // 0 transmits to 1 for 100 µs; then the air is quiet until 400.
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
         ch.end_tx(t(100), a.tx_id, &mut rng);
         ch.accrue_airtime(t(400));
 
@@ -953,8 +962,8 @@ mod tests {
         // transmitting, so its whole overlap is tx time.
         let mut ch = chan(4);
         let mut rng = SimRng::new(22);
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
-        let b = ch.start_tx(t(0), data(1, 2), t(100));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
+        let b = ch.start_tx(t(0), FrameId::default(), 1, 2, t(100));
         ch.end_tx(t(100), a.tx_id, &mut rng);
         ch.end_tx(t(100), b.tx_id, &mut rng);
         let a1 = ch.airtime_breakdown(1);
@@ -968,15 +977,15 @@ mod tests {
         // overlapped, so both count as captures.
         let mut ch = chan(5);
         let mut rng = SimRng::new(23);
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
-        let b = ch.start_tx(t(10), data(3, 4), t(110));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
+        let b = ch.start_tx(t(10), FrameId::default(), 3, 4, t(110));
         ch.end_tx(t(100), a.tx_id, &mut rng);
         ch.end_tx(t(110), b.tx_id, &mut rng);
         assert_eq!(ch.stats().captures, 2);
         assert_eq!(ch.stats().hidden_losses, 0);
 
         // A lone transmission is a clean delivery but not a capture.
-        let c = ch.start_tx(t(200), data(0, 1), t(300));
+        let c = ch.start_tx(t(200), FrameId::default(), 0, 1, t(300));
         ch.end_tx(t(300), c.tx_id, &mut rng);
         assert_eq!(ch.stats().captures, 2);
         assert_eq!(ch.stats().clean_deliveries, 3);
@@ -1002,8 +1011,8 @@ mod tests {
         // 0 and 3 are 600 m apart: hidden from each other. 3's frame
         // reaches receiver 1 at 400 m (inside 550 m cs range) and, with
         // capture disabled, destroys the reception.
-        let a = ch.start_tx(t(0), data(0, 1), t(100));
-        let _b = ch.start_tx(t(10), data(3, 4), t(110));
+        let a = ch.start_tx(t(0), FrameId::default(), 0, 1, t(100));
+        let _b = ch.start_tx(t(10), FrameId::default(), 3, 4, t(110));
         let end = ch.end_tx(t(100), a.tx_id, &mut rng);
         assert!(!end.deliveries[0].clean);
         assert_eq!(ch.stats().collisions_at_dst, 1);
@@ -1011,8 +1020,8 @@ mod tests {
 
         // Contrast: an in-CS-range interferer is not a hidden loss.
         let mut ch = Channel::new(&line_positions(5, 200.0), cfg, LossModel::ideal());
-        let a = ch.start_tx(t(0), data(1, 2), t(100));
-        let _b = ch.start_tx(t(5), data(3, 4), t(105));
+        let a = ch.start_tx(t(0), FrameId::default(), 1, 2, t(100));
+        let _b = ch.start_tx(t(5), FrameId::default(), 3, 4, t(105));
         ch.end_tx(t(100), a.tx_id, &mut rng);
         assert_eq!(ch.stats().collisions_at_dst, 1);
         assert_eq!(ch.stats().hidden_losses, 0, "1 senses 3 at 400 m");
@@ -1211,7 +1220,9 @@ mod tests {
                         f.dst = dst;
                         let rep = fast.start_tx(
                             Time::from_micros(start),
-                            f.clone(),
+                            FrameId::default(),
+                            src,
+                            dst,
                             Time::from_micros(start + dur),
                         );
                         let (ref_id, ref_busy) =
@@ -1252,7 +1263,9 @@ mod tests {
             let at = t(i * 1000);
             ch.start_tx_into(
                 at,
-                data(0, 1),
+                FrameId::default(),
+                0,
+                1,
                 at + ezflow_sim::Duration::from_micros(100),
                 &mut start,
             );

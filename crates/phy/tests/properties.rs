@@ -1,7 +1,7 @@
 //! Property-based tests for the channel: sense bookkeeping, delivery
 //! ranges and capture symmetry under random transmission schedules.
 
-use ezflow_phy::{Channel, ChannelConfig, Frame, LossModel, Position};
+use ezflow_phy::{Channel, ChannelConfig, FrameId, LossModel, Position};
 use ezflow_sim::{SimRng, Time};
 use proptest::prelude::*;
 
@@ -12,13 +12,6 @@ fn positions(n: usize, coords: &[(f64, f64)]) -> Vec<Position> {
             Position::new(x + (i / coords.len()) as f64 * 37.0, y)
         })
         .collect()
-}
-
-fn frame(seq: u64, src: usize, dst: usize) -> Frame {
-    let mut f = Frame::data(seq, 0, src, dst, 1000, Time::ZERO);
-    f.src = src;
-    f.dst = dst;
-    f
 }
 
 proptest! {
@@ -58,7 +51,9 @@ proptest! {
                     if dst == src { continue; }
                     let rep = ch.start_tx(
                         Time::from_micros(start),
-                        frame(i as u64, src, dst),
+                        FrameId::default(),
+                        src,
+                        dst,
                         Time::from_micros(start + dur),
                     );
                     // The transmitter never senses its own energy.
@@ -93,7 +88,7 @@ proptest! {
         let pos = positions(4, &[(0.0, 0.0), (200.0, 0.0), (400.0, 0.0), (600.0, 0.0)]);
         let mut ch = Channel::new(&pos, ChannelConfig::default(), LossModel::ideal());
         let mut rng = SimRng::new(seed);
-        let rep = ch.start_tx(Time::from_micros(0), frame(1, src, dst), Time::from_micros(100));
+        let rep = ch.start_tx(Time::from_micros(0), FrameId::default(), src, dst, Time::from_micros(100));
         let end = ch.end_tx(Time::from_micros(100), rep.tx_id, &mut rng);
         for d in &end.deliveries {
             prop_assert!(d.clean, "lone tx corrupted at {}", d.node);

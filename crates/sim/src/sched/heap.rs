@@ -28,6 +28,16 @@ impl<E> HeapQueue<E> {
         self.heap.push(entry);
     }
 
+    /// Removes the pending entry with key `(at, seq)`; returns whether it
+    /// was found. O(n) rebuild via `retain` — this backend is the oracle,
+    /// not the fast path, and a physical removal keeps `peek_time` exact
+    /// (a tombstone scheme would let a dead entry masquerade as the head).
+    pub(crate) fn remove(&mut self, at: Time, seq: u64) -> bool {
+        let before = self.heap.len();
+        self.heap.retain(|e| e.seq != seq || e.at != at);
+        self.heap.len() != before
+    }
+
     /// Removes and returns the earliest *live* entry at or before `until`,
     /// consulting `cancel` on each entry in `(at, seq)` order and counting
     /// the stale ones it consumes into `skipped` (their `len` and

@@ -40,14 +40,40 @@ use wheel::WheelQueue;
 
 /// Identifier of a scheduled event, unique within one [`Scheduler`].
 ///
-/// The scheduler does not support keyed O(log n) cancellation; components
-/// that need to abandon a pending timer (the MAC does, constantly) instead
-/// use *epoch tokens*: the event carries an epoch, the owner bumps its
-/// epoch to invalidate all outstanding timers, and stale events are elided
-/// at pop time through the [`Cancelable`] hook. `EventId` exists so that
+/// Components that need to abandon a pending timer have two tools: the
+/// *epoch token* pattern (the event carries an epoch, the owner bumps its
+/// epoch, and stale events are elided at pop time through the
+/// [`Cancelable`] hook) and keyed in-place rescheduling through a
+/// [`TimerHandle`] ([`Scheduler::reschedule`] / [`Scheduler::remove`]),
+/// which moves a pending entry instead of abandoning it — the entry never
+/// becomes churn for the pop loop at all. `EventId` exists so that
 /// callers can correlate trace output.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct EventId(pub u64);
+
+/// Handle to one *pending* entry, for keyed removal and in-place
+/// rescheduling. Returned by [`Scheduler::schedule_keyed`] and
+/// [`Scheduler::reschedule`]; dead the moment the entry is popped, elided
+/// or removed — the owner must drop its copy on those events (the engine
+/// keeps one slot per MAC timer and clears it from the pop loop and the
+/// [`Cancelable`] hook), so a held handle always refers to a live entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TimerHandle {
+    at: Time,
+    seq: u64,
+}
+
+impl TimerHandle {
+    /// The instant the underlying entry is scheduled for.
+    pub fn at(self) -> Time {
+        self.at
+    }
+
+    /// The entry's event id (for trace correlation).
+    pub fn id(self) -> EventId {
+        EventId(self.seq)
+    }
+}
 
 /// Which queue backend a [`Scheduler`] uses. Both produce identical pop
 /// sequences and statistics; they differ only in wall-clock cost.
@@ -189,6 +215,12 @@ pub struct Scheduler<E> {
     len: usize,
     depth_high_water: usize,
     stale_drops: u64,
+    /// Entries created by [`Scheduler::reschedule`] — re-arms of a logical
+    /// timer that already paid its fresh [`Scheduler::schedule`].
+    rescheduled: u64,
+    /// Entries physically removed by [`Scheduler::remove`] (parked logical
+    /// timers awaiting a later reschedule, or outright cancellations).
+    removed: u64,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -216,6 +248,8 @@ impl<E> Scheduler<E> {
             len: 0,
             depth_high_water: 0,
             stale_drops: 0,
+            rescheduled: 0,
+            removed: 0,
         }
     }
 
@@ -249,6 +283,71 @@ impl<E> Scheduler<E> {
         EventId(seq)
     }
 
+    /// [`Scheduler::schedule`], returning a [`TimerHandle`] for later
+    /// keyed rescheduling or removal.
+    #[inline]
+    pub fn schedule_keyed(&mut self, at: Time, event: E) -> TimerHandle {
+        let EventId(seq) = self.schedule(at, event);
+        TimerHandle { at, seq }
+    }
+
+    /// Moves a pending entry to a new instant in place: removes `prev`
+    /// (when `Some` — pass `None` to revive a timer that was parked via
+    /// [`Scheduler::remove`]) and inserts `event` at `at` under a fresh
+    /// sequence number.
+    ///
+    /// The fresh seq is deliberate: it is exactly the `(at, seq)` key a
+    /// plain [`Scheduler::schedule`] call would assign at this moment, so
+    /// converting a schedule-new-then-elide-old caller to reschedule
+    /// leaves the pop order — and therefore the whole simulation —
+    /// bit-identical. Only the churn accounting moves: the entry counts in
+    /// [`Scheduler::rescheduled_total`], not [`Scheduler::scheduled_total`],
+    /// and the abandoned predecessor never sits in the queue waiting to be
+    /// elided.
+    #[inline]
+    pub fn reschedule(&mut self, prev: Option<TimerHandle>, at: Time, event: E) -> TimerHandle {
+        if let Some(h) = prev {
+            let found = self.remove_entry(h);
+            debug_assert!(found, "reschedule of a dead handle {h:?}");
+            if found {
+                self.len -= 1;
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.rescheduled += 1;
+        let entry = Entry { at, seq, event };
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(entry),
+            Backend::Wheel(w) => w.push(entry),
+        }
+        self.len += 1;
+        self.depth_high_water = self.depth_high_water.max(self.len);
+        TimerHandle { at, seq }
+    }
+
+    /// Physically removes a pending entry (a parked logical timer — the
+    /// owner expects to [`Scheduler::reschedule`] it later — or an
+    /// outright cancellation). Returns whether the entry was found; a
+    /// `false` means the caller's handle was dead, which the handle
+    /// discipline (see [`TimerHandle`]) rules out.
+    pub fn remove(&mut self, h: TimerHandle) -> bool {
+        if self.remove_entry(h) {
+            self.len -= 1;
+            self.removed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove_entry(&mut self, h: TimerHandle) -> bool {
+        match &mut self.backend {
+            Backend::Heap(q) => q.remove(h.at, h.seq),
+            Backend::Wheel(q) => q.remove(h.at, h.seq),
+        }
+    }
+
     /// The instant of the earliest pending event, if any (stale entries
     /// included — staleness is only decided at pop time).
     pub fn peek_time(&self) -> Option<Time> {
@@ -269,9 +368,25 @@ impl<E> Scheduler<E> {
         self.len == 0
     }
 
-    /// Total number of events ever scheduled (diagnostic).
+    /// Total number of *fresh* events ever scheduled (diagnostic).
+    /// Re-arms through [`Scheduler::reschedule`] are counted separately in
+    /// [`Scheduler::rescheduled_total`]: a logical timer that is armed
+    /// once and then moved N times contributes 1 here and N there, so this
+    /// count converges toward `dispatched + pending` as callers adopt
+    /// in-place rescheduling over schedule-and-abandon.
     pub fn scheduled_total(&self) -> u64 {
-        self.next_seq
+        self.next_seq - self.rescheduled
+    }
+
+    /// Entries created by [`Scheduler::reschedule`] — in-place re-arms of
+    /// already-scheduled logical timers.
+    pub fn rescheduled_total(&self) -> u64 {
+        self.rescheduled
+    }
+
+    /// Entries physically removed by [`Scheduler::remove`].
+    pub fn removed_total(&self) -> u64 {
+        self.removed
     }
 
     /// The deepest the pending-event queue has ever been — a measure of
@@ -536,6 +651,119 @@ mod tests {
             let b = s.schedule(Time::from_micros(1), 0);
             assert!(b > a);
         });
+    }
+
+    #[test]
+    fn reschedule_moves_an_entry_in_place() {
+        for_both(|mut s| {
+            let h = s.schedule_keyed(Time::from_micros(10), 1);
+            s.schedule(Time::from_micros(20), 2);
+            assert_eq!(s.len(), 2);
+            // Move the first entry past the second: it must pop second,
+            // and under the seq a fresh schedule would have received.
+            let h2 = s.reschedule(Some(h), Time::from_micros(30), 3);
+            assert_eq!(h2.id(), EventId(2));
+            assert_eq!(h2.at(), Time::from_micros(30));
+            assert_eq!(s.len(), 2);
+            assert_eq!(s.scheduled_total(), 2, "re-arm is not a fresh schedule");
+            assert_eq!(s.rescheduled_total(), 1);
+            assert_eq!(s.pop(), Some((Time::from_micros(20), 2)));
+            assert_eq!(s.pop(), Some((Time::from_micros(30), 3)));
+            assert_eq!(s.pop(), None);
+            assert_eq!(s.stale_drops(), 0, "nothing was abandoned");
+        });
+    }
+
+    #[test]
+    fn remove_then_reschedule_none_revives_a_parked_timer() {
+        for_both(|mut s| {
+            let h = s.schedule_keyed(Time::from_micros(10), 1);
+            s.schedule(Time::from_micros(15), 2);
+            assert!(s.remove(h));
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.removed_total(), 1);
+            assert_eq!(s.pop(), Some((Time::from_micros(15), 2)));
+            let h2 = s.reschedule(None, Time::from_micros(40), 4);
+            assert_eq!(h2.id(), EventId(2));
+            assert_eq!(s.pop(), Some((Time::from_micros(40), 4)));
+            assert!(s.is_empty());
+            assert_eq!(s.scheduled_total(), 2);
+            assert_eq!(s.rescheduled_total(), 1);
+        });
+    }
+
+    #[test]
+    fn remove_finds_entries_in_every_region() {
+        // Near-future bucket, far-future overflow, and the behind-base
+        // clamp case all resolve through the same keyed removal.
+        for_both(|mut s| {
+            // Far future (wheel overflow).
+            let far = s.schedule_keyed(Time::from_secs(2), 9);
+            assert!(s.remove(far));
+            // Advance the wheel deep into a later lap, then schedule
+            // behind its base (the clamp path).
+            s.schedule(Time::from_secs(1), 1);
+            assert_eq!(s.pop(), Some((Time::from_secs(1), 1)));
+            let behind = s.schedule_keyed(Time::from_micros(7), 2);
+            let near = s.schedule_keyed(Time::from_secs(1) + Duration::from_micros(50), 3);
+            assert!(s.remove(behind));
+            assert!(s.remove(near));
+            assert!(s.is_empty());
+            assert_eq!(s.peek_time(), None);
+            assert_eq!(s.pop(), None);
+            assert_eq!(s.removed_total(), 3);
+        });
+    }
+
+    #[test]
+    fn removed_entries_never_surface_in_peek_or_pop() {
+        for_both(|mut s| {
+            let doomed = s.schedule_keyed(Time::from_micros(5), 0);
+            s.schedule(Time::from_micros(9), 1);
+            assert_eq!(s.peek_time(), Some(Time::from_micros(5)));
+            assert!(s.remove(doomed));
+            assert_eq!(s.peek_time(), Some(Time::from_micros(9)));
+            assert_eq!(s.pop(), Some((Time::from_micros(9), 1)));
+        });
+    }
+
+    #[test]
+    fn reschedule_storm_matches_fresh_schedule_order() {
+        // A timer moved many times must dispatch exactly where a chain of
+        // fresh schedule + elide-the-old would have put it.
+        let run_keyed = |kind| {
+            let mut s: Scheduler<u64> = Scheduler::with_kind(kind);
+            let mut h = s.schedule_keyed(Time::from_micros(100), 0);
+            for i in 1..50u64 {
+                s.schedule(Time::from_micros(i * 3), 1000 + i);
+                h = s.reschedule(Some(h), Time::from_micros(100 + i), i);
+            }
+            let mut out = Vec::new();
+            while let Some((t, e)) = s.pop() {
+                out.push((t, e));
+            }
+            out
+        };
+        let run_epoch = |kind| {
+            let mut s: Scheduler<u64> = Scheduler::with_kind(kind);
+            let mut live = 0u64;
+            s.schedule(Time::from_micros(100), 0);
+            for i in 1..50u64 {
+                s.schedule(Time::from_micros(i * 3), 1000 + i);
+                live = i;
+                s.schedule(Time::from_micros(100 + i), i);
+            }
+            let mut out = Vec::new();
+            while let Some((t, e)) =
+                s.pop_before(Time::MAX, |_: Time, e: &u64| *e < 1000 && *e != live)
+            {
+                out.push((t, e));
+            }
+            out
+        };
+        for kind in [SchedKind::Heap, SchedKind::Wheel] {
+            assert_eq!(run_keyed(kind), run_epoch(kind));
+        }
     }
 
     #[test]

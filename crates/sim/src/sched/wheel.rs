@@ -161,6 +161,64 @@ impl<E> WheelQueue<E> {
         self.in_buckets += 1;
     }
 
+    /// Removes the pending entry with key `(at, seq)`; returns whether it
+    /// was found. The bucket an in-horizon entry lives in is normally the
+    /// one its `at` maps to, but an entry pushed while its instant was
+    /// already at or behind the then-`base` was clamped into the
+    /// then-cursor bucket — for those (and only those) the natural-bucket
+    /// probe misses and a bitmap walk over the occupied buckets finishes
+    /// the job. Buckets hold a handful of entries (see
+    /// [`WheelStats::bucket_high_water`]), so the common case is one
+    /// binary search plus a tiny `Vec::remove` memmove.
+    pub(crate) fn remove(&mut self, at: Time, seq: u64) -> bool {
+        let at_us = at.as_micros();
+        if at_us >= self.base + HORIZON_US {
+            // Overflow invariant: everything at or past the horizon is in
+            // the far-future heap (refill migrates the rest on rotation).
+            let before = self.overflow.len();
+            self.overflow.retain(|e| e.seq != seq || e.at != at);
+            return self.overflow.len() != before;
+        }
+        let natural = if at_us < self.base {
+            self.cursor
+        } else {
+            (at_us / BUCKET_WIDTH_US) as usize & MASK
+        };
+        if self.remove_in_bucket(natural, at, seq) {
+            return true;
+        }
+        for idx in 0..NUM_BUCKETS {
+            if idx == natural || self.occupied[idx >> 6] & (1u64 << (idx & 63)) == 0 {
+                continue;
+            }
+            if self.remove_in_bucket(idx, at, seq) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Binary-searches bucket `idx`'s live slice for `(at, seq)` and
+    /// removes the entry if present, keeping the bitmap and entry count
+    /// consistent.
+    fn remove_in_bucket(&mut self, idx: usize, at: Time, seq: u64) -> bool {
+        let bucket = &mut self.buckets[idx];
+        let key = (at, seq);
+        let live = &bucket.items[bucket.head..];
+        let pos = bucket.head + live.partition_point(|e| (e.at, e.seq) < key);
+        if pos == bucket.items.len() || (bucket.items[pos].at, bucket.items[pos].seq) != key {
+            return false;
+        }
+        bucket.items.remove(pos);
+        if bucket.head == bucket.items.len() {
+            bucket.items.clear();
+            bucket.head = 0;
+            self.occupied[idx >> 6] &= !(1u64 << (idx & 63));
+        }
+        self.in_buckets -= 1;
+        true
+    }
+
     /// Offset (in buckets, from the cursor) of the first occupied bucket.
     /// `None` iff all buckets are empty.
     fn next_occupied_offset(&self) -> Option<usize> {

@@ -11,11 +11,14 @@
 //! every operation. `scripts/check.sh` runs this file explicitly so the
 //! heap fallback can never rot.
 
-use ezflow_sim::{SchedKind, Scheduler, SimRng, Time};
+use ezflow_sim::{SchedKind, Scheduler, SimRng, Time, TimerHandle};
 use proptest::prelude::*;
 
 /// Event payload: an owner with the epoch token it was scheduled under
 /// (the MAC's cancellation pattern) plus a unique tag for identity checks.
+/// Keyed entries — the ones moved in place through [`TimerHandle`]s —
+/// carry [`KEYED`] instead of an epoch: per the engine's handle
+/// discipline they are never abandoned to the stale hook.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Ev {
     owner: usize,
@@ -24,6 +27,9 @@ struct Ev {
 }
 
 const OWNERS: usize = 8;
+
+/// Epoch sentinel for handle-managed entries (exempt from stale elision).
+const KEYED: u64 = u64::MAX;
 
 /// `rng.gen_range` with u64 ergonomics for this file's workload mixes.
 fn below(rng: &mut SimRng, bound: u64) -> u64 {
@@ -36,6 +42,11 @@ struct Pair {
     /// Current epoch per owner; events scheduled under an older epoch are
     /// stale and must be elided at pop time by both backends.
     epochs: [u64; OWNERS],
+    /// Live handle pairs `(tag, heap handle, wheel handle)` for keyed
+    /// entries still pending in both queues.
+    handles: Vec<(u64, TimerHandle, TimerHandle)>,
+    /// Logical timers currently parked (removed, awaiting revival).
+    parked: usize,
     now: u64,
     next_tag: u64,
 }
@@ -46,6 +57,8 @@ impl Pair {
             heap: Scheduler::with_kind(SchedKind::Heap),
             wheel: Scheduler::with_kind(SchedKind::Wheel),
             epochs: [0; OWNERS],
+            handles: Vec::new(),
+            parked: 0,
             now: 0,
             next_tag: 0,
         }
@@ -65,6 +78,78 @@ impl Pair {
         self.check();
     }
 
+    /// Schedules a keyed entry and tracks its handles.
+    fn schedule_keyed(&mut self, delta_us: u64, owner: usize) {
+        let at = Time::from_micros(self.now + delta_us);
+        let ev = Ev {
+            owner,
+            epoch: KEYED,
+            tag: self.next_tag,
+        };
+        self.next_tag += 1;
+        let a = self.heap.schedule_keyed(at, ev);
+        let b = self.wheel.schedule_keyed(at, ev);
+        assert_eq!(a, b, "handles must match");
+        self.handles.push((ev.tag, a, b));
+        self.check();
+    }
+
+    /// Moves the `pick`-th live keyed entry to a new instant in place.
+    fn reschedule(&mut self, pick: usize, delta_us: u64) {
+        if self.handles.is_empty() {
+            return;
+        }
+        let i = pick % self.handles.len();
+        let (_, ha, hb) = self.handles[i];
+        let at = Time::from_micros(self.now + delta_us);
+        let owner = pick % OWNERS;
+        let ev = Ev {
+            owner,
+            epoch: KEYED,
+            tag: self.next_tag,
+        };
+        self.next_tag += 1;
+        let a = self.heap.reschedule(Some(ha), at, ev);
+        let b = self.wheel.reschedule(Some(hb), at, ev);
+        assert_eq!(a, b, "rescheduled handles must match");
+        self.handles[i] = (ev.tag, a, b);
+        self.check();
+    }
+
+    /// Parks the `pick`-th live keyed entry (physical removal).
+    fn park(&mut self, pick: usize) {
+        if self.handles.is_empty() {
+            return;
+        }
+        let i = pick % self.handles.len();
+        let (_, ha, hb) = self.handles.swap_remove(i);
+        assert!(self.heap.remove(ha), "heap lost a live handle");
+        assert!(self.wheel.remove(hb), "wheel lost a live handle");
+        self.parked += 1;
+        self.check();
+    }
+
+    /// Revives one parked logical timer as a reschedule without a
+    /// predecessor.
+    fn resume(&mut self, delta_us: u64, owner: usize) {
+        if self.parked == 0 {
+            return;
+        }
+        self.parked -= 1;
+        let at = Time::from_micros(self.now + delta_us);
+        let ev = Ev {
+            owner,
+            epoch: KEYED,
+            tag: self.next_tag,
+        };
+        self.next_tag += 1;
+        let a = self.heap.reschedule(None, at, ev);
+        let b = self.wheel.reschedule(None, at, ev);
+        assert_eq!(a, b);
+        self.handles.push((ev.tag, a, b));
+        self.check();
+    }
+
     fn bump(&mut self, owner: usize) {
         self.epochs[owner] += 1;
     }
@@ -73,16 +158,17 @@ impl Pair {
     /// return the same thing and elide the same stale entries.
     fn pop_before(&mut self, until: Time) -> Option<(Time, Ev)> {
         let epochs = self.epochs;
-        let a = self
-            .heap
-            .pop_before(until, |_: Time, e: &Ev| epochs[e.owner] != e.epoch);
-        let b = self
-            .wheel
-            .pop_before(until, |_: Time, e: &Ev| epochs[e.owner] != e.epoch);
+        let stale = |_: Time, e: &Ev| e.epoch != KEYED && epochs[e.owner] != e.epoch;
+        let a = self.heap.pop_before(until, stale);
+        let b = self.wheel.pop_before(until, stale);
         assert_eq!(a, b, "pop sequences must match");
-        if let Some((t, _)) = a {
+        if let Some((t, ev)) = a {
             assert!(t.as_micros() >= self.now, "time went backwards");
             self.now = t.as_micros();
+            if ev.epoch == KEYED {
+                // The entry left the queue: its handles are dead.
+                self.handles.retain(|(tag, _, _)| *tag != ev.tag);
+            }
         } else if until != Time::MAX {
             self.now = until.as_micros();
         }
@@ -102,6 +188,11 @@ impl Pair {
             "high-water accounting diverged"
         );
         assert_eq!(self.heap.stale_drops(), self.wheel.stale_drops());
+        assert_eq!(
+            self.heap.rescheduled_total(),
+            self.wheel.rescheduled_total()
+        );
+        assert_eq!(self.heap.removed_total(), self.wheel.removed_total());
         assert_eq!(self.heap.peek_time(), self.wheel.peek_time());
     }
 
@@ -118,22 +209,31 @@ fn run_workload(seed: u64, ops: usize) {
     let mut rng = SimRng::new(seed);
     let mut pair = Pair::new();
     for _ in 0..ops {
+        // Shared delta mix: mostly short DCF-like horizons, with tie
+        // pressure, around-the-horizon and deep-overflow tails.
+        let delta = match below(&mut rng, 10) {
+            0..=4 => below(&mut rng, 2_048),  // slots, SIFS/DIFS, ACK timeouts
+            5..=6 => below(&mut rng, 4) * 20, // same-instant / same-slot ties
+            7..=8 => 61_000 + below(&mut rng, 9_000), // straddles the 65.536 ms horizon
+            _ => below(&mut rng, 3_000_000),  // far future (overflow heap)
+        };
+        let owner = below(&mut rng, OWNERS as u64) as usize;
         match below(&mut rng, 100) {
-            0..=59 => {
-                // Schedule: mostly short DCF-like horizons, with tie
-                // pressure, around-the-horizon and deep-overflow tails.
-                let delta = match below(&mut rng, 10) {
-                    0..=4 => below(&mut rng, 2_048),  // slots, SIFS/DIFS, ACK timeouts
-                    5..=6 => below(&mut rng, 4) * 20, // same-instant / same-slot ties
-                    7..=8 => 61_000 + below(&mut rng, 9_000), // straddles the 65.536 ms horizon
-                    _ => below(&mut rng, 3_000_000),  // far future (overflow heap)
-                };
-                let owner = below(&mut rng, OWNERS as u64) as usize;
-                pair.schedule(delta, owner);
+            0..=39 => pair.schedule(delta, owner),
+            40..=49 => pair.schedule_keyed(delta, owner),
+            // In-place reschedule storm: move a live keyed entry,
+            // possibly across the bucket/overflow boundary.
+            50..=61 => {
+                let pick = below(&mut rng, 1 << 30) as usize;
+                pair.reschedule(pick, delta);
             }
-            60..=74 => {
+            62..=66 => {
+                let pick = below(&mut rng, 1 << 30) as usize;
+                pair.park(pick);
+            }
+            67..=69 => pair.resume(delta, owner),
+            70..=79 => {
                 // Cancel storm: invalidate one owner's outstanding timers.
-                let owner = below(&mut rng, OWNERS as u64) as usize;
                 pair.bump(owner);
             }
             _ => {
@@ -189,6 +289,43 @@ fn cancel_storm_elides_everything_identically() {
     pair.drain();
     assert_eq!(pair.heap.stale_drops(), 200, "every entry was stale");
     assert_eq!(pair.heap.depth_high_water(), 200);
+}
+
+#[test]
+fn reschedule_storm_stays_in_lock_step() {
+    // A dense in-place reschedule storm — every keyed entry moved many
+    // times, crossing the wheel's bucket/overflow boundary in both
+    // directions and mixing with parks, revivals and epoch-stale
+    // bystanders — must keep both backends byte-identical.
+    let mut rng = SimRng::new(77);
+    let mut pair = Pair::new();
+    for i in 0..24 {
+        pair.schedule_keyed(below(&mut rng, 2_048), i % OWNERS);
+        pair.schedule(below(&mut rng, 2_048), i % OWNERS);
+    }
+    for step in 0..600 {
+        let delta = match below(&mut rng, 4) {
+            0 => below(&mut rng, 512),
+            1 => below(&mut rng, 4) * 20,
+            2 => 60_000 + below(&mut rng, 12_000),
+            _ => below(&mut rng, 1_000_000),
+        };
+        match below(&mut rng, 10) {
+            0..=5 => pair.reschedule(below(&mut rng, 1 << 30) as usize, delta),
+            6 => pair.park(below(&mut rng, 1 << 30) as usize),
+            7 => pair.resume(delta, step % OWNERS),
+            8 => pair.bump(step % OWNERS),
+            _ => {
+                let until = Time::from_micros(pair.now + below(&mut rng, 5_000));
+                pair.pop_before(until);
+            }
+        }
+    }
+    assert!(
+        pair.heap.rescheduled_total() > 100,
+        "the storm must actually reschedule"
+    );
+    pair.drain();
 }
 
 #[test]

@@ -41,6 +41,11 @@ echo "== hot-path determinism gate (hotpath_bench --check) =="
 # change a single counter.
 cargo run --release -q -p ezflow-bench --bin hotpath_bench -- --check
 
+echo "== mesh scale budget smoke (mesh_bench, non-recording) =="
+# The 1024-node mesh must stay inside its events/s floor and peak-RSS
+# ceiling. No --record: check runs never rewrite BENCH_sim_speed.json.
+cargo run --release -q -p ezflow-bench --bin mesh_bench >/dev/null
+
 echo "== flight recorder + trace CLI smoke =="
 # A short traced scenario-1 run exports lifecycle JSONL; the trace
 # inspector must reconstruct journeys and a drop census from it.
