@@ -1,0 +1,56 @@
+//! Live controller-audit streaming destination for the experiment
+//! harness.
+//!
+//! `experiments --audit-dir=DIR` arms the audit ledger on every network
+//! the experiments build and registers `DIR` here; [`attach`] then gives
+//! each labelled run its own `DIR/<label>.audit.jsonl` sink, so one
+//! record per BOE estimation sample and per `CWmin` decision streams out
+//! *while the simulation runs* — the `trace controller` inspector's
+//! input format.
+//!
+//! Same shape as [`crate::telemetry_out`]: a process-wide `OnceLock`
+//! rather than a `Scale` field keeps `Scale` `Copy` while the
+//! destination, set once at CLI parse time, never varies within a
+//! process. The `.audit.jsonl` suffix keeps the two streams apart when
+//! both flags point at the same directory.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use ezflow_net::Network;
+
+static DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Registers the streaming directory. First call wins; later calls are
+/// ignored (the CLI parses the flag once).
+pub fn set_dir(dir: impl Into<PathBuf>) {
+    let _ = DIR.set(dir.into());
+}
+
+/// The registered streaming directory, if any.
+pub fn dir() -> Option<&'static Path> {
+    DIR.get().map(PathBuf::as_path)
+}
+
+/// Attaches `DIR/<label>.audit.jsonl` as `net`'s audit sink. A no-op
+/// unless both the network's audit ledger is armed and a directory was
+/// registered; creation failures are reported and skipped — the audit
+/// must never fail an experiment.
+pub fn attach(net: &mut Network, label: &str) {
+    let Some(dir) = dir() else { return };
+    if !net.audit.enabled() {
+        return;
+    }
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("audit dir {} unavailable: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{label}.audit.jsonl"));
+    match std::fs::File::create(&path) {
+        Ok(f) => {
+            net.audit.set_sink(Box::new(std::io::BufWriter::new(f)));
+            eprintln!("streaming controller audit to {}", path.display());
+        }
+        Err(e) => eprintln!("audit sink {} failed: {e}", path.display()),
+    }
+}

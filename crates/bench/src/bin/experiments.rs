@@ -34,6 +34,13 @@
 //! arms the bus on its own (rings + the snapshots' `stability` section,
 //! no streaming). Telemetry never changes the simulation either.
 //!
+//! `--audit-dir=DIR` arms the controller-provenance audit ledger on every
+//! network and streams one JSONL record per BOE estimation sample and per
+//! `CWmin` decision to `DIR/<experiment>_<algo>.audit.jsonl` — the input
+//! format of `trace controller`. Snapshots from the same runs gain a
+//! `controller` section (per-node CW-change counts, per-link estimation
+//! error). The audit is pull-based and never changes the simulation.
+//!
 //! `--spec=FILE` runs a declarative scenario document (see DESIGN.md §9
 //! and the committed examples under `scenarios/`) through the same
 //! reporting pipeline: every sweep point in the file becomes one run, and
@@ -85,6 +92,7 @@ fn main() -> ExitCode {
     let mut flight_cap: Option<usize> = None;
     let mut telemetry_dir: Option<std::path::PathBuf> = None;
     let mut telemetry_ms: Option<u64> = None;
+    let mut audit_dir: Option<std::path::PathBuf> = None;
     let mut ids = Vec::new();
     let mut specs: Vec<std::path::PathBuf> = Vec::new();
     let mut list = false;
@@ -135,6 +143,9 @@ fn main() -> ExitCode {
                 assert!(ms > 0, "telemetry interval must be nonzero");
                 telemetry_ms = Some(ms);
             }
+            s if s.starts_with("--audit-dir=") => {
+                audit_dir = Some(std::path::PathBuf::from(&s["--audit-dir=".len()..]));
+            }
             other => ids.push(other.to_string()),
         }
     }
@@ -153,6 +164,12 @@ fn main() -> ExitCode {
     }
     if let Some(dir) = &telemetry_dir {
         ezflow_bench::telemetry_out::set_dir(dir);
+    }
+    // The audit-dir flag arms the ledger and streams decisions live;
+    // snapshots gain their `controller` section from the same runs.
+    if let Some(dir) = &audit_dir {
+        scale.audit_cap = ezflow_net::NetworkSpec::AUDIT_CAP;
+        ezflow_bench::audit_out::set_dir(dir);
     }
     if list {
         println!("named experiments:");
@@ -184,6 +201,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: experiments [--quick] [--markdown] [--csv=DIR] [--json=FILE] [--trace-dir=DIR]\n\
              \x20                  [--flight-cap=N] [--telemetry-dir=DIR] [--telemetry-ms=N]\n\
+             \x20                  [--audit-dir=DIR]\n\
              \x20                  [--seed=N] [--time=F] [--jobs=N] [--sched=heap|wheel]\n\
              \x20                  [--list] [--spec=FILE] [--emit-spec=NAME] <id>...\n\
              ids: fig1 table1 fig4 table2 scenario1 scenario2 table4 theorem1 ablations seeds all"

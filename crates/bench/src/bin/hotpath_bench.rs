@@ -58,7 +58,12 @@
 //! zero-cost gate), `--check` re-runs scenario1 with the bus armed and
 //! requires the stability-stripped snapshots to match the off-run byte
 //! for byte, and measure mode records the telemetry-on events/s as the
-//! `"telemetry_overhead"` sub-entry, warning past 10%.
+//! `"telemetry_overhead"` sub-entry, warning past 10%. The controller
+//! audit ledger is gated identically: `--check` re-runs scenario1 with
+//! the ledger armed and requires the controller-stripped snapshots to
+//! match the off-run byte for byte (the audit is pull-based — no events,
+//! no RNG — so nothing needs compensating), and measure mode records the
+//! audit-on events/s as `"audit_overhead"`, warning past 10%.
 
 use std::path::PathBuf;
 
@@ -131,14 +136,15 @@ fn timed(label: &str, mut net: Network, until: Time) -> Timed {
         .expect("snapshot document has scheduler.scheduled_total");
     if let JsonValue::Object(fields) = &mut doc {
         // Zero the perf block (wall-clock noise) and strip the sections
-        // telemetry is allowed to add (a no-op on the telemetry-off
-        // runs), so on- and off-digests are comparable.
+        // telemetry and the audit ledger are allowed to add (a no-op on
+        // the feature-off runs), so on- and off-digests are comparable.
+        // Top-level keys only: each node's controller *name* field stays.
         for (k, v) in fields.iter_mut() {
             if k == "perf" {
                 *v = PerfSnapshot::zeroed().to_json();
             }
         }
-        fields.retain(|(k, _)| k != "stability");
+        fields.retain(|(k, _)| k != "stability" && k != "controller");
     }
     Timed {
         label: label.to_string(),
@@ -155,18 +161,21 @@ fn timed(label: &str, mut net: Network, until: Time) -> Timed {
 /// The quick scenario-1 runs — the same topology, timeline, seed and
 /// controllers whose perf the committed baseline snapshots recorded.
 fn scenario1_runs(sched: SchedKind) -> Vec<Timed> {
-    scenario1_runs_with(sched, None)
+    scenario1_runs_with(sched, None, 0)
 }
 
-/// Same runs with an explicit telemetry interval (`Some` arms the bus:
-/// the overhead workload and the on/off equivalence gate).
+/// Same runs with an explicit telemetry interval (`Some` arms the bus)
+/// and audit capacity (nonzero arms the ledger): the overhead workloads
+/// and the on/off equivalence gates.
 fn scenario1_runs_with(
     sched: SchedKind,
     telemetry_every: Option<ezflow_sim::Duration>,
+    audit_cap: usize,
 ) -> Vec<Timed> {
     let mut scale = Scale::quick();
     scale.sched = sched;
     scale.telemetry_every = telemetry_every;
+    scale.audit_cap = audit_cap;
     let tl = scenario1::scale_timeline(scale, &[5, 605, 1805, 2504]);
     let (t0, t1, t2, t3) = (tl[0], tl[1], tl[2], tl[3]);
     let mut t = topo::scenario1();
@@ -333,7 +342,7 @@ fn measure(out: &PathBuf, sched: SchedKind) -> std::process::ExitCode {
     // Same workload with the telemetry bus armed at its default 100 ms:
     // the recorded telemetry-on cost, gated advisorily at 10%.
     let tel_eps = events_per_sec(&best_of(|| {
-        scenario1_runs_with(sched, Some(ezflow_net::NetworkSpec::TELEMETRY_EVERY))
+        scenario1_runs_with(sched, Some(ezflow_net::NetworkSpec::TELEMETRY_EVERY), 0)
     }));
     let tel_overhead = 1.0 - tel_eps / scenario_eps;
     eprintln!(
@@ -355,6 +364,33 @@ fn measure(out: &PathBuf, sched: SchedKind) -> std::process::ExitCode {
         ("events_per_sec_off", scenario_eps.into()),
         ("events_per_sec_on", tel_eps.into()),
         ("overhead_fraction", tel_overhead.into()),
+    ]);
+
+    // Same workload with the audit ledger armed at the CLI's default
+    // capacity: the recorded audit-on cost, same 10% advisory budget.
+    let audit_eps = events_per_sec(&best_of(|| {
+        scenario1_runs_with(sched, None, ezflow_net::NetworkSpec::AUDIT_CAP)
+    }));
+    let audit_overhead = 1.0 - audit_eps / scenario_eps;
+    eprintln!(
+        "audit on:        {audit_eps:.0} events/s consumed ({:+.1}% vs off)",
+        -audit_overhead * 100.0
+    );
+    if audit_overhead > 0.10 {
+        eprintln!(
+            "WARNING: audit overhead {:.1}% exceeds the 10% budget",
+            audit_overhead * 100.0
+        );
+    }
+    let audit = JsonValue::obj(vec![
+        ("workload", JsonValue::Str("scenario1/quick".to_string())),
+        (
+            "audit_cap",
+            (ezflow_net::NetworkSpec::AUDIT_CAP as f64).into(),
+        ),
+        ("events_per_sec_off", scenario_eps.into()),
+        ("events_per_sec_on", audit_eps.into()),
+        ("overhead_fraction", audit_overhead.into()),
     ]);
 
     let machine = std::thread::available_parallelism()
@@ -379,6 +415,7 @@ fn measure(out: &PathBuf, sched: SchedKind) -> std::process::ExitCode {
     }
     fields.push(("sched_compare", compare));
     fields.push(("telemetry_overhead", telemetry));
+    fields.push(("audit_overhead", audit));
     let entry = JsonValue::obj(fields);
 
     let mut doc = match std::fs::read_to_string(out) {
@@ -429,6 +466,7 @@ fn check(out: &PathBuf) -> std::process::ExitCode {
     let tel_runs = scenario1_runs_with(
         SchedKind::Wheel,
         Some(ezflow_net::NetworkSpec::TELEMETRY_EVERY),
+        0,
     );
     for (t, w) in tel_runs.iter().zip(&wheel_runs) {
         if t.digest != w.digest {
@@ -441,6 +479,24 @@ fn check(out: &PathBuf) -> std::process::ExitCode {
         }
     }
     eprintln!("telemetry-on snapshots byte-identical to telemetry-off");
+
+    // Audit-on equivalence: arming the ledger must leave the same
+    // simulation behind (controller section stripped by `timed`; the
+    // audit schedules nothing, so no counter compensation exists to get
+    // wrong — any divergence is a probe writing where it should read).
+    let audit_runs =
+        scenario1_runs_with(SchedKind::Wheel, None, ezflow_net::NetworkSpec::AUDIT_CAP);
+    for (a, w) in audit_runs.iter().zip(&wheel_runs) {
+        if a.digest != w.digest {
+            eprintln!(
+                "audit-on snapshot DIVERGED from audit-off on {}: the audit\n\
+                 ledger must never perturb the simulation; see crates/net/src/audit.rs.",
+                a.label
+            );
+            return std::process::ExitCode::FAILURE;
+        }
+    }
+    eprintln!("audit-on snapshots byte-identical to audit-off");
 
     let scenario_eps = events_per_sec(&wheel_runs[..2]);
     let got = golden_doc(&wheel_runs);

@@ -10,8 +10,9 @@
 //! ```text
 //! trace journey --packet=ID FILE   # one packet's full hop-by-hop story
 //! trace worst [--flow=F] [--top=K] FILE   # slowest delivered journeys
-//! trace drops [--by-cause] [--by-node] FILE   # drop census, grouped
+//! trace drops [--by-cause] [--by-node] [--by-link] FILE   # drop census
 //! trace telemetry [--top=K] FILE   # worst oscillators, episodes, sparklines
+//! trace controller [--top=K] FILE   # CW timelines, decisions, link errors
 //! ```
 //!
 //! Flow ids are the simulator's: the paper's F1 is flow 0, F2 is flow 1.
@@ -24,6 +25,13 @@
 //! It rebuilds the per-node queue-depth series, runs the stability
 //! analyzer over them, and prints the worst oscillators, the sustained
 //! oscillation episodes, and one sparkline per ranked node and flow.
+//!
+//! `controller` reads a third format: the audit ledger's stream
+//! (`experiments --audit-dir`, one record per BOE estimation sample and
+//! per `CWmin` decision). It prints each node's `CWmin` timeline as a
+//! sparkline over its decision points, the decision list with the
+//! counter and threshold that fired each one, and the worst-estimated
+//! links ranked by mean absolute estimation error.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -38,10 +46,12 @@ fn usage() -> ExitCode {
          commands:\n\
          \x20 journey --packet=ID   print one packet's full lifecycle\n\
          \x20 worst [--flow=F] [--top=K]   slowest delivered journeys (default top 10)\n\
-         \x20 drops [--by-cause] [--by-node]   drop census, grouped by cause or node\n\
+         \x20 drops [--by-cause] [--by-node] [--by-link]   drop census, grouped\n\
          \x20 telemetry [--top=K]   stability digest of a telemetry stream\n\
+         \x20 controller [--top=K]   CW timelines, decisions, estimation errors\n\
          FILE is a lifecycle JSONL export (experiments --trace-dir=DIR),\n\
-         or for `telemetry` a sample-window stream (--telemetry-dir=DIR)"
+         for `telemetry` a sample-window stream (--telemetry-dir=DIR),\n\
+         or for `controller` an audit stream (--audit-dir=DIR)"
     );
     ExitCode::from(2)
 }
@@ -148,7 +158,20 @@ fn cmd_worst(events: &[TraceEvent], flow: Option<u32>, top: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_drops(events: &[TraceEvent], by_cause: bool, by_node: bool) -> ExitCode {
+/// The (tx → rx) link a drop belongs to, from the journey's hop list.
+/// `hops` records enqueue nodes, so a queue-full drop at the refusing
+/// receiver is not itself a hop: the link is then last-hop → drop node.
+/// `None` means the packet never left its source (no link to blame).
+fn drop_link(s: &JourneySummary) -> Option<(usize, usize)> {
+    let (_, node, _) = s.dropped?;
+    match s.hops.iter().rposition(|&h| h == node) {
+        Some(0) => None,
+        Some(pos) => Some((s.hops[pos - 1], node)),
+        None => s.hops.last().map(|&tx| (tx, node)),
+    }
+}
+
+fn cmd_drops(events: &[TraceEvent], by_cause: bool, by_node: bool, by_link: bool) -> ExitCode {
     let journeys = group_journeys(events);
     let dropped: Vec<JourneySummary> = journeys
         .iter()
@@ -160,7 +183,29 @@ fn cmd_drops(events: &[TraceEvent], by_cause: bool, by_node: bool) -> ExitCode {
         journeys.len(),
         dropped.len()
     );
-    if by_node {
+    if by_link {
+        // (tx → rx) link -> cause -> count: which hop kills packets.
+        let mut census: BTreeMap<Option<(usize, usize)>, BTreeMap<&'static str, u64>> =
+            BTreeMap::new();
+        for s in &dropped {
+            let (_, _, cause) = s.dropped.expect("filtered on dropped");
+            *census
+                .entry(drop_link(s))
+                .or_default()
+                .entry(cause.name())
+                .or_insert(0) += 1;
+        }
+        for (link, causes) in &census {
+            let total: u64 = causes.values().sum();
+            match link {
+                Some((tx, rx)) => println!("  N{tx}→N{rx}: {total}"),
+                None => println!("  at source (never left): {total}"),
+            }
+            for (cause, n) in causes {
+                println!("    {cause}: {n}");
+            }
+        }
+    } else if by_node {
         // node -> cause -> count: where packets die, then why there.
         let mut census: BTreeMap<usize, BTreeMap<&'static str, u64>> = BTreeMap::new();
         for s in &dropped {
@@ -374,6 +419,200 @@ fn cmd_telemetry(dump: &TelemetryDump, top: usize) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One `CWmin` decision from an audit stream, with its recorded inputs.
+struct Decision {
+    at_us: u64,
+    node: usize,
+    kind: String,
+    successor: Option<usize>,
+    avg: f64,
+    countup: u64,
+    countdown: u64,
+    up_threshold: u64,
+    down_threshold: u64,
+    cw_before: u64,
+    cw_after: u64,
+}
+
+/// An audit stream rebuilt per entity (`experiments --audit-dir`).
+struct AuditDump {
+    records: u64,
+    samples: u64,
+    decisions: Vec<Decision>,
+    /// (node, successor) -> signed estimation errors, in stream order.
+    link_err: BTreeMap<(usize, usize), Vec<f64>>,
+}
+
+fn load_audit(path: &str) -> Result<AuditDump, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut dump = AuditDump {
+        records: 0,
+        samples: 0,
+        decisions: Vec::new(),
+        link_err: BTreeMap::new(),
+    };
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = JsonValue::parse(line)
+            .map_err(|e| format!("{path}:{}: not an audit record: {e}", lineno + 1))?;
+        let bad = || format!("{path}:{}: not an audit record", lineno + 1);
+        let u = |k: &str| rec.get(k).and_then(JsonValue::as_u64).ok_or_else(bad);
+        let at_us = u("at_us")?;
+        let node = u("node")? as usize;
+        let kind = rec
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(bad)?;
+        match kind {
+            "sample" => {
+                let successor = u("successor")? as usize;
+                let err = u("estimate")? as f64 - u("truth")? as f64;
+                dump.link_err
+                    .entry((node, successor))
+                    .or_default()
+                    .push(err);
+                dump.samples += 1;
+            }
+            _ => dump.decisions.push(Decision {
+                at_us,
+                node,
+                kind: kind.to_string(),
+                successor: rec
+                    .get("successor")
+                    .and_then(JsonValue::as_u64)
+                    .map(|s| s as usize),
+                avg: rec.get("avg").and_then(JsonValue::as_f64).ok_or_else(bad)?,
+                countup: u("countup")?,
+                countdown: u("countdown")?,
+                up_threshold: u("up_threshold")?,
+                down_threshold: u("down_threshold")?,
+                cw_before: u("cw_before")?,
+                cw_after: u("cw_after")?,
+            }),
+        }
+        dump.records += 1;
+    }
+    if dump.records == 0 {
+        return Err(format!("{path}: no audit records"));
+    }
+    Ok(dump)
+}
+
+/// What made a decision fire, in the CAA's own terms (§3.3 Algorithm 1).
+/// The record carries the charge *entering* the round; the firing round
+/// is the one that pushed it to the threshold.
+fn fired(d: &Decision) -> String {
+    match d.kind.as_str() {
+        "increase" => format!("countup {}+1 hit {} → double", d.countup, d.up_threshold),
+        "decrease" => format!(
+            "countdown {}+1 hit {} → halve",
+            d.countdown, d.down_threshold
+        ),
+        _ => "assigned".to_string(),
+    }
+}
+
+fn cmd_controller(dump: &AuditDump, top: usize) -> ExitCode {
+    println!(
+        "{} audit records: {} estimation samples over {} links, {} CW decisions",
+        dump.records,
+        dump.samples,
+        dump.link_err.len(),
+        dump.decisions.len(),
+    );
+
+    // CWmin timeline per node, sampled at its decision points.
+    let mut timelines: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+    for d in &dump.decisions {
+        let tl = timelines.entry(d.node).or_default();
+        if tl.is_empty() {
+            tl.push(d.cw_before as f64);
+        }
+        tl.push(d.cw_after as f64);
+    }
+    if !timelines.is_empty() {
+        println!("\nCWmin timelines (one point per decision):");
+        println!(
+            "  {:>5} | {:>9} | {:>8} | {:>8} | timeline",
+            "node", "decisions", "cw_first", "cw_last"
+        );
+        for (node, tl) in &timelines {
+            println!(
+                "  {:>5} | {:>9} | {:>8} | {:>8} | {}",
+                format!("N{node}"),
+                tl.len() - 1,
+                tl.first().copied().unwrap_or(0.0),
+                tl.last().copied().unwrap_or(0.0),
+                sparkline(tl, 48)
+            );
+        }
+    }
+
+    if dump.decisions.is_empty() {
+        println!("\nno CW decisions in this capture");
+    } else {
+        let shown = top.min(dump.decisions.len());
+        println!(
+            "\nlast {shown} of {} decisions (oldest first):",
+            dump.decisions.len()
+        );
+        for d in &dump.decisions[dump.decisions.len() - shown..] {
+            let succ = d
+                .successor
+                .map_or(String::new(), |s| format!(" (successor N{s})"));
+            println!(
+                "  t={:>12} N{}{}: {} CW {} → {} | avg b̂ {:.2}, {}",
+                fmt_us(d.at_us),
+                d.node,
+                succ,
+                d.kind,
+                d.cw_before,
+                d.cw_after,
+                d.avg,
+                fired(d)
+            );
+        }
+    }
+
+    // Worst-estimated links by mean absolute error:
+    // (link, bias, mae, max |error|, error series).
+    type LinkScore<'a> = (&'a (usize, usize), f64, f64, f64, &'a Vec<f64>);
+    let mut ranked: Vec<LinkScore<'_>> = dump
+        .link_err
+        .iter()
+        .map(|(link, errs)| {
+            let n = errs.len() as f64;
+            let bias = errs.iter().sum::<f64>() / n;
+            let mae = errs.iter().map(|e| e.abs()).sum::<f64>() / n;
+            let max = errs.iter().fold(0.0f64, |a, &e| a.max(e.abs()));
+            (link, bias, mae, max, errs)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(b.0)));
+    if !ranked.is_empty() {
+        println!("\nworst-estimated links (estimate − truth, by mean |error|):");
+        println!(
+            "  {:>9} | {:>8} | {:>7} | {:>7} | {:>7} | |error| sparkline",
+            "link", "samples", "bias", "mae", "max"
+        );
+        for (link, bias, mae, max, errs) in ranked.iter().take(top) {
+            let abs: Vec<f64> = errs.iter().map(|e| e.abs()).collect();
+            println!(
+                "  {:>9} | {:>8} | {:>7.2} | {:>7.2} | {:>7.1} | {}",
+                format!("N{}→N{}", link.0, link.1),
+                errs.len(),
+                bias,
+                mae,
+                max,
+                sparkline(&abs, 48)
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -384,11 +623,13 @@ fn main() -> ExitCode {
     let mut top = 10usize;
     let mut by_cause = false;
     let mut by_node = false;
+    let mut by_link = false;
     let mut file: Option<String> = None;
     for a in &args[1..] {
         match a.as_str() {
             "--by-cause" => by_cause = true,
             "--by-node" => by_node = true,
+            "--by-link" => by_link = true,
             s if s.starts_with("--packet=") => {
                 packet = Some(match s["--packet=".len()..].parse() {
                     Ok(v) => v,
@@ -428,6 +669,16 @@ fn main() -> ExitCode {
             }
         };
     }
+    // `controller` reads the audit stream, also not lifecycle events.
+    if cmd == "controller" {
+        return match load_audit(&file) {
+            Ok(dump) => cmd_controller(&dump, top),
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let events = match load(&file) {
         Ok(evs) => evs,
         Err(e) => {
@@ -444,7 +695,7 @@ fn main() -> ExitCode {
             cmd_journey(&events, packet)
         }
         "worst" => cmd_worst(&events, flow, top),
-        "drops" => cmd_drops(&events, by_cause, by_node),
+        "drops" => cmd_drops(&events, by_cause, by_node, by_link),
         _ => usage(),
     }
 }

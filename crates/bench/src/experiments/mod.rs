@@ -91,6 +91,7 @@ pub fn run_net(topo: &Topology, algo: Algo, until: Time, scale: &Scale, label: &
     spec.flight_cap = scale.flight_cap;
     let mut net = Network::new(spec, &*algo.factory());
     crate::telemetry_out::attach(&mut net, label);
+    crate::audit_out::attach(&mut net, label);
     net.run_until(until);
     net
 }

@@ -56,8 +56,10 @@ pub fn run_spec(spec: &ScenarioSpec, scale: &Scale) -> Result<Report, String> {
         ns.flight_cap = scale.flight_cap;
         let label = point.label.replace('/', "_");
         jobs.push(
-            Job::new(point.label.clone(), ns, until, algo.factory())
-                .with_setup(move |net| crate::telemetry_out::attach(net, &label)),
+            Job::new(point.label.clone(), ns, until, algo.factory()).with_setup(move |net| {
+                crate::telemetry_out::attach(net, &label);
+                crate::audit_out::attach(net, &label);
+            }),
         );
     }
 

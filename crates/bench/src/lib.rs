@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod audit_out;
 pub mod experiments;
 pub mod report;
 pub mod runner;

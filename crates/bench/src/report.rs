@@ -33,6 +33,13 @@ pub struct Scale {
     /// via [`crate::telemetry_out`], each network streams one JSONL
     /// record per sample window while it runs.
     pub telemetry_every: Option<Duration>,
+    /// Controller-audit ledger capacity in records (`0`, the default,
+    /// leaves the ledger off). Arming it never perturbs a run — the
+    /// audit is pull-based, touching no scheduler state and no RNG —
+    /// snapshots gain a `controller` section and, when a streaming
+    /// directory is set via [`crate::audit_out`], each network streams
+    /// one JSONL record per estimation sample and `CWmin` decision.
+    pub audit_cap: usize,
 }
 
 impl Scale {
@@ -45,6 +52,7 @@ impl Scale {
             flight_cap: 0,
             sched: SchedKind::default(),
             telemetry_every: None,
+            audit_cap: 0,
         }
     }
 
@@ -60,6 +68,7 @@ impl Scale {
             flight_cap: 0,
             sched: SchedKind::default(),
             telemetry_every: None,
+            audit_cap: 0,
         }
     }
 
@@ -80,6 +89,7 @@ impl Scale {
         let mut spec = NetworkSpec::from_topology(topo, seed);
         spec.sched = self.sched;
         spec.telemetry_every = self.telemetry_every;
+        spec.audit_cap = self.audit_cap;
         spec
     }
 }

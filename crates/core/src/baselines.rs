@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use ezflow_net::controller::{Controller, ControllerEvent};
+use ezflow_net::controller::{Controller, ControllerEvent, DecisionKind, DecisionRecord};
 use ezflow_net::topo::FlowSpec;
 use ezflow_net::FixedController;
 use ezflow_sim::{Duration, Time};
@@ -67,6 +67,11 @@ pub struct DiffQController {
     /// Differential thresholds for windows[0..3]; below the last threshold
     /// the controller uses `windows[3]`.
     thresholds: [i64; 3],
+    /// The effective window last reported to the MAC, so a class change
+    /// can be recorded as an audit decision.
+    last_cw: u32,
+    /// Pending audit record (see [`Controller::take_decision`]).
+    last_decision: Option<DecisionRecord>,
 }
 
 impl Default for DiffQController {
@@ -77,6 +82,8 @@ impl Default for DiffQController {
             // 802.11e-ish AC windows: VO/VI/BE/BK.
             windows: [16, 32, 64, 256],
             thresholds: [25, 10, 1],
+            last_cw: 32,
+            last_decision: None,
         }
     }
 }
@@ -114,9 +121,28 @@ impl Controller for DiffQController {
                 backlog,
                 own_backlog,
             } => {
-                self.diffs
-                    .insert(neighbor, own_backlog as i64 - backlog as i64);
-                self.effective_cw()
+                let diff = own_backlog as i64 - backlog as i64;
+                self.diffs.insert(neighbor, diff);
+                let cw = self.effective_cw();
+                if let Some(cw) = cw {
+                    if cw != self.last_cw {
+                        // A class change is DiffQ's "decision": the
+                        // backlog differential is the driving quantity.
+                        self.last_decision = Some(DecisionRecord {
+                            kind: DecisionKind::Assign,
+                            successor: Some(neighbor),
+                            avg: diff as f64,
+                            countup: 0,
+                            countdown: 0,
+                            up_threshold: 0,
+                            down_threshold: 0,
+                            cw_before: self.last_cw,
+                            cw_after: cw,
+                        });
+                        self.last_cw = cw;
+                    }
+                }
+                cw
             }
             // DiffQ does not use passive overhearing.
             _ => None,
@@ -129,6 +155,10 @@ impl Controller for DiffQController {
 
     fn name(&self) -> &'static str {
         "diffq"
+    }
+
+    fn take_decision(&mut self) -> Option<DecisionRecord> {
+        self.last_decision.take()
     }
 }
 
@@ -175,6 +205,27 @@ mod tests {
         assert_eq!(c.on_event(Time::ZERO, ev(5, 0)), Some(64));
         assert_eq!(c.on_event(Time::ZERO, ev(5, 20)), Some(256));
         assert!(c.backlog_period().is_some(), "diffq needs message passing");
+    }
+
+    #[test]
+    fn diffq_records_class_changes_as_assign_decisions() {
+        let mut c = DiffQController::new();
+        let ev = |own, succ| ControllerEvent::NeighborBacklog {
+            neighbor: 5,
+            backlog: succ,
+            own_backlog: own,
+        };
+        assert_eq!(c.take_decision(), None);
+        assert_eq!(c.on_event(Time::ZERO, ev(50, 0)), Some(16));
+        let d = c.take_decision().expect("class change recorded");
+        assert_eq!(d.kind, DecisionKind::Assign);
+        assert_eq!(d.successor, Some(5));
+        assert_eq!((d.cw_before, d.cw_after), (32, 16));
+        assert_eq!(d.avg, 50.0, "the backlog differential");
+        assert_eq!(c.take_decision(), None, "take clears the slot");
+        // Same class again: no new decision.
+        assert_eq!(c.on_event(Time::ZERO, ev(60, 0)), Some(16));
+        assert_eq!(c.take_decision(), None);
     }
 
     #[test]

@@ -28,6 +28,34 @@ pub enum CaaDecision {
     Decrease(u32),
 }
 
+/// A completed averaging round with every input Algorithm 1 saw — the
+/// provenance record behind a CAA verdict. Captured unconditionally
+/// (it is a handful of Copy words) and surfaced through
+/// [`Caa::last_round`] so an audit layer can explain *why* the window
+/// moved (or held): which threshold was armed, how charged the counters
+/// were, and what the average actually was.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CaaRound {
+    /// The averaged BOE estimate the round decided on.
+    pub avg: f64,
+    /// `CWmin` when the round began.
+    pub cw_before: u32,
+    /// `CWmin` after the round (equal to `cw_before` on a hold).
+    pub cw_after: u32,
+    /// Over-utilization charge *entering* the round. A fired increase
+    /// means this round charged it to `up_threshold` (the counters reset
+    /// on a decision, so the post-round value would always read zero).
+    pub countup: u32,
+    /// Under-utilization charge entering the round.
+    pub countdown: u32,
+    /// Rounds of sustained over-utilization needed to double:
+    /// `log2(cw_before)`.
+    pub up_threshold: u32,
+    /// Rounds of sustained under-utilization needed to halve:
+    /// `15 − log2(cw_before)`.
+    pub down_threshold: u32,
+}
+
 /// Per-successor CAA state.
 #[derive(Clone, Debug)]
 pub struct Caa {
@@ -46,6 +74,9 @@ pub struct Caa {
     /// Diagnostics: completed averages that left the window unchanged
     /// (counter still charging, comfortable zone, or clamped at a bound).
     pub holds: u64,
+    /// Provenance of the most recent completed round (see [`CaaRound`]).
+    /// `None` until the first round completes.
+    pub last_round: Option<CaaRound>,
 }
 
 impl Caa {
@@ -63,6 +94,7 @@ impl Caa {
             increases: 0,
             decreases: 0,
             holds: 0,
+            last_round: None,
         }
     }
 
@@ -93,12 +125,26 @@ impl Caa {
     /// Applies Algorithm 1 to a completed average. Public so the
     /// analytical model can drive the same logic sample-less.
     pub fn on_average(&mut self, avg: f64) -> CaaDecision {
+        let cw_before = self.cw;
+        let up_threshold = self.log_cw();
+        let down_threshold = 15u32.saturating_sub(self.log_cw());
+        let countup = self.countup;
+        let countdown = self.countdown;
         let decision = self.decide(avg);
         match decision {
             CaaDecision::Increase(_) => self.increases += 1,
             CaaDecision::Decrease(_) => self.decreases += 1,
             CaaDecision::Hold => self.holds += 1,
         }
+        self.last_round = Some(CaaRound {
+            avg,
+            cw_before,
+            cw_after: self.cw,
+            countup,
+            countdown,
+            up_threshold,
+            down_threshold,
+        });
         decision
     }
 
@@ -266,6 +312,28 @@ mod tests {
             assert_eq!(round(&mut c, 40), CaaDecision::Hold, "capped at 2^10");
         }
         assert_eq!(c.cw(), 1024);
+    }
+
+    #[test]
+    fn last_round_records_inputs_and_thresholds() {
+        let mut c = caa(32);
+        assert_eq!(c.last_round, None, "no round completed yet");
+        // First over-threshold round: entered uncharged, window holds.
+        round(&mut c, 30);
+        let r = c.last_round.expect("round completed");
+        assert_eq!(r.avg, 30.0);
+        assert_eq!((r.cw_before, r.cw_after), (32, 32));
+        assert_eq!((r.countup, r.countdown), (0, 0), "charge entering");
+        assert_eq!((r.up_threshold, r.down_threshold), (5, 10));
+        // Three more holds, then the doubling round.
+        for _ in 0..3 {
+            round(&mut c, 30);
+        }
+        assert_eq!(round(&mut c, 30), CaaDecision::Increase(64));
+        let r = c.last_round.expect("round completed");
+        assert_eq!((r.cw_before, r.cw_after), (32, 64));
+        assert_eq!(r.countup, 4, "entered charged 4/5; this round fired");
+        assert_eq!(r.up_threshold, 5, "threshold from the window at entry");
     }
 
     #[test]

@@ -2,11 +2,13 @@
 
 use std::collections::HashMap;
 
-use ezflow_net::controller::{Controller, ControllerCounters, ControllerEvent};
+use ezflow_net::controller::{
+    Controller, ControllerCounters, ControllerEvent, DecisionKind, DecisionRecord,
+};
 use ezflow_sim::Time;
 
 use crate::boe::Boe;
-use crate::caa::{Caa, CaaDecision};
+use crate::caa::{Caa, CaaDecision, CaaRound};
 use crate::config::EzFlowConfig;
 
 /// The EZ-flow program running at one node.
@@ -37,6 +39,13 @@ pub struct EzFlowController {
     cfg: EzFlowConfig,
     start_cw: u32,
     per_succ: HashMap<usize, (Boe, Caa)>,
+    /// Provenance of the last window-changing CAA round, held until the
+    /// engine takes it ([`Controller::take_decision`]). A few Copy words,
+    /// stored unconditionally — behaviour never depends on it.
+    last_decision: Option<DecisionRecord>,
+    /// `(successor, b̂)` of the last overheard-forward estimate, held
+    /// until the engine takes it ([`Controller::take_estimate`]).
+    last_estimate: Option<(usize, u32)>,
 }
 
 impl EzFlowController {
@@ -48,6 +57,8 @@ impl EzFlowController {
             cfg,
             start_cw,
             per_succ: HashMap::new(),
+            last_decision: None,
+            last_estimate: None,
         }
     }
 
@@ -94,6 +105,28 @@ impl EzFlowController {
             CaaDecision::Increase(_) | CaaDecision::Decrease(_) => self.effective_cw(),
         }
     }
+
+    /// Promotes a window-changing CAA round into the pending audit record.
+    fn note_round(&mut self, successor: usize, round: Option<CaaRound>, decision: CaaDecision) {
+        let kind = match decision {
+            CaaDecision::Hold => return,
+            CaaDecision::Increase(_) => DecisionKind::Increase,
+            CaaDecision::Decrease(_) => DecisionKind::Decrease,
+        };
+        if let Some(r) = round {
+            self.last_decision = Some(DecisionRecord {
+                kind,
+                successor: Some(successor),
+                avg: r.avg,
+                countup: r.countup,
+                countdown: r.countdown,
+                up_threshold: r.up_threshold,
+                down_threshold: r.down_threshold,
+                cw_before: r.cw_before,
+                cw_after: r.cw_after,
+            });
+        }
+    }
 }
 
 impl Controller for EzFlowController {
@@ -107,6 +140,8 @@ impl Controller for EzFlowController {
                     // The ACK certifies delivery; the sink's buffer is
                     // empty by definition.
                     let d = caa.on_sample(0);
+                    let round = caa.last_round;
+                    self.note_round(successor, round, d);
                     self.after_decision(d)
                 } else {
                     boe.on_sent(ck);
@@ -125,6 +160,9 @@ impl Controller for EzFlowController {
                 match boe.on_overheard(ck) {
                     Some(b) => {
                         let d = caa.on_sample(b);
+                        let round = caa.last_round;
+                        self.last_estimate = Some((src, b as u32));
+                        self.note_round(src, round, d);
                         self.after_decision(d)
                     }
                     None => {
@@ -161,6 +199,14 @@ impl Controller for EzFlowController {
             c.caa_holds += caa.holds;
         }
         c
+    }
+
+    fn take_decision(&mut self) -> Option<DecisionRecord> {
+        self.last_decision.take()
+    }
+
+    fn take_estimate(&mut self) -> Option<(usize, u32)> {
+        self.last_estimate.take()
     }
 }
 
@@ -271,6 +317,60 @@ mod tests {
             }
         }
         assert_eq!(cw, 16);
+    }
+
+    #[test]
+    fn audit_hooks_expose_estimates_and_decisions() {
+        let mut c = EzFlowController::with_defaults();
+        assert_eq!(c.take_estimate(), None);
+        assert_eq!(c.take_decision(), None);
+        // Immediate forward: estimate b = 0 for successor 2.
+        c.on_event(
+            Time::ZERO,
+            ControllerEvent::SentToSuccessor {
+                successor: 2,
+                frame: &frame(0, 1, 2, 4),
+            },
+        );
+        c.on_event(
+            Time::ZERO,
+            ControllerEvent::Overheard {
+                frame: &frame(0, 2, 3, 4),
+            },
+        );
+        assert_eq!(c.take_estimate(), Some((2, 0)));
+        assert_eq!(c.take_estimate(), None, "take clears the slot");
+        // Keep the successor idle until the first halving; the decision
+        // record must carry Algorithm 1's state for that round.
+        let mut cw_cmd = None;
+        for seq in 1..20_000u64 {
+            c.on_event(
+                Time::ZERO,
+                ControllerEvent::SentToSuccessor {
+                    successor: 2,
+                    frame: &frame(seq, 1, 2, 4),
+                },
+            );
+            cw_cmd = c.on_event(
+                Time::ZERO,
+                ControllerEvent::Overheard {
+                    frame: &frame(seq, 2, 3, 4),
+                },
+            );
+            if cw_cmd.is_some() {
+                break;
+            }
+            assert_eq!(c.take_decision(), None, "holds record no decision");
+            c.take_estimate();
+        }
+        assert_eq!(cw_cmd, Some(16));
+        let d = c.take_decision().expect("halving recorded");
+        assert_eq!(d.kind, DecisionKind::Decrease);
+        assert_eq!(d.successor, Some(2));
+        assert_eq!((d.cw_before, d.cw_after), (32, 16));
+        assert_eq!(d.avg, 0.0);
+        assert_eq!(d.down_threshold, 10, "15 - log2(32)");
+        assert_eq!(c.take_decision(), None, "take clears the slot");
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod controller;
 
 pub use baselines::{static_penalty_factory, DiffQController};
 pub use boe::Boe;
-pub use caa::{Caa, CaaDecision};
+pub use caa::{Caa, CaaDecision, CaaRound};
 pub use config::EzFlowConfig;
 pub use controller::EzFlowController;

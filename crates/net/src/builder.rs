@@ -180,6 +180,10 @@ pub struct NetworkSpec {
     pub telemetry_every: Option<Duration>,
     /// Ring capacity of each telemetry time series, in sample windows.
     pub telemetry_cap: usize,
+    /// Audit-ledger ring capacity in records (0 disables the controller
+    /// provenance audit — one branch per probe site, zero cost; see
+    /// [`crate::audit`]).
+    pub audit_cap: usize,
     /// Engine self-profiler: when set, `run_until` wall-clocks every
     /// handler dispatch per event kind into the perf snapshot's
     /// `handler_ns_by_kind`. Perf-only — never observable in the
@@ -213,6 +217,7 @@ impl NetworkSpec {
             flight_cap: 0,
             telemetry_every: None,
             telemetry_cap: 1 << 16,
+            audit_cap: 0,
             profile: false,
             sched: SchedKind::default(),
         }
@@ -221,6 +226,11 @@ impl NetworkSpec {
     /// The default telemetry sampling interval (100 ms of simulated
     /// time) — what `--telemetry-dir` arms unless overridden.
     pub const TELEMETRY_EVERY: Duration = Duration::from_millis(100);
+
+    /// The default audit-ledger ring capacity, in records — what
+    /// `--audit-dir` arms unless overridden. Streaming exports see every
+    /// record regardless; the ring only bounds what a snapshot retains.
+    pub const AUDIT_CAP: usize = 1 << 16;
 
     /// Checks that the spec can actually be built and run: positions
     /// finite, queue capacity nonzero, every flow path in bounds,
@@ -381,9 +391,30 @@ pub(crate) fn build(
     // the pre-run MAC programming below can already use the real thing.
     let mut arena = ezflow_phy::FrameArena::new();
 
-    // Program initial contention windows.
+    // Program initial contention windows. With the audit armed, each
+    // build-time assignment becomes the node's first ledger entry — the
+    // static-penalty baseline makes all its "decisions" right here.
+    let mut audit = crate::audit::AuditLedger::new(n, spec.audit_cap);
     for node in nodes.iter_mut() {
         if let Some(cw) = node.controller.initial_cw_min() {
+            if audit.enabled() {
+                let before = node.mac.cw_min();
+                audit.record_decision(
+                    Time::ZERO,
+                    node.id,
+                    crate::controller::DecisionRecord {
+                        kind: crate::controller::DecisionKind::Assign,
+                        successor: None,
+                        avg: cw as f64,
+                        countup: 0,
+                        countdown: 0,
+                        up_threshold: 0,
+                        down_threshold: 0,
+                        cw_before: before,
+                        cw_after: cw,
+                    },
+                );
+            }
             let outs = node.mac.input(
                 Time::ZERO,
                 MacInput::SetCwMin { cw_min: cw },
@@ -475,6 +506,7 @@ pub(crate) fn build(
         trace: TraceRing::new(spec.trace_cap),
         flight: crate::flight::FlightRecorder::new(spec.flight_cap),
         telemetry,
+        audit,
         profile: spec.profile,
         handler_ns: [0; PROFILE_KINDS],
         worklist: VecDeque::new(),

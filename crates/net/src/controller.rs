@@ -58,6 +58,66 @@ pub enum ControllerEvent<'a> {
 /// one factory can be shared with sweep-runner worker threads.
 pub type ControllerFactory = Box<dyn Fn(usize) -> Box<dyn Controller> + Send + Sync>;
 
+/// What kind of window move a [`DecisionRecord`] describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// The window was doubled (CAA over-utilization).
+    Increase,
+    /// The window was halved (CAA under-utilization).
+    Decrease,
+    /// The window was set outright (baselines: a DiffQ band change, or a
+    /// static-penalty assignment at build time).
+    Assign,
+}
+
+impl DecisionKind {
+    /// Stable lowercase name for exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecisionKind::Increase => "increase",
+            DecisionKind::Decrease => "decrease",
+            DecisionKind::Assign => "assign",
+        }
+    }
+}
+
+/// One `CWmin` decision with the inputs that produced it — the payload of
+/// the audit ledger (see [`crate::audit`]). Copy on purpose: recording one
+/// is a few word stores, cheap enough to capture unconditionally inside
+/// controllers; the engine only *takes* them when the audit is armed.
+///
+/// For CAA decisions the fields mirror Algorithm 1's state: the averaged
+/// estimate, the hysteresis charge *entering* the round (a fired decision
+/// means the round charged it to its threshold), and the two charge
+/// thresholds computed from the window at round entry. Baselines without
+/// that structure leave the counters/thresholds at zero and use
+/// [`DecisionKind::Assign`]; `avg` then carries the controller's own
+/// driving quantity (DiffQ: the backlog differential).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DecisionRecord {
+    /// Kind of window move.
+    pub kind: DecisionKind,
+    /// Successor whose state drove the decision, when the controller keeps
+    /// per-successor state (`None` for node-global assignments).
+    pub successor: Option<usize>,
+    /// The driving quantity: averaged BOE estimate for CAA, backlog
+    /// differential for DiffQ, the assigned window for static penalties.
+    pub avg: f64,
+    /// Over-utilization charge entering the round (CAA only).
+    pub countup: u32,
+    /// Under-utilization charge entering the round (CAA only).
+    pub countdown: u32,
+    /// Rounds of charge needed to double, from the window at round entry
+    /// (CAA: `log2(cw_before)`).
+    pub up_threshold: u32,
+    /// Rounds of charge needed to halve (CAA: `15 − log2(cw_before)`).
+    pub down_threshold: u32,
+    /// `CWmin` before the decision.
+    pub cw_before: u32,
+    /// `CWmin` after the decision.
+    pub cw_after: u32,
+}
+
 /// Observability counters a controller can export for run snapshots.
 /// The field names follow EZ-flow's two mechanisms; algorithms without a
 /// BOE/CAA decomposition simply leave the counters at zero (the default).
@@ -121,6 +181,23 @@ pub trait Controller: Send {
     /// controllers with no estimator/adaptation machinery.
     fn counters(&self) -> ControllerCounters {
         ControllerCounters::default()
+    }
+
+    /// Takes (and clears) the provenance record of a window decision made
+    /// by the most recent [`Controller::on_event`] call, if any. The
+    /// engine polls this only when the audit ledger is armed; controllers
+    /// without decision machinery keep the default `None`.
+    fn take_decision(&mut self) -> Option<DecisionRecord> {
+        None
+    }
+
+    /// Takes (and clears) the `(successor, estimated_occupancy)` produced
+    /// by the most recent [`Controller::on_event`] call, if the event was
+    /// an overheard forward that yielded a buffer estimate. Polled by the
+    /// engine only when the audit ledger is armed, at which point it pairs
+    /// the estimate with the successor's true queue depth.
+    fn take_estimate(&mut self) -> Option<(usize, u32)> {
+        None
     }
 }
 

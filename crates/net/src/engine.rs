@@ -603,6 +603,20 @@ impl Network {
                                 );
                             }
                         }
+                        // Provenance probes (pull-based, read-only): the
+                        // overhearing happened *before* the transmitter's
+                        // own `TxEnded`, so the occupancy mirror still
+                        // holds exactly the queue depth the BOE estimated.
+                        if self.audit.enabled() {
+                            if let Some((succ, est)) = self.nodes[d.node].controller.take_estimate()
+                            {
+                                let truth = self.hot.occupancy[succ];
+                                self.audit.record_sample(self.now, d.node, succ, est, truth);
+                            }
+                            if let Some(rec) = self.nodes[d.node].controller.take_decision() {
+                                self.audit.record_decision(self.now, d.node, rec);
+                            }
+                        }
                         self.apply_cw(d.node, cmd);
                     }
                     // Virtual carrier sense: overheard RTS/CTS reserve the
@@ -672,6 +686,11 @@ impl Network {
                         own_backlog,
                     },
                 );
+                if self.audit.enabled() {
+                    if let Some(rec) = self.nodes[id].controller.take_decision() {
+                        self.audit.record_decision(self.now, id, rec);
+                    }
+                }
                 self.apply_cw(id, cmd);
             }
         }
@@ -826,6 +845,14 @@ impl Network {
                         frame: &f,
                     },
                 );
+                // Sink successors never transmit, so their zero-backlog
+                // samples arrive through this event; a CAA round can
+                // complete (and decide) here just as on an overhearing.
+                if self.audit.enabled() {
+                    if let Some(rec) = self.nodes[id].controller.take_decision() {
+                        self.audit.record_decision(self.now, id, rec);
+                    }
+                }
                 self.apply_cw(id, cmd);
             }
             MacOutput::TxDropped { frame, .. } => {
@@ -1184,6 +1211,7 @@ impl Network {
             latency: LatencySnapshot::default(),
             trace_records: self.trace.pushed_total(),
             stability: self.telemetry.stability_snapshot(),
+            controller: self.audit.controller_snapshot(),
         }
     }
 }

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod builder;
 pub mod calibrate;
 pub mod controller;
@@ -52,9 +53,11 @@ pub mod topo;
 pub mod traffic;
 pub mod transport;
 
+pub use audit::{AuditEvent, AuditLedger, AuditRecord};
 pub use builder::SpecError;
 pub use controller::{
-    Controller, ControllerCounters, ControllerEvent, ControllerFactory, FixedController,
+    Controller, ControllerCounters, ControllerEvent, ControllerFactory, DecisionKind,
+    DecisionRecord, FixedController,
 };
 pub use flight::{group_journeys, summarize_journey, FlightRecorder, FlightStats, JourneySummary};
 pub use metrics::Metrics;
@@ -64,8 +67,9 @@ pub use queue::TxQueue;
 pub use routing::{GatewayRoutes, StaticRouting};
 pub use scenario::{CompiledScenario, ScenarioError, ScenarioSpec, SweepPoint};
 pub use snapshot::{
-    EpisodeSnapshot, LatencySnapshot, NodeSnapshot, NodeStabilitySnapshot, PerfSnapshot,
-    QueueSnapshot, RunSnapshot, SchedulerSnapshot, StabilitySnapshot,
+    ControllerLinkSnapshot, ControllerNodeSnapshot, ControllerSnapshot, EpisodeSnapshot,
+    LatencySnapshot, NodeSnapshot, NodeStabilitySnapshot, PerfSnapshot, QueueSnapshot, RunSnapshot,
+    SchedulerSnapshot, StabilitySnapshot, SCHEMA_VERSION,
 };
 pub use telemetry::Telemetry;
 pub use topo::{FlowSpec, Topology};

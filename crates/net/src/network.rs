@@ -40,6 +40,7 @@ pub use crate::builder::NetworkSpec;
 pub use crate::transport::TRANSPORT_ACK_FLOW;
 pub use ezflow_sim::SchedKind;
 
+use crate::audit::AuditLedger;
 use crate::controller::Controller;
 use crate::engine::{Ev, WorkInput, EV_KINDS, PROFILE_KINDS};
 use crate::flight::FlightRecorder;
@@ -99,6 +100,9 @@ pub struct Network {
     /// Telemetry bus (disabled unless the spec sets `telemetry_every`);
     /// see [`crate::telemetry`].
     pub telemetry: Telemetry,
+    /// Controller-provenance audit ledger (disabled unless the spec sets
+    /// `audit_cap > 0`); see [`crate::audit`].
+    pub audit: AuditLedger,
     /// Engine self-profiler switch (the spec's `profile`).
     pub(crate) profile: bool,
     /// Wall-clock nanoseconds per handler kind (self-profiler; all zero

@@ -17,6 +17,14 @@ use ezflow_stats::LogHistogram;
 
 use crate::controller::ControllerCounters;
 
+/// Version stamped into every snapshot's `schema` key. Bumped when a
+/// structural change lands (new always-present key, renamed field);
+/// purely *additive* optional sections do not bump it. Documents without
+/// the key (written before the key existed) read back as version 1 —
+/// [`RunSnapshot::from_json`] is lenient about it and about every
+/// section added since, so archived artifacts keep parsing.
+pub const SCHEMA_VERSION: u64 = 2;
+
 fn get_u64(v: &JsonValue, name: &str) -> Result<u64, String> {
     v.get(name)
         .and_then(JsonValue::as_u64)
@@ -633,6 +641,161 @@ impl StabilitySnapshot {
     }
 }
 
+/// One node's entry in the `controller` section: how often the audit saw
+/// its window actually move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ControllerNodeSnapshot {
+    /// Node id.
+    pub node: usize,
+    /// Decisions that changed `CWmin` (holds and same-window assigns are
+    /// counted in `decisions_total`, not here).
+    pub cw_changes: u64,
+}
+
+impl ControllerNodeSnapshot {
+    fn to_json(self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("node", self.node.into()),
+            ("cw_changes", self.cw_changes.into()),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<ControllerNodeSnapshot, String> {
+        Ok(ControllerNodeSnapshot {
+            node: get_u64(v, "node")? as usize,
+            cw_changes: get_u64(v, "cw_changes")?,
+        })
+    }
+}
+
+/// One (node → successor) link's BOE estimation-error summary, from the
+/// audit's ground-truth probe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControllerLinkSnapshot {
+    /// The estimating node.
+    pub node: usize,
+    /// The successor whose buffer it estimates.
+    pub successor: usize,
+    /// Estimate/truth pairs observed.
+    pub samples: u64,
+    /// Mean signed error (estimate − truth), packets.
+    pub bias: f64,
+    /// Mean absolute error, packets.
+    pub mae: f64,
+    /// Largest absolute error, packets.
+    pub max_abs: f64,
+    /// Sustained-divergence episodes, in time order.
+    pub episodes: Vec<EpisodeSnapshot>,
+}
+
+impl ControllerLinkSnapshot {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("node", self.node.into()),
+            ("successor", self.successor.into()),
+            ("samples", self.samples.into()),
+            ("bias", self.bias.into()),
+            ("mae", self.mae.into()),
+            ("max_abs", self.max_abs.into()),
+            (
+                "episodes",
+                JsonValue::Array(
+                    self.episodes
+                        .iter()
+                        .map(|e| EpisodeSnapshot::to_json(*e))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<ControllerLinkSnapshot, String> {
+        let episodes = get_obj(v, "episodes")?
+            .as_array()
+            .ok_or("'episodes' is not an array")?
+            .iter()
+            .map(EpisodeSnapshot::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ControllerLinkSnapshot {
+            node: get_u64(v, "node")? as usize,
+            successor: get_u64(v, "successor")? as usize,
+            samples: get_u64(v, "samples")?,
+            bias: get_f64(v, "bias")?,
+            mae: get_f64(v, "mae")?,
+            max_abs: get_f64(v, "max_abs")?,
+            episodes,
+        })
+    }
+}
+
+/// The `controller` section of a [`RunSnapshot`]: the audit ledger's
+/// provenance summary. Present only when the run had the audit armed
+/// (`audit_cap > 0`) — absent, the snapshot JSON is byte-identical to an
+/// audit-off run's, exactly like the `stability` section.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControllerSnapshot {
+    /// Audit records ever recorded (including ring-evicted ones).
+    pub records: u64,
+    /// Decision records among them (holds that completed a round are not
+    /// recorded; every record here carried a window verdict).
+    pub decisions_total: u64,
+    /// Per-node CW-change counts; nodes whose window never moved are
+    /// omitted.
+    pub nodes: Vec<ControllerNodeSnapshot>,
+    /// Per-link estimation-error summaries, in (node, successor) order.
+    pub links: Vec<ControllerLinkSnapshot>,
+}
+
+impl ControllerSnapshot {
+    /// The JSON representation.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("records", self.records.into()),
+            ("decisions_total", self.decisions_total.into()),
+            (
+                "nodes",
+                JsonValue::Array(
+                    self.nodes
+                        .iter()
+                        .map(|n| ControllerNodeSnapshot::to_json(*n))
+                        .collect(),
+                ),
+            ),
+            (
+                "links",
+                JsonValue::Array(
+                    self.links
+                        .iter()
+                        .map(ControllerLinkSnapshot::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reconstructs the section from its JSON representation.
+    pub fn from_json(v: &JsonValue) -> Result<ControllerSnapshot, String> {
+        let nodes = get_obj(v, "nodes")?
+            .as_array()
+            .ok_or("'nodes' is not an array")?
+            .iter()
+            .map(ControllerNodeSnapshot::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let links = get_obj(v, "links")?
+            .as_array()
+            .ok_or("'links' is not an array")?
+            .iter()
+            .map(ControllerLinkSnapshot::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ControllerSnapshot {
+            records: get_u64(v, "records")?,
+            decisions_total: get_u64(v, "decisions_total")?,
+            nodes,
+            links,
+        })
+    }
+}
+
 /// One log-bucketed latency histogram as JSON: the sparse buckets (the
 /// ground truth that round-trips exactly) plus derived p50/p95/p99/p999
 /// microsecond quantiles for consumers that only want headline numbers.
@@ -760,6 +923,10 @@ pub struct RunSnapshot {
     /// telemetry-off snapshots byte-identical to the pre-telemetry
     /// schema.
     pub stability: Option<StabilitySnapshot>,
+    /// Controller-provenance summary from the audit ledger. `None` — and
+    /// the JSON key absent — when the run had the audit off, keeping
+    /// audit-off snapshots byte-identical to the pre-audit schema.
+    pub controller: Option<ControllerSnapshot>,
 }
 
 impl RunSnapshot {
@@ -779,6 +946,7 @@ impl RunSnapshot {
     /// instead of cloning them into `self.latency` first.
     pub(crate) fn to_json_with_latency(&self, latency: JsonValue) -> JsonValue {
         let mut fields = vec![
+            ("schema", SCHEMA_VERSION.into()),
             ("label", JsonValue::str(&self.label)),
             ("at_us", self.at_us.into()),
             (
@@ -794,11 +962,25 @@ impl RunSnapshot {
         if let Some(st) = &self.stability {
             fields.push(("stability", st.to_json()));
         }
+        if let Some(ctl) = &self.controller {
+            fields.push(("controller", ctl.to_json()));
+        }
         JsonValue::obj(fields)
     }
 
-    /// Reconstructs a snapshot from its JSON representation.
+    /// Reconstructs a snapshot from its JSON representation. Lenient
+    /// about everything added since schema 1: a missing `schema` key
+    /// means version 1, and the optional `stability` / `controller`
+    /// sections (plus `arena_high_water` and the telemetry perf keys)
+    /// default rather than error, so every older committed snapshot and
+    /// golden still parses.
     pub fn from_json(v: &JsonValue) -> Result<RunSnapshot, String> {
+        let schema = v.get("schema").and_then(JsonValue::as_u64).unwrap_or(1);
+        if schema > SCHEMA_VERSION {
+            return Err(format!(
+                "snapshot schema {schema} is newer than supported {SCHEMA_VERSION}"
+            ));
+        }
         let nodes = get_obj(v, "nodes")?
             .as_array()
             .ok_or("'nodes' is not an array")?
@@ -817,6 +999,10 @@ impl RunSnapshot {
             stability: v
                 .get("stability")
                 .map(StabilitySnapshot::from_json)
+                .transpose()?,
+            controller: v
+                .get("controller")
+                .map(ControllerSnapshot::from_json)
                 .transpose()?,
         })
     }
@@ -910,6 +1096,7 @@ mod tests {
             },
             trace_records: 12345,
             stability: None,
+            controller: None,
         }
     }
 
@@ -925,16 +1112,42 @@ mod tests {
 
     #[test]
     fn optional_sections_round_trip_and_stay_out_of_plain_json() {
-        // Telemetry off: no "stability" key, no profiler/telemetry perf
-        // keys — the pre-telemetry schema byte for byte.
+        // Telemetry and audit off: no "stability"/"controller" keys, no
+        // profiler/telemetry perf keys — the feature-off schema byte for
+        // byte.
         let plain = sample();
-        let text = plain.to_json().to_pretty();
+        let json = plain.to_json();
+        let text = json.to_pretty();
         assert!(!text.contains("stability"));
         assert!(!text.contains("handler_ns_by_kind"));
         assert!(!text.contains("telemetry_windows"));
+        // Structural probe, not text: each node serialises its controller
+        // *name* under "controller" too, so look at the top level only.
+        assert!(json.get("controller").is_none());
 
-        // Telemetry + profiler on: everything round-trips.
+        // Telemetry + profiler + audit on: everything round-trips.
         let mut snap = sample();
+        snap.controller = Some(ControllerSnapshot {
+            records: 500,
+            decisions_total: 12,
+            nodes: vec![ControllerNodeSnapshot {
+                node: 1,
+                cw_changes: 3,
+            }],
+            links: vec![ControllerLinkSnapshot {
+                node: 1,
+                successor: 2,
+                samples: 480,
+                bias: -0.25,
+                mae: 0.5,
+                max_abs: 6.0,
+                episodes: vec![EpisodeSnapshot {
+                    start_us: 2_000_000,
+                    end_us: 4_000_000,
+                    peak_amplitude: 6.0,
+                }],
+            }],
+        });
         snap.perf.handler_ns[0] = 123;
         snap.perf.handler_ns[crate::engine::PROFILE_KINDS - 1] = 456;
         snap.perf.telemetry_windows = 10;
@@ -1005,5 +1218,70 @@ mod tests {
     fn from_json_reports_missing_fields() {
         let err = RunSnapshot::from_json(&JsonValue::obj(vec![])).unwrap_err();
         assert!(err.contains("nodes"), "{err}");
+    }
+
+    #[test]
+    fn schema_version_is_stamped_and_future_versions_are_rejected() {
+        let json = sample().to_json();
+        assert_eq!(
+            json.get("schema").and_then(JsonValue::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        let JsonValue::Object(mut fields) = json else {
+            unreachable!()
+        };
+        fields[0].1 = JsonValue::from(SCHEMA_VERSION + 1);
+        let err = RunSnapshot::from_json(&JsonValue::Object(fields)).unwrap_err();
+        assert!(err.contains("newer than supported"), "{err}");
+    }
+
+    /// The lenient-read guarantee: a document written by any older schema
+    /// — no `schema` key (v1), no `stability`, no `controller`, no
+    /// `arena_high_water`, no telemetry perf keys — must still parse.
+    /// Older documents are synthesised by stripping exactly the keys
+    /// those generations lacked from a current snapshot.
+    #[test]
+    fn older_schema_documents_still_parse() {
+        fn strip(v: &mut JsonValue, keys: &[&str]) {
+            if let JsonValue::Object(fields) = v {
+                fields.retain(|(k, _)| !keys.contains(&k.as_str()));
+                for (_, v) in fields.iter_mut() {
+                    strip(v, keys);
+                }
+            }
+            if let JsonValue::Array(items) = v {
+                for item in items.iter_mut() {
+                    strip(item, keys);
+                }
+            }
+        }
+        let mut snap = sample();
+        snap.perf.telemetry_windows = 4;
+        snap.perf.telemetry_windows_per_sec = 8.0;
+        let mut json = snap.to_json();
+        strip(
+            &mut json,
+            &[
+                "schema",
+                "stability",
+                "arena_high_water",
+                "telemetry_windows",
+                "telemetry_windows_per_sec",
+            ],
+        );
+        // "controller" collides with each node's controller-name field,
+        // so the audit section is stripped at the top level only.
+        if let JsonValue::Object(fields) = &mut json {
+            fields.retain(|(k, _)| k != "controller");
+        }
+        let text = json.to_pretty();
+        let back = RunSnapshot::from_json(&JsonValue::parse(&text).unwrap())
+            .expect("pre-schema document must parse");
+        assert_eq!(back.label, snap.label);
+        assert_eq!(back.nodes, snap.nodes);
+        assert_eq!(back.perf.arena_high_water, 0, "lenient default");
+        assert_eq!(back.perf.telemetry_windows, 0, "lenient default");
+        assert_eq!(back.stability, None);
+        assert_eq!(back.controller, None);
     }
 }

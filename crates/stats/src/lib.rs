@@ -13,6 +13,7 @@
 
 pub mod ascii;
 pub mod csv;
+pub mod estimation;
 pub mod fairness;
 pub mod hist;
 pub mod series;
@@ -21,6 +22,7 @@ pub mod summary;
 
 pub use ascii::render_series;
 pub use csv::write_csv;
+pub use estimation::{EstimationSummary, EstimationTracker};
 pub use fairness::jain_index;
 pub use hist::LogHistogram;
 pub use series::{SampleSeries, ThroughputSeries, TimeSeries};

@@ -1,0 +1,83 @@
+//! Property-based tests for the statistics substrate.
+//!
+//! [`LogHistogram`] backs every latency number the experiments report
+//! and every snapshot round-trip, so its algebra gets the property
+//! treatment: merging must be associative (and commutative, and agree
+//! with recording the concatenated stream), and quantiles must be
+//! monotone in the requested rank — a p99 can never read below a p50.
+
+use ezflow_stats::LogHistogram;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Merge is associative and commutative, and merging histograms of
+    /// two streams equals the histogram of the concatenated stream.
+    #[test]
+    fn merge_is_associative_and_stream_order_free(
+        a in prop::collection::vec(0u64..2_000_000, 0..200),
+        b in prop::collection::vec(0u64..2_000_000, 0..200),
+        c in prop::collection::vec(0u64..2_000_000, 0..200),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merging equals recording the concatenated stream.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &hist_of(&all));
+        prop_assert_eq!(left.total() as usize, all.len());
+    }
+
+    /// Quantiles are monotone non-decreasing in the requested rank, and
+    /// the derived percentile quartet is internally ordered.
+    #[test]
+    fn quantiles_are_monotone_in_rank(
+        values in prop::collection::vec(0u64..10_000_000, 1..300),
+        qs in prop::collection::vec(0.0f64..1.0, 2..20),
+    ) {
+        let h = hist_of(&values);
+        let mut sorted = qs.clone();
+        sorted.push(0.0);
+        sorted.push(1.0);
+        sorted.sort_by(f64::total_cmp);
+        let reads: Vec<u64> = sorted.iter().map(|&q| h.quantile(q)).collect();
+        for w in reads.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantile regressed: {:?}", reads);
+        }
+        let [p50, p95, p99, p999] = h.percentiles();
+        prop_assert!(p50 <= p95 && p95 <= p99 && p99 <= p999);
+    }
+
+    /// Bucket export/import is lossless: the snapshot round-trip.
+    #[test]
+    fn buckets_round_trip(values in prop::collection::vec(0u64..5_000_000, 0..200)) {
+        let h = hist_of(&values);
+        let back = LogHistogram::from_buckets(h.buckets());
+        prop_assert_eq!(&h, &back);
+    }
+}

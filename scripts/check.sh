@@ -87,6 +87,28 @@ grep -q '"worst_amplitude_mean"' "$TRACE_TMP/snap.json" \
 cargo run --release -q -p ezflow-bench --bin trace -- telemetry --top=3 "$TEL_JSONL" >/dev/null
 echo "telemetry stream captured $WINDOWS sample windows"
 
+echo "== controller audit + trace controller smoke =="
+# A short audit-armed scenario-1 run must stream decision/sample JSONL
+# records, surface a controller section in its JSON snapshots, and
+# render through the controller inspector. (Shares TRACE_TMP and its
+# EXIT trap.)
+AUD_DIR="$TRACE_TMP/audit"
+cargo run --release -q -p ezflow-bench --bin experiments -- \
+  --quick --time=0.02 --audit-dir="$AUD_DIR" --json="$TRACE_TMP/audit_snap.json" \
+  scenario1 >/dev/null 2>&1 || true
+AUD_JSONL="$AUD_DIR/scenario1_EZ-flow.audit.jsonl"
+[ -s "$AUD_JSONL" ] || { echo "audit smoke: no stream at $AUD_JSONL"; exit 1; }
+grep -q '"kind":"sample"' "$AUD_JSONL" \
+  || { echo "audit smoke: no estimation samples in stream"; exit 1; }
+grep -Eq '"schema": ?2' "$TRACE_TMP/audit_snap.json" \
+  || { echo "audit smoke: snapshots lack the schema version"; exit 1; }
+grep -q '"decisions_total"' "$TRACE_TMP/audit_snap.json" \
+  || { echo "audit smoke: snapshots lack a controller section"; exit 1; }
+cargo run --release -q -p ezflow-bench --bin trace -- controller --top=3 "$AUD_JSONL" >/dev/null
+cargo run --release -q -p ezflow-bench --bin trace -- drops --by-link "$JSONL" >/dev/null
+RECORDS="$(wc -l < "$AUD_JSONL")"
+echo "controller audit streamed $RECORDS records"
+
 echo "== scenario spec smoke (--spec=scenarios/scenario1.json) =="
 # A committed spec must drive the full parse -> compile -> sweep -> report
 # pipeline and exit 0. time=0.01 simulates ~25 s — past scenario 1's t=5 s
