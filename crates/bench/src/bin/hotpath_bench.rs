@@ -5,6 +5,7 @@
 //! cargo run --release -p ezflow-bench --bin hotpath_bench -- --check    # CI gate (non-flaky)
 //! cargo run --release -p ezflow-bench --bin hotpath_bench -- --bless    # refresh the golden
 //! cargo run --release -p ezflow-bench --bin hotpath_bench -- --sched=heap
+//! cargo run --release -p ezflow-bench --bin hotpath_bench -- --shards=4
 //! ```
 //!
 //! Times the two inner-loop workloads the repo optimises for:
@@ -39,11 +40,12 @@
 //! `--sched=heap|wheel` picks the backend for the main runs.
 //!
 //! `--check` is the regression gate `scripts/check.sh` runs: it executes
-//! every workload under **both** scheduler backends, requires their
-//! perf-zeroed snapshots to be byte-identical to each other, and
-//! compares them byte-for-byte against the committed golden
-//! (`crates/bench/golden/hotpath.json`), failing on any drift;
-//! determinism makes this non-flaky. It then *warns* (never fails — CI
+//! every workload under **both** scheduler backends and at shard counts
+//! 2 and 4, requires all perf-zeroed snapshots to be byte-identical to
+//! the serial wheel run's, and compares them byte-for-byte against the
+//! committed golden (`crates/bench/golden/hotpath.json`), failing on any
+//! drift; determinism makes this non-flaky. `--diff-dir=DIR` writes the
+//! mismatching sharded digests to `DIR` for CI to upload on failure. It then *warns* (never fails — CI
 //! machines vary) if events/s fell more than 20% below the recorded
 //! `"hotpath"` entry.
 //!
@@ -160,22 +162,24 @@ fn timed(label: &str, mut net: Network, until: Time) -> Timed {
 
 /// The quick scenario-1 runs — the same topology, timeline, seed and
 /// controllers whose perf the committed baseline snapshots recorded.
-fn scenario1_runs(sched: SchedKind) -> Vec<Timed> {
-    scenario1_runs_with(sched, None, 0)
+fn scenario1_runs(sched: SchedKind, shards: usize) -> Vec<Timed> {
+    scenario1_runs_with(sched, None, 0, shards)
 }
 
-/// Same runs with an explicit telemetry interval (`Some` arms the bus)
-/// and audit capacity (nonzero arms the ledger): the overhead workloads
-/// and the on/off equivalence gates.
+/// Same runs with an explicit telemetry interval (`Some` arms the bus),
+/// audit capacity (nonzero arms the ledger) and scheduler shard count:
+/// the overhead workloads and the on/off equivalence gates.
 fn scenario1_runs_with(
     sched: SchedKind,
     telemetry_every: Option<ezflow_sim::Duration>,
     audit_cap: usize,
+    shards: usize,
 ) -> Vec<Timed> {
     let mut scale = Scale::quick();
     scale.sched = sched;
     scale.telemetry_every = telemetry_every;
     scale.audit_cap = audit_cap;
+    scale.shards = shards;
     let tl = scenario1::scale_timeline(scale, &[5, 605, 1805, 2504]);
     let (t0, t1, t2, t3) = (tl[0], tl[1], tl[2], tl[3]);
     let mut t = topo::scenario1();
@@ -193,11 +197,12 @@ fn scenario1_runs_with(
 }
 
 /// The dense-mesh stressor: every node senses every other.
-fn grid_run(sched: SchedKind) -> Timed {
+fn grid_run(sched: SchedKind, shards: usize) -> Timed {
     let until = Time::from_secs(300);
     let t = topo::grid(4, 4, 140.0, Time::ZERO, until);
     let mut scale = Scale::quick();
     scale.sched = sched;
+    scale.shards = shards;
     let net = Network::new(scale.spec(&t, 42), &*Algo::Plain.factory());
     timed("grid/4x4/140m", net, until)
 }
@@ -294,10 +299,10 @@ fn best_of<F: Fn() -> Vec<Timed>>(f: F) -> Vec<Timed> {
         .expect("PASSES >= 1")
 }
 
-fn measure(out: &PathBuf, sched: SchedKind) -> std::process::ExitCode {
-    let mut runs = best_of(|| scenario1_runs(sched));
+fn measure(out: &PathBuf, sched: SchedKind, shards: usize) -> std::process::ExitCode {
+    let mut runs = best_of(|| scenario1_runs(sched, shards));
     let scenario_eps = events_per_sec(&runs);
-    let grid = best_of(|| vec![grid_run(sched)]).remove(0);
+    let grid = best_of(|| vec![grid_run(sched, shards)]).remove(0);
     let grid_eps = events_per_sec(std::slice::from_ref(&grid));
     runs.push(grid);
     let speedup = scenario_eps / BASELINE_EVENTS_PER_SEC;
@@ -326,8 +331,8 @@ fn measure(out: &PathBuf, sched: SchedKind) -> std::process::ExitCode {
 
     // Same workload, both backends, best-of-N each: the committed
     // apples-to-apples heap-vs-wheel comparison.
-    let heap_eps = events_per_sec(&best_of(|| scenario1_runs(SchedKind::Heap)));
-    let wheel_eps = events_per_sec(&best_of(|| scenario1_runs(SchedKind::Wheel)));
+    let heap_eps = events_per_sec(&best_of(|| scenario1_runs(SchedKind::Heap, shards)));
+    let wheel_eps = events_per_sec(&best_of(|| scenario1_runs(SchedKind::Wheel, shards)));
     eprintln!(
         "sched compare:   heap {heap_eps:.0} vs wheel {wheel_eps:.0} events/s ({:.2}x)",
         wheel_eps / heap_eps
@@ -342,7 +347,12 @@ fn measure(out: &PathBuf, sched: SchedKind) -> std::process::ExitCode {
     // Same workload with the telemetry bus armed at its default 100 ms:
     // the recorded telemetry-on cost, gated advisorily at 10%.
     let tel_eps = events_per_sec(&best_of(|| {
-        scenario1_runs_with(sched, Some(ezflow_net::NetworkSpec::TELEMETRY_EVERY), 0)
+        scenario1_runs_with(
+            sched,
+            Some(ezflow_net::NetworkSpec::TELEMETRY_EVERY),
+            0,
+            shards,
+        )
     }));
     let tel_overhead = 1.0 - tel_eps / scenario_eps;
     eprintln!(
@@ -369,7 +379,7 @@ fn measure(out: &PathBuf, sched: SchedKind) -> std::process::ExitCode {
     // Same workload with the audit ledger armed at the CLI's default
     // capacity: the recorded audit-on cost, same 10% advisory budget.
     let audit_eps = events_per_sec(&best_of(|| {
-        scenario1_runs_with(sched, None, ezflow_net::NetworkSpec::AUDIT_CAP)
+        scenario1_runs_with(sched, None, ezflow_net::NetworkSpec::AUDIT_CAP, shards)
     }));
     let audit_overhead = 1.0 - audit_eps / scenario_eps;
     eprintln!(
@@ -436,16 +446,40 @@ fn measure(out: &PathBuf, sched: SchedKind) -> std::process::ExitCode {
     std::process::ExitCode::SUCCESS
 }
 
-/// All gated workloads under one backend.
-fn all_runs(sched: SchedKind) -> Vec<Timed> {
-    let mut runs = scenario1_runs(sched);
-    runs.push(grid_run(sched));
+/// All gated workloads under one backend and shard count.
+fn all_runs(sched: SchedKind, shards: usize) -> Vec<Timed> {
+    let mut runs = scenario1_runs(sched, shards);
+    runs.push(grid_run(sched, shards));
     runs
 }
 
-fn check(out: &PathBuf) -> std::process::ExitCode {
-    let wheel_runs = all_runs(SchedKind::Wheel);
-    let heap_runs = all_runs(SchedKind::Heap);
+/// Writes the two mismatching digests (pretty-printed, one key per line
+/// — the flattened form CI uploads as its diff artifact) into `dir`.
+fn write_diff_artifact(dir: &std::path::Path, label: &str, want: &Timed, got: &Timed, tag: &str) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("failed to create {}: {e}", dir.display());
+        return;
+    }
+    let stem = label.replace('/', "_");
+    let pretty = |t: &Timed| {
+        let mut text = JsonValue::parse(&t.digest)
+            .expect("digest is valid JSON")
+            .to_pretty();
+        text.push('\n');
+        text
+    };
+    for (suffix, t) in [("serial", want), (tag, got)] {
+        let path = dir.join(format!("{stem}.{suffix}.json"));
+        match std::fs::write(&path, pretty(t)) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn check(out: &PathBuf, diff_dir: Option<&std::path::Path>) -> std::process::ExitCode {
+    let wheel_runs = all_runs(SchedKind::Wheel, 1);
+    let heap_runs = all_runs(SchedKind::Heap, 1);
     // Backend equivalence first: heap and wheel must leave byte-identical
     // perf-zeroed snapshots behind on every workload.
     for (w, h) in wheel_runs.iter().zip(&heap_runs) {
@@ -461,12 +495,37 @@ fn check(out: &PathBuf) -> std::process::ExitCode {
     }
     eprintln!("heap and wheel snapshots byte-identical on every workload");
 
+    // Shard-count equivalence: partitioning the scheduler must leave the
+    // same simulation behind on every workload — the byte-identity
+    // contract of the sharded engine (crates/net/tests/shards.rs holds
+    // the same pin; this leg is what the CI 2-thread job runs, with
+    // `--diff-dir` capturing the mismatching digests as its artifact).
+    for shards in [2usize, 4] {
+        let sharded = all_runs(SchedKind::Wheel, shards);
+        for (s, w) in sharded.iter().zip(&wheel_runs) {
+            if s.digest != w.digest {
+                eprintln!(
+                    "sharded run DIVERGED on {} at shards={shards}: shard count must be\n\
+                     unobservable; see crates/net/src/partition.rs and\n\
+                     crates/sim/src/sched/sharded.rs.",
+                    s.label
+                );
+                if let Some(dir) = diff_dir {
+                    write_diff_artifact(dir, &s.label, w, s, &format!("shards{shards}"));
+                }
+                return std::process::ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("sharded (2, 4) snapshots byte-identical to serial on every workload");
+
     // Telemetry-on equivalence: arming the bus must leave the same
     // simulation behind (perf zeroed, stability stripped by `timed`).
     let tel_runs = scenario1_runs_with(
         SchedKind::Wheel,
         Some(ezflow_net::NetworkSpec::TELEMETRY_EVERY),
         0,
+        1,
     );
     for (t, w) in tel_runs.iter().zip(&wheel_runs) {
         if t.digest != w.digest {
@@ -484,8 +543,12 @@ fn check(out: &PathBuf) -> std::process::ExitCode {
     // simulation behind (controller section stripped by `timed`; the
     // audit schedules nothing, so no counter compensation exists to get
     // wrong — any divergence is a probe writing where it should read).
-    let audit_runs =
-        scenario1_runs_with(SchedKind::Wheel, None, ezflow_net::NetworkSpec::AUDIT_CAP);
+    let audit_runs = scenario1_runs_with(
+        SchedKind::Wheel,
+        None,
+        ezflow_net::NetworkSpec::AUDIT_CAP,
+        1,
+    );
     for (a, w) in audit_runs.iter().zip(&wheel_runs) {
         if a.digest != w.digest {
             eprintln!(
@@ -546,9 +609,9 @@ fn check(out: &PathBuf) -> std::process::ExitCode {
 }
 
 fn bless() -> std::process::ExitCode {
-    let runs = all_runs(SchedKind::Wheel);
+    let runs = all_runs(SchedKind::Wheel, 1);
     // Refuse to bless a golden the heap backend cannot reproduce.
-    let heap_runs = all_runs(SchedKind::Heap);
+    let heap_runs = all_runs(SchedKind::Heap, 1);
     for (w, h) in runs.iter().zip(&heap_runs) {
         if w.digest != h.digest {
             eprintln!(
@@ -578,6 +641,8 @@ fn main() -> std::process::ExitCode {
     let mut out = bench_json_path();
     let mut mode = "measure";
     let mut sched = SchedKind::default();
+    let mut shards = 1usize;
+    let mut diff_dir: Option<PathBuf> = None;
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--check" => mode = "check",
@@ -586,17 +651,24 @@ fn main() -> std::process::ExitCode {
             s if s.starts_with("--sched=") => {
                 sched = s["--sched=".len()..].parse().expect("heap|wheel");
             }
+            s if s.starts_with("--shards=") => {
+                shards = s["--shards=".len()..].parse().expect("a shard count");
+            }
+            s if s.starts_with("--diff-dir=") => {
+                diff_dir = Some(PathBuf::from(&s["--diff-dir=".len()..]));
+            }
             _ => {
                 eprintln!(
-                    "usage: hotpath_bench [--check | --bless] [--out=FILE] [--sched=heap|wheel]"
+                    "usage: hotpath_bench [--check | --bless] [--out=FILE] \
+                     [--sched=heap|wheel] [--shards=N] [--diff-dir=DIR]"
                 );
                 return std::process::ExitCode::from(2);
             }
         }
     }
     match mode {
-        "check" => check(&out),
+        "check" => check(&out, diff_dir.as_deref()),
         "bless" => bless(),
-        _ => measure(&out, sched),
+        _ => measure(&out, sched, shards),
     }
 }

@@ -40,6 +40,13 @@ pub struct Scale {
     /// directory is set via [`crate::audit_out`], each network streams
     /// one JSONL record per estimation sample and `CWmin` decision.
     pub audit_cap: usize,
+    /// Scheduler partitions per network (`1` = the serial queue). Any
+    /// value gives bit-identical runs — sharding changes which internal
+    /// queue an event waits in, never the merged pop order — so
+    /// `--shards=N` exists to exercise the PDES machinery and read its
+    /// cut/barrier counters, exactly like `--sched=heap` proves backend
+    /// equivalence.
+    pub shards: usize,
 }
 
 impl Scale {
@@ -53,6 +60,7 @@ impl Scale {
             sched: SchedKind::default(),
             telemetry_every: None,
             audit_cap: 0,
+            shards: 1,
         }
     }
 
@@ -69,6 +77,7 @@ impl Scale {
             sched: SchedKind::default(),
             telemetry_every: None,
             audit_cap: 0,
+            shards: 1,
         }
     }
 
@@ -90,6 +99,7 @@ impl Scale {
         spec.sched = self.sched;
         spec.telemetry_every = self.telemetry_every;
         spec.audit_cap = self.audit_cap;
+        spec.shards = self.shards;
         spec
     }
 }

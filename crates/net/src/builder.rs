@@ -14,7 +14,7 @@ use std::collections::VecDeque;
 
 use ezflow_mac::{Mac, MacConfig, MacInput};
 use ezflow_phy::{Channel, ChannelConfig, LossModel, Position};
-use ezflow_sim::{Duration, SchedKind, Scheduler, SimRng, Time, TraceRing};
+use ezflow_sim::{Duration, SchedKind, ShardedScheduler, SimRng, Time, TraceRing};
 
 use crate::controller::Controller;
 use crate::engine::{Ev, EV_KINDS, PROFILE_KINDS};
@@ -193,6 +193,13 @@ pub struct NetworkSpec {
     /// `ezflow-bench`'s equivalence tests pin); the calendar-queue wheel
     /// is the fast default, the heap the reference fallback.
     pub sched: SchedKind,
+    /// Scheduler shards: the node set is partitioned into this many
+    /// interference-domain groups ([`crate::partition`]), one backend
+    /// queue each, merged back into the exact serial event order — a
+    /// sharded run's snapshot is byte-identical to the serial run's
+    /// (pinned by tests and `hotpath_bench --check`). `0` and `1` both
+    /// mean serial; values above the node count clamp down to it.
+    pub shards: usize,
 }
 
 impl NetworkSpec {
@@ -220,6 +227,7 @@ impl NetworkSpec {
             audit_cap: 0,
             profile: false,
             sched: SchedKind::default(),
+            shards: 1,
         }
     }
 
@@ -461,19 +469,37 @@ pub(crate) fn build(
         })
         .collect();
 
-    let mut sched = Scheduler::with_kind(spec.sched);
+    // Partition the node set along the carrier-sense graph and route
+    // every node's scheduler traffic to its shard's queue. The lookahead
+    // is DIFS + one slot: the shortest interval between sensing a
+    // cross-cut transition and the earliest MAC response it can provoke
+    // (propagation is zero in this model). The shard assignment affects
+    // only which queue an entry waits in — the merge restores the exact
+    // serial order — so the schedule calls below are byte-for-byte the
+    // serial builder's, in the same order, receiving the same seqs.
+    let part = crate::partition::partition_by_sensing(&channel, spec.shards.max(1));
+    let lookahead = spec.mac.difs + spec.mac.slot;
+    let mut hot = crate::hot::HotState::new(n);
+    hot.shard_of = part.shard_of;
+
+    let mut sched = ShardedScheduler::with_kind(spec.sched, part.shards, lookahead);
     for (i, s) in sources.iter().enumerate() {
-        sched.schedule(s.start, Ev::Traffic(i));
+        sched.schedule(hot.shard_of[s.src] as usize, s.start, Ev::Traffic(i));
     }
     for (f, (_, t)) in spec.flows.iter().zip(transports.iter()) {
         let t = t.as_ref().expect("transport slot filled at build time");
         if let Some(p) = t.refresh_period() {
-            sched.schedule(f.start + p, Ev::WindowRefresh(f.id));
+            let src = hot.shard_of[f.path[0]] as usize;
+            sched.schedule(src, f.start + p, Ev::WindowRefresh(f.id));
         }
     }
-    sched.schedule(Time::ZERO + spec.sample_every, Ev::Sample);
+    sched.schedule(
+        crate::engine::GLOBAL_SHARD,
+        Time::ZERO + spec.sample_every,
+        Ev::Sample,
+    );
     if let Some(p) = backlog_every {
-        sched.schedule(Time::ZERO + p, Ev::Backlog);
+        sched.schedule(crate::engine::GLOBAL_SHARD, Time::ZERO + p, Ev::Backlog);
     }
     // The telemetry sampler is armed *last*: with its entry resident at
     // every subsequent push, the scheduler's depth high-water mark runs
@@ -481,7 +507,11 @@ pub(crate) fn build(
     // snapshot compensation subtracts (see `Network::snapshot`).
     let mut telemetry = Telemetry::new(n, &flow_ids, spec.telemetry_every, spec.telemetry_cap);
     if telemetry.enabled() {
-        sched.schedule(Time::ZERO + telemetry.every(), Ev::Telemetry);
+        sched.schedule(
+            crate::engine::GLOBAL_SHARD,
+            Time::ZERO + telemetry.every(),
+            Ev::Telemetry,
+        );
         telemetry.note_push();
     }
 
@@ -491,7 +521,7 @@ pub(crate) fn build(
         channel,
         arena,
         chan_rng,
-        hot: crate::hot::HotState::new(nodes.len()),
+        hot,
         nodes,
         routing,
         sources,
@@ -519,5 +549,7 @@ pub(crate) fn build(
         end_report: ezflow_phy::EndReport::default(),
         mac_out_pool: Vec::new(),
         wall: std::time::Duration::ZERO,
+        cut_edges: part.cut_edges,
+        graph_edges: part.total_edges,
     }
 }

@@ -1,0 +1,186 @@
+//! Interference-domain partitioner for the sharded engine.
+//!
+//! Groups nodes into K balanced partitions ("shards") along the static
+//! carrier-sense graph ([`Channel::sensing_neighbors`]) by greedy BFS
+//! growth: start from the lowest unvisited node id, flood outward in
+//! ascending-neighbor order, and open the next shard once the current
+//! one reaches its ⌈N/K⌉ share. BFS over the sensing graph keeps each
+//! shard spatially contiguous — 802.11 interference is local (the
+//! paper's whole premise: BOE overhears one-hop neighbors only), so
+//! contiguous shards minimize *cut edges*, the sensing pairs whose
+//! endpoints land in different shards. Every cross-cut carrier-sense
+//! delivery becomes traffic into another shard's queue
+//! ([`ShardedScheduler::cut_deliveries`](ezflow_sim::sched::sharded::ShardedScheduler::cut_deliveries)),
+//! so the cut fraction is the partition's quality measure and is
+//! reported alongside the bench numbers.
+//!
+//! Everything here is deterministic — node-id iteration order, FIFO
+//! frontier — and the assignment affects only which backend queue an
+//! entry waits in, never the merged execution order, so even a poor
+//! partition cannot change a single simulation byte.
+
+use std::collections::VecDeque;
+
+use ezflow_phy::Channel;
+
+/// A node → shard assignment over the sensing graph, with its cut-edge
+/// accounting.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Shard of each node, indexed by node id.
+    pub shard_of: Vec<u32>,
+    /// Number of shards actually used (K clamped to the node count).
+    pub shards: usize,
+    /// Sensing edges whose endpoints are in different shards.
+    pub cut_edges: usize,
+    /// Total undirected sensing edges in the graph.
+    pub total_edges: usize,
+}
+
+impl Partition {
+    /// `cut_edges / total_edges`, or 0.0 for an edgeless graph.
+    pub fn cut_fraction(&self) -> f64 {
+        if self.total_edges == 0 {
+            0.0
+        } else {
+            self.cut_edges as f64 / self.total_edges as f64
+        }
+    }
+}
+
+/// Partitions the channel's nodes into `shards` balanced groups along
+/// the carrier-sense graph (see the module docs). `shards` is clamped
+/// to `1..=node_count`.
+pub fn partition_by_sensing(channel: &Channel, shards: usize) -> Partition {
+    let n = channel.node_count();
+    let k = shards.clamp(1, n.max(1));
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut shard_of = vec![UNASSIGNED; n];
+    let target = n.div_ceil(k);
+    let mut cur: u32 = 0;
+    let mut filled = 0usize;
+    let mut frontier: VecDeque<usize> = VecDeque::new();
+    for seed in 0..n {
+        if shard_of[seed] != UNASSIGNED {
+            continue;
+        }
+        frontier.push_back(seed);
+        while let Some(v) = frontier.pop_front() {
+            if shard_of[v] != UNASSIGNED {
+                continue;
+            }
+            // The shard reached its share: open the next one. The BFS
+            // frontier carries over, so the next shard keeps growing
+            // from the boundary of the last — contiguity is preserved
+            // across the switch.
+            if filled == target && (cur as usize) < k - 1 {
+                cur += 1;
+                filled = 0;
+            }
+            shard_of[v] = cur;
+            filled += 1;
+            for &u in channel.sensing_neighbors(v) {
+                if shard_of[u] == UNASSIGNED {
+                    frontier.push_back(u);
+                }
+            }
+        }
+    }
+    let (mut cut_edges, mut total_edges) = (0usize, 0usize);
+    for v in 0..n {
+        for &u in channel.sensing_neighbors(v) {
+            if u <= v {
+                continue; // count each undirected edge once
+            }
+            total_edges += 1;
+            if shard_of[v] != shard_of[u] {
+                cut_edges += 1;
+            }
+        }
+    }
+    Partition {
+        shard_of,
+        shards: k,
+        cut_edges,
+        total_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ezflow_phy::{ChannelConfig, LossModel, Position};
+
+    /// A chain of `n` nodes spaced so each only senses its immediate
+    /// neighbors.
+    fn chain(n: usize) -> Channel {
+        let positions: Vec<Position> = (0..n)
+            .map(|i| Position {
+                x: i as f64 * 200.0,
+                y: 0.0,
+            })
+            .collect();
+        let cfg = ChannelConfig {
+            tx_range: 250.0,
+            cs_range: 250.0,
+            ..ChannelConfig::default()
+        };
+        Channel::new(&positions, cfg, LossModel::ideal())
+    }
+
+    #[test]
+    fn chain_splits_into_contiguous_balanced_runs() {
+        let part = partition_by_sensing(&chain(8), 2);
+        assert_eq!(part.shard_of, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert_eq!(part.shards, 2);
+        // 7 chain edges, exactly one crosses the split.
+        assert_eq!((part.cut_edges, part.total_edges), (1, 7));
+        assert!((part.cut_fraction() - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_way_split_of_a_chain_cuts_three_edges() {
+        let part = partition_by_sensing(&chain(8), 4);
+        assert_eq!(part.shard_of, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        assert_eq!(part.cut_edges, 3);
+    }
+
+    #[test]
+    fn one_shard_has_no_cuts() {
+        let part = partition_by_sensing(&chain(5), 1);
+        assert!(part.shard_of.iter().all(|&s| s == 0));
+        assert_eq!(part.cut_edges, 0);
+        assert_eq!(part.total_edges, 4);
+    }
+
+    #[test]
+    fn shards_clamp_to_node_count() {
+        let part = partition_by_sensing(&chain(3), 8);
+        assert_eq!(part.shards, 3);
+        assert_eq!(part.shard_of, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_node_is_assigned_and_shares_are_balanced() {
+        for k in [1, 2, 3, 4, 5] {
+            let part = partition_by_sensing(&chain(17), k);
+            let mut counts = vec![0usize; part.shards];
+            for &s in &part.shard_of {
+                counts[s as usize] += 1;
+            }
+            assert_eq!(counts.iter().sum::<usize>(), 17);
+            let target = 17usize.div_ceil(k);
+            assert!(
+                counts.iter().all(|&c| c <= target),
+                "k={k}: no shard may exceed its ceil share, got {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let a = partition_by_sensing(&chain(12), 3);
+        let b = partition_by_sensing(&chain(12), 3);
+        assert_eq!(a.shard_of, b.shard_of);
+    }
+}

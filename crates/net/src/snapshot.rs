@@ -382,6 +382,16 @@ pub struct PerfSnapshot {
     pub telemetry_windows: u64,
     /// Telemetry sample windows per wall-clock second.
     pub telemetry_windows_per_sec: f64,
+    /// Scheduler partitions the run used. 1 (key omitted, along with the
+    /// two counters below) for a serial run — the pre-sharding schema is
+    /// preserved byte for byte.
+    pub shards: u64,
+    /// Scheduler posts whose target shard differed from the shard being
+    /// executed — the PDES cross-partition traffic.
+    pub cut_deliveries: u64,
+    /// Lookahead-epoch advances at the merge point: how often a
+    /// conservative parallel execution would have had to synchronize.
+    pub barrier_waits: u64,
 }
 
 impl PerfSnapshot {
@@ -406,6 +416,9 @@ impl PerfSnapshot {
             handler_ns: [0; crate::engine::PROFILE_KINDS],
             telemetry_windows: 0,
             telemetry_windows_per_sec: 0.0,
+            shards: 0,
+            cut_deliveries: 0,
+            barrier_waits: 0,
         }
     }
 
@@ -453,6 +466,11 @@ impl PerfSnapshot {
                 self.telemetry_windows_per_sec.into(),
             ));
         }
+        if self.shards > 1 {
+            fields.push(("shards", self.shards.into()));
+            fields.push(("cut_deliveries", self.cut_deliveries.into()));
+            fields.push(("barrier_waits", self.barrier_waits.into()));
+        }
         JsonValue::obj(fields)
     }
 
@@ -489,6 +507,16 @@ impl PerfSnapshot {
                 .get("telemetry_windows_per_sec")
                 .and_then(JsonValue::as_f64)
                 .unwrap_or(0.0),
+            // Absent in serial-run (and pre-sharding) documents.
+            shards: v.get("shards").and_then(JsonValue::as_u64).unwrap_or(0),
+            cut_deliveries: v
+                .get("cut_deliveries")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
+            barrier_waits: v
+                .get("barrier_waits")
+                .and_then(JsonValue::as_u64)
+                .unwrap_or(0),
         })
     }
 }
@@ -1079,6 +1107,9 @@ mod tests {
                 handler_ns: [0; crate::engine::PROFILE_KINDS],
                 telemetry_windows: 0,
                 telemetry_windows_per_sec: 0.0,
+                shards: 0,
+                cut_deliveries: 0,
+                barrier_waits: 0,
             },
             latency: LatencySnapshot {
                 per_flow: vec![(0, {
@@ -1121,6 +1152,7 @@ mod tests {
         assert!(!text.contains("stability"));
         assert!(!text.contains("handler_ns_by_kind"));
         assert!(!text.contains("telemetry_windows"));
+        assert!(!text.contains("cut_deliveries"));
         // Structural probe, not text: each node serialises its controller
         // *name* under "controller" too, so look at the top level only.
         assert!(json.get("controller").is_none());
@@ -1152,6 +1184,9 @@ mod tests {
         snap.perf.handler_ns[crate::engine::PROFILE_KINDS - 1] = 456;
         snap.perf.telemetry_windows = 10;
         snap.perf.telemetry_windows_per_sec = 20.0;
+        snap.perf.shards = 4;
+        snap.perf.cut_deliveries = 77;
+        snap.perf.barrier_waits = 9;
         snap.stability = Some(StabilitySnapshot {
             interval_us: 100_000,
             windows: 10,
@@ -1258,6 +1293,9 @@ mod tests {
         let mut snap = sample();
         snap.perf.telemetry_windows = 4;
         snap.perf.telemetry_windows_per_sec = 8.0;
+        snap.perf.shards = 2;
+        snap.perf.cut_deliveries = 31;
+        snap.perf.barrier_waits = 5;
         let mut json = snap.to_json();
         strip(
             &mut json,
@@ -1267,6 +1305,9 @@ mod tests {
                 "arena_high_water",
                 "telemetry_windows",
                 "telemetry_windows_per_sec",
+                "shards",
+                "cut_deliveries",
+                "barrier_waits",
             ],
         );
         // "controller" collides with each node's controller-name field,
@@ -1281,6 +1322,8 @@ mod tests {
         assert_eq!(back.nodes, snap.nodes);
         assert_eq!(back.perf.arena_high_water, 0, "lenient default");
         assert_eq!(back.perf.telemetry_windows, 0, "lenient default");
+        assert_eq!(back.perf.shards, 0, "lenient default");
+        assert_eq!(back.perf.cut_deliveries, 0, "lenient default");
         assert_eq!(back.stability, None);
         assert_eq!(back.controller, None);
     }

@@ -1,0 +1,101 @@
+//! The sharded-engine byte-identity pins.
+//!
+//! The whole contract of the conservative-PDES refactor is that shard
+//! count is *unobservable*: partitioning a run's scheduler into K
+//! per-interference-domain queues changes which internal queue an event
+//! waits in, never the merged `(time, seq)` pop order — so a run at any
+//! `shards` value must leave a perf-zeroed [`RunSnapshot`] byte-identical
+//! to the serial run's. These tests pin that for shards ∈ {1, 2, 4} on
+//! the paper's scenario 1, a 4×4 grid, and a short slice of the mesh1k
+//! scale scenario (the perf block is zeroed because it honestly differs:
+//! wall-clock noise, plus the sharded run's own cut/barrier gauges).
+//!
+//! CI runs the scenario-1 leg on a dedicated 2-thread job and uploads
+//! the flattened snapshot texts as an artifact when they diverge — see
+//! `.github/workflows/check.yml`.
+
+use std::path::PathBuf;
+
+use ezflow_net::{topo, Controller, FixedController, Network, NetworkSpec, PerfSnapshot, Topology};
+use ezflow_sim::Time;
+
+fn std_controller(_id: usize) -> Box<dyn Controller> {
+    Box::new(FixedController::standard())
+}
+
+/// Perf-zeroed pretty snapshot JSON of one run at `shards` partitions.
+fn digest(topo: &Topology, seed: u64, until: Time, shards: usize) -> String {
+    let mut spec = NetworkSpec::from_topology(topo, seed);
+    spec.shards = shards;
+    let mut net = Network::new(spec, &std_controller);
+    net.run_until(until);
+    let mut snap = net.snapshot("shard-pin");
+    snap.perf = PerfSnapshot::zeroed();
+    snap.to_json().to_pretty()
+}
+
+fn assert_shard_count_is_unobservable(topo: &Topology, seed: u64, until: Time) {
+    let serial = digest(topo, seed, until, 1);
+    for shards in [2usize, 4] {
+        let sharded = digest(topo, seed, until, shards);
+        assert_eq!(
+            serial, sharded,
+            "{}: shards={shards} diverged from the serial run",
+            topo.name
+        );
+    }
+}
+
+#[test]
+fn scenario1_is_byte_identical_at_every_shard_count() {
+    let t = topo::scenario1();
+    assert_shard_count_is_unobservable(&t, 42, topo::scenario1_end());
+}
+
+#[test]
+fn grid4x4_is_byte_identical_at_every_shard_count() {
+    let t = topo::grid(4, 4, 200.0, Time::ZERO, Time::from_secs(60));
+    assert_shard_count_is_unobservable(&t, 7, Time::from_secs(60));
+}
+
+#[test]
+fn mesh1k_slice_is_byte_identical_at_every_shard_count() {
+    // A 3-simulated-second slice of the 1,024-node scale scenario: big
+    // enough that all four shards carry MAC timers, transmissions and
+    // cross-cut carrier sense, short enough for a test.
+    let path = PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/mesh1k.json"
+    ));
+    let text = std::fs::read_to_string(&path).expect("scenarios/mesh1k.json must be committed");
+    let spec = ezflow_net::ScenarioSpec::parse(&text).unwrap();
+    let compiled = spec.compile().unwrap();
+    assert_shard_count_is_unobservable(&compiled.topology, spec.seed, Time::from_secs(3));
+}
+
+#[test]
+fn sharded_runs_report_their_pdes_traffic() {
+    // The counters the bench records: a sharded multi-domain run must
+    // see cross-shard posts and barrier-window advances, and must say
+    // how many shards it ran — while the serial run omits all three
+    // (shards records 0 so the serialized schema stays pre-sharding).
+    let t = topo::scenario1();
+    let run = |shards: usize| {
+        let mut spec = NetworkSpec::from_topology(&t, 42);
+        spec.shards = shards;
+        let mut net = Network::new(spec, &std_controller);
+        net.run_until(Time::from_secs(30));
+        net.snapshot("counters")
+    };
+    let serial = run(1);
+    assert_eq!(serial.perf.shards, 0);
+    assert_eq!(serial.perf.cut_deliveries, 0);
+    assert_eq!(serial.perf.barrier_waits, 0);
+    let sharded = run(4);
+    assert_eq!(sharded.perf.shards, 4);
+    assert!(
+        sharded.perf.cut_deliveries > 0,
+        "a 4-way split of scenario 1 must cross shards"
+    );
+    assert!(sharded.perf.barrier_waits > 0);
+}

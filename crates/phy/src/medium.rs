@@ -420,6 +420,16 @@ impl Channel {
         self.sense[s][r]
     }
 
+    /// The nodes (ascending, `s` excluded) inside `s`'s carrier-sense
+    /// range — the static interference adjacency. Geometry is fixed at
+    /// construction, so these lists never change; they are the edge set
+    /// the sharded engine partitions over, and an edge whose endpoints
+    /// land in different partitions is a *cut link*: every delivery the
+    /// engine routes across it enters another partition's queue.
+    pub fn sensing_neighbors(&self, s: usize) -> &[usize] {
+        &self.sense_from[s]
+    }
+
     /// Number of transmissions currently on the air.
     pub fn active_count(&self) -> usize {
         self.active.len()

@@ -66,4 +66,11 @@ impl<E> HeapQueue<E> {
     pub(crate) fn peek_time(&self) -> Option<Time> {
         self.heap.peek().map(|e| e.at)
     }
+
+    /// The full `(at, seq)` key of the earliest pending entry — what the
+    /// sharded façade's merge point compares across per-partition queues
+    /// (time alone cannot break same-instant ties deterministically).
+    pub(crate) fn peek_key(&self) -> Option<(Time, u64)> {
+        self.heap.peek().map(|e| (e.at, e.seq))
+    }
 }

@@ -33,7 +33,10 @@ use crate::time::Time;
 use core::cmp::Ordering;
 
 pub mod heap;
+pub mod sharded;
 pub mod wheel;
+
+pub use sharded::ShardedScheduler;
 
 use heap::HeapQueue;
 use wheel::WheelQueue;

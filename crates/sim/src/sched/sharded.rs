@@ -1,0 +1,570 @@
+//! Multi-queue scheduler façade for conservative parallel DES.
+//!
+//! One run, K partitions ("shards"), one backend queue per shard. Callers
+//! route every entry to a shard (the engine partitions nodes along the
+//! static interference graph); the façade merges the shard heads back
+//! into the exact global `(at, seq)` total order a single
+//! [`Scheduler`](super::Scheduler) would produce. The merge point is the determinism linchpin:
+//!
+//! * **Seq allocation is global.** One `next_seq` counter spans all
+//!   shards, incremented in call order — the same order a serial run
+//!   issues its `schedule` calls — so every entry carries the identical
+//!   key it would have had in one queue.
+//! * **Pop is an argmin over shard heads.** Each shard exposes its
+//!   earliest pending `(at, seq)` key (cached here, refreshed on the
+//!   push/pop/remove edges that can change it); the façade pops the
+//!   global minimum. Keys are unique (seq is), so the argmin is
+//!   deterministic without any tie-break rule.
+//! * **Stale elision happens at the merge, in global order.** The
+//!   [`Cancelable`] hook has ordered side effects (the engine clears hot
+//!   timer slots and writes trace records from it), so the façade pops
+//!   single entries from the backends with a never-stale hook and applies
+//!   the real hook itself, entry by entry, in the merged order. With a
+//!   single shard the façade instead delegates the whole elision loop to
+//!   the backend — byte-identical to [`Scheduler`](super::Scheduler)
+//!   right down to the wheel's rotation gauges.
+//!
+//! The conservative-PDES accounting rides on top without disturbing any
+//! of that:
+//!
+//! * **Lookahead** is the minimum cross-shard latency: an event handled
+//!   at `t` in one shard cannot schedule anything in another shard
+//!   earlier than `t + lookahead` (for the 802.11 engine: DIFS + one
+//!   slot, the shortest path from a cross-cut carrier-sense edge to a
+//!   MAC response; propagation is zero in this model).
+//! * [`ShardedScheduler::safe_horizon`] is the classic conservative
+//!   bound: shard `s` may run up to `min` over other shards' next-event
+//!   times plus the lookahead without risk of a cross-cut arrival from
+//!   the past.
+//! * [`ShardedScheduler::barrier_waits`] counts lookahead-epoch
+//!   advances: pops whose instant crosses past the current epoch window
+//!   `[T, T + lookahead)`. A threaded conservative runtime synchronizes
+//!   all shards at each such boundary, so `events / barrier_waits` is
+//!   the average work available between global syncs.
+//! * [`ShardedScheduler::cut_deliveries`] counts posts whose target
+//!   shard differs from the shard of the event being handled — the
+//!   traffic that would cross thread boundaries.
+//!
+//! This merge executes serially (the reference container is single-core;
+//! a threaded run could not be byte-identical anyway because same-instant
+//! carrier-sense fan-out couples shards within one microsecond), but the
+//! partitioning, lookahead and barrier machinery are the real thing: the
+//! counters quantify exactly how much parallelism a threaded runtime
+//! would harvest, and per-shard queues shrink each wheel's working set
+//! even at one thread.
+
+use super::heap::HeapQueue;
+use super::wheel::WheelQueue;
+use super::{Backend, Cancelable, Entry, EventId, SchedKind, TimerHandle, WheelStats};
+use crate::time::{Duration, Time};
+
+/// A deterministic multi-queue event scheduler (see the module docs).
+///
+/// The API mirrors [`Scheduler`](super::Scheduler) with one addition: the
+/// mutating calls take the target shard index. All bookkeeping callers
+/// observe (`len`, totals, `depth_high_water`, `stale_drops`) is global
+/// and maintained here in the façade, with the same formulas as the
+/// serial wrapper — a sharded run reports identical statistics.
+pub struct ShardedScheduler<E> {
+    shards: Vec<Backend<E>>,
+    /// Cached earliest pending `(at, seq)` per shard (None = empty).
+    /// Maintained only when `shards.len() > 1`; the single-shard fast
+    /// path delegates straight to its backend.
+    heads: Vec<Option<(Time, u64)>>,
+    lookahead: Duration,
+    /// Shard of the event currently being handled (set at pop), the
+    /// source side of the cut-delivery count. `None` until the first pop,
+    /// so construction-time scheduling counts no cuts.
+    cur_shard: Option<u32>,
+    /// End of the current lookahead epoch window.
+    epoch_end: Time,
+    next_seq: u64,
+    len: usize,
+    depth_high_water: usize,
+    stale_drops: u64,
+    rescheduled: u64,
+    removed: u64,
+    cut_deliveries: u64,
+    barrier_waits: u64,
+}
+
+impl<E> ShardedScheduler<E> {
+    /// Creates an empty scheduler with `shards` backend queues of `kind`
+    /// and the given cross-shard `lookahead`. `shards` is clamped to at
+    /// least 1.
+    pub fn with_kind(kind: SchedKind, shards: usize, lookahead: Duration) -> Self {
+        let shards = shards.max(1);
+        let make = || match kind {
+            SchedKind::Heap => Backend::Heap(HeapQueue::new()),
+            SchedKind::Wheel => Backend::Wheel(Box::new(WheelQueue::new())),
+        };
+        ShardedScheduler {
+            shards: (0..shards).map(|_| make()).collect(),
+            heads: vec![None; shards],
+            lookahead,
+            cur_shard: None,
+            epoch_end: Time::ZERO,
+            next_seq: 0,
+            len: 0,
+            depth_high_water: 0,
+            stale_drops: 0,
+            rescheduled: 0,
+            removed: 0,
+            cut_deliveries: 0,
+            barrier_waits: 0,
+        }
+    }
+
+    /// Which backend kind every shard runs on.
+    pub fn kind(&self) -> SchedKind {
+        match self.shards[0] {
+            Backend::Heap(_) => SchedKind::Heap,
+            Backend::Wheel(_) => SchedKind::Wheel,
+        }
+    }
+
+    /// Number of shards (partitions).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The cross-shard lookahead this scheduler was built with.
+    pub fn lookahead(&self) -> Duration {
+        self.lookahead
+    }
+
+    /// Schedules `event` for instant `at` in `shard`. Returns an id
+    /// usable for tracing. Seq allocation is global: the id is the one a
+    /// serial scheduler would assign to this same call.
+    #[inline]
+    pub fn schedule(&mut self, shard: usize, at: Time, event: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.push_entry(shard, Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// [`ShardedScheduler::schedule`], returning a [`TimerHandle`] for
+    /// later keyed rescheduling or removal (which must name the same
+    /// shard).
+    #[inline]
+    pub fn schedule_keyed(&mut self, shard: usize, at: Time, event: E) -> TimerHandle {
+        let EventId(seq) = self.schedule(shard, at, event);
+        TimerHandle { at, seq }
+    }
+
+    /// Moves a pending entry of `shard` to a new instant in place; same
+    /// contract as [`Scheduler::reschedule`](super::Scheduler::reschedule)
+    /// (fresh global seq, churn counted in `rescheduled`, `None` revives
+    /// a parked timer). The entry stays in `shard`: a logical timer is
+    /// owned by one node, and nodes never migrate between partitions.
+    #[inline]
+    pub fn reschedule(
+        &mut self,
+        shard: usize,
+        prev: Option<TimerHandle>,
+        at: Time,
+        event: E,
+    ) -> TimerHandle {
+        if let Some(h) = prev {
+            let found = self.remove_entry(shard, h);
+            debug_assert!(found, "reschedule of a dead handle {h:?}");
+            if found {
+                self.len -= 1;
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.rescheduled += 1;
+        self.push_entry(shard, Entry { at, seq, event });
+        TimerHandle { at, seq }
+    }
+
+    /// Physically removes a pending entry from `shard`; same contract as
+    /// [`Scheduler::remove`](super::Scheduler::remove).
+    pub fn remove(&mut self, shard: usize, h: TimerHandle) -> bool {
+        if self.remove_entry(shard, h) {
+            self.len -= 1;
+            self.removed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The instant of the earliest pending event across all shards.
+    pub fn peek_time(&self) -> Option<Time> {
+        if self.shards.len() == 1 {
+            return match &self.shards[0] {
+                Backend::Heap(h) => h.peek_time(),
+                Backend::Wheel(w) => w.peek_time(),
+            };
+        }
+        self.heads.iter().flatten().min().map(|&(at, _)| at)
+    }
+
+    /// The conservative safe horizon for `shard`: the earliest instant a
+    /// cross-cut delivery from another shard could still arrive at, i.e.
+    /// `min` over the *other* shards' next-event times plus the
+    /// lookahead. A threaded runtime may process `shard`'s events
+    /// strictly before this bound without synchronizing. [`Time::MAX`]
+    /// when every other shard is empty (or there is only one shard).
+    pub fn safe_horizon(&self, shard: usize) -> Time {
+        let mut safe = Time::MAX;
+        if self.shards.len() > 1 {
+            for (p, head) in self.heads.iter().enumerate() {
+                if p == shard {
+                    continue;
+                }
+                if let Some((at, _)) = *head {
+                    safe = safe.min(at + self.lookahead);
+                }
+            }
+        }
+        safe
+    }
+
+    /// Number of pending events across all shards (stale entries
+    /// included until elided).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no events are pending in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total fresh events ever scheduled (same formula as the serial
+    /// wrapper: re-arms excluded).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq - self.rescheduled
+    }
+
+    /// Entries created by [`ShardedScheduler::reschedule`].
+    pub fn rescheduled_total(&self) -> u64 {
+        self.rescheduled
+    }
+
+    /// Entries physically removed by [`ShardedScheduler::remove`].
+    pub fn removed_total(&self) -> u64 {
+        self.removed
+    }
+
+    /// Peak global pending count (all shards summed, sampled on push).
+    pub fn depth_high_water(&self) -> usize {
+        self.depth_high_water
+    }
+
+    /// Entries elided at pop time by the [`Cancelable`] hook.
+    pub fn stale_drops(&self) -> u64 {
+        self.stale_drops
+    }
+
+    /// Posts (schedule/reschedule) whose target shard differed from the
+    /// shard of the event being handled — the traffic that crosses
+    /// partition boundaries. Zero until the first pop by construction,
+    /// and always zero with one shard.
+    pub fn cut_deliveries(&self) -> u64 {
+        self.cut_deliveries
+    }
+
+    /// Lookahead-epoch advances (see the module docs): global barrier
+    /// synchronizations a conservative threaded runtime would perform.
+    /// Zero with one shard — a single partition never synchronizes.
+    pub fn barrier_waits(&self) -> u64 {
+        self.barrier_waits
+    }
+
+    /// Wheel gauges summed across shards (`bucket_high_water` is the max
+    /// — it is a depth, not a flow); all zero on the heap backend.
+    pub fn wheel_stats(&self) -> WheelStats {
+        let mut total = WheelStats::default();
+        for shard in &self.shards {
+            if let Backend::Wheel(w) = shard {
+                let s = w.stats();
+                total.rotations += s.rotations;
+                total.overflow_refills += s.overflow_refills;
+                total.bucket_high_water = total.bucket_high_water.max(s.bucket_high_water);
+            }
+        }
+        total
+    }
+
+    #[inline]
+    fn push_entry(&mut self, shard: usize, entry: Entry<E>) {
+        if self.shards.len() > 1 {
+            if let Some(cur) = self.cur_shard {
+                if cur as usize != shard {
+                    self.cut_deliveries += 1;
+                }
+            }
+            let key = (entry.at, entry.seq);
+            let head = &mut self.heads[shard];
+            if head.is_none_or(|h| key < h) {
+                *head = Some(key);
+            }
+        }
+        match &mut self.shards[shard] {
+            Backend::Heap(h) => h.push(entry),
+            Backend::Wheel(w) => w.push(entry),
+        }
+        self.len += 1;
+        self.depth_high_water = self.depth_high_water.max(self.len);
+    }
+
+    fn remove_entry(&mut self, shard: usize, h: TimerHandle) -> bool {
+        let found = match &mut self.shards[shard] {
+            Backend::Heap(q) => q.remove(h.at, h.seq),
+            Backend::Wheel(q) => q.remove(h.at, h.seq),
+        };
+        // Removing the cached head invalidates the cache; re-peek.
+        if found && self.shards.len() > 1 && self.heads[shard] == Some((h.at, h.seq)) {
+            self.heads[shard] = match &self.shards[shard] {
+                Backend::Heap(q) => q.peek_key(),
+                Backend::Wheel(q) => q.peek_key(),
+            };
+        }
+        found
+    }
+}
+
+impl<E: Clone> ShardedScheduler<E> {
+    /// Removes and returns the earliest event across all shards, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.pop_before(Time::MAX, |_: Time, _: &E| false)
+    }
+
+    /// Removes and returns the earliest *live* event at or before
+    /// `until` across all shards, eliding stale entries on the way —
+    /// same contract as [`Scheduler::pop_before`](super::Scheduler::pop_before),
+    /// with the hook consulted in the exact merged `(at, seq)` order.
+    pub fn pop_before<C: Cancelable<E>>(
+        &mut self,
+        until: Time,
+        mut cancel: C,
+    ) -> Option<(Time, E)> {
+        if self.shards.len() == 1 {
+            // Single shard: hand the whole elision loop to the backend,
+            // exactly as the serial wrapper does — one call, same hook,
+            // so even the wheel's rotation gauges stay byte-identical.
+            let mut skipped = 0u64;
+            let popped = match &mut self.shards[0] {
+                Backend::Heap(h) => h.pop_live_before(until, &mut cancel, &mut skipped),
+                Backend::Wheel(w) => w.pop_live_before(until, &mut cancel, &mut skipped),
+            };
+            self.stale_drops += skipped;
+            self.len -= skipped as usize + popped.is_some() as usize;
+            return popped.map(|e| (e.at, e.event));
+        }
+        loop {
+            // Argmin over the cached shard heads; keys are unique, so
+            // the winner is deterministic.
+            let mut best: Option<(usize, (Time, u64))> = None;
+            for (s, head) in self.heads.iter().enumerate() {
+                if let Some(key) = *head {
+                    if best.is_none_or(|(_, b)| key < b) {
+                        best = Some((s, key));
+                    }
+                }
+            }
+            let (s, (at, seq)) = best?;
+            if at > until {
+                return None;
+            }
+            // Pop exactly the head entry from its backend; staleness is
+            // decided here at the merge, not inside the backend, because
+            // the hook's side effects are ordered observable state.
+            let mut skipped = 0u64;
+            let mut never = |_: Time, _: &E| false;
+            let entry = match &mut self.shards[s] {
+                Backend::Heap(h) => h.pop_live_before(until, &mut never, &mut skipped),
+                Backend::Wheel(w) => w.pop_live_before(until, &mut never, &mut skipped),
+            }
+            .expect("cached head is pending at or before until");
+            debug_assert_eq!((entry.at, entry.seq), (at, seq), "head cache out of date");
+            debug_assert_eq!(skipped, 0);
+            self.heads[s] = match &self.shards[s] {
+                Backend::Heap(q) => q.peek_key(),
+                Backend::Wheel(q) => q.peek_key(),
+            };
+            self.len -= 1;
+            self.cur_shard = Some(s as u32);
+            // Epoch accounting: every visited entry (live or stale — a
+            // thread visits both) that crosses the window ends an epoch.
+            if entry.at >= self.epoch_end {
+                self.barrier_waits += 1;
+                self.epoch_end = entry.at + self.lookahead;
+            }
+            if cancel.is_stale(entry.at, &entry.event) {
+                self.stale_drops += 1;
+                continue;
+            }
+            return Some((entry.at, entry.event));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Scheduler;
+
+    const LOOKAHEAD: Duration = Duration::from_micros(70);
+
+    fn for_kinds_and_shards(test: impl Fn(SchedKind, usize)) {
+        for kind in [SchedKind::Heap, SchedKind::Wheel] {
+            for shards in [1, 2, 4] {
+                test(kind, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_pops_match_a_serial_scheduler() {
+        for_kinds_and_shards(|kind, k| {
+            let mut serial: Scheduler<u64> = Scheduler::with_kind(kind);
+            let mut sharded: ShardedScheduler<u64> =
+                ShardedScheduler::with_kind(kind, k, LOOKAHEAD);
+            // Same-instant ties, out-of-order times, round-robin shards.
+            let times = [50u64, 10, 10, 90_000, 10, 30, 50, 2_000_000, 0, 30];
+            for (i, &us) in times.iter().enumerate() {
+                let at = Time::from_micros(us);
+                assert_eq!(
+                    serial.schedule(at, i as u64),
+                    sharded.schedule(i % k, at, i as u64)
+                );
+            }
+            loop {
+                let a = serial.pop();
+                let b = sharded.pop();
+                assert_eq!(a, b, "kind={kind:?} shards={k}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn global_accounting_matches_the_serial_wrapper() {
+        for_kinds_and_shards(|kind, k| {
+            let mut serial: Scheduler<u64> = Scheduler::with_kind(kind);
+            let mut sharded: ShardedScheduler<u64> =
+                ShardedScheduler::with_kind(kind, k, LOOKAHEAD);
+            for i in 0..20u64 {
+                let at = Time::from_micros(i * 37 % 100);
+                serial.schedule(at, i);
+                sharded.schedule((i as usize) % k, at, i);
+            }
+            // Elide the odd ones.
+            let stale = |_: Time, e: &u64| e % 2 == 1;
+            while serial.pop_before(Time::MAX, stale).is_some() {
+                sharded.pop_before(Time::MAX, stale).expect("lock-step");
+            }
+            assert!(sharded.pop_before(Time::MAX, stale).is_none());
+            assert_eq!(serial.len(), sharded.len());
+            assert_eq!(serial.scheduled_total(), sharded.scheduled_total());
+            assert_eq!(serial.depth_high_water(), sharded.depth_high_water());
+            assert_eq!(serial.stale_drops(), sharded.stale_drops());
+        });
+    }
+
+    #[test]
+    fn keyed_reschedule_and_remove_keep_merge_order() {
+        for_kinds_and_shards(|kind, k| {
+            let mut s: ShardedScheduler<u64> = ShardedScheduler::with_kind(kind, k, LOOKAHEAD);
+            // The shard-0 head gets moved behind everything else; the
+            // cache must follow it or pops will misorder.
+            let h = s.schedule_keyed(0, Time::from_micros(5), 0);
+            s.schedule(1 % k, Time::from_micros(10), 1);
+            s.schedule(2 % k, Time::from_micros(20), 2);
+            let h = s.reschedule(0, Some(h), Time::from_micros(30), 3);
+            assert_eq!(s.pop(), Some((Time::from_micros(10), 1)));
+            // Remove a head outright (parks the logical timer)...
+            assert!(s.remove(0, h));
+            assert_eq!(s.pop(), Some((Time::from_micros(20), 2)));
+            // ...and revive it.
+            s.reschedule(0, None, Time::from_micros(40), 4);
+            assert_eq!(s.pop(), Some((Time::from_micros(40), 4)));
+            assert_eq!(s.pop(), None);
+            assert_eq!(s.scheduled_total(), 3);
+            assert_eq!(s.rescheduled_total(), 2);
+            assert_eq!(s.removed_total(), 1);
+        });
+    }
+
+    #[test]
+    fn cut_deliveries_count_cross_shard_posts_only() {
+        let mut s: ShardedScheduler<u64> =
+            ShardedScheduler::with_kind(SchedKind::Wheel, 2, LOOKAHEAD);
+        // Build-time posts never count: no event is being handled yet.
+        s.schedule(0, Time::from_micros(10), 0);
+        s.schedule(1, Time::from_micros(20), 1);
+        assert_eq!(s.cut_deliveries(), 0);
+        // Handling the shard-0 event, post into shard 1 (cut) and shard 0
+        // (local).
+        assert_eq!(s.pop(), Some((Time::from_micros(10), 0)));
+        s.schedule(1, Time::from_micros(100), 2);
+        s.schedule(0, Time::from_micros(100), 3);
+        assert_eq!(s.cut_deliveries(), 1);
+    }
+
+    #[test]
+    fn barrier_waits_count_epoch_window_advances() {
+        let mut s: ShardedScheduler<u64> =
+            ShardedScheduler::with_kind(SchedKind::Wheel, 2, LOOKAHEAD);
+        // Three events inside one 70 µs window, then one past it.
+        for (i, us) in [0u64, 10, 60, 200].into_iter().enumerate() {
+            s.schedule(i % 2, Time::from_micros(us), i as u64);
+        }
+        while s.pop().is_some() {}
+        // t=0 opens the first epoch [0, 70); 10 and 60 ride inside it;
+        // 200 opens the second.
+        assert_eq!(s.barrier_waits(), 2);
+    }
+
+    #[test]
+    fn safe_horizon_is_other_heads_plus_lookahead() {
+        let mut s: ShardedScheduler<u64> =
+            ShardedScheduler::with_kind(SchedKind::Wheel, 3, LOOKAHEAD);
+        assert_eq!(s.safe_horizon(0), Time::MAX, "all peers empty");
+        s.schedule(1, Time::from_micros(500), 1);
+        s.schedule(2, Time::from_micros(100), 2);
+        assert_eq!(s.safe_horizon(0), Time::from_micros(170));
+        assert_eq!(s.safe_horizon(2), Time::from_micros(570));
+        // A shard's own head does not bound it.
+        s.schedule(0, Time::ZERO, 0);
+        assert_eq!(s.safe_horizon(0), Time::from_micros(170));
+    }
+
+    #[test]
+    fn single_shard_reports_no_pdes_traffic() {
+        let mut s: ShardedScheduler<u64> =
+            ShardedScheduler::with_kind(SchedKind::Wheel, 1, LOOKAHEAD);
+        s.schedule(0, Time::from_micros(10), 0);
+        assert_eq!(s.pop(), Some((Time::from_micros(10), 0)));
+        s.schedule(0, Time::from_micros(500), 1);
+        assert_eq!(s.pop(), Some((Time::from_micros(500), 1)));
+        assert_eq!(s.cut_deliveries(), 0);
+        assert_eq!(s.barrier_waits(), 0);
+        assert_eq!(s.safe_horizon(0), Time::MAX);
+    }
+
+    #[test]
+    fn horizon_slicing_leaves_later_entries_alone() {
+        for_kinds_and_shards(|kind, k| {
+            let mut s: ShardedScheduler<u64> = ShardedScheduler::with_kind(kind, k, LOOKAHEAD);
+            s.schedule(0, Time::from_micros(10), 1);
+            s.schedule(1 % k, Time::from_micros(30), 3);
+            let none = |_: Time, _: &u64| false;
+            assert_eq!(
+                s.pop_before(Time::from_micros(20), none),
+                Some((Time::from_micros(10), 1))
+            );
+            assert_eq!(s.pop_before(Time::from_micros(20), none), None);
+            assert_eq!(s.len(), 1);
+            assert_eq!(s.peek_time(), Some(Time::from_micros(30)));
+        });
+    }
+}

@@ -250,6 +250,52 @@ proptest! {
     fn heap_and_wheel_agree_on_random_workloads(seed in any::<u64>()) {
         run_workload(seed, 400);
     }
+
+    /// Keyed churn under horizon slicing: `remove`/`reschedule` storms
+    /// interleaved with small `pop_before` horizons, so entries are moved
+    /// and parked *while* the wheel rotates bucket by bucket instead of
+    /// draining in one sweep. This is the seam the sharded façade leans
+    /// on — it pops single entries per merge step, which makes every pop
+    /// a tiny horizon slice from the backend's point of view.
+    #[test]
+    fn keyed_churn_under_horizon_slicing_stays_in_lock_step(
+        seed in any::<u64>(),
+        slice_us in 1u64..150_000,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut pair = Pair::new();
+        for i in 0..16 {
+            pair.schedule_keyed(below(&mut rng, 2_048), i % OWNERS);
+        }
+        for step in 0..250usize {
+            // Delta mix biased to straddle bucket and horizon boundaries,
+            // so keyed moves cross the bucket/overflow seam mid-rotation.
+            let delta = match below(&mut rng, 6) {
+                0 => below(&mut rng, 256),
+                1 => below(&mut rng, 4) * 20,
+                2 => 60_000 + below(&mut rng, 12_000),
+                3 => 65_536 + below(&mut rng, 128),
+                _ => below(&mut rng, 1_500_000),
+            };
+            match below(&mut rng, 10) {
+                0..=3 => pair.reschedule(below(&mut rng, 1 << 30) as usize, delta),
+                4 => pair.park(below(&mut rng, 1 << 30) as usize),
+                5 => pair.resume(delta, step % OWNERS),
+                6 => pair.schedule_keyed(delta, step % OWNERS),
+                7 => pair.schedule(delta, step % OWNERS),
+                8 => pair.bump(step % OWNERS),
+                _ => {
+                    // Advance through several thin horizon slices rather
+                    // than one big drain: rotation happens under churn.
+                    for _ in 0..3 {
+                        let until = Time::from_micros(pair.now + slice_us);
+                        while pair.pop_before(until).is_some() {}
+                    }
+                }
+            }
+        }
+        pair.drain();
+    }
 }
 
 #[test]

@@ -1,0 +1,275 @@
+//! Sharded vs serial scheduler equivalence.
+//!
+//! The sharded façade must be observationally indistinguishable from one
+//! serial [`Scheduler`] no matter how entries are spread across shards:
+//! identical pop sequences (times, payloads, `EventId`s), identical
+//! stale-elision decisions, and identical global bookkeeping. This is the
+//! byte-identity foundation of the sharded engine — the network snapshot
+//! pins in `ezflow-net` rest on the property proven here at the queue
+//! level. Same harness shape as `sched_equiv.rs`, but the pair under
+//! test is serial-vs-sharded (for both backend kinds and several shard
+//! counts) rather than heap-vs-wheel.
+
+use ezflow_sim::{Duration, SchedKind, Scheduler, ShardedScheduler, SimRng, Time, TimerHandle};
+use proptest::prelude::*;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ev {
+    owner: usize,
+    epoch: u64,
+    tag: u64,
+}
+
+const OWNERS: usize = 8;
+
+/// Epoch sentinel for handle-managed entries (exempt from stale elision).
+const KEYED: u64 = u64::MAX;
+
+/// DIFS + one slot — the engine's cross-shard lookahead.
+const LOOKAHEAD: Duration = Duration::from_micros(70);
+
+fn below(rng: &mut SimRng, bound: u64) -> u64 {
+    rng.gen_range(bound as u32) as u64
+}
+
+struct Pair {
+    serial: Scheduler<Ev>,
+    sharded: ShardedScheduler<Ev>,
+    /// Shard count, for the owner → shard route.
+    k: usize,
+    epochs: [u64; OWNERS],
+    /// Live `(tag, owner, serial handle, sharded handle)` keyed entries.
+    handles: Vec<(u64, usize, TimerHandle, TimerHandle)>,
+    parked: Vec<usize>,
+    now: u64,
+    next_tag: u64,
+}
+
+impl Pair {
+    fn new(kind: SchedKind, k: usize) -> Self {
+        Pair {
+            serial: Scheduler::with_kind(kind),
+            sharded: ShardedScheduler::with_kind(kind, k, LOOKAHEAD),
+            k,
+            epochs: [0; OWNERS],
+            handles: Vec::new(),
+            parked: Vec::new(),
+            now: 0,
+            next_tag: 0,
+        }
+    }
+
+    /// The static owner → shard route (a node never migrates).
+    fn shard(&self, owner: usize) -> usize {
+        owner % self.k
+    }
+
+    fn schedule(&mut self, delta_us: u64, owner: usize) {
+        let at = Time::from_micros(self.now + delta_us);
+        let ev = Ev {
+            owner,
+            epoch: self.epochs[owner],
+            tag: self.next_tag,
+        };
+        self.next_tag += 1;
+        let a = self.serial.schedule(at, ev);
+        let b = self.sharded.schedule(self.shard(owner), at, ev);
+        assert_eq!(a, b, "EventIds must match");
+        self.check();
+    }
+
+    fn schedule_keyed(&mut self, delta_us: u64, owner: usize) {
+        let at = Time::from_micros(self.now + delta_us);
+        let ev = Ev {
+            owner,
+            epoch: KEYED,
+            tag: self.next_tag,
+        };
+        self.next_tag += 1;
+        let a = self.serial.schedule_keyed(at, ev);
+        let b = self.sharded.schedule_keyed(self.shard(owner), at, ev);
+        assert_eq!(a, b, "handles must match");
+        self.handles.push((ev.tag, owner, a, b));
+        self.check();
+    }
+
+    fn reschedule(&mut self, pick: usize, delta_us: u64) {
+        if self.handles.is_empty() {
+            return;
+        }
+        let i = pick % self.handles.len();
+        let (_, owner, ha, hb) = self.handles[i];
+        let at = Time::from_micros(self.now + delta_us);
+        let ev = Ev {
+            owner,
+            epoch: KEYED,
+            tag: self.next_tag,
+        };
+        self.next_tag += 1;
+        let a = self.serial.reschedule(Some(ha), at, ev);
+        let b = self.sharded.reschedule(self.shard(owner), Some(hb), at, ev);
+        assert_eq!(a, b, "rescheduled handles must match");
+        self.handles[i] = (ev.tag, owner, a, b);
+        self.check();
+    }
+
+    fn park(&mut self, pick: usize) {
+        if self.handles.is_empty() {
+            return;
+        }
+        let i = pick % self.handles.len();
+        let (_, owner, ha, hb) = self.handles.swap_remove(i);
+        assert!(self.serial.remove(ha), "serial lost a live handle");
+        assert!(
+            self.sharded.remove(self.shard(owner), hb),
+            "sharded lost a live handle"
+        );
+        self.parked.push(owner);
+        self.check();
+    }
+
+    fn resume(&mut self, delta_us: u64) {
+        let Some(owner) = self.parked.pop() else {
+            return;
+        };
+        let at = Time::from_micros(self.now + delta_us);
+        let ev = Ev {
+            owner,
+            epoch: KEYED,
+            tag: self.next_tag,
+        };
+        self.next_tag += 1;
+        let a = self.serial.reschedule(None, at, ev);
+        let b = self.sharded.reschedule(self.shard(owner), None, at, ev);
+        assert_eq!(a, b);
+        self.handles.push((ev.tag, owner, a, b));
+        self.check();
+    }
+
+    fn bump(&mut self, owner: usize) {
+        self.epochs[owner] += 1;
+    }
+
+    fn pop_before(&mut self, until: Time) -> Option<(Time, Ev)> {
+        let epochs = self.epochs;
+        let stale = |_: Time, e: &Ev| e.epoch != KEYED && epochs[e.owner] != e.epoch;
+        let a = self.serial.pop_before(until, stale);
+        let b = self.sharded.pop_before(until, stale);
+        assert_eq!(a, b, "pop sequences must match");
+        if let Some((t, ev)) = a {
+            self.now = t.as_micros();
+            if ev.epoch == KEYED {
+                self.handles.retain(|(tag, ..)| *tag != ev.tag);
+            }
+        } else if until != Time::MAX {
+            self.now = until.as_micros();
+        }
+        self.check();
+        a
+    }
+
+    fn check(&self) {
+        assert_eq!(self.serial.len(), self.sharded.len());
+        assert_eq!(self.serial.is_empty(), self.sharded.is_empty());
+        assert_eq!(
+            self.serial.scheduled_total(),
+            self.sharded.scheduled_total()
+        );
+        assert_eq!(
+            self.serial.depth_high_water(),
+            self.sharded.depth_high_water(),
+            "high-water accounting diverged"
+        );
+        assert_eq!(self.serial.stale_drops(), self.sharded.stale_drops());
+        assert_eq!(
+            self.serial.rescheduled_total(),
+            self.sharded.rescheduled_total()
+        );
+        assert_eq!(self.serial.removed_total(), self.sharded.removed_total());
+        assert_eq!(self.serial.peek_time(), self.sharded.peek_time());
+    }
+
+    fn drain(&mut self) {
+        while self.pop_before(Time::MAX).is_some() {}
+        assert!(self.serial.is_empty() && self.sharded.is_empty());
+    }
+}
+
+/// One randomized workload against one (kind, shard count) pair: the
+/// full op mix of `sched_equiv` — keyed moves, parks, revivals, cancel
+/// storms, horizon slices — with owners statically routed to shards.
+fn run_workload(kind: SchedKind, k: usize, seed: u64, ops: usize) {
+    let mut rng = SimRng::new(seed);
+    let mut pair = Pair::new(kind, k);
+    for _ in 0..ops {
+        let delta = match below(&mut rng, 10) {
+            0..=4 => below(&mut rng, 2_048),
+            5..=6 => below(&mut rng, 4) * 20,
+            7..=8 => 61_000 + below(&mut rng, 9_000),
+            _ => below(&mut rng, 3_000_000),
+        };
+        let owner = below(&mut rng, OWNERS as u64) as usize;
+        match below(&mut rng, 100) {
+            0..=39 => pair.schedule(delta, owner),
+            40..=49 => pair.schedule_keyed(delta, owner),
+            50..=61 => {
+                let pick = below(&mut rng, 1 << 30) as usize;
+                pair.reschedule(pick, delta);
+            }
+            62..=66 => {
+                let pick = below(&mut rng, 1 << 30) as usize;
+                pair.park(pick);
+            }
+            67..=69 => pair.resume(delta),
+            70..=79 => pair.bump(owner),
+            _ => {
+                let until = Time::from_micros(pair.now + below(&mut rng, 100_000));
+                pair.pop_before(until);
+            }
+        }
+    }
+    pair.drain();
+}
+
+proptest! {
+    #[test]
+    fn sharded_and_serial_agree_on_random_workloads(
+        seed in any::<u64>(),
+        k in 1usize..=4,
+    ) {
+        run_workload(SchedKind::Wheel, k, seed, 300);
+    }
+
+    #[test]
+    fn sharded_heap_backend_agrees_too(seed in any::<u64>()) {
+        run_workload(SchedKind::Heap, 3, seed, 200);
+    }
+}
+
+#[test]
+fn same_instant_ties_merge_in_seq_order_across_shards() {
+    // The adversarial case for the merge point: a burst of entries at one
+    // instant spread over every shard must still pop in global schedule
+    // (seq) order — time alone cannot order them.
+    for k in [2, 3, 4] {
+        let mut pair = Pair::new(SchedKind::Wheel, k);
+        for i in 0..48 {
+            pair.schedule(100, i % OWNERS);
+            if i % 7 == 0 {
+                pair.bump(i % OWNERS);
+            }
+        }
+        let mut tags = Vec::new();
+        while let Some((at, ev)) = pair.pop_before(Time::from_micros(100)) {
+            assert_eq!(at, Time::from_micros(100));
+            tags.push(ev.tag);
+        }
+        let mut sorted = tags.clone();
+        sorted.sort_unstable();
+        assert_eq!(tags, sorted, "ties must merge in schedule (FIFO) order");
+        assert!(
+            pair.serial.stale_drops() > 0,
+            "the storm must elide something"
+        );
+    }
+}
